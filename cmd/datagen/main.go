@@ -1,0 +1,67 @@
+// Command datagen generates the evaluation datasets (the synthetic NYSE
+// quote stream and the RAND uniform-symbol stream, paper §4.1) in the
+// repository's text format, for use with spectre-client / spectre-server.
+//
+// Usage:
+//
+//	datagen -dataset nyse -symbols 500 -minutes 200 -out nyse.events
+//	datagen -dataset rand -events 100000 -out rand.events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	spectre "github.com/spectrecep/spectre"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		ds      = flag.String("dataset", "nyse", "dataset to generate: nyse or rand")
+		out     = flag.String("out", "", "output file (default stdout)")
+		symbols = flag.Int("symbols", 500, "number of stock symbols")
+		leaders = flag.Int("leaders", 16, "number of blue-chip leader symbols (nyse)")
+		minutes = flag.Int("minutes", 200, "stream length in minutes (nyse)")
+		events  = flag.Int("events", 100000, "stream length in events (rand)")
+		seed    = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	reg := spectre.NewRegistry()
+	var evs []spectre.Event
+	switch *ds {
+	case "nyse":
+		evs = spectre.GenerateNYSE(reg, spectre.NYSEConfig{
+			Symbols: *symbols, Leaders: *leaders, Minutes: *minutes, Seed: *seed,
+		})
+	case "rand":
+		evs = spectre.GenerateRand(reg, spectre.RandConfig{
+			Symbols: *symbols, Events: *events, Seed: *seed,
+		})
+	default:
+		return fmt.Errorf("unknown dataset %q (want nyse or rand)", *ds)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := spectre.WriteEvents(w, reg, evs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d events\n", len(evs))
+	return nil
+}

@@ -1,0 +1,96 @@
+// Command spectre-bench regenerates the paper's evaluation figures
+// (Figure 10(a)–(f), Figure 11(a)/(b), and the §4.2.3 T-REX comparison)
+// on the local machine and prints one table per figure.
+//
+// Usage:
+//
+//	spectre-bench -exp all
+//	spectre-bench -exp fig10a,fig10d -instances 1,2,4 -repeats 5
+//
+// Measured medians go to stdout; record them in EXPERIMENTS.md alongside
+// the paper's reference shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/spectrecep/spectre/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spectre-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp       = flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(bench.ExperimentOrder, ", ")+") or 'all'")
+		repeats   = flag.Int("repeats", 3, "repetitions per configuration (paper: 10)")
+		instances = flag.String("instances", "1,2,4,8", "comma-separated operator-instance counts")
+		window    = flag.Int("window", 2000, "window size ws in events for Q1/Q2 (paper: 8000)")
+		slide     = flag.Int("slide", 0, "window slide s for Q2 (default ws/8; paper: 1000)")
+		symbols   = flag.Int("symbols", 500, "NYSE dataset symbols (paper: ~3000)")
+		minutes   = flag.Int("minutes", 200, "NYSE dataset minutes")
+		randEv    = flag.Int("rand-events", 100000, "RAND dataset events (paper: 3M)")
+		seed      = flag.Int64("seed", 42, "dataset seed")
+	)
+	flag.Parse()
+
+	ks, err := parseInts(*instances)
+	if err != nil {
+		return fmt.Errorf("bad -instances: %w", err)
+	}
+	opt := &bench.Options{
+		Repeats:     *repeats,
+		Instances:   ks,
+		WindowSize:  *window,
+		Slide:       *slide,
+		NYSESymbols: *symbols,
+		NYSEMinutes: *minutes,
+		RandEvents:  *randEv,
+		Seed:        *seed,
+		Out:         os.Stdout,
+	}
+
+	if *exp == "all" {
+		_, err := opt.RunAll()
+		return err
+	}
+	exps := opt.Experiments()
+	for _, id := range strings.Split(*exp, ",") {
+		id = strings.TrimSpace(id)
+		runner, ok := exps[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(bench.ExperimentOrder, ", "))
+		}
+		if _, err := runner(); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no instance counts")
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+// Command spectre-client reads events from a dataset file and streams
+// them to a spectre-server over TCP, as fast as possible (the throughput
+// measurement mode of the paper's evaluation) or rate-limited.
+//
+// Usage:
+//
+//	spectre-client -addr localhost:7071 -file nyse.events
+//	spectre-client -addr localhost:7071 -file nyse.events -rate 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	spectre "github.com/spectrecep/spectre"
+	"github.com/spectrecep/spectre/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spectre-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr = flag.String("addr", "localhost:7071", "server address")
+		file = flag.String("file", "", "dataset file (datagen text format)")
+		rate = flag.Int("rate", 0, "events per second (0 = unthrottled)")
+	)
+	flag.Parse()
+	if *file == "" {
+		return fmt.Errorf("-file is required")
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	reg := spectre.NewRegistry()
+	events, err := spectre.ReadEvents(f, reg)
+	if err != nil {
+		return err
+	}
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	if *rate <= 0 {
+		if err := transport.Send(conn.(*net.TCPConn), reg, events); err != nil {
+			return err
+		}
+	} else {
+		w := transport.NewWriter(conn, reg)
+		interval := time.Second / time.Duration(*rate)
+		next := time.Now()
+		for i := range events {
+			if err := w.WriteEvent(&events[i]); err != nil {
+				return err
+			}
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				if err := w.Flush(); err != nil {
+					return err
+				}
+				time.Sleep(d)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			if err := tc.CloseWrite(); err != nil {
+				return err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "spectre-client: sent %d events in %v (%.0f events/sec)\n",
+		len(events), elapsed.Round(time.Millisecond), float64(len(events))/elapsed.Seconds())
+	return nil
+}

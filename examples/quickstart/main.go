@@ -1,0 +1,92 @@
+// Quickstart reproduces Figure 1 of the SPECTRE paper: the introductory
+// stock-correlation query Q_E run with two different consumption policies
+// over the stream A1 A2 B1 B2 B3.
+//
+// With no consumption policy, 5 complex events are detected; with the
+// "selected B" policy, B1 and B2 are consumed by the first window's
+// matches and only 3 complex events remain.
+//
+// Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	spectre "github.com/spectrecep/spectre"
+)
+
+const (
+	queryNoConsumption = `
+		QUERY influence
+		PATTERN (A B)
+		DEFINE A AS A.symbol = 'A', B AS B.symbol = 'B'
+		WITHIN 1 min FROM A
+		CONSUME NONE
+		ON MATCH RESTART LEADER
+	`
+	querySelectedB = `
+		QUERY influence
+		PATTERN (A B)
+		DEFINE A AS A.symbol = 'A', B AS B.symbol = 'B'
+		WITHIN 1 min FROM A
+		CONSUME (B)
+		ON MATCH RESTART LEADER
+	`
+)
+
+func main() {
+	for _, variant := range []struct{ label, src string }{
+		{"consumption policy: none (Figure 1a)", queryNoConsumption},
+		{"consumption policy: selected B (Figure 1b)", querySelectedB},
+	} {
+		fmt.Printf("\n%s\n", variant.label)
+		if err := runVariant(variant.src); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func runVariant(src string) error {
+	reg := spectre.NewRegistry()
+	query, err := spectre.ParseQuery(src, reg)
+	if err != nil {
+		return err
+	}
+
+	// The Figure 1 stream: A1 A2 B1 B2 B3. B3 arrives more than a minute
+	// after A1, so it belongs only to the window opened by A2.
+	typeA, _ := reg.LookupType("A")
+	typeB, _ := reg.LookupType("B")
+	at := func(s int) int64 { return int64(s) * int64(time.Second) }
+	events := []spectre.Event{
+		{TS: at(0), Type: typeA},  // A1
+		{TS: at(10), Type: typeA}, // A2
+		{TS: at(20), Type: typeB}, // B1
+		{TS: at(40), Type: typeB}, // B2
+		{TS: at(65), Type: typeB}, // B3
+	}
+	names := []string{"A1", "A2", "B1", "B2", "B3"}
+
+	eng, err := spectre.NewEngine(query, spectre.WithInstances(4))
+	if err != nil {
+		return err
+	}
+	count := 0
+	err = eng.Run(spectre.FromSlice(events), func(ce spectre.ComplexEvent) {
+		count++
+		parts := make([]string, len(ce.Constituents))
+		for i, seq := range ce.Constituents {
+			parts[i] = names[seq]
+		}
+		fmt.Printf("  complex event %d: window w%d, constituents %v\n", count, ce.WindowID+1, parts)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  → %d complex events\n", count)
+	return nil
+}

@@ -1,0 +1,133 @@
+// Package arena provides the shared-memory event store of the
+// parallelization framework (paper §2.2, Figure 2): a chunked, append-only
+// arena with a single writer (the splitter) and many lock-free readers (the
+// operator instances), plus an atomic bitset tracking finally consumed
+// events.
+//
+// Events are addressed by their global sequence number. Chunking keeps
+// addresses stable (no reallocation copies), so readers may hold *Event
+// pointers across appends.
+package arena
+
+import (
+	"sync/atomic"
+
+	"github.com/spectrecep/spectre/internal/event"
+)
+
+const (
+	// chunkBits sets the chunk size; 1<<chunkBits events per chunk.
+	chunkBits = 14
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+type chunk struct {
+	events [chunkSize]event.Event
+}
+
+// Arena is the append-only shared event store. Append may be called by a
+// single goroutine only; Get/Len are safe from any goroutine and observe a
+// consistent prefix.
+type Arena struct {
+	// chunks is published atomically whenever the directory grows; the
+	// chunks themselves are stable once allocated.
+	chunks atomic.Pointer[[]*chunk]
+	length atomic.Uint64 // number of appended events; published last
+}
+
+// New returns an empty arena.
+func New() *Arena {
+	a := &Arena{}
+	dir := make([]*chunk, 0, 16)
+	a.chunks.Store(&dir)
+	return a
+}
+
+// Append stores ev at the next sequence position and returns its assigned
+// sequence number (equal to the previous Len). The caller must be the
+// arena's single writer. The event's Seq field is set to the assigned
+// number.
+func (a *Arena) Append(ev event.Event) uint64 {
+	seq := a.length.Load()
+	ci := int(seq >> chunkBits)
+	dir := *a.chunks.Load()
+	if ci >= len(dir) {
+		// Grow the directory. Copy-on-write so readers never observe a
+		// partially updated slice.
+		grown := make([]*chunk, len(dir)+1, cap(dir)*2+1)
+		copy(grown, dir)
+		grown[len(dir)] = &chunk{}
+		a.chunks.Store(&grown)
+		dir = grown
+	}
+	ev.Seq = seq
+	dir[ci].events[seq&chunkMask] = ev
+	// Publish after the write so readers that observe the new length also
+	// observe the event contents.
+	a.length.Store(seq + 1)
+	return seq
+}
+
+// Get returns a pointer to the event with the given sequence number. The
+// pointer stays valid for the arena's lifetime. Get must only be called
+// with seq < Len().
+func (a *Arena) Get(seq uint64) *event.Event {
+	dir := *a.chunks.Load()
+	return &dir[seq>>chunkBits].events[seq&chunkMask]
+}
+
+// Len reports the number of appended events. All events with Seq < Len()
+// are fully visible.
+func (a *Arena) Len() uint64 { return a.length.Load() }
+
+// ConsumedSet is a grow-only atomic bitset keyed by event sequence number.
+// Only the splitter marks events consumed (single writer); operator
+// instances read concurrently. Marking is monotone: bits are never cleared.
+type ConsumedSet struct {
+	words atomic.Pointer[[]atomicWord]
+	count atomic.Uint64
+}
+
+type atomicWord struct{ v atomic.Uint64 }
+
+// NewConsumedSet returns an empty consumed set.
+func NewConsumedSet() *ConsumedSet {
+	s := &ConsumedSet{}
+	w := make([]atomicWord, 0, 64)
+	s.words.Store(&w)
+	return s
+}
+
+// Mark records seq as consumed. Single-writer only.
+func (s *ConsumedSet) Mark(seq uint64) {
+	wi := int(seq >> 6)
+	words := *s.words.Load()
+	if wi >= len(words) {
+		grown := make([]atomicWord, wi+1, (wi+1)*2)
+		for i := range words {
+			grown[i].v.Store(words[i].v.Load())
+		}
+		s.words.Store(&grown)
+		words = grown
+	}
+	old := words[wi].v.Load()
+	bit := uint64(1) << (seq & 63)
+	if old&bit == 0 {
+		words[wi].v.Store(old | bit)
+		s.count.Add(1)
+	}
+}
+
+// Contains reports whether seq has been marked consumed.
+func (s *ConsumedSet) Contains(seq uint64) bool {
+	words := *s.words.Load()
+	wi := int(seq >> 6)
+	if wi >= len(words) {
+		return false
+	}
+	return words[wi].v.Load()&(uint64(1)<<(seq&63)) != 0
+}
+
+// Count returns the number of consumed events so far.
+func (s *ConsumedSet) Count() uint64 { return s.count.Load() }

@@ -1,0 +1,152 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/spectrecep/spectre/internal/event"
+)
+
+func TestAppendGet(t *testing.T) {
+	a := New()
+	if a.Len() != 0 {
+		t.Fatal("new arena must be empty")
+	}
+	const n = 3 * chunkSize / 2 // crosses a chunk boundary
+	for i := 0; i < n; i++ {
+		seq := a.Append(event.Event{TS: int64(i), Type: event.Type(i % 7)})
+		if seq != uint64(i) {
+			t.Fatalf("assigned seq %d, want %d", seq, i)
+		}
+	}
+	if a.Len() != n {
+		t.Fatalf("len = %d, want %d", a.Len(), n)
+	}
+	for i := 0; i < n; i += 97 {
+		ev := a.Get(uint64(i))
+		if ev.Seq != uint64(i) || ev.TS != int64(i) {
+			t.Fatalf("Get(%d) = %+v", i, ev)
+		}
+	}
+}
+
+func TestPointerStability(t *testing.T) {
+	a := New()
+	a.Append(event.Event{TS: 42})
+	p := a.Get(0)
+	// Grow across many chunks; the first pointer must stay valid.
+	for i := 0; i < 4*chunkSize; i++ {
+		a.Append(event.Event{TS: int64(i)})
+	}
+	if p != a.Get(0) || p.TS != 42 {
+		t.Fatal("event pointers must be stable across growth")
+	}
+}
+
+// TestConcurrentReaders exercises the single-writer/multi-reader contract
+// under the race detector.
+func TestConcurrentReaders(t *testing.T) {
+	a := New()
+	const n = 2 * chunkSize
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l := a.Len()
+				if l == 0 {
+					continue
+				}
+				ev := a.Get(l - 1)
+				if ev.Seq != l-1 {
+					t.Errorf("read seq %d at len %d", ev.Seq, l)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		a.Append(event.Event{TS: int64(i)})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestConsumedSet(t *testing.T) {
+	s := NewConsumedSet()
+	if s.Contains(0) || s.Count() != 0 {
+		t.Fatal("new set must be empty")
+	}
+	s.Mark(3)
+	s.Mark(3) // idempotent
+	s.Mark(64)
+	s.Mark(100000)
+	if !s.Contains(3) || !s.Contains(64) || !s.Contains(100000) {
+		t.Fatal("marked seqs must be contained")
+	}
+	if s.Contains(4) || s.Contains(99999) {
+		t.Fatal("unmarked seqs must not be contained")
+	}
+	if s.Count() != 3 {
+		t.Fatalf("count = %d, want 3", s.Count())
+	}
+}
+
+// TestConsumedSetProperty: marking any set of seqs makes exactly those
+// seqs contained.
+func TestConsumedSetProperty(t *testing.T) {
+	check := func(seqs []uint16) bool {
+		s := NewConsumedSet()
+		want := make(map[uint64]bool)
+		for _, x := range seqs {
+			s.Mark(uint64(x))
+			want[uint64(x)] = true
+		}
+		for x := uint64(0); x < 1<<16; x += 13 {
+			if s.Contains(x) != want[x] {
+				return false
+			}
+		}
+		return uint64(len(want)) == s.Count()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsumedSetConcurrentReaders(t *testing.T) {
+	s := NewConsumedSet()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Monotonicity: once visible, always visible.
+				if s.Contains(10) && !s.Contains(10) {
+					t.Error("consumed bit vanished")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 10000; i++ {
+		s.Mark(uint64(i))
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,536 @@
+// Package bench regenerates every figure of the paper's evaluation
+// (§4.2): the scalability sweeps of Figure 10(a)/(b), the overhead
+// measurements of Figure 10(c)/(f), the ground-truth completion
+// probabilities of Figure 10(d)/(e), the Markov-versus-fixed comparison of
+// Figure 11(a)/(b), and the T-REX comparison of §4.2.3.
+//
+// Experiments are scaled to commodity hardware: dataset sizes, window
+// sizes and instance counts are configurable, with defaults chosen so the
+// full suite runs in minutes. The paper's *ratios* (pattern size / window
+// size) are preserved — they, not absolute sizes, drive the phenomena
+// under test. Absolute events/second are not comparable to the paper's
+// 20-core testbed; the shapes (who wins, where scaling saturates) are.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/core"
+	"github.com/spectrecep/spectre/internal/dataset"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/markov"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/queries"
+	"github.com/spectrecep/spectre/internal/seqengine"
+	"github.com/spectrecep/spectre/internal/stats"
+	"github.com/spectrecep/spectre/internal/stream"
+	"github.com/spectrecep/spectre/internal/trex"
+)
+
+// Options scales the experiment suite. Zero values select defaults that
+// complete in minutes on a laptop.
+type Options struct {
+	// Repeats is the number of measurement repetitions per configuration
+	// (paper: 10).
+	Repeats int
+	// Instances are the operator-instance counts to sweep (paper: 1, 2,
+	// 4, 8, 16, 32).
+	Instances []int
+	// WindowSize is ws for Q1/Q2 (paper: 8000). Ratios from the paper are
+	// applied to this size.
+	WindowSize int
+	// Slide is s for Q2 (paper: 1000).
+	Slide int
+	// NYSESymbols / NYSELeaders / NYSEMinutes scale the synthetic NYSE
+	// stream (paper: ~3000 symbols × 2 months).
+	NYSESymbols, NYSELeaders, NYSEMinutes int
+	// RandSymbols / RandEvents scale the RAND stream (paper: 300 symbols,
+	// 3M events).
+	RandSymbols, RandEvents int
+	// Seed makes dataset generation deterministic.
+	Seed int64
+	// Out receives the printed tables (nil silences printing).
+	Out io.Writer
+}
+
+func (o *Options) setDefaults() {
+	if o.Repeats <= 0 {
+		o.Repeats = 3
+	}
+	if len(o.Instances) == 0 {
+		o.Instances = []int{1, 2, 4, 8}
+	}
+	if o.WindowSize <= 0 {
+		o.WindowSize = 2000
+	}
+	if o.Slide <= 0 {
+		o.Slide = o.WindowSize / 8
+	}
+	if o.NYSESymbols <= 0 {
+		o.NYSESymbols = 500
+	}
+	if o.NYSELeaders <= 0 {
+		o.NYSELeaders = 16
+	}
+	if o.NYSEMinutes <= 0 {
+		o.NYSEMinutes = 200
+	}
+	if o.RandSymbols <= 0 {
+		o.RandSymbols = 300
+	}
+	if o.RandEvents <= 0 {
+		o.RandEvents = 100000
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+}
+
+func (o *Options) printf(format string, args ...any) {
+	if o.Out != nil {
+		fmt.Fprintf(o.Out, format, args...)
+	}
+}
+
+// Q1Ratios are the pattern-size-to-window-size ratios of Figure 10(a)/(d).
+var Q1Ratios = []float64{0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32}
+
+// Q2Bands are the lower/upper price-limit pairs of Figure 10(b)/(e); wider
+// bands increase the average pattern size and decrease the completion
+// probability. The final entry makes completion impossible ("0 cplx").
+var Q2Bands = []struct {
+	Lower, Upper float64
+	Label        string
+}{
+	{95, 105, "narrow"},
+	{90, 112, "band2"},
+	{85, 120, "band3"},
+	{80, 130, "band4"},
+	{70, 142, "band5"},
+	{60, 160, "band6"},
+	{50, 185, "band7"},
+	{50, 1e12, "0 cplx"}, // C (close > upper) can never occur
+}
+
+// Row is one measured configuration.
+type Row struct {
+	Figure      string
+	Label       string  // sweep point (e.g. "ratio=0.005")
+	K           int     // operator instances (0 when not applicable)
+	Value       float64 // median of the metric
+	Metric      string  // e.g. "events/sec"
+	Candles     stats.Candles
+	GroundTruth float64 // completion probability where applicable
+}
+
+// nyseData caches the generated NYSE stream.
+func (o *Options) nyseData(reg *event.Registry) []event.Event {
+	return dataset.NYSE(reg, dataset.NYSEConfig{
+		Symbols: o.NYSESymbols,
+		Leaders: o.NYSELeaders,
+		Minutes: o.NYSEMinutes,
+		Seed:    o.Seed,
+	})
+}
+
+func (o *Options) randData(reg *event.Registry) []event.Event {
+	return dataset.Rand(reg, dataset.RandConfig{
+		Symbols: o.RandSymbols,
+		Events:  o.RandEvents,
+		Seed:    o.Seed,
+	})
+}
+
+// measureSpectre runs the engine Repeats times and returns the throughput
+// candles (events/second).
+func measureSpectre(q *pattern.Query, events []event.Event, cfg core.Config, repeats int) (stats.Candles, core.Metrics, error) {
+	var series stats.Series
+	var lastMetrics core.Metrics
+	for r := 0; r < repeats; r++ {
+		eng, err := core.New(q, cfg)
+		if err != nil {
+			return stats.Candles{}, core.Metrics{}, err
+		}
+		src := stream.FromSlice(events)
+		start := time.Now()
+		if err := eng.Run(src, nil); err != nil {
+			return stats.Candles{}, core.Metrics{}, err
+		}
+		elapsed := time.Since(start)
+		series.Add(stats.Throughput(uint64(len(events)), elapsed))
+		lastMetrics = eng.MetricsSnapshot()
+	}
+	return series.Candles(), lastMetrics, nil
+}
+
+// groundTruth computes the paper's ground-truth completion probability:
+// a sequential pass counting completed vs created consumption groups.
+func groundTruth(q *pattern.Query, events []event.Event) (float64, error) {
+	eng, err := seqengine.New(q)
+	if err != nil {
+		return 0, err
+	}
+	_, st, err := eng.Run(append([]event.Event(nil), events...))
+	if err != nil {
+		return 0, err
+	}
+	return st.CompletionProbability(), nil
+}
+
+// Fig10a regenerates Figure 10(a): Q1 on NYSE, throughput versus the
+// pattern-size/window-size ratio for each instance count.
+func (o *Options) Fig10a() ([]Row, error) {
+	o.setDefaults()
+	reg := event.NewRegistry()
+	events := o.nyseData(reg)
+	o.printf("\n== Figure 10(a): Q1 on NYSE — throughput vs ratio (ws=%d, %d events) ==\n", o.WindowSize, len(events))
+	o.printf("%-12s %-6s %14s   %s\n", "ratio", "k", "med ev/s", "candles (min/p25/med/p75/max)")
+	var rows []Row
+	for _, ratio := range Q1Ratios {
+		qsize := int(ratio * float64(o.WindowSize))
+		if qsize < 1 {
+			qsize = 1
+		}
+		q, err := queries.Q1(reg, queries.Q1Config{Q: qsize, WindowSize: o.WindowSize, Leaders: o.NYSELeaders})
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range o.Instances {
+			c, _, err := measureSpectre(q, events, core.Config{Instances: k}, o.Repeats)
+			if err != nil {
+				return nil, err
+			}
+			row := Row{
+				Figure: "fig10a", Label: fmt.Sprintf("ratio=%.3f", ratio), K: k,
+				Value: c.Median, Metric: "events/sec", Candles: c,
+			}
+			rows = append(rows, row)
+			o.printf("%-12s %-6d %14.0f   %s\n", row.Label, k, c.Median, c)
+		}
+	}
+	return rows, nil
+}
+
+// Fig10d regenerates Figure 10(d): the ground-truth consumption-group
+// completion probability for the Q1 sweep.
+func (o *Options) Fig10d() ([]Row, error) {
+	o.setDefaults()
+	reg := event.NewRegistry()
+	events := o.nyseData(reg)
+	o.printf("\n== Figure 10(d): Q1 ground-truth completion probability ==\n")
+	o.printf("%-12s %10s\n", "ratio", "P(compl)")
+	var rows []Row
+	for _, ratio := range Q1Ratios {
+		qsize := int(ratio * float64(o.WindowSize))
+		if qsize < 1 {
+			qsize = 1
+		}
+		q, err := queries.Q1(reg, queries.Q1Config{Q: qsize, WindowSize: o.WindowSize, Leaders: o.NYSELeaders})
+		if err != nil {
+			return nil, err
+		}
+		gt, err := groundTruth(q, events)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{
+			Figure: "fig10d", Label: fmt.Sprintf("ratio=%.3f", ratio),
+			Value: gt * 100, Metric: "completion %", GroundTruth: gt,
+		})
+		o.printf("%-12s %9.1f%%\n", fmt.Sprintf("ratio=%.3f", ratio), gt*100)
+	}
+	return rows, nil
+}
+
+// Fig10b regenerates Figure 10(b): Q2 on NYSE, throughput versus the
+// average-pattern-size band sweep for each instance count.
+func (o *Options) Fig10b() ([]Row, error) {
+	o.setDefaults()
+	reg := event.NewRegistry()
+	events := o.nyseData(reg)
+	o.printf("\n== Figure 10(b): Q2 on NYSE — throughput vs price bands (ws=%d s=%d) ==\n", o.WindowSize, o.Slide)
+	o.printf("%-12s %-6s %14s   %s\n", "band", "k", "med ev/s", "candles")
+	var rows []Row
+	for _, band := range Q2Bands {
+		q, err := queries.Q2(reg, queries.Q2Config{
+			WindowSize: o.WindowSize, Slide: o.Slide,
+			LowerLimit: band.Lower, UpperLimit: band.Upper,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range o.Instances {
+			c, _, err := measureSpectre(q, events, core.Config{Instances: k}, o.Repeats)
+			if err != nil {
+				return nil, err
+			}
+			row := Row{
+				Figure: "fig10b", Label: band.Label, K: k,
+				Value: c.Median, Metric: "events/sec", Candles: c,
+			}
+			rows = append(rows, row)
+			o.printf("%-12s %-6d %14.0f   %s\n", band.Label, k, c.Median, c)
+		}
+	}
+	return rows, nil
+}
+
+// Fig10e regenerates Figure 10(e): ground-truth completion probability
+// for the Q2 band sweep.
+func (o *Options) Fig10e() ([]Row, error) {
+	o.setDefaults()
+	reg := event.NewRegistry()
+	events := o.nyseData(reg)
+	o.printf("\n== Figure 10(e): Q2 ground-truth completion probability ==\n")
+	o.printf("%-12s %10s\n", "band", "P(compl)")
+	var rows []Row
+	for _, band := range Q2Bands {
+		q, err := queries.Q2(reg, queries.Q2Config{
+			WindowSize: o.WindowSize, Slide: o.Slide,
+			LowerLimit: band.Lower, UpperLimit: band.Upper,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gt, err := groundTruth(q, events)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{
+			Figure: "fig10e", Label: band.Label,
+			Value: gt * 100, Metric: "completion %", GroundTruth: gt,
+		})
+		o.printf("%-12s %9.1f%%\n", band.Label, gt*100)
+	}
+	return rows, nil
+}
+
+// Fig10c regenerates Figure 10(c): splitter maintenance+scheduling cycles
+// per second versus the instance count (Q1, ratio 0.01).
+func (o *Options) Fig10c() ([]Row, error) {
+	o.setDefaults()
+	reg := event.NewRegistry()
+	events := o.nyseData(reg)
+	qsize := o.WindowSize / 100 // the paper's q=80 at ws=8000
+	if qsize < 1 {
+		qsize = 1
+	}
+	q, err := queries.Q1(reg, queries.Q1Config{Q: qsize, WindowSize: o.WindowSize, Leaders: o.NYSELeaders})
+	if err != nil {
+		return nil, err
+	}
+	o.printf("\n== Figure 10(c): scheduling cycles/second vs #instances (Q1, q=%d) ==\n", qsize)
+	o.printf("%-6s %16s\n", "k", "cycles/sec")
+	var rows []Row
+	for _, k := range o.Instances {
+		var series stats.Series
+		for r := 0; r < o.Repeats; r++ {
+			eng, err := core.New(q, core.Config{Instances: k})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if err := eng.Run(stream.FromSlice(events), nil); err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			m := eng.MetricsSnapshot()
+			series.Add(float64(m.Cycles) / elapsed.Seconds())
+		}
+		c := series.Candles()
+		rows = append(rows, Row{
+			Figure: "fig10c", Label: "cycles", K: k,
+			Value: c.Median, Metric: "cycles/sec", Candles: c,
+		})
+		o.printf("%-6d %16.0f\n", k, c.Median)
+	}
+	return rows, nil
+}
+
+// Fig10f regenerates Figure 10(f): the dependency tree's high-water mark
+// of window versions versus the instance count (Q1, ratio 0.01).
+func (o *Options) Fig10f() ([]Row, error) {
+	o.setDefaults()
+	reg := event.NewRegistry()
+	events := o.nyseData(reg)
+	qsize := o.WindowSize / 100
+	if qsize < 1 {
+		qsize = 1
+	}
+	q, err := queries.Q1(reg, queries.Q1Config{Q: qsize, WindowSize: o.WindowSize, Leaders: o.NYSELeaders})
+	if err != nil {
+		return nil, err
+	}
+	o.printf("\n== Figure 10(f): max dependency-tree size vs #instances (Q1, q=%d) ==\n", qsize)
+	o.printf("%-6s %12s\n", "k", "max versions")
+	var rows []Row
+	for _, k := range o.Instances {
+		var series stats.Series
+		for r := 0; r < o.Repeats; r++ {
+			eng, err := core.New(q, core.Config{Instances: k})
+			if err != nil {
+				return nil, err
+			}
+			if err := eng.Run(stream.FromSlice(events), nil); err != nil {
+				return nil, err
+			}
+			series.Add(float64(eng.MetricsSnapshot().MaxTreeSize))
+		}
+		c := series.Candles()
+		rows = append(rows, Row{
+			Figure: "fig10f", Label: "tree", K: k,
+			Value: c.Median, Metric: "versions", Candles: c,
+		})
+		o.printf("%-6d %12.0f\n", k, c.Median)
+	}
+	return rows, nil
+}
+
+// fig11 runs one panel of Figure 11: Q3 with fixed completion
+// probabilities 0..100% versus the Markov model.
+func (o *Options) fig11(name string, setSize, ws, slide, k int) ([]Row, error) {
+	reg := event.NewRegistry()
+	events := o.randData(reg)
+	q, err := queries.Q3(reg, queries.Q3Config{SetSize: setSize, WindowSize: ws, Slide: slide})
+	if err != nil {
+		return nil, err
+	}
+	gt, err := groundTruth(q, events)
+	if err != nil {
+		return nil, err
+	}
+	o.printf("\n== Figure 11 (%s): Q3 ratio=%.3f (ground truth %.0f%%), k=%d ==\n",
+		name, float64(setSize+1)/float64(ws), gt*100, k)
+	o.printf("%-10s %14s\n", "model", "med ev/s")
+	var rows []Row
+	type model struct {
+		label string
+		pred  markov.Predictor
+	}
+	models := []model{
+		{"0%", markov.Fixed{P: 0}},
+		{"20%", markov.Fixed{P: 0.2}},
+		{"40%", markov.Fixed{P: 0.4}},
+		{"60%", markov.Fixed{P: 0.6}},
+		{"80%", markov.Fixed{P: 0.8}},
+		{"100%", markov.Fixed{P: 1}},
+		{"Markov", nil}, // engine default
+	}
+	for _, m := range models {
+		c, _, err := measureSpectre(q, events, core.Config{Instances: k, Predictor: m.pred}, o.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{
+			Figure: name, Label: m.label, K: k,
+			Value: c.Median, Metric: "events/sec", Candles: c, GroundTruth: gt,
+		})
+		o.printf("%-10s %14.0f\n", m.label, c.Median)
+	}
+	return rows, nil
+}
+
+// Fig11a regenerates Figure 11(a): high completion probability
+// (ratio ≈ 0.002; the paper uses n=1 at ws=1000).
+func (o *Options) Fig11a() ([]Row, error) {
+	o.setDefaults()
+	k := o.Instances[len(o.Instances)-1]
+	return o.fig11("fig11a", 1, 1000, 100, k)
+}
+
+// Fig11b regenerates Figure 11(b): lower completion probability. The
+// paper uses ratio 0.1 (n=99 at ws=1000); set elements are capped at 64
+// members in this implementation, so the same ratio is realized as n=49
+// at ws=500.
+func (o *Options) Fig11b() ([]Row, error) {
+	o.setDefaults()
+	k := o.Instances[len(o.Instances)-1]
+	return o.fig11("fig11b", 49, 500, 50, k)
+}
+
+// TRexComparison regenerates §4.2.3: SPECTRE versus the T-REX-style
+// baseline on Q1.
+func (o *Options) TRexComparison() ([]Row, error) {
+	o.setDefaults()
+	reg := event.NewRegistry()
+	events := o.nyseData(reg)
+	qsize := o.WindowSize / 100
+	if qsize < 1 {
+		qsize = 1
+	}
+	q, err := queries.Q1(reg, queries.Q1Config{Q: qsize, WindowSize: o.WindowSize, Leaders: o.NYSELeaders})
+	if err != nil {
+		return nil, err
+	}
+	o.printf("\n== §4.2.3: SPECTRE vs T-REX baseline (Q1, q=%d) ==\n", qsize)
+	o.printf("%-14s %14s\n", "system", "med ev/s")
+	var rows []Row
+
+	var trexSeries stats.Series
+	for r := 0; r < o.Repeats; r++ {
+		// General multi-selection mode: the real T-REX maintains every
+		// partial sequence (no UDF-level single-run restriction).
+		eng, err := trex.NewGeneral(q)
+		if err != nil {
+			return nil, err
+		}
+		evs := append([]event.Event(nil), events...)
+		start := time.Now()
+		if _, _, err := eng.Run(evs); err != nil {
+			return nil, err
+		}
+		trexSeries.Add(stats.Throughput(uint64(len(events)), time.Since(start)))
+	}
+	tc := trexSeries.Candles()
+	rows = append(rows, Row{Figure: "trex", Label: "T-REX", K: 1, Value: tc.Median, Metric: "events/sec", Candles: tc})
+	o.printf("%-14s %14.0f\n", "T-REX", tc.Median)
+
+	for _, k := range o.Instances {
+		c, _, err := measureSpectre(q, events, core.Config{Instances: k}, o.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("SPECTRE k=%d", k)
+		rows = append(rows, Row{Figure: "trex", Label: label, K: k, Value: c.Median, Metric: "events/sec", Candles: c})
+		o.printf("%-14s %14.0f\n", label, c.Median)
+	}
+	return rows, nil
+}
+
+// Experiments maps experiment ids to their runners.
+func (o *Options) Experiments() map[string]func() ([]Row, error) {
+	return map[string]func() ([]Row, error){
+		"fig10a": o.Fig10a,
+		"fig10b": o.Fig10b,
+		"fig10c": o.Fig10c,
+		"fig10d": o.Fig10d,
+		"fig10e": o.Fig10e,
+		"fig10f": o.Fig10f,
+		"fig11a": o.Fig11a,
+		"fig11b": o.Fig11b,
+		"trex":   o.TRexComparison,
+	}
+}
+
+// ExperimentOrder lists the experiment ids in presentation order.
+var ExperimentOrder = []string{
+	"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
+	"fig11a", "fig11b", "trex",
+}
+
+// RunAll executes every experiment in order.
+func (o *Options) RunAll() ([]Row, error) {
+	o.setDefaults()
+	var all []Row
+	exps := o.Experiments()
+	for _, id := range ExperimentOrder {
+		rows, err := exps[id]()
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", id, err)
+		}
+		all = append(all, rows...)
+	}
+	return all, nil
+}

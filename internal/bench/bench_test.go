@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions shrinks every experiment so the whole suite smoke-runs in
+// seconds.
+func tinyOptions(out *strings.Builder) *Options {
+	o := &Options{
+		Repeats:     1,
+		Instances:   []int{1, 2},
+		WindowSize:  200,
+		Slide:       50,
+		NYSESymbols: 40,
+		NYSELeaders: 4,
+		NYSEMinutes: 40,
+		RandSymbols: 50,
+		RandEvents:  4000,
+		Seed:        7,
+	}
+	if out != nil {
+		o.Out = out
+	}
+	return o
+}
+
+func TestFig10aSmoke(t *testing.T) {
+	var out strings.Builder
+	rows, err := tinyOptions(&out).Fig10a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Q1Ratios)*2 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Q1Ratios)*2)
+	}
+	for _, r := range rows {
+		if r.Value <= 0 {
+			t.Fatalf("non-positive throughput in %+v", r)
+		}
+	}
+	if !strings.Contains(out.String(), "Figure 10(a)") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestFig10dGroundTruthShape(t *testing.T) {
+	rows, err := tinyOptions(nil).Fig10d()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Q1Ratios) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper's qualitative shape: completion probability decreases as
+	// the pattern/window ratio grows (Fig. 10(d)). Compare the ends.
+	first, last := rows[0].GroundTruth, rows[len(rows)-1].GroundTruth
+	if first < last {
+		t.Fatalf("completion probability should fall with the ratio: first=%.2f last=%.2f", first, last)
+	}
+	if first < 0.5 {
+		t.Fatalf("smallest ratio should be easy to complete, got %.2f", first)
+	}
+}
+
+func TestFig10eImpossibleBand(t *testing.T) {
+	rows, err := tinyOptions(nil).Fig10e()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	if last.Label != "0 cplx" || last.GroundTruth != 0 {
+		t.Fatalf("the impossible band must have zero completions, got %+v", last)
+	}
+}
+
+func TestFig10cAndFSmoke(t *testing.T) {
+	var out strings.Builder
+	o := tinyOptions(&out)
+	rowsC, err := o.Fig10c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rowsC {
+		if r.Value <= 0 {
+			t.Fatalf("cycles/sec must be positive: %+v", r)
+		}
+	}
+	rowsF, err := o.Fig10f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rowsF {
+		if r.Value < 1 {
+			t.Fatalf("tree size must be ≥ 1: %+v", r)
+		}
+	}
+}
+
+func TestFig11Smoke(t *testing.T) {
+	o := tinyOptions(nil)
+	rows, err := o.fig11("fig11-test", 2, 200, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 { // 6 fixed + Markov
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	foundMarkov := false
+	for _, r := range rows {
+		if r.Label == "Markov" {
+			foundMarkov = true
+		}
+		if r.Value <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+	}
+	if !foundMarkov {
+		t.Fatal("Markov row missing")
+	}
+}
+
+func TestTRexComparisonSmoke(t *testing.T) {
+	rows, err := tinyOptions(nil).TRexComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Label != "T-REX" {
+		t.Fatalf("first row = %+v, want the baseline", rows[0])
+	}
+	if len(rows) != 3 { // T-REX + 2 instance counts
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	o := tinyOptions(nil)
+	exps := o.Experiments()
+	for _, id := range ExperimentOrder {
+		if _, ok := exps[id]; !ok {
+			t.Fatalf("experiment %q missing from the registry", id)
+		}
+	}
+	if len(exps) != len(ExperimentOrder) {
+		t.Fatalf("registry has %d entries, order lists %d", len(exps), len(ExperimentOrder))
+	}
+}

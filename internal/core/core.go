@@ -1,0 +1,183 @@
+// Package core implements the SPECTRE runtime (paper §3): a splitter
+// goroutine that ingests the event stream, forms windows, maintains the
+// dependency tree and schedules the top-k speculative window versions onto
+// k operator-instance goroutines that process them in parallel
+// (Figures 7 and 8).
+//
+// Responsibilities are divided exactly as in the paper's shared-memory
+// architecture (Figure 2):
+//
+//   - The splitter owns the event arena (single writer), the window
+//     manager, the dependency tree, the Markov model, the global consumed
+//     set and in-order emission.
+//   - Operator instances process their assigned window version in batches
+//     under the version's mutex, perform the periodic consistency checks
+//     of Fig. 8 (lines 31-45) and roll back on violations.
+//   - Instances report consumption-group lifecycle events ("the function
+//     calls of the operator instances on the dependency tree are
+//     buffered") through a FIFO feedback queue that the splitter drains
+//     once per maintenance/scheduling cycle.
+//
+// Beyond the paper, the runtime adds a final validation gate: when a
+// window version becomes the tree root (all speculation on its path
+// resolved), the splitter verifies that the version processed exactly the
+// finally-consumed event set; on violation the version is reprocessed
+// deterministically before anything is emitted. This makes the delivered
+// stream equal to sequential processing unconditionally — speculation is
+// purely a performance mechanism (see DESIGN.md §4.2).
+package core
+
+import (
+	"sync"
+
+	"github.com/spectrecep/spectre/internal/deptree"
+	"github.com/spectrecep/spectre/internal/markov"
+)
+
+// Config parameterizes an Engine. The zero value selects the defaults
+// documented on each field.
+type Config struct {
+	// Instances is k, the number of operator instances (default 4).
+	Instances int
+	// Predictor overrides the completion-probability model. Nil selects a
+	// Markov model with the Markov config below (paper default).
+	Predictor markov.Predictor
+	// Markov configures the default Markov model (α = 0.7, ℓ = 10 as in
+	// the paper's evaluation when left zero).
+	Markov markov.Config
+	// ConsistencyCheckEvery is the consistency-check frequency in
+	// processed events (paper Fig. 8 `consistencyCheckFreq`; default 64).
+	ConsistencyCheckEvery int
+	// BatchSize is the number of events an operator instance processes
+	// per lock acquisition (default 256).
+	BatchSize int
+	// IngestBatch is the number of events the splitter ingests per cycle
+	// (default 1024).
+	IngestBatch int
+	// MaxTreeSize pauses ingestion while the dependency tree holds more
+	// window versions (backpressure guard; default 16384). Ingestion
+	// always continues while the root window itself is incomplete, so the
+	// pipeline cannot deadlock.
+	MaxTreeSize int
+}
+
+func (c *Config) setDefaults() {
+	if c.Instances <= 0 {
+		c.Instances = 4
+	}
+	if c.ConsistencyCheckEvery <= 0 {
+		c.ConsistencyCheckEvery = 64
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.IngestBatch <= 0 {
+		c.IngestBatch = 1024
+	}
+	if c.MaxTreeSize <= 0 {
+		c.MaxTreeSize = 16384
+	}
+}
+
+// Metrics exposes runtime counters. All fields are monotone totals
+// gathered during Run; read them with Engine.MetricsSnapshot.
+type Metrics struct {
+	EventsIngested  uint64
+	EventsProcessed uint64 // per-version processing, including speculation
+	Cycles          uint64 // splitter maintenance+scheduling cycles (Fig. 10(c))
+	WindowsOpened   uint64
+	VersionsCreated uint64
+	VersionsDropped uint64
+	CGsCreated      uint64
+	CGsCompleted    uint64
+	CGsAbandoned    uint64
+	Matches         uint64 // complex events emitted
+	EventsConsumed  uint64
+	Rollbacks       uint64
+	GateReprocessed uint64 // final-gate deterministic reprocessing (≈0)
+	MaxTreeSize     int    // high-water mark of window versions (Fig. 10(f))
+	SchedulesIssued uint64 // top-k assignments handed to instances
+}
+
+// metricsBox guards the metrics counters shared by the splitter and the
+// operator instances.
+type metricsBox struct {
+	mu sync.Mutex
+	m  Metrics
+}
+
+func (b *metricsBox) add(f func(*Metrics)) {
+	b.mu.Lock()
+	f(&b.m)
+	b.mu.Unlock()
+}
+
+func (b *metricsBox) snapshot() Metrics {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.m
+}
+
+// msgKind enumerates instance→splitter feedback messages.
+type msgKind int
+
+const (
+	// msgCGCreated: a new consumption group must be inserted into the
+	// dependency tree (paper consumptionGroupCreated).
+	msgCGCreated msgKind = iota + 1
+	// msgCGResolved: the group's outcome is published on the CG; the tree
+	// must splice (consumptionGroupCompleted/Abandoned).
+	msgCGResolved
+	// msgRolledBack: the version was rolled back; its dependent subtree
+	// must be rebuilt.
+	msgRolledBack
+	// msgStats carries batched Markov transition observations.
+	msgStats
+)
+
+type statEntry struct {
+	from, to, count int
+}
+
+type msg struct {
+	kind  msgKind
+	wv    *deptree.WindowVersion
+	cg    *deptree.CG
+	stats []statEntry
+}
+
+// feedbackQueue is the shared MPSC queue between operator instances and
+// the splitter. Instances append whole batches while holding their window
+// version's mutex, which makes the queue FIFO per window version even when
+// a version migrates between instances.
+type feedbackQueue struct {
+	mu  sync.Mutex
+	buf []msg
+}
+
+func (q *feedbackQueue) push(batch []msg) {
+	if len(batch) == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.buf = append(q.buf, batch...)
+	q.mu.Unlock()
+}
+
+// drain moves all queued messages into dst (reusing its capacity).
+func (q *feedbackQueue) drain(dst []msg) []msg {
+	q.mu.Lock()
+	dst = append(dst, q.buf...)
+	for i := range q.buf {
+		q.buf[i] = msg{}
+	}
+	q.buf = q.buf[:0]
+	q.mu.Unlock()
+	return dst
+}
+
+func (q *feedbackQueue) empty() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf) == 0
+}

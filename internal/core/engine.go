@@ -1,0 +1,454 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/arena"
+	"github.com/spectrecep/spectre/internal/deptree"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/markov"
+	"github.com/spectrecep/spectre/internal/matcher"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/stream"
+	"github.com/spectrecep/spectre/internal/window"
+)
+
+// ErrAlreadyRan is returned when Run is called twice on one engine.
+var ErrAlreadyRan = errors.New("core: an Engine can only Run once")
+
+// Engine is the SPECTRE runtime for a single query.
+type Engine struct {
+	cfg      Config
+	query    *pattern.Query
+	compiled *matcher.Compiled
+
+	ar       *arena.Arena
+	consumed *arena.ConsumedSet
+	tree     *deptree.Tree
+	winMgr   *window.Manager
+	pred     markov.Predictor
+
+	fq    feedbackQueue
+	sched []atomic.Pointer[deptree.WindowVersion] // per-instance assignment
+	// assigned mirrors sched for the splitter's bookkeeping (Fig. 7).
+	assigned []*deptree.WindowVersion
+
+	cgSeq      atomic.Uint64
+	versionSeq uint64 // splitter only
+	schedMark  uint64 // splitter only; per-cycle token
+
+	inputDone atomic.Bool
+	stopFlag  atomic.Bool
+
+	emit func(event.Complex)
+
+	metrics metricsBox
+
+	durWindow bool
+	ran       bool
+
+	topkBuf []*deptree.WindowVersion
+	msgBuf  []msg
+	split   *worker // splitter-side worker for inline reprocessing
+}
+
+// New builds an engine for the query.
+func New(q *pattern.Query, cfg Config) (*Engine, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cfg.setDefaults()
+	compiled, err := matcher.Compile(&q.Pattern)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	pred := cfg.Predictor
+	if pred == nil {
+		model, err := markov.New(compiled.MinLength(), cfg.Markov)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		pred = model
+	}
+	e := &Engine{
+		cfg:       cfg,
+		query:     q,
+		compiled:  compiled,
+		ar:        arena.New(),
+		consumed:  arena.NewConsumedSet(),
+		winMgr:    window.NewManager(q.Window),
+		pred:      pred,
+		sched:     make([]atomic.Pointer[deptree.WindowVersion], cfg.Instances),
+		assigned:  make([]*deptree.WindowVersion, cfg.Instances),
+		durWindow: q.Window.EndKind == pattern.EndDuration,
+	}
+	e.tree = deptree.NewTree(e.newVersion)
+	e.tree.OnDrop = func(wv *deptree.WindowVersion) {
+		e.metrics.add(func(m *Metrics) { m.VersionsDropped++ })
+	}
+	e.split = newWorker(e)
+	return e, nil
+}
+
+// newVersion is the dependency tree's window-version factory.
+func (e *Engine) newVersion(win *window.Window, suppressed []*deptree.CG) *deptree.WindowVersion {
+	e.versionSeq++
+	wv := deptree.NewWindowVersion(e.versionSeq, win, suppressed)
+	wv.SetPos(win.StartSeq)
+	e.metrics.add(func(m *Metrics) { m.VersionsCreated++ })
+	return wv
+}
+
+// Run ingests the source, processes it with k operator instances and
+// invokes emit for every complex event, in canonical order (window order;
+// detection order within a window — exactly the sequential-engine order).
+// emit must not call back into the engine. Run returns after the stream is
+// fully processed; an engine runs once.
+func (e *Engine) Run(src stream.Source, emit func(event.Complex)) error {
+	if e.ran {
+		return ErrAlreadyRan
+	}
+	e.ran = true
+	if emit == nil {
+		emit = func(event.Complex) {}
+	}
+	e.emit = emit
+
+	var wg sync.WaitGroup
+	for i := 0; i < e.cfg.Instances; i++ {
+		in := newInstance(e, i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in.loop()
+		}()
+	}
+	e.splitLoop(src)
+	e.stopFlag.Store(true)
+	wg.Wait()
+	e.metrics.add(func(m *Metrics) { m.MaxTreeSize = e.tree.MaxSize() })
+	return nil
+}
+
+// MetricsSnapshot returns a copy of the runtime counters.
+func (e *Engine) MetricsSnapshot() Metrics { return e.metrics.snapshot() }
+
+// splitLoop is the splitter: ingest → apply feedback → advance/emit →
+// schedule, repeated until the stream is drained (paper §3.2.2).
+func (e *Engine) splitLoop(src stream.Source) {
+	idle := 0
+	for {
+		worked := false
+
+		if !e.inputDone.Load() && (e.tree.Size() < e.cfg.MaxTreeSize || e.rootNeedsIngest()) {
+			if e.ingest(src) > 0 {
+				worked = true
+			}
+		}
+
+		e.msgBuf = e.fq.drain(e.msgBuf[:0])
+		if len(e.msgBuf) > 0 {
+			worked = true
+		}
+		for i := range e.msgBuf {
+			e.apply(&e.msgBuf[i])
+		}
+
+		if e.advanceRoots() {
+			worked = true
+		}
+
+		e.schedule()
+		e.metrics.add(func(m *Metrics) { m.Cycles++ })
+
+		if e.inputDone.Load() && e.tree.Empty() && e.fq.empty() {
+			return
+		}
+		if worked {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < 32 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// rootNeedsIngest reports whether the root window is still waiting for
+// events, in which case ingestion must continue regardless of tree-size
+// backpressure (liveness).
+func (e *Engine) rootNeedsIngest() bool {
+	root := e.tree.Root()
+	if root == nil {
+		return true
+	}
+	end := root.WV.Win.EndSeq()
+	return end == window.UnknownEnd || e.ar.Len() < end
+}
+
+// ingest appends up to IngestBatch events to the arena, forming windows.
+func (e *Engine) ingest(src stream.Source) int {
+	n := 0
+	for ; n < e.cfg.IngestBatch; n++ {
+		ev, ok := src.Next()
+		if !ok {
+			e.winMgr.Finish(e.ar.Len())
+			e.inputDone.Store(true)
+			break
+		}
+		seq := e.ar.Append(ev)
+		stored := e.ar.Get(seq)
+		opened, _ := e.winMgr.Observe(stored)
+		for _, w := range opened {
+			e.tree.NewWindow(w)
+			e.metrics.add(func(m *Metrics) { m.WindowsOpened++ })
+		}
+	}
+	if n > 0 {
+		e.metrics.add(func(m *Metrics) { m.EventsIngested += uint64(n) })
+	}
+	return n
+}
+
+// apply folds one feedback message into the dependency tree.
+func (e *Engine) apply(m *msg) {
+	switch m.kind {
+	case msgCGCreated:
+		e.tree.CGCreated(m.cg)
+		e.metrics.add(func(mm *Metrics) { mm.CGsCreated++ })
+	case msgCGResolved:
+		out := m.cg.Outcome()
+		e.tree.CGResolved(m.cg)
+		e.metrics.add(func(mm *Metrics) {
+			if out == deptree.CGCompleted {
+				mm.CGsCompleted++
+			} else {
+				mm.CGsAbandoned++
+			}
+		})
+	case msgRolledBack:
+		e.tree.RebuildBelow(m.wv)
+	case msgStats:
+		for _, s := range m.stats {
+			e.pred.RecordTransitionN(s.from, s.to, s.count)
+		}
+	}
+}
+
+// advanceRoots validates, drains and pops finished roots (in-order
+// emission). It returns whether any progress was made.
+func (e *Engine) advanceRoots() bool {
+	changed := false
+	for {
+		root := e.tree.Root()
+		if root == nil {
+			return changed
+		}
+		wv := root.WV
+		if !wv.Validated() {
+			e.validate(wv)
+			changed = true
+		}
+		if e.drainOutputs(wv) {
+			changed = true
+		}
+		if !wv.Finished() {
+			return changed
+		}
+		child := root.Child()
+		if child != nil && !child.IsWV() {
+			// The root's own consumption group is still unresolved; its
+			// resolution message is in flight (window end abandons every
+			// open group, so it will arrive).
+			return changed
+		}
+		e.drainOutputs(wv)
+		e.tree.PopRoot()
+		changed = true
+	}
+}
+
+// validate is the final gate (DESIGN.md §4.2): when a version becomes
+// root, every event it used must be finally unconsumed and every event it
+// speculatively skipped must be finally consumed. On violation the version
+// is reprocessed deterministically. Either way the version leaves this
+// function validated, so everything it emits afterwards is final.
+func (e *Engine) validate(wv *deptree.WindowVersion) {
+	wv.Mu.Lock()
+	defer wv.Mu.Unlock()
+	if wv.Validated() {
+		return
+	}
+	ok := true
+	for _, u := range wv.Used {
+		if e.consumed.Contains(u) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		for _, s := range wv.Skipped {
+			if !e.consumed.Contains(s) {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		e.metrics.add(func(m *Metrics) { m.GateReprocessed++ })
+		e.reprocessInline(wv)
+	}
+	wv.StatsEligible = true
+	wv.MarkValidated()
+}
+
+// reprocessInline deterministically reprocesses wv (Mu held by caller):
+// its dependents are rebuilt, its state reset, and the whole available
+// window span is processed with suppression from the final consumed set
+// only. Tree updates are applied synchronously.
+func (e *Engine) reprocessInline(wv *deptree.WindowVersion) {
+	e.tree.RebuildBelow(wv)
+	wv.State = e.compiled.NewState()
+	wv.SetPos(wv.Win.StartSeq)
+	wv.Used = wv.Used[:0]
+	wv.Skipped = wv.Skipped[:0]
+	wv.LocalConsumed = wv.LocalConsumed[:0]
+	wv.Buffered = wv.Buffered[:0]
+	clear(wv.RunCGs)
+	wv.ClearFinished()
+	wv.Rollbacks++
+
+	w := e.split
+	for {
+		w.msgs = w.msgs[:0]
+		progressed := w.processSpan(wv, 1<<20)
+		for i := range w.msgs {
+			e.apply(&w.msgs[i])
+		}
+		if !progressed || wv.Finished() {
+			return
+		}
+	}
+}
+
+// drainOutputs emits the validated root's buffered complex events and
+// finalizes their consumption. Emission happens outside the version lock.
+func (e *Engine) drainOutputs(wv *deptree.WindowVersion) bool {
+	if !wv.Validated() {
+		return false
+	}
+	wv.Mu.Lock()
+	if len(wv.Buffered) == 0 {
+		wv.Mu.Unlock()
+		return false
+	}
+	out := make([]event.Complex, len(wv.Buffered))
+	copy(out, wv.Buffered)
+	wv.Buffered = wv.Buffered[:0]
+	wv.Mu.Unlock()
+
+	consumedCount := 0
+	for i := range out {
+		for _, seq := range out[i].Consumed {
+			if !e.consumed.Contains(seq) {
+				e.consumed.Mark(seq)
+				consumedCount++
+			}
+		}
+	}
+	e.metrics.add(func(m *Metrics) {
+		m.Matches += uint64(len(out))
+		m.EventsConsumed += uint64(consumedCount)
+	})
+	for i := range out {
+		e.emit(out[i])
+	}
+	return true
+}
+
+// schedule selects the top-k window versions and assigns the difference
+// to free instances (paper Fig. 7: already-scheduled versions stay put).
+func (e *Engine) schedule() {
+	k := e.cfg.Instances
+	arenaLen := e.ar.Len()
+	avgSize := e.winMgr.AvgSize()
+	inputDone := e.inputDone.Load()
+
+	probOf := func(cg *deptree.CG) float64 {
+		switch cg.Outcome() {
+		case deptree.CGCompleted:
+			return 1
+		case deptree.CGAbandoned:
+			return 0
+		}
+		owner := cg.Owner
+		n := int(avgSize) - int(owner.Pos()-owner.Win.StartSeq)
+		return e.pred.CompletionProbability(cg.Delta(), n)
+	}
+	eligible := func(wv *deptree.WindowVersion) bool {
+		if wv.Finished() || wv.Dropped() {
+			return false
+		}
+		pos := wv.Pos()
+		limit := arenaLen
+		if end := wv.Win.EndSeq(); end < limit {
+			limit = end
+		}
+		if pos < limit {
+			return true
+		}
+		// A version that consumed all available input still needs one
+		// last scheduling round at stream end to run its window-end
+		// logic.
+		return inputDone && pos >= arenaLen
+	}
+
+	e.topkBuf = e.tree.TopK(k, probOf, eligible, e.topkBuf[:0])
+	e.schedMark++
+
+	for _, wv := range e.topkBuf {
+		wv.SchedMark = e.schedMark
+	}
+	// First pass: free instances whose assignment fell out of the top-k
+	// (or was dropped/finished).
+	var free []int
+	for i, cur := range e.assigned {
+		if cur == nil {
+			free = append(free, i)
+			continue
+		}
+		if cur.SchedMark != e.schedMark || cur.Dropped() || cur.Finished() {
+			cur.SetScheduledOn(-1)
+			e.sched[i].Store(nil)
+			e.assigned[i] = nil
+			free = append(free, i)
+		}
+	}
+	// Second pass: schedule the not-yet-scheduled top-k versions.
+	scheduled := 0
+	for _, wv := range e.topkBuf {
+		if wv.ScheduledOn() >= 0 {
+			continue
+		}
+		if len(free) == 0 {
+			break
+		}
+		i := free[0]
+		free = free[1:]
+		e.assigned[i] = wv
+		wv.SetScheduledOn(i)
+		e.sched[i].Store(wv)
+		scheduled++
+	}
+	if scheduled > 0 {
+		e.metrics.add(func(m *Metrics) { m.SchedulesIssued += uint64(scheduled) })
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/dataset"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/markov"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/queries"
+	"github.com/spectrecep/spectre/internal/seqengine"
+	"github.com/spectrecep/spectre/internal/stream"
+)
+
+// runSpectre executes the SPECTRE runtime over events and returns the
+// emitted complex events in order.
+func runSpectre(t *testing.T, q *pattern.Query, events []event.Event, cfg Config) ([]event.Complex, *Engine) {
+	t.Helper()
+	eng, err := New(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []event.Complex
+	if err := eng.Run(stream.FromSlice(events), func(ce event.Complex) {
+		out = append(out, ce)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out, eng
+}
+
+// runSequential executes the reference engine.
+func runSequential(t *testing.T, q *pattern.Query, events []event.Event) []event.Complex {
+	t.Helper()
+	eng, err := seqengine.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := eng.Run(append([]event.Event(nil), events...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// assertSameOutput compares two complex-event sequences exactly.
+func assertSameOutput(t *testing.T, label string, got, want []event.Complex) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d complex events, want %d\n got: %v\nwant: %v",
+			label, len(got), len(want), keysOf(got), keysOf(want))
+	}
+	for i := range want {
+		if got[i].Key() != want[i].Key() {
+			t.Fatalf("%s: event %d differs: got %s, want %s", label, i, got[i].Key(), want[i].Key())
+		}
+	}
+}
+
+func keysOf(out []event.Complex) []string {
+	ks := make([]string, len(out))
+	for i := range out {
+		ks[i] = out[i].Key()
+	}
+	return ks
+}
+
+// TestFigure1Spectre checks that the parallel runtime reproduces the
+// paper's Figure 1 for both consumption policies at several instance
+// counts.
+func TestFigure1Spectre(t *testing.T) {
+	sec := func(s int) int64 { return int64(s) * int64(time.Second) }
+	for _, cp := range []queries.QEConsumption{queries.QEConsumeNone, queries.QEConsumeSelectedB} {
+		for _, k := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("cp=%d/k=%d", cp, k), func(t *testing.T) {
+				reg := event.NewRegistry()
+				q, err := queries.QE(reg, cp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ta, _ := reg.LookupType("A")
+				tb, _ := reg.LookupType("B")
+				events := []event.Event{
+					{TS: sec(0), Type: ta},
+					{TS: sec(10), Type: ta},
+					{TS: sec(20), Type: tb},
+					{TS: sec(40), Type: tb},
+					{TS: sec(65), Type: tb},
+				}
+				want := runSequential(t, q, events)
+				got, _ := runSpectre(t, q, events, Config{Instances: k})
+				assertSameOutput(t, "figure1", got, want)
+			})
+		}
+	}
+}
+
+// TestEquivalenceQ1 compares SPECTRE and the sequential engine on the Q1
+// workload for several pattern sizes and instance counts.
+func TestEquivalenceQ1(t *testing.T) {
+	reg := event.NewRegistry()
+	events := dataset.NYSE(reg, dataset.NYSEConfig{Symbols: 60, Leaders: 4, Minutes: 120, Seed: 7})
+	for _, qsize := range []int{3, 10, 40} {
+		q, err := queries.Q1(reg, queries.Q1Config{Q: qsize, WindowSize: 400, Leaders: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runSequential(t, q, events)
+		for _, k := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("q=%d/k=%d", qsize, k), func(t *testing.T) {
+				got, eng := runSpectre(t, q, events, Config{Instances: k})
+				assertSameOutput(t, "q1", got, want)
+				m := eng.MetricsSnapshot()
+				if m.Matches != uint64(len(want)) {
+					t.Fatalf("metrics count %d matches, emitted %d", m.Matches, len(want))
+				}
+			})
+		}
+	}
+}
+
+// TestEquivalenceQ2 compares the engines on the Kleene-heavy Q2 workload.
+func TestEquivalenceQ2(t *testing.T) {
+	reg := event.NewRegistry()
+	events := dataset.NYSE(reg, dataset.NYSEConfig{Symbols: 50, Leaders: 4, Minutes: 150, Seed: 21})
+	q, err := queries.Q2(reg, queries.Q2Config{WindowSize: 600, Slide: 100, LowerLimit: 80, UpperLimit: 125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runSequential(t, q, events)
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			got, _ := runSpectre(t, q, events, Config{Instances: k})
+			assertSameOutput(t, "q2", got, want)
+		})
+	}
+}
+
+// TestEquivalenceQ3 compares the engines on the set-detection workload.
+func TestEquivalenceQ3(t *testing.T) {
+	reg := event.NewRegistry()
+	events := dataset.Rand(reg, dataset.RandConfig{Symbols: 20, Events: 6000, Seed: 99})
+	q, err := queries.Q3(reg, queries.Q3Config{SetSize: 4, WindowSize: 200, Slide: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runSequential(t, q, events)
+	if len(want) == 0 {
+		t.Fatal("workload produced no matches; test is vacuous")
+	}
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			got, _ := runSpectre(t, q, events, Config{Instances: k})
+			assertSameOutput(t, "q3", got, want)
+		})
+	}
+}
+
+// TestEquivalenceQEDense runs the Q_E query over a dense random A/B stream
+// where windows overlap heavily — the hardest consumption-interleaving
+// case.
+func TestEquivalenceQEDense(t *testing.T) {
+	reg := event.NewRegistry()
+	q, err := queries.QE(reg, queries.QEConsumeSelectedB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := reg.LookupType("A")
+	tb, _ := reg.LookupType("B")
+	// Deterministic pseudo-random A/B mix, ~4 events per minute so that
+	// each 1-minute window spans several window openings.
+	var events []event.Event
+	state := uint64(42)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	for i := 0; i < 600; i++ {
+		typ := tb
+		if next()%3 == 0 {
+			typ = ta
+		}
+		events = append(events, event.Event{
+			TS:   int64(i) * int64(15*time.Second),
+			Type: typ,
+		})
+	}
+	want := runSequential(t, q, events)
+	if len(want) == 0 {
+		t.Fatal("workload produced no matches; test is vacuous")
+	}
+	for _, k := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			got, _ := runSpectre(t, q, events, Config{Instances: k})
+			assertSameOutput(t, "qe-dense", got, want)
+		})
+	}
+}
+
+// TestFixedPredictor runs the engine with adversarially wrong fixed
+// completion probabilities: correctness must not depend on prediction
+// quality (only throughput should).
+func TestFixedPredictor(t *testing.T) {
+	reg := event.NewRegistry()
+	events := dataset.NYSE(reg, dataset.NYSEConfig{Symbols: 40, Leaders: 4, Minutes: 100, Seed: 3})
+	q, err := queries.Q1(reg, queries.Q1Config{Q: 5, WindowSize: 300, Leaders: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runSequential(t, q, events)
+	for _, p := range []float64{0, 0.5, 1} {
+		t.Run(fmt.Sprintf("p=%g", p), func(t *testing.T) {
+			got, _ := runSpectre(t, q, events, Config{
+				Instances: 3,
+				Predictor: markov.Fixed{P: p},
+			})
+			assertSameOutput(t, "fixed", got, want)
+		})
+	}
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/deptree"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/matcher"
+	"github.com/spectrecep/spectre/internal/window"
+)
+
+// instance is one operator instance (paper Fig. 8): it processes the
+// window version the splitter assigned to it, in batches under the
+// version's mutex.
+type instance struct {
+	e   *Engine
+	idx int
+	w   *worker
+}
+
+func newInstance(e *Engine, idx int) *instance {
+	return &instance{e: e, idx: idx, w: newWorker(e)}
+}
+
+// loop runs until the engine stops: pick up the scheduled version, process
+// a batch, push feedback.
+func (in *instance) loop() {
+	idle := 0
+	for !in.e.stopFlag.Load() {
+		wv := in.e.sched[in.idx].Load()
+		if wv == nil || wv.Dropped() || wv.Finished() {
+			idle++
+			if idle < 64 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		if in.processBatch(wv) {
+			idle = 0
+		} else {
+			idle++
+			if idle < 64 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+	}
+}
+
+// processBatch processes up to BatchSize events of wv and forwards the
+// accumulated feedback. Feedback is pushed while still holding the
+// version's mutex, which keeps the queue FIFO per window version even if
+// the version later migrates to another instance.
+func (in *instance) processBatch(wv *deptree.WindowVersion) bool {
+	wv.Mu.Lock()
+	defer wv.Mu.Unlock()
+	if wv.Dropped() || wv.Finished() {
+		return false
+	}
+	in.w.msgs = in.w.msgs[:0]
+	worked := in.w.processSpan(wv, in.e.cfg.BatchSize)
+	in.w.flushStats(wv)
+	in.e.fq.push(in.w.msgs)
+	return worked
+}
+
+// worker holds the per-goroutine scratch state of event processing. It is
+// used by operator instances and by the splitter's inline reprocessing.
+type worker struct {
+	e       *Engine
+	msgs    []msg
+	fb      []matcher.Feedback
+	runBuf  []matcher.RunInfo
+	touched []int
+	stats   map[[2]int]int
+
+	// local metric accumulators, flushed per span
+	processed uint64
+}
+
+func newWorker(e *Engine) *worker {
+	return &worker{e: e, stats: make(map[[2]int]int)}
+}
+
+// stat records one Markov transition observation.
+func (w *worker) stat(from, to int) {
+	w.stats[[2]int{from, to}]++
+}
+
+// flushStats converts accumulated transition counts into a feedback
+// message. Only called for stats-eligible (validated) versions' spans.
+func (w *worker) flushStats(wv *deptree.WindowVersion) {
+	if len(w.stats) == 0 {
+		return
+	}
+	entries := make([]statEntry, 0, len(w.stats))
+	for k, c := range w.stats {
+		entries = append(entries, statEntry{from: k[0], to: k[1], count: c})
+	}
+	clear(w.stats)
+	w.msgs = append(w.msgs, msg{kind: msgStats, stats: entries})
+}
+
+// processSpan processes up to max events of wv. The caller must hold
+// wv.Mu. It returns whether any progress was made (events processed, the
+// version finished, or a rollback happened).
+func (w *worker) processSpan(wv *deptree.WindowVersion, max int) bool {
+	e := w.e
+	win := wv.Win
+	if wv.State == nil {
+		wv.State = e.compiled.NewState()
+		wv.SetPos(win.StartSeq)
+	}
+	arenaLen := e.ar.Len()
+	end := win.EndSeq()
+	limit := arenaLen
+	if end < limit {
+		limit = end
+	}
+	pos := wv.Pos()
+	dur := int64(e.query.Window.Duration)
+
+	processed := 0
+	checkEvery := e.cfg.ConsistencyCheckEvery
+	for pos < limit && processed < max {
+		seq := pos
+		ev := e.ar.Get(seq)
+		// Window extents are raw-stream ranges: the duration boundary is
+		// checked before any consumption filtering.
+		if e.durWindow && end == window.UnknownEnd && ev.TS-win.StartTS >= dur {
+			w.finish(wv)
+			w.flushMetrics(processed)
+			return true
+		}
+		processed++
+		if wv.State.Stopped() {
+			// StopAfterMatch: detection is over; only the window boundary
+			// matters. Count windows can skip ahead.
+			if !e.durWindow || end != window.UnknownEnd {
+				pos = limit
+				wv.SetPos(pos)
+				break
+			}
+			pos++
+			wv.SetPos(pos)
+			continue
+		}
+		if e.consumed.Contains(seq) {
+			// Finally consumed by an earlier window.
+			pos++
+			wv.SetPos(pos)
+			continue
+		}
+		if containsSorted(wv.LocalConsumed, seq) {
+			// Consumed by this version's own earlier match.
+			pos++
+			wv.SetPos(pos)
+			continue
+		}
+		if suppressedBy(wv, seq) {
+			// Speculatively suppressed: a group on the version's
+			// completion path currently holds this event.
+			wv.Skipped = append(wv.Skipped, seq)
+			pos++
+			wv.SetPos(pos)
+			continue
+		}
+
+		w.fb = wv.State.Process(ev, w.fb[:0])
+		influenced := w.applyFeedback(wv, ev)
+		if influenced {
+			wv.Used = append(wv.Used, seq)
+		}
+		if wv.StatsEligible {
+			w.recordSelfLoops(wv, ev)
+		}
+		pos++
+		wv.SetPos(pos)
+
+		if checkEvery > 0 && processed%checkEvery == 0 {
+			if !w.consistencyCheck(wv) {
+				w.rollback(wv)
+				w.flushMetrics(processed)
+				return true
+			}
+		}
+	}
+
+	finished := false
+	if end != window.UnknownEnd && pos >= end {
+		finished = true
+	} else if e.inputDone.Load() && pos >= e.ar.Len() {
+		// Stream ended; no further events can arrive for this window.
+		finished = true
+	}
+	if finished {
+		// One last consistency check before finalizing the version: late
+		// membership updates of suppressed groups are cheaper to catch
+		// here than at the root's final gate.
+		if !w.consistencyCheck(wv) {
+			w.rollback(wv)
+			w.flushMetrics(processed)
+			return true
+		}
+		w.finish(wv)
+		w.flushMetrics(processed)
+		return true
+	}
+	w.flushMetrics(processed)
+	return processed > 0
+}
+
+func (w *worker) flushMetrics(processed int) {
+	if processed == 0 {
+		return
+	}
+	w.e.metrics.add(func(m *Metrics) { m.EventsProcessed += uint64(processed) })
+}
+
+// finish runs the window-end logic: all open partial matches are abandoned
+// (their groups resolve) and the version is marked finished.
+func (w *worker) finish(wv *deptree.WindowVersion) {
+	w.fb = wv.State.WindowEnd(w.fb[:0])
+	w.applyFeedback(wv, nil)
+	wv.MarkFinished()
+}
+
+// applyFeedback folds matcher feedback into consumption groups, buffered
+// outputs and feedback messages. It reports whether ev influenced the
+// matcher state (and therefore matters for consumption consistency).
+func (w *worker) applyFeedback(wv *deptree.WindowVersion, ev *event.Event) bool {
+	e := w.e
+	influenced := false
+	eligible := wv.StatsEligible
+	w.touched = w.touched[:0]
+	for i := 0; i < len(w.fb); i++ {
+		f := w.fb[i]
+		w.touched = append(w.touched, f.Run)
+		switch f.Kind {
+		case matcher.RunStarted:
+			cg := deptree.NewCG(e.cgSeq.Add(1), wv, f.Run, f.Delta)
+			for _, c := range f.Carry {
+				cg.Add(c.Seq)
+			}
+			if f.Consumable && f.Event != nil {
+				cg.Add(f.Event.Seq)
+			}
+			wv.RunCGs[f.Run] = cg
+			w.msgs = append(w.msgs, msg{kind: msgCGCreated, wv: wv, cg: cg})
+			if eligible {
+				w.stat(f.PrevDelta, f.Delta)
+			}
+			influenced = true
+
+		case matcher.EventBound:
+			if cg := wv.RunCGs[f.Run]; cg != nil {
+				if f.Consumable && f.Event != nil {
+					cg.Add(f.Event.Seq)
+				}
+				cg.SetDelta(f.Delta)
+			}
+			if eligible {
+				w.stat(f.PrevDelta, f.Delta)
+			}
+			influenced = true
+
+		case matcher.RunCompleted:
+			cg := wv.RunCGs[f.Run]
+			delete(wv.RunCGs, f.Run)
+			ce := buildComplex(e.query.Name, wv.Win.ID, f.Match)
+			wv.Buffered = append(wv.Buffered, ce)
+			if cg != nil {
+				cg.SetDelta(0)
+				if cg.Resolve(deptree.CGCompleted) {
+					w.msgs = append(w.msgs, msg{kind: msgCGResolved, cg: cg})
+				}
+			}
+			if len(ce.Consumed) > 0 {
+				wv.LocalConsumed = mergeSorted(wv.LocalConsumed, ce.Consumed)
+				// Same-window consumption: sibling partial matches using a
+				// consumed event are abandoned (their feedback is appended
+				// and handled by this very loop).
+				w.fb = wv.State.AbandonRunsUsing(ce.Consumed, w.fb)
+			}
+			if eligible {
+				w.stat(f.PrevDelta, 0)
+			}
+			influenced = true
+
+		case matcher.RunAbandoned:
+			cg := wv.RunCGs[f.Run]
+			delete(wv.RunCGs, f.Run)
+			if cg != nil {
+				if cg.Resolve(deptree.CGAbandoned) {
+					w.msgs = append(w.msgs, msg{kind: msgCGResolved, cg: cg})
+				}
+			}
+			if ev != nil && f.Event == ev {
+				influenced = true // negation trigger
+			}
+		}
+	}
+	return influenced
+}
+
+// recordSelfLoops records δ→δ transitions for open runs the event did not
+// touch: the paper's Markov statistics observe every processed event.
+func (w *worker) recordSelfLoops(wv *deptree.WindowVersion, ev *event.Event) {
+	w.runBuf = wv.State.Runs(w.runBuf[:0])
+	for _, ri := range w.runBuf {
+		seen := false
+		for _, id := range w.touched {
+			if id == ri.ID {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			w.stat(ri.Delta, ri.Delta)
+		}
+	}
+}
+
+// consistencyCheck implements the periodic check of paper Fig. 8 (lines
+// 31-45): if a suppressed group's membership changed and this version has
+// processed one of its events, the version is inconsistent.
+func (w *worker) consistencyCheck(wv *deptree.WindowVersion) bool {
+	for i, cg := range wv.Suppressed {
+		snap := cg.Snapshot()
+		if snap.Version == wv.LastChecked[i] {
+			continue
+		}
+		wv.LastChecked[i] = snap.Version
+		if intersectsSorted(wv.Used, snap.Seqs) {
+			return false
+		}
+	}
+	return true
+}
+
+// rollback resets the version to the window start (paper: "the state of
+// the window version is rolled back to the start"). Its own consumption
+// groups are discarded; the splitter rebuilds the dependent subtree on
+// the rollback message.
+func (w *worker) rollback(wv *deptree.WindowVersion) {
+	e := w.e
+	wv.State = e.compiled.NewState()
+	wv.SetPos(wv.Win.StartSeq)
+	wv.Used = wv.Used[:0]
+	wv.Skipped = wv.Skipped[:0]
+	wv.LocalConsumed = wv.LocalConsumed[:0]
+	wv.Buffered = wv.Buffered[:0]
+	clear(wv.RunCGs)
+	for i := range wv.LastChecked {
+		wv.LastChecked[i] = 0
+	}
+	wv.ClearFinished()
+	wv.Rollbacks++
+	clear(w.stats)
+	w.msgs = append(w.msgs, msg{kind: msgRolledBack, wv: wv})
+	e.metrics.add(func(m *Metrics) { m.Rollbacks++ })
+}
+
+// suppressedBy reports whether seq is currently in any suppressed group of
+// wv.
+func suppressedBy(wv *deptree.WindowVersion, seq uint64) bool {
+	for _, cg := range wv.Suppressed {
+		if cg.Contains(seq) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildComplex converts a matcher match into a complex event.
+func buildComplex(query string, winID uint64, m *matcher.Match) event.Complex {
+	ce := event.Complex{Query: query, WindowID: winID}
+	if m.CompletedAt != nil {
+		ce.DetectedAt = m.CompletedAt.Seq
+	}
+	ce.Constituents = make([]uint64, len(m.Constituents))
+	for i, c := range m.Constituents {
+		ce.Constituents[i] = c.Seq
+	}
+	ce.Consumed = make([]uint64, len(m.Consumed))
+	for i, c := range m.Consumed {
+		ce.Consumed[i] = c.Seq
+	}
+	return ce
+}
+
+// containsSorted reports whether x is in the ascending slice s.
+func containsSorted(s []uint64, x uint64) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+// intersectsSorted reports whether two ascending slices share an element.
+func intersectsSorted(a, b []uint64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for _, x := range a {
+		i := sort.Search(len(b), func(i int) bool { return b[i] >= x })
+		if i < len(b) && b[i] == x {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeSorted merges ascending b into ascending a, deduplicating.
+func mergeSorted(a, b []uint64) []uint64 {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

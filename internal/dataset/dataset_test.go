@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/spectrecep/spectre/internal/event"
+)
+
+func TestNYSEDeterministic(t *testing.T) {
+	cfg := NYSEConfig{Symbols: 50, Leaders: 4, Minutes: 10, Seed: 9}
+	r1, r2 := event.NewRegistry(), event.NewRegistry()
+	a := NYSE(r1, cfg)
+	b := NYSE(r2, cfg)
+	if len(a) != len(b) || len(a) != 50*10 {
+		t.Fatalf("lengths %d/%d, want 500", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].TS != b[i].TS || a[i].Type != b[i].Type || a[i].Fields[0] != b[i].Fields[0] {
+			t.Fatalf("event %d differs between equal-seed runs", i)
+		}
+	}
+}
+
+func TestNYSEStructure(t *testing.T) {
+	reg := event.NewRegistry()
+	cfg := NYSEConfig{Symbols: 30, Leaders: 3, Minutes: 5, Seed: 1}
+	events := NYSE(reg, cfg)
+	openIdx, closeIdx := Fields(reg)
+
+	// Leaders exist and quote first within each minute.
+	lead0, ok := reg.LookupType(LeaderSymbol(0))
+	if !ok {
+		t.Fatal("leader symbol must be registered")
+	}
+	if events[0].Type != lead0 {
+		t.Fatal("the first event of each minute must be the first leader")
+	}
+	// Prices chain: each symbol's open equals its previous close.
+	prevClose := make(map[event.Type]float64)
+	rising, falling, flat := 0, 0, 0
+	for i := range events {
+		ev := &events[i]
+		open, cl := ev.Field(openIdx), ev.Field(closeIdx)
+		if open <= 0 || cl <= 0 {
+			t.Fatalf("non-positive price at %d", i)
+		}
+		if pc, ok := prevClose[ev.Type]; ok && pc != open {
+			t.Fatalf("price chain broken for type %d at %d", ev.Type, i)
+		}
+		prevClose[ev.Type] = cl
+		switch {
+		case cl > open:
+			rising++
+		case cl < open:
+			falling++
+		default:
+			flat++
+		}
+	}
+	if flat == 0 || rising == 0 || falling == 0 {
+		t.Fatalf("mix of movements expected: rising=%d falling=%d flat=%d", rising, falling, flat)
+	}
+	// Timestamps advance by minute.
+	if events[0].TS == events[len(events)-1].TS {
+		t.Fatal("timestamps must advance")
+	}
+}
+
+func TestRandUniform(t *testing.T) {
+	reg := event.NewRegistry()
+	events := Rand(reg, RandConfig{Symbols: 10, Events: 20000, Seed: 4})
+	if len(events) != 20000 {
+		t.Fatalf("len = %d", len(events))
+	}
+	counts := make(map[event.Type]int)
+	for i := range events {
+		counts[events[i].Type]++
+	}
+	if len(counts) != 10 {
+		t.Fatalf("distinct symbols = %d, want 10", len(counts))
+	}
+	for ty, c := range counts {
+		if c < 1500 || c > 2500 {
+			t.Fatalf("symbol %d count %d far from uniform 2000", ty, c)
+		}
+	}
+	// Timestamps strictly increase (one per second).
+	for i := 1; i < len(events); i++ {
+		if events[i].TS <= events[i-1].TS {
+			t.Fatal("timestamps must strictly increase")
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	reg := event.NewRegistry()
+	events := Rand(reg, RandConfig{})
+	if len(events) != 100000 {
+		t.Fatalf("default RAND length = %d, want 100000", len(events))
+	}
+}

@@ -1,0 +1,279 @@
+// Package deptree implements SPECTRE's dependency tree (paper §3.1,
+// Figures 3 and 4): the structure that captures how speculative window
+// versions depend on the outcomes of consumption groups, plus survival
+// probabilities and top-k selection (§3.2, Figure 6).
+//
+// The tree is owned exclusively by the splitter goroutine. The CG and
+// WindowVersion types carry the small amount of state that operator
+// instances share with the splitter; those fields are explicitly
+// synchronized (atomics or copy-on-write snapshots) and documented below.
+package deptree
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/matcher"
+	"github.com/spectrecep/spectre/internal/window"
+)
+
+// CGOutcome is the resolution state of a consumption group.
+type CGOutcome int32
+
+const (
+	// CGOpen means the underlying partial match is still undecided.
+	CGOpen CGOutcome = iota
+	// CGCompleted means the pattern instance completed; the group's events
+	// are consumed.
+	CGCompleted
+	// CGAbandoned means the pattern instance can no longer complete; no
+	// event is consumed.
+	CGAbandoned
+)
+
+// String implements fmt.Stringer.
+func (o CGOutcome) String() string {
+	switch o {
+	case CGOpen:
+		return "open"
+	case CGCompleted:
+		return "completed"
+	case CGAbandoned:
+		return "abandoned"
+	default:
+		return "invalid"
+	}
+}
+
+// CGSnapshot is an immutable view of a consumption group's event set.
+type CGSnapshot struct {
+	// Version increases with every event added; dependent window versions
+	// use it to detect membership changes between consistency checks
+	// (paper Fig. 8, lines 31-45).
+	Version uint64
+	// Seqs are the would-be-consumed event sequence numbers, ascending.
+	Seqs []uint64
+}
+
+// Contains reports whether seq is in the snapshot.
+func (s *CGSnapshot) Contains(seq uint64) bool {
+	i := sort.Search(len(s.Seqs), func(i int) bool { return s.Seqs[i] >= seq })
+	return i < len(s.Seqs) && s.Seqs[i] == seq
+}
+
+var emptySnapshot = &CGSnapshot{}
+
+// CG is a consumption group: the events of one partial match that will be
+// consumed together if the match completes (paper §3.1). A CG is owned by
+// exactly one window version (whose matcher run it mirrors); its event set
+// is written only by the instance processing that version and read by the
+// splitter and by dependent versions' consistency checks.
+type CG struct {
+	// ID is unique per engine run.
+	ID uint64
+	// Owner is the window version whose partial match this group tracks.
+	Owner *WindowVersion
+	// RunID is the owner-matcher run this group mirrors.
+	RunID int
+
+	snap    atomic.Pointer[CGSnapshot]
+	delta   atomic.Int64 // current completion state δ of the partial match
+	outcome atomic.Int32 // CGOutcome
+
+	// nodes are the tree vertices referencing this group (more than one
+	// when a sibling group's creation copied the structure). Owned by the
+	// splitter.
+	nodes []*Node
+}
+
+// NewCG creates an open consumption group.
+func NewCG(id uint64, owner *WindowVersion, runID int, delta int) *CG {
+	cg := &CG{ID: id, Owner: owner, RunID: runID}
+	cg.snap.Store(emptySnapshot)
+	cg.delta.Store(int64(delta))
+	return cg
+}
+
+// Snapshot returns the current immutable event set.
+func (cg *CG) Snapshot() *CGSnapshot { return cg.snap.Load() }
+
+// Contains reports whether seq is currently in the group.
+func (cg *CG) Contains(seq uint64) bool { return cg.snap.Load().Contains(seq) }
+
+// Add appends seq to the group. Single writer: the instance processing the
+// owning window version. Events are bound in stream order, so seqs arrive
+// ascending; out-of-order seqs are inserted defensively.
+func (cg *CG) Add(seq uint64) {
+	old := cg.snap.Load()
+	seqs := make([]uint64, len(old.Seqs), len(old.Seqs)+1)
+	copy(seqs, old.Seqs)
+	if n := len(seqs); n == 0 || seqs[n-1] < seq {
+		seqs = append(seqs, seq)
+	} else {
+		i := sort.Search(len(seqs), func(i int) bool { return seqs[i] >= seq })
+		if i < len(seqs) && seqs[i] == seq {
+			return // already present
+		}
+		seqs = append(seqs, 0)
+		copy(seqs[i+1:], seqs[i:])
+		seqs[i] = seq
+	}
+	cg.snap.Store(&CGSnapshot{Version: old.Version + 1, Seqs: seqs})
+}
+
+// SetDelta publishes the partial match's current completion state δ.
+func (cg *CG) SetDelta(d int) { cg.delta.Store(int64(d)) }
+
+// Delta returns the published completion state δ.
+func (cg *CG) Delta() int { return int(cg.delta.Load()) }
+
+// Outcome returns the group's resolution state.
+func (cg *CG) Outcome() CGOutcome { return CGOutcome(cg.outcome.Load()) }
+
+// Resolve publishes the group's outcome. Idempotent; only the first call
+// takes effect.
+func (cg *CG) Resolve(o CGOutcome) bool {
+	return cg.outcome.CompareAndSwap(int32(CGOpen), int32(o))
+}
+
+// WindowVersion is one speculative version of a window (paper §3.1): the
+// window's events processed under a specific assumption set — the
+// suppressed consumption groups on its root path's completion edges.
+//
+// Locking: Mu guards the processing state (State, Pos, Used, Skipped,
+// Buffered, run bookkeeping). The instance currently processing the
+// version holds Mu for the duration of a batch; the splitter takes Mu only
+// for rollbacks/validation of unscheduled versions. The flags (dropped,
+// validated, scheduled) are atomics so both sides can consult them without
+// the lock.
+type WindowVersion struct {
+	// ID is unique per engine run (version id, not window id).
+	ID uint64
+	// Win is the underlying window; boundaries are fixed by the splitter.
+	Win *window.Window
+	// Suppressed are the consumption groups whose completion edge lies on
+	// this version's root path; their events must not be processed.
+	// Immutable after creation.
+	Suppressed []*CG
+
+	// node is the tree vertex of this version. Owned by the splitter.
+	node *Node
+
+	// SchedMark is the splitter's per-cycle scheduling token (splitter
+	// use only, unsynchronized).
+	SchedMark uint64
+
+	dropped   atomic.Bool
+	validated atomic.Bool
+	finished  atomic.Bool
+	scheduled atomic.Int32 // operator-instance index + 1; 0 = unscheduled
+	pos       atomic.Uint64
+
+	// Mu guards everything below.
+	Mu sync.Mutex
+	// State is the matcher state; nil until first scheduled (lazily
+	// created by the runtime).
+	State *matcher.State
+	// Used are the influencing processed events (ascending): events bound
+	// to a run or triggering a negation. Only these matter for
+	// consumption consistency (skip-till-next-match ignores the rest).
+	Used []uint64
+	// Skipped are events suppressed speculatively because a suppressed
+	// group contained them (ascending). Own-match consumption is tracked
+	// in LocalConsumed instead.
+	Skipped []uint64
+	// LocalConsumed are events consumed by this version's own matches
+	// (ascending); they must be skipped by later detection in the same
+	// window but are final only once the version validates.
+	LocalConsumed []uint64
+	// Buffered are complex events produced speculatively, awaiting
+	// validation (paper §3.3: "kept buffered until the window version
+	// either becomes valid ... or is dropped").
+	Buffered []event.Complex
+	// RunCGs maps open matcher run ids to their consumption groups.
+	RunCGs map[int]*CG
+	// LastChecked maps suppressed groups to the snapshot version seen by
+	// the last consistency check (parallel to Suppressed).
+	LastChecked []uint64
+	// Rollbacks counts how many times this version was rolled back.
+	Rollbacks int
+	// StatsEligible marks versions whose transitions feed the Markov
+	// model (validated/independent versions only).
+	StatsEligible bool
+}
+
+// NewWindowVersion creates an unscheduled version of win with the given
+// suppression set (sorted by CG ID for deterministic checks).
+func NewWindowVersion(id uint64, win *window.Window, suppressed []*CG) *WindowVersion {
+	sup := append([]*CG(nil), suppressed...)
+	sort.Slice(sup, func(i, j int) bool { return sup[i].ID < sup[j].ID })
+	return &WindowVersion{
+		ID:          id,
+		Win:         win,
+		Suppressed:  sup,
+		RunCGs:      make(map[int]*CG),
+		LastChecked: make([]uint64, len(sup)),
+	}
+}
+
+// Pos returns the next sequence number to process. It is published
+// atomically so the splitter can estimate progress without the lock.
+func (wv *WindowVersion) Pos() uint64 { return wv.pos.Load() }
+
+// SetPos publishes the processing position (holder of Mu only).
+func (wv *WindowVersion) SetPos(pos uint64) { wv.pos.Store(pos) }
+
+// Finished reports whether the version processed its whole window.
+func (wv *WindowVersion) Finished() bool { return wv.finished.Load() }
+
+// MarkFinished flags the version as fully processed.
+func (wv *WindowVersion) MarkFinished() { wv.finished.Store(true) }
+
+// ClearFinished resets the finished flag (rollback).
+func (wv *WindowVersion) ClearFinished() { wv.finished.Store(false) }
+
+// Dropped reports whether the version has been dropped from the tree.
+func (wv *WindowVersion) Dropped() bool { return wv.dropped.Load() }
+
+// MarkDropped flags the version as dropped.
+func (wv *WindowVersion) MarkDropped() { wv.dropped.Store(true) }
+
+// Validated reports whether the version's root path is fully resolved in
+// its favour and its output has been (or is being) finalized.
+func (wv *WindowVersion) Validated() bool { return wv.validated.Load() }
+
+// MarkValidated flags the version as validated.
+func (wv *WindowVersion) MarkValidated() { wv.validated.Store(true) }
+
+// ScheduledOn returns the operator instance currently assigned this
+// version (-1 when unscheduled).
+func (wv *WindowVersion) ScheduledOn() int { return int(wv.scheduled.Load()) - 1 }
+
+// SetScheduledOn records the assigned instance (-1 to clear).
+func (wv *WindowVersion) SetScheduledOn(instance int) { wv.scheduled.Store(int32(instance + 1)) }
+
+// UsesAny reports whether any of seqs (ascending) is in wv.Used. Caller
+// must hold Mu or otherwise own the version.
+func (wv *WindowVersion) UsesAny(seqs []uint64) bool {
+	return intersects(wv.Used, seqs)
+}
+
+// intersects reports whether two ascending uint64 slices share an element.
+func intersects(a, b []uint64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	// Walk the shorter slice, binary-searching the longer one.
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for _, x := range a {
+		i := sort.Search(len(b), func(i int) bool { return b[i] >= x })
+		if i < len(b) && b[i] == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,538 @@
+package deptree
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/spectrecep/spectre/internal/window"
+)
+
+// Node is a dependency-tree vertex: either a window version or a
+// consumption group (paper §3.1). A WV node has at most one child
+// (children[0]); a CG node has an abandon edge (children[0]) and a
+// completion edge (children[1]).
+type Node struct {
+	WV *WindowVersion
+	CG *CG
+
+	children [2]*Node
+	parent   *Node
+	slot     int
+	detached bool
+	stamp    uint64 // creation order, used as a deterministic tie-break
+}
+
+// Slots of CG nodes.
+const (
+	// AbandonEdge links versions that assume the group is abandoned.
+	AbandonEdge = 0
+	// CompletionEdge links versions that assume the group completes (its
+	// events suppressed).
+	CompletionEdge = 1
+)
+
+// IsWV reports whether the node is a window-version vertex.
+func (n *Node) IsWV() bool { return n.WV != nil }
+
+// Child returns the WV node's only child.
+func (n *Node) Child() *Node { return n.children[0] }
+
+// Edge returns the CG node's edge (AbandonEdge or CompletionEdge).
+func (n *Node) Edge(slot int) *Node { return n.children[slot] }
+
+// Parent returns the parent vertex (nil at the root).
+func (n *Node) Parent() *Node { return n.parent }
+
+// Tree is the dependency tree. It is owned by the splitter goroutine and
+// is not safe for concurrent use.
+type Tree struct {
+	// NewVersion creates a fresh window version (the runtime supplies
+	// version ids and processing state initialization).
+	NewVersion func(win *window.Window, suppressed []*CG) *WindowVersion
+	// OnDrop is invoked for every window version removed from the tree
+	// (wrong speculation path); may be nil.
+	OnDrop func(wv *WindowVersion)
+
+	root    *Node
+	stamp   uint64
+	size    int // current number of WV vertices
+	maxSize int // high-water mark (paper Fig. 10(f))
+}
+
+// NewTree returns an empty tree using the given version factory.
+func NewTree(newVersion func(win *window.Window, suppressed []*CG) *WindowVersion) *Tree {
+	return &Tree{NewVersion: newVersion}
+}
+
+// Root returns the root vertex (nil when the tree is empty). The root is
+// always a window-version vertex: the single version of the oldest
+// unresolved window.
+func (t *Tree) Root() *Node { return t.root }
+
+// Empty reports whether the tree has no vertices.
+func (t *Tree) Empty() bool { return t.root == nil }
+
+// Size returns the current number of window-version vertices.
+func (t *Tree) Size() int { return t.size }
+
+// MaxSize returns the high-water mark of window-version vertices (the
+// metric of paper Fig. 10(f)).
+func (t *Tree) MaxSize() int { return t.maxSize }
+
+func (t *Tree) nextStamp() uint64 {
+	t.stamp++
+	return t.stamp
+}
+
+func (t *Tree) newWVNode(win *window.Window, suppressed []*CG) *Node {
+	wv := t.NewVersion(win, suppressed)
+	n := &Node{WV: wv, stamp: t.nextStamp()}
+	wv.node = n
+	t.size++
+	if t.size > t.maxSize {
+		t.maxSize = t.size
+	}
+	return n
+}
+
+func link(parent *Node, slot int, child *Node) {
+	parent.children[slot] = child
+	if child != nil {
+		child.parent = parent
+		child.slot = slot
+	}
+}
+
+// NewWindow attaches versions of win to the tree: one at every WV leaf,
+// two at every CG leaf (one per outcome edge), as in the paper's
+// newWindow algorithm (Fig. 4, lines 1-10). When the tree is empty the
+// window becomes the root (the only version of an independent window).
+// It returns the versions created.
+func (t *Tree) NewWindow(win *window.Window) []*WindowVersion {
+	if t.root == nil {
+		t.root = t.newWVNode(win, nil)
+		return []*WindowVersion{t.root.WV}
+	}
+	var created []*WindowVersion
+	t.attachAtLeaves(t.root, nil, win, &created)
+	return created
+}
+
+// attachAtLeaves walks to the leaves, tracking the suppression set implied
+// by the completion edges on the path.
+func (t *Tree) attachAtLeaves(n *Node, suppressed []*CG, win *window.Window, created *[]*WindowVersion) {
+	if n.IsWV() {
+		if n.children[0] == nil {
+			child := t.newWVNode(win, suppressed)
+			link(n, 0, child)
+			*created = append(*created, child.WV)
+			return
+		}
+		t.attachAtLeaves(n.children[0], suppressed, win, created)
+		return
+	}
+	// CG vertex: recurse into both edges; completion adds the group to
+	// the suppression set.
+	if n.children[AbandonEdge] == nil {
+		child := t.newWVNode(win, suppressed)
+		link(n, AbandonEdge, child)
+		*created = append(*created, child.WV)
+	} else {
+		t.attachAtLeaves(n.children[AbandonEdge], suppressed, win, created)
+	}
+	withCG := appendCG(suppressed, n.CG)
+	if n.children[CompletionEdge] == nil {
+		child := t.newWVNode(win, withCG)
+		link(n, CompletionEdge, child)
+		*created = append(*created, child.WV)
+	} else {
+		t.attachAtLeaves(n.children[CompletionEdge], withCG, win, created)
+	}
+}
+
+func appendCG(sup []*CG, cg *CG) []*CG {
+	out := make([]*CG, 0, len(sup)+1)
+	out = append(out, sup...)
+	out = append(out, cg)
+	return out
+}
+
+// CGCreated inserts a vertex for cg below its owning window version
+// (paper Fig. 4, lines 12-16): the owner's old subtree moves to the
+// abandon edge; the completion edge receives versions of the same
+// dependent windows that additionally suppress cg. It returns the window
+// versions created for the completion edge.
+func (t *Tree) CGCreated(cg *CG) []*WindowVersion {
+	owner := cg.Owner
+	if owner == nil || owner.Dropped() || owner.node == nil || owner.node.detached {
+		return nil
+	}
+	n := owner.node
+	old := n.children[0]
+	cgNode := &Node{CG: cg, stamp: t.nextStamp()}
+	cg.nodes = append(cg.nodes, cgNode)
+	link(n, 0, cgNode)
+	link(cgNode, AbandonEdge, old)
+	var created []*WindowVersion
+	copyRoot := t.copyStructure(old, owner, appendCG(owner.Suppressed, cg), &created)
+	link(cgNode, CompletionEdge, copyRoot)
+	return created
+}
+
+// copyStructure builds the "modified copy" of the paper: consumption-group
+// vertices owned by the same window version are replicated with shared
+// group references (their outcomes branch the copy exactly like the
+// original), while dependent windows' versions are created fresh — a
+// different suppression set changes their detection, so their partial
+// matches (and any groups those created) cannot be reused.
+func (t *Tree) copyStructure(n *Node, owner *WindowVersion, suppressed []*CG, created *[]*WindowVersion) *Node {
+	if n == nil {
+		return nil
+	}
+	if !n.IsWV() && n.CG.Owner == owner {
+		cn := &Node{CG: n.CG, stamp: t.nextStamp()}
+		n.CG.nodes = append(n.CG.nodes, cn)
+		link(cn, AbandonEdge, t.copyStructure(n.children[AbandonEdge], owner, suppressed, created))
+		link(cn, CompletionEdge, t.copyStructure(n.children[CompletionEdge], owner, appendCG(suppressed, n.CG), created))
+		return cn
+	}
+	// Window-version boundary: everything below collapses into a fresh
+	// linear chain of the windows present in the subtree.
+	wins := windowsInSubtree(n)
+	return t.freshChain(wins, suppressed, created)
+}
+
+// freshChain builds a linear chain of fresh versions for wins (ascending
+// window id) under the given suppression set.
+func (t *Tree) freshChain(wins []*window.Window, suppressed []*CG, created *[]*WindowVersion) *Node {
+	var head, tail *Node
+	for _, w := range wins {
+		nd := t.newWVNode(w, suppressed)
+		*created = append(*created, nd.WV)
+		if head == nil {
+			head = nd
+		} else {
+			link(tail, 0, nd)
+		}
+		tail = nd
+	}
+	return head
+}
+
+// windowsInSubtree collects the distinct windows of all WV vertices below
+// (and including) n, ascending by window id.
+func windowsInSubtree(n *Node) []*window.Window {
+	seen := make(map[uint64]*window.Window)
+	var walk func(*Node)
+	walk = func(nd *Node) {
+		if nd == nil {
+			return
+		}
+		if nd.IsWV() {
+			seen[nd.WV.Win.ID] = nd.WV.Win
+		}
+		walk(nd.children[0])
+		walk(nd.children[1])
+	}
+	walk(n)
+	wins := make([]*window.Window, 0, len(seen))
+	for _, w := range seen {
+		wins = append(wins, w)
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i].ID < wins[j].ID })
+	return wins
+}
+
+// CGResolved applies a consumption-group outcome (paper Fig. 4, lines
+// 18-26): at every vertex referencing cg, the losing edge's subtree is
+// dropped and the winning subtree is spliced to the parent. The group must
+// already be resolved (cg.Resolve called).
+func (t *Tree) CGResolved(cg *CG) {
+	outcome := cg.Outcome()
+	if outcome == CGOpen {
+		return
+	}
+	winnerSlot := AbandonEdge
+	if outcome == CGCompleted {
+		winnerSlot = CompletionEdge
+	}
+	nodes := cg.nodes
+	cg.nodes = nil
+	for _, n := range nodes {
+		if n.detached {
+			continue
+		}
+		winner := n.children[winnerSlot]
+		loser := n.children[1-winnerSlot]
+		t.dropSubtree(loser)
+		n.detached = true
+		parent := n.parent
+		if parent == nil {
+			// A CG vertex is never the tree root (the root is the single
+			// version of the oldest window), but handle it defensively.
+			t.root = winner
+			if winner != nil {
+				winner.parent = nil
+			}
+			continue
+		}
+		link(parent, n.slot, winner)
+		if winner == nil {
+			parent.children[n.slot] = nil
+		}
+	}
+}
+
+// dropSubtree removes a whole subtree: every window version in it is
+// marked dropped (wrong speculation) and reported via OnDrop; vertex
+// references of consumption groups inside are unregistered.
+func (t *Tree) dropSubtree(n *Node) {
+	if n == nil {
+		return
+	}
+	n.detached = true
+	if n.IsWV() {
+		t.size--
+		n.WV.MarkDropped()
+		if t.OnDrop != nil {
+			t.OnDrop(n.WV)
+		}
+	}
+	t.dropSubtree(n.children[0])
+	t.dropSubtree(n.children[1])
+}
+
+// RebuildBelow discards everything below wv and replaces it with a fresh
+// linear chain of the same dependent windows under wv's own suppression
+// set. Used after a rollback: the dependents were built on assumptions the
+// rolled-back version is about to recompute. It returns the fresh
+// versions.
+func (t *Tree) RebuildBelow(wv *WindowVersion) []*WindowVersion {
+	n := wv.node
+	if n == nil || n.detached {
+		return nil
+	}
+	old := n.children[0]
+	if old == nil {
+		return nil
+	}
+	wins := windowsInSubtree(old)
+	t.dropSubtree(old)
+	n.children[0] = nil
+	var created []*WindowVersion
+	chain := t.freshChain(wins, wv.Suppressed, &created)
+	link(n, 0, chain)
+	return created
+}
+
+// PopRoot removes the root vertex (its window is fully resolved and
+// emitted) and promotes its child — which must be a WV vertex or nil — to
+// root. It returns the new root's window version (nil when the tree
+// drained).
+func (t *Tree) PopRoot() *WindowVersion {
+	old := t.root
+	if old == nil {
+		return nil
+	}
+	child := old.children[0]
+	old.detached = true
+	t.size--
+	t.root = child
+	if child == nil {
+		return nil
+	}
+	child.parent = nil
+	child.slot = 0
+	return child.WV
+}
+
+// topItem is a priority-queue entry of the top-k walk.
+type topItem struct {
+	node *Node
+	sp   float64
+}
+
+type topHeap []topItem
+
+func (h topHeap) Len() int { return len(h) }
+func (h topHeap) Less(i, j int) bool {
+	if h[i].sp != h[j].sp {
+		return h[i].sp > h[j].sp
+	}
+	return h[i].node.stamp < h[j].node.stamp
+}
+func (h topHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *topHeap) Push(x any)   { *h = append(*h, x.(topItem)) }
+func (h *topHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// TopK selects the k schedulable window versions with the highest survival
+// probability (paper §3.2.2, Fig. 6). prob returns the completion
+// probability of an open consumption group; eligible filters versions that
+// actually need processing (finished or empty versions are skipped but
+// their subtrees are still explored). The result is appended to out.
+//
+// Survival probabilities are non-increasing from root to leaves, so the
+// tree is a max-heap under SP and the walk visits the minimal number of
+// vertices.
+func (t *Tree) TopK(k int, prob func(cg *CG) float64, eligible func(wv *WindowVersion) bool, out []*WindowVersion) []*WindowVersion {
+	if t.root == nil || k <= 0 {
+		return out
+	}
+	h := make(topHeap, 0, 2*k+2)
+	heap.Push(&h, topItem{node: t.root, sp: 1})
+	for len(h) > 0 && len(out) < k {
+		it := heap.Pop(&h).(topItem)
+		n := it.node
+		if n.IsWV() {
+			if eligible == nil || eligible(n.WV) {
+				out = append(out, n.WV)
+			}
+			if c := n.children[0]; c != nil {
+				heap.Push(&h, topItem{node: c, sp: it.sp})
+			}
+			continue
+		}
+		p := prob(n.CG)
+		if p < 0 {
+			p = 0
+		} else if p > 1 {
+			p = 1
+		}
+		if c := n.children[AbandonEdge]; c != nil {
+			heap.Push(&h, topItem{node: c, sp: it.sp * (1 - p)})
+		}
+		if c := n.children[CompletionEdge]; c != nil {
+			heap.Push(&h, topItem{node: c, sp: it.sp * p})
+		}
+	}
+	return out
+}
+
+// SurvivalProbability computes SP(wv) from the consumption groups on the
+// version's root path (paper §3.2): the product of P(c) over completion
+// edges and 1-P(c') over abandon edges.
+func (t *Tree) SurvivalProbability(wv *WindowVersion, prob func(cg *CG) float64) float64 {
+	n := wv.node
+	if n == nil {
+		return 0
+	}
+	sp := 1.0
+	for n.parent != nil {
+		p := n.parent
+		if !p.IsWV() {
+			pc := prob(p.CG)
+			if n.slot == CompletionEdge {
+				sp *= pc
+			} else {
+				sp *= 1 - pc
+			}
+		}
+		n = p
+	}
+	return sp
+}
+
+// Check verifies structural invariants; it returns an error describing the
+// first violation. Used by property-based tests.
+func (t *Tree) Check() error {
+	if t.root == nil {
+		return nil
+	}
+	if !t.root.IsWV() {
+		return fmt.Errorf("deptree: root is not a window-version vertex")
+	}
+	count := 0
+	var walk func(n *Node, sup []*CG) error
+	walk = func(n *Node, sup []*CG) error {
+		if n.detached {
+			return fmt.Errorf("deptree: reachable vertex %d is detached", n.stamp)
+		}
+		if n.IsWV() {
+			count++
+			if n.WV.Dropped() {
+				return fmt.Errorf("deptree: reachable version %d is dropped", n.WV.ID)
+			}
+			// Every completion-edge group on the path must be suppressed
+			// by the version. (The version may suppress additional
+			// already-resolved groups whose vertices were spliced away —
+			// their suppression outlives the vertex.)
+			suppressed := make(map[*CG]bool, len(n.WV.Suppressed))
+			for _, cg := range n.WV.Suppressed {
+				suppressed[cg] = true
+			}
+			for _, cg := range sup {
+				if !suppressed[cg] {
+					return fmt.Errorf("deptree: version %d misses path-implied suppression of CG%d", n.WV.ID, cg.ID)
+				}
+			}
+			// Conversely, every still-open suppressed group must lie on
+			// the version's path.
+			onPath := make(map[*CG]bool, len(sup))
+			for _, cg := range sup {
+				onPath[cg] = true
+			}
+			for _, cg := range n.WV.Suppressed {
+				if cg.Outcome() == CGOpen && !onPath[cg] {
+					return fmt.Errorf("deptree: version %d suppresses open CG%d that is not on its path", n.WV.ID, cg.ID)
+				}
+			}
+			if n.children[1] != nil {
+				return fmt.Errorf("deptree: WV vertex %d has a second child", n.WV.ID)
+			}
+		}
+		for slot, c := range n.children {
+			if c == nil {
+				continue
+			}
+			if c.parent != n || c.slot != slot {
+				return fmt.Errorf("deptree: broken parent link at stamp %d", c.stamp)
+			}
+			childSup := sup
+			if !n.IsWV() && slot == CompletionEdge {
+				childSup = appendCG(sup, n.CG)
+			}
+			if err := walk(c, childSup); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, nil); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("deptree: size %d but %d reachable versions", t.size, count)
+	}
+	return nil
+}
+
+func sortedCGs(sup []*CG) []*CG {
+	out := append([]*CG(nil), sup...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Dump renders the tree for debugging.
+func (t *Tree) Dump() string {
+	var b strings.Builder
+	var walk func(n *Node, depth int, label string)
+	walk = func(n *Node, depth int, label string) {
+		if n == nil {
+			return
+		}
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(label)
+		if n.IsWV() {
+			fmt.Fprintf(&b, "WV%d(win=%d sup=%d)\n", n.WV.ID, n.WV.Win.ID, len(n.WV.Suppressed))
+			walk(n.children[0], depth+1, "")
+			return
+		}
+		fmt.Fprintf(&b, "CG%d(owner=WV%d %s)\n", n.CG.ID, n.CG.Owner.ID, n.CG.Outcome())
+		walk(n.children[AbandonEdge], depth+1, "a:")
+		walk(n.children[CompletionEdge], depth+1, "c:")
+	}
+	walk(t.root, 0, "")
+	return b.String()
+}

@@ -1,0 +1,406 @@
+package deptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spectrecep/spectre/internal/window"
+)
+
+// harness builds a tree with a deterministic version factory.
+type harness struct {
+	tree    *Tree
+	nextVer uint64
+	nextWin uint64
+	nextCG  uint64
+	dropped []*WindowVersion
+}
+
+func newHarness() *harness {
+	h := &harness{}
+	h.tree = NewTree(func(win *window.Window, suppressed []*CG) *WindowVersion {
+		h.nextVer++
+		wv := NewWindowVersion(h.nextVer, win, suppressed)
+		wv.SetPos(win.StartSeq)
+		return wv
+	})
+	h.tree.OnDrop = func(wv *WindowVersion) { h.dropped = append(h.dropped, wv) }
+	return h
+}
+
+func (h *harness) window(start, end uint64) *window.Window {
+	w := window.NewWindow(h.nextWin, start, 0)
+	h.nextWin++
+	w.SetEndSeq(end)
+	return w
+}
+
+func (h *harness) cg(owner *WindowVersion) *CG {
+	h.nextCG++
+	cg := NewCG(h.nextCG, owner, 0, 3)
+	return cg
+}
+
+func TestNewWindowChain(t *testing.T) {
+	h := newHarness()
+	w1 := h.tree.NewWindow(h.window(0, 100))
+	if len(w1) != 1 || h.tree.Root() == nil || h.tree.Root().WV != w1[0] {
+		t.Fatal("first window must become the root version")
+	}
+	w2 := h.tree.NewWindow(h.window(50, 150))
+	if len(w2) != 1 {
+		t.Fatalf("second window created %d versions, want 1", len(w2))
+	}
+	if h.tree.Root().Child() == nil || h.tree.Root().Child().WV != w2[0] {
+		t.Fatal("second window must chain below the root")
+	}
+	if err := h.tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if h.tree.Size() != 2 {
+		t.Fatalf("size = %d, want 2", h.tree.Size())
+	}
+}
+
+func TestCGCreatedBranchesDependents(t *testing.T) {
+	h := newHarness()
+	root := h.tree.NewWindow(h.window(0, 100))[0]
+	dep := h.tree.NewWindow(h.window(50, 150))[0]
+
+	cg := h.cg(root)
+	created := h.tree.CGCreated(cg)
+	if len(created) != 1 {
+		t.Fatalf("completion-edge copies = %d, want 1", len(created))
+	}
+	copyWV := created[0]
+	if copyWV.Win != dep.Win {
+		t.Fatal("the copy must be a version of the dependent window")
+	}
+	if len(copyWV.Suppressed) != 1 || copyWV.Suppressed[0] != cg {
+		t.Fatal("the copy must suppress the new group")
+	}
+	if len(dep.Suppressed) != 0 {
+		t.Fatal("the original version must stay unsuppressed (abandon edge)")
+	}
+	if err := h.tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Root's child must now be the CG vertex with both edges populated.
+	cgNode := h.tree.Root().Child()
+	if cgNode.IsWV() {
+		t.Fatal("root's child must be the CG vertex")
+	}
+	if cgNode.Edge(AbandonEdge) == nil || cgNode.Edge(CompletionEdge) == nil {
+		t.Fatal("both edges must be populated")
+	}
+
+	// New windows attach under both edges.
+	created2 := h.tree.NewWindow(h.window(120, 220))
+	if len(created2) != 2 {
+		t.Fatalf("new window created %d versions, want 2 (one per leaf path)", len(created2))
+	}
+	if err := h.tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCGResolvedCompletedDropsAbandonSide(t *testing.T) {
+	h := newHarness()
+	root := h.tree.NewWindow(h.window(0, 100))[0]
+	dep := h.tree.NewWindow(h.window(50, 150))[0]
+	cg := h.cg(root)
+	copies := h.tree.CGCreated(cg)
+
+	cg.Resolve(CGCompleted)
+	h.tree.CGResolved(cg)
+	if !dep.Dropped() {
+		t.Fatal("abandon-side version must be dropped on completion")
+	}
+	if copies[0].Dropped() {
+		t.Fatal("completion-side version must survive")
+	}
+	if got := h.tree.Root().Child(); got == nil || got.WV != copies[0] {
+		t.Fatal("surviving version must splice to the root")
+	}
+	if err := h.tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCGResolvedAbandonedDropsCompletionSide(t *testing.T) {
+	h := newHarness()
+	root := h.tree.NewWindow(h.window(0, 100))[0]
+	dep := h.tree.NewWindow(h.window(50, 150))[0]
+	cg := h.cg(root)
+	copies := h.tree.CGCreated(cg)
+
+	cg.Resolve(CGAbandoned)
+	h.tree.CGResolved(cg)
+	if dep.Dropped() {
+		t.Fatal("abandon-side version must survive on abandonment")
+	}
+	if !copies[0].Dropped() {
+		t.Fatal("completion-side version must be dropped")
+	}
+	if err := h.tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopRootAdvances(t *testing.T) {
+	h := newHarness()
+	h.tree.NewWindow(h.window(0, 100))
+	dep := h.tree.NewWindow(h.window(50, 150))[0]
+	next := h.tree.PopRoot()
+	if next != dep {
+		t.Fatal("PopRoot must promote the dependent window's version")
+	}
+	if h.tree.Root().WV != dep || h.tree.Root().Parent() != nil {
+		t.Fatal("new root must be detached from its old parent")
+	}
+	if h.tree.PopRoot() != nil || !h.tree.Empty() {
+		t.Fatal("tree must drain")
+	}
+}
+
+func TestRebuildBelow(t *testing.T) {
+	h := newHarness()
+	root := h.tree.NewWindow(h.window(0, 100))[0]
+	dep := h.tree.NewWindow(h.window(50, 150))[0]
+	dep2 := h.tree.NewWindow(h.window(90, 190))[0]
+	cg := h.cg(root)
+	h.tree.CGCreated(cg)
+
+	fresh := h.tree.RebuildBelow(root)
+	if len(fresh) != 2 {
+		t.Fatalf("rebuild created %d fresh versions, want 2", len(fresh))
+	}
+	if !dep.Dropped() || !dep2.Dropped() {
+		t.Fatal("old dependents must be dropped")
+	}
+	if fresh[0].Win.ID > fresh[1].Win.ID {
+		t.Fatal("fresh chain must be in window order")
+	}
+	for _, wv := range fresh {
+		if len(wv.Suppressed) != 0 {
+			t.Fatal("fresh chain inherits only the rebuilt version's suppression (none here)")
+		}
+	}
+	if err := h.tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopKOrdering verifies the max-heap walk of Fig. 6: higher survival
+// probability first, abandon vs completion weighting from the predictor.
+func TestTopKOrdering(t *testing.T) {
+	h := newHarness()
+	root := h.tree.NewWindow(h.window(0, 100))[0]
+	dep := h.tree.NewWindow(h.window(50, 150))[0]
+	cg := h.cg(root)
+	copies := h.tree.CGCreated(cg)
+	copyWV := copies[0]
+
+	probHigh := func(*CG) float64 { return 0.9 }
+	all := func(*WindowVersion) bool { return true }
+
+	got := h.tree.TopK(3, probHigh, all, nil)
+	if len(got) != 3 {
+		t.Fatalf("topk returned %d, want 3", len(got))
+	}
+	if got[0] != root {
+		t.Fatal("root (SP=1) must rank first")
+	}
+	if got[1] != copyWV {
+		t.Fatalf("completion-edge version (SP=0.9) must rank second, got WV%d", got[1].ID)
+	}
+	if got[2] != dep {
+		t.Fatal("abandon-edge version (SP=0.1) must rank third")
+	}
+
+	probLow := func(*CG) float64 { return 0.2 }
+	got = h.tree.TopK(3, probLow, all, nil)
+	if got[1] != dep || got[2] != copyWV {
+		t.Fatal("with P=0.2 the abandon edge must rank before the completion edge")
+	}
+
+	// SP values must match SurvivalProbability.
+	if sp := h.tree.SurvivalProbability(copyWV, probLow); sp != 0.2 {
+		t.Fatalf("SP(copy) = %g, want 0.2", sp)
+	}
+	if sp := h.tree.SurvivalProbability(dep, probLow); sp != 0.8 {
+		t.Fatalf("SP(dep) = %g, want 0.8", sp)
+	}
+}
+
+// TestTopKEligibleFilter checks that ineligible versions are skipped but
+// their subtrees still explored.
+func TestTopKEligibleFilter(t *testing.T) {
+	h := newHarness()
+	root := h.tree.NewWindow(h.window(0, 100))[0]
+	dep := h.tree.NewWindow(h.window(50, 150))[0]
+	root.MarkFinished()
+	got := h.tree.TopK(2, func(*CG) float64 { return 0.5 },
+		func(wv *WindowVersion) bool { return !wv.Finished() }, nil)
+	if len(got) != 1 || got[0] != dep {
+		t.Fatalf("topk = %v, want only the dependent version", got)
+	}
+}
+
+// TestMultipleCGsSharedReference exercises the structure-copy path: a
+// second group of the same owner replicates the first group's vertex with
+// a shared reference, and resolving the first group splices both copies.
+func TestMultipleCGsSharedReference(t *testing.T) {
+	h := newHarness()
+	root := h.tree.NewWindow(h.window(0, 100))[0]
+	h.tree.NewWindow(h.window(50, 150))
+	cg1 := h.cg(root)
+	h.tree.CGCreated(cg1)
+	cg2 := h.cg(root)
+	created := h.tree.CGCreated(cg2)
+	// cg2's completion edge must contain a copy of cg1's vertex, so the
+	// dependent window has 4 versions total (2×2 outcomes).
+	if h.tree.Size() != 1+4 {
+		t.Fatalf("tree size = %d, want 5 (root + 4 dependent versions)", h.tree.Size())
+	}
+	if len(created) != 2 {
+		t.Fatalf("cg2 copies = %d, want 2 (cg1-abandon and cg1-complete sides)", len(created))
+	}
+	if err := h.tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	cg1.Resolve(CGCompleted)
+	h.tree.CGResolved(cg1)
+	if err := h.tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Only versions assuming cg1-completion survive: one per cg2 outcome.
+	if h.tree.Size() != 1+2 {
+		t.Fatalf("tree size after cg1 completion = %d, want 3", h.tree.Size())
+	}
+	cg2.Resolve(CGAbandoned)
+	h.tree.CGResolved(cg2)
+	if h.tree.Size() != 1+1 {
+		t.Fatalf("tree size after cg2 abandonment = %d, want 2", h.tree.Size())
+	}
+	surv := h.tree.Root().Child().WV
+	if len(surv.Suppressed) != 1 || surv.Suppressed[0] != cg1 {
+		t.Fatal("survivor must suppress exactly the completed cg1")
+	}
+}
+
+// TestRandomizedTreeInvariants drives the tree through random operation
+// sequences and validates the structural invariants after every step.
+func TestRandomizedTreeInvariants(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := newHarness()
+		var openCGs []*CG
+		var live []*WindowVersion
+		start := uint64(0)
+
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2: // new window
+				created := h.tree.NewWindow(h.window(start, start+100))
+				start += uint64(rng.Intn(50) + 1)
+				live = append(live, created...)
+			case 3, 4: // create a CG on a random live version
+				if len(live) == 0 {
+					continue
+				}
+				wv := live[rng.Intn(len(live))]
+				if wv.Dropped() {
+					continue
+				}
+				cg := h.cg(wv)
+				created := h.tree.CGCreated(cg)
+				live = append(live, created...)
+				openCGs = append(openCGs, cg)
+			case 5, 6: // resolve a random open CG
+				if len(openCGs) == 0 {
+					continue
+				}
+				i := rng.Intn(len(openCGs))
+				cg := openCGs[i]
+				openCGs = append(openCGs[:i], openCGs[i+1:]...)
+				if rng.Intn(2) == 0 {
+					cg.Resolve(CGCompleted)
+				} else {
+					cg.Resolve(CGAbandoned)
+				}
+				h.tree.CGResolved(cg)
+			case 7: // rebuild below a live version
+				if len(live) == 0 {
+					continue
+				}
+				wv := live[rng.Intn(len(live))]
+				if wv.Dropped() {
+					continue
+				}
+				created := h.tree.RebuildBelow(wv)
+				live = append(live, created...)
+			case 8: // pop the root if it has no pending CG vertex below
+				root := h.tree.Root()
+				if root == nil {
+					continue
+				}
+				if c := root.Child(); c == nil || c.IsWV() {
+					h.tree.PopRoot()
+				}
+			case 9: // top-k never panics and returns live versions
+				got := h.tree.TopK(4, func(cg *CG) float64 {
+					switch cg.Outcome() {
+					case CGCompleted:
+						return 1
+					case CGAbandoned:
+						return 0
+					}
+					return rng.Float64()
+				}, nil, nil)
+				for _, wv := range got {
+					if wv.Dropped() {
+						t.Fatalf("seed %d step %d: top-k returned dropped version", seed, step)
+					}
+				}
+			}
+			if err := h.tree.Check(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			if h.tree.MaxSize() < h.tree.Size() {
+				t.Fatalf("seed %d: max size below current size", seed)
+			}
+		}
+	}
+}
+
+func TestCGSnapshots(t *testing.T) {
+	cg := NewCG(1, nil, 0, 5)
+	if cg.Contains(10) {
+		t.Fatal("empty group must contain nothing")
+	}
+	cg.Add(10)
+	cg.Add(20)
+	cg.Add(15) // out-of-order insert
+	cg.Add(20) // duplicate
+	snap := cg.Snapshot()
+	if len(snap.Seqs) != 3 || snap.Seqs[0] != 10 || snap.Seqs[1] != 15 || snap.Seqs[2] != 20 {
+		t.Fatalf("snapshot = %v, want [10 15 20]", snap.Seqs)
+	}
+	if snap.Version != 3 {
+		t.Fatalf("version = %d, want 3 (duplicate must not bump)", snap.Version)
+	}
+	if !cg.Contains(15) || cg.Contains(16) {
+		t.Fatal("Contains must use binary search on the snapshot")
+	}
+	if !cg.Resolve(CGCompleted) {
+		t.Fatal("first resolve must succeed")
+	}
+	if cg.Resolve(CGAbandoned) {
+		t.Fatal("second resolve must be a no-op")
+	}
+	if cg.Outcome() != CGCompleted {
+		t.Fatal("outcome must stay completed")
+	}
+}

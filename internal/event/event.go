@@ -1,0 +1,198 @@
+// Package event defines the event model shared by every engine in this
+// repository: primitive events flowing on streams, interned event types,
+// numeric field schemas, and complex (derived) events produced by pattern
+// detection.
+//
+// Events are deliberately compact: a type id, an event-time timestamp, a
+// globally unique sequence number and a dense slice of numeric fields whose
+// meaning is given by a Schema. This mirrors the attribute-value model of
+// the SPECTRE paper (§2.1) while keeping the hot path allocation-free.
+package event
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Type is an interned event type identifier. In the algorithmic-trading
+// workloads of the paper a type corresponds to a stock symbol.
+type Type uint32
+
+// NoType is the zero Type; it never names a registered type.
+const NoType Type = 0
+
+// Event is a single primitive event. Events are totally ordered by Seq;
+// sources must emit events so that Seq increases monotonically (the paper
+// assumes a well-defined global ordering by timestamps plus tie-breaker
+// rules, which the ingest layer collapses into Seq).
+type Event struct {
+	// Seq is the global sequence number, assigned at ingest. It is the
+	// total order used for window membership and consumption bookkeeping.
+	Seq uint64
+	// TS is the event time in nanoseconds since the Unix epoch.
+	TS int64
+	// Type identifies the event type (e.g. the stock symbol).
+	Type Type
+	// Fields holds the numeric payload, indexed by a Schema.
+	Fields []float64
+}
+
+// Field returns the idx-th payload field, or 0 when the event carries fewer
+// fields. The zero default matches map-lookup semantics and keeps predicate
+// evaluation total.
+func (e *Event) Field(idx int) float64 {
+	if idx < 0 || idx >= len(e.Fields) {
+		return 0
+	}
+	return e.Fields[idx]
+}
+
+// Clone returns a deep copy of the event. The fields slice is copied so the
+// clone can outlive arena reuse.
+func (e *Event) Clone() Event {
+	c := *e
+	if e.Fields != nil {
+		c.Fields = append([]float64(nil), e.Fields...)
+	}
+	return c
+}
+
+// Complex is a derived event emitted when a pattern instance completes.
+// Two complex events are the same detection iff their Query, WindowID and
+// Constituents agree; String renders a canonical form used by tests to
+// compare engine outputs.
+type Complex struct {
+	// Query names the query that produced this detection.
+	Query string
+	// WindowID is the id of the window the detection happened in.
+	WindowID uint64
+	// Constituents are the sequence numbers of the participating primitive
+	// events in match order.
+	Constituents []uint64
+	// Consumed are the sequence numbers consumed by the consumption policy
+	// (a subset of Constituents), in ascending order.
+	Consumed []uint64
+	// DetectedAt is the sequence number of the event that completed the
+	// pattern instance.
+	DetectedAt uint64
+}
+
+// Key returns a canonical string identity for the detection, suitable for
+// set comparison between engines.
+func (c *Complex) Key() string {
+	var b strings.Builder
+	b.WriteString(c.Query)
+	b.WriteByte('@')
+	b.WriteString(strconv.FormatUint(c.WindowID, 10))
+	b.WriteByte(':')
+	for i, s := range c.Constituents {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(s, 10))
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (c *Complex) String() string { return c.Key() }
+
+// Clone returns a deep copy of the complex event.
+func (c *Complex) Clone() Complex {
+	out := *c
+	out.Constituents = append([]uint64(nil), c.Constituents...)
+	out.Consumed = append([]uint64(nil), c.Consumed...)
+	return out
+}
+
+// Registry interns event type names and payload field names. A single
+// Registry is shared by the query, the dataset and the engine so that ids
+// are consistent. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	typeIDs   map[string]Type
+	typeNames []string
+
+	fieldIdx   map[string]int
+	fieldNames []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		typeIDs:   make(map[string]Type),
+		typeNames: []string{""}, // reserve id 0 == NoType
+		fieldIdx:  make(map[string]int),
+	}
+}
+
+// TypeID interns name and returns its id. Ids start at 1; NoType (0) is
+// never returned.
+func (r *Registry) TypeID(name string) Type {
+	if id, ok := r.typeIDs[name]; ok {
+		return id
+	}
+	id := Type(len(r.typeNames))
+	r.typeNames = append(r.typeNames, name)
+	r.typeIDs[name] = id
+	return id
+}
+
+// LookupType returns the id for name and whether it is registered.
+func (r *Registry) LookupType(name string) (Type, bool) {
+	id, ok := r.typeIDs[name]
+	return id, ok
+}
+
+// TypeName returns the name for id, or "" for unknown ids.
+func (r *Registry) TypeName(id Type) string {
+	if int(id) >= len(r.typeNames) {
+		return ""
+	}
+	return r.typeNames[id]
+}
+
+// NumTypes reports the number of registered types (excluding NoType).
+func (r *Registry) NumTypes() int { return len(r.typeNames) - 1 }
+
+// FieldIndex interns a payload field name and returns its dense index.
+func (r *Registry) FieldIndex(name string) int {
+	if idx, ok := r.fieldIdx[name]; ok {
+		return idx
+	}
+	idx := len(r.fieldNames)
+	r.fieldNames = append(r.fieldNames, name)
+	r.fieldIdx[name] = idx
+	return idx
+}
+
+// LookupField returns the index for a field name and whether it exists.
+func (r *Registry) LookupField(name string) (int, bool) {
+	idx, ok := r.fieldIdx[name]
+	return idx, ok
+}
+
+// FieldName returns the name of field idx, or "" when out of range.
+func (r *Registry) FieldName(idx int) string {
+	if idx < 0 || idx >= len(r.fieldNames) {
+		return ""
+	}
+	return r.fieldNames[idx]
+}
+
+// NumFields reports the number of registered payload fields.
+func (r *Registry) NumFields() int { return len(r.fieldNames) }
+
+// Format renders an event using the registry's names, for debugging.
+func (r *Registry) Format(e *Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s#%d(", r.TypeName(e.Type), e.Seq)
+	for i, f := range e.Fields {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%g", r.FieldName(i), f)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

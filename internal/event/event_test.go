@@ -1,0 +1,91 @@
+package event
+
+import (
+	"testing"
+)
+
+func TestRegistryInterning(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.TypeID("AAPL")
+	b := reg.TypeID("MSFT")
+	if a == b || a == NoType || b == NoType {
+		t.Fatalf("ids must be distinct and non-zero: %d %d", a, b)
+	}
+	if got := reg.TypeID("AAPL"); got != a {
+		t.Fatal("interning must be stable")
+	}
+	if name := reg.TypeName(a); name != "AAPL" {
+		t.Fatalf("name = %q", name)
+	}
+	if _, ok := reg.LookupType("GOOG"); ok {
+		t.Fatal("lookup must not intern")
+	}
+	if reg.NumTypes() != 2 {
+		t.Fatalf("NumTypes = %d, want 2", reg.NumTypes())
+	}
+	if reg.TypeName(Type(99)) != "" {
+		t.Fatal("unknown id must render empty")
+	}
+}
+
+func TestRegistryFields(t *testing.T) {
+	reg := NewRegistry()
+	open := reg.FieldIndex("open")
+	closeIdx := reg.FieldIndex("close")
+	if open == closeIdx {
+		t.Fatal("field indices must be distinct")
+	}
+	if got := reg.FieldIndex("open"); got != open {
+		t.Fatal("field interning must be stable")
+	}
+	if idx, ok := reg.LookupField("close"); !ok || idx != closeIdx {
+		t.Fatal("lookup must find interned fields")
+	}
+	if reg.FieldName(open) != "open" || reg.FieldName(42) != "" {
+		t.Fatal("FieldName mismatch")
+	}
+	if reg.NumFields() != 2 {
+		t.Fatalf("NumFields = %d, want 2", reg.NumFields())
+	}
+}
+
+func TestEventField(t *testing.T) {
+	ev := Event{Fields: []float64{1.5, 2.5}}
+	if ev.Field(0) != 1.5 || ev.Field(1) != 2.5 {
+		t.Fatal("field access")
+	}
+	if ev.Field(2) != 0 || ev.Field(-1) != 0 {
+		t.Fatal("out-of-range fields must read as 0")
+	}
+	c := ev.Clone()
+	c.Fields[0] = 9
+	if ev.Fields[0] != 1.5 {
+		t.Fatal("clone must not share the fields slice")
+	}
+}
+
+func TestComplexKey(t *testing.T) {
+	ce := Complex{Query: "Q", WindowID: 3, Constituents: []uint64{1, 2, 5}}
+	if ce.Key() != "Q@3:1,2,5" {
+		t.Fatalf("key = %q", ce.Key())
+	}
+	other := Complex{Query: "Q", WindowID: 3, Constituents: []uint64{1, 2, 6}}
+	if ce.Key() == other.Key() {
+		t.Fatal("different constituents must yield different keys")
+	}
+	cl := ce.Clone()
+	cl.Constituents[0] = 9
+	if ce.Constituents[0] != 1 {
+		t.Fatal("clone must deep-copy constituents")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	reg := NewRegistry()
+	ty := reg.TypeID("X")
+	reg.FieldIndex("open")
+	ev := Event{Seq: 7, Type: ty, Fields: []float64{3}}
+	if got := reg.Format(&ev); got != "X#7(open=3)" {
+		t.Fatalf("format = %q", got)
+	}
+}

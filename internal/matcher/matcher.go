@@ -1,0 +1,751 @@
+// Package matcher implements incremental pattern detection over a single
+// window's event subsequence. It is the "operator logic" of the paper
+// (§3.3, Fig. 8): processing an event yields feedback — a partial match
+// (consumption group) was created, extended, completed or abandoned — that
+// the surrounding engine translates into dependency-tree updates.
+//
+// The matcher is deterministic and its state is deep-cloneable, which the
+// SPECTRE runtime exploits when it copies speculative window versions.
+//
+// Semantics notes (documented here because the paper leaves them to the
+// event specification language):
+//
+//   - Skip-till-next-match: events that match nothing are ignored and do
+//     not influence the run. Only influencing events (bound events and
+//     negation triggers) matter for consumption consistency.
+//   - Kleene-plus is advance-first: when the run already satisfies the
+//     minimum of a Kleene step and the event also matches the next
+//     element, the run advances. This guarantees progress when bands
+//     overlap; the paper's Q2 uses disjoint bands where the rule never
+//     fires.
+//   - A Kleene-plus element in final position completes on its first
+//     binding (minimum-match semantics).
+//   - A completing event never also starts a new run.
+package matcher
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+)
+
+// FeedbackKind enumerates the operator-logic feedback of the paper's
+// Figure 8.
+type FeedbackKind int
+
+const (
+	// RunStarted reports a new partial match: a consumption group must be
+	// created (paper: consumptionGroupCreated).
+	RunStarted FeedbackKind = iota + 1
+	// EventBound reports that the event joined an existing partial match;
+	// when Consumable is set it must be added to the consumption group.
+	EventBound
+	// RunCompleted reports a total match: a complex event is produced and
+	// the consumption group completes.
+	RunCompleted
+	// RunAbandoned reports that the partial match can no longer complete
+	// (negation fired, window ended, or a constituent was consumed):
+	// the consumption group is abandoned.
+	RunAbandoned
+)
+
+// String implements fmt.Stringer.
+func (k FeedbackKind) String() string {
+	switch k {
+	case RunStarted:
+		return "run-started"
+	case EventBound:
+		return "event-bound"
+	case RunCompleted:
+		return "run-completed"
+	case RunAbandoned:
+		return "run-abandoned"
+	default:
+		return fmt.Sprintf("FeedbackKind(%d)", int(k))
+	}
+}
+
+// Match is a completed pattern instance.
+type Match struct {
+	// Constituents are the bound events in pattern order (binding order
+	// within Kleene steps).
+	Constituents []*event.Event
+	// Consumed are the constituents bound to consume-flagged steps, sorted
+	// by sequence number.
+	Consumed []*event.Event
+	// CompletedAt is the event that completed the match.
+	CompletedAt *event.Event
+}
+
+// Feedback is one operator-logic notification.
+type Feedback struct {
+	Kind FeedbackKind
+	// Run identifies the partial match the feedback concerns.
+	Run int
+	// Event is the processed event (nil for window-end abandons).
+	Event *event.Event
+	// Consumable marks EventBound/RunStarted feedback whose event belongs
+	// to a consume-flagged step.
+	Consumable bool
+	// PrevDelta/Delta are the run's completion state δ before and after
+	// the event (δ = minimum events still required; 0 = complete). They
+	// feed the Markov transition statistics.
+	PrevDelta, Delta int
+	// Match is set for RunCompleted.
+	Match *Match
+	// Carry lists events pre-bound in a freshly (re)started run — the
+	// retained leader of a restart-after-leader pattern when its step is
+	// consume-flagged. They belong in the new consumption group.
+	Carry []*event.Event
+}
+
+// compiled element: a positive element plus the negation guards active
+// while it is pending.
+type pelem struct {
+	kind   pattern.ElemKind
+	step   pattern.Step
+	set    []pattern.Step
+	flat   []int // flat step indices (1 for step, len(set) for sets)
+	guards []guard
+	// sufMin is the minimum number of events needed by the elements after
+	// this one.
+	sufMin int
+}
+
+type guard struct {
+	step pattern.Step
+	flat int
+}
+
+// Compiled is an immutable compiled pattern shared by all states.
+type Compiled struct {
+	name      string
+	elems     []pelem
+	selection pattern.SelectionPolicy
+	numFlat   int
+	minLen    int
+	// endGuards are negations trailing the last positive element; an event
+	// matching one of them after the final element has no effect (the
+	// match has already completed), so they are rejected at compile time.
+}
+
+// Compile validates and compiles a pattern.
+func Compile(p *pattern.Pattern) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	flat := p.FlatSteps()
+	c := &Compiled{
+		name:      p.Name,
+		selection: p.Selection,
+		numFlat:   len(flat),
+		minLen:    p.MinLength(),
+	}
+	// Map (elem, member) to flat index.
+	flatIdx := make(map[[2]int]int, len(flat))
+	for i, fs := range flat {
+		flatIdx[[2]int{fs.Elem, fs.Member}] = i
+	}
+	var pendingGuards []guard
+	for ei := range p.Elements {
+		el := &p.Elements[ei]
+		if el.Kind == pattern.ElemStep && el.Step.Negated {
+			pendingGuards = append(pendingGuards, guard{
+				step: el.Step,
+				flat: flatIdx[[2]int{ei, -1}],
+			})
+			continue
+		}
+		pe := pelem{kind: el.Kind}
+		switch el.Kind {
+		case pattern.ElemStep:
+			pe.step = el.Step
+			pe.flat = []int{flatIdx[[2]int{ei, -1}]}
+		case pattern.ElemSet:
+			pe.set = el.Set
+			pe.flat = make([]int, len(el.Set))
+			for mi := range el.Set {
+				pe.flat[mi] = flatIdx[[2]int{ei, mi}]
+			}
+		}
+		pe.guards = pendingGuards
+		pendingGuards = nil
+		c.elems = append(c.elems, pe)
+	}
+	if len(pendingGuards) > 0 {
+		return nil, fmt.Errorf("matcher: pattern %q has trailing negated step %q with no following step",
+			p.Name, pendingGuards[0].step.Name)
+	}
+	// Suffix minimum lengths.
+	suf := 0
+	for i := len(c.elems) - 1; i >= 0; i-- {
+		c.elems[i].sufMin = suf
+		switch c.elems[i].kind {
+		case pattern.ElemStep:
+			suf++
+		case pattern.ElemSet:
+			suf += len(c.elems[i].set)
+		}
+	}
+	return c, nil
+}
+
+// MinLength returns the pattern's minimum match length (δ_max).
+func (c *Compiled) MinLength() int { return c.minLen }
+
+// Name returns the pattern name.
+func (c *Compiled) Name() string { return c.name }
+
+// run is one partial match.
+type run struct {
+	id      int
+	elem    int // current pending element index
+	kcount  int // events bound to the pending Kleene element
+	setMask uint64
+	bound   [][]*event.Event // indexed by flat step index
+}
+
+var _ pattern.Binder = (*run)(nil)
+
+// Bound implements pattern.Binder.
+func (r *run) Bound(step int) []*event.Event {
+	if step < 0 || step >= len(r.bound) {
+		return nil
+	}
+	return r.bound[step]
+}
+
+func (r *run) clone() *run {
+	c := &run{id: r.id, elem: r.elem, kcount: r.kcount, setMask: r.setMask}
+	c.bound = make([][]*event.Event, len(r.bound))
+	for i, evs := range r.bound {
+		if evs != nil {
+			c.bound[i] = append([]*event.Event(nil), evs...)
+		}
+	}
+	return c
+}
+
+// usesAny reports whether the run has bound any event in seqs (sorted).
+func (r *run) usesAny(seqs []uint64) bool {
+	for _, evs := range r.bound {
+		for _, ev := range evs {
+			i := sort.Search(len(seqs), func(i int) bool { return seqs[i] >= ev.Seq })
+			if i < len(seqs) && seqs[i] == ev.Seq {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// State is the mutable matcher state of one window version.
+type State struct {
+	c       *Compiled
+	runs    []*run
+	nextID  int
+	stopped bool // StopAfterMatch fired
+}
+
+// NewState returns a fresh state for one window.
+func (c *Compiled) NewState() *State {
+	return &State{c: c}
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	cl := &State{c: s.c, nextID: s.nextID, stopped: s.stopped}
+	cl.runs = make([]*run, len(s.runs))
+	for i, r := range s.runs {
+		cl.runs[i] = r.clone()
+	}
+	return cl
+}
+
+// OpenRuns reports the number of open partial matches.
+func (s *State) OpenRuns() int { return len(s.runs) }
+
+// Stopped reports whether detection has ended for this window
+// (StopAfterMatch fired).
+func (s *State) Stopped() bool { return s.stopped }
+
+// EachRun calls f with every open run's id and current δ.
+func (s *State) EachRun(f func(id, delta int)) {
+	for _, r := range s.runs {
+		f(r.id, s.delta(r))
+	}
+}
+
+// RunInfo describes an open run.
+type RunInfo struct{ ID, Delta int }
+
+// Runs appends every open run's id and δ to buf and returns it
+// (allocation-free when buf has capacity).
+func (s *State) Runs(buf []RunInfo) []RunInfo {
+	for _, r := range s.runs {
+		buf = append(buf, RunInfo{ID: r.id, Delta: s.delta(r)})
+	}
+	return buf
+}
+
+// RunDelta returns the δ of run id, or -1 when the run is not open.
+func (s *State) RunDelta(id int) int {
+	for _, r := range s.runs {
+		if r.id == id {
+			return s.delta(r)
+		}
+	}
+	return -1
+}
+
+// delta computes the run's completion state δ.
+func (s *State) delta(r *run) int {
+	if r.elem >= len(s.c.elems) {
+		return 0
+	}
+	el := &s.c.elems[r.elem]
+	var remaining int
+	switch el.kind {
+	case pattern.ElemStep:
+		if el.step.Quant == pattern.OneOrMore && r.kcount > 0 {
+			remaining = 0
+		} else {
+			remaining = 1
+		}
+	case pattern.ElemSet:
+		remaining = len(el.set) - bits.OnesCount64(r.setMask)
+	}
+	return remaining + el.sufMin
+}
+
+// Process feeds one event to the matcher, appending feedback to fb and
+// returning it. Events must be fed in stream order.
+func (s *State) Process(ev *event.Event, fb []Feedback) []Feedback {
+	// Phase 1: negation guards and advancement of open runs.
+	// Runs are scanned in creation order; removals are batched.
+	var removed []int
+	for ri, r := range s.runs {
+		prevDelta := s.delta(r)
+		el := &s.c.elems[r.elem]
+
+		// Negation guards active while this element is pending.
+		aborted := false
+		for gi := range el.guards {
+			if el.guards[gi].step.Matches(ev, r) {
+				fb = append(fb, Feedback{
+					Kind: RunAbandoned, Run: r.id, Event: ev,
+					PrevDelta: prevDelta, Delta: prevDelta,
+				})
+				removed = append(removed, ri)
+				aborted = true
+				break
+			}
+		}
+		if aborted {
+			continue
+		}
+
+		bound, completed := s.advance(r, ev)
+		if !bound {
+			continue
+		}
+		newDelta := s.delta(r)
+		if completed {
+			m := s.buildMatch(r, ev)
+			fb = append(fb, Feedback{
+				Kind: RunCompleted, Run: r.id, Event: ev,
+				PrevDelta: prevDelta, Delta: 0, Match: m,
+			})
+			switch s.c.selection.OnCompletion {
+			case pattern.RestartAfterLeader:
+				if s.leaderConsumed(r, m) {
+					removed = append(removed, ri)
+				} else {
+					s.resetAfterLeader(r)
+					fb = append(fb, s.restartFeedback(r, ev))
+				}
+			case pattern.RestartFresh:
+				removed = append(removed, ri)
+			default: // StopAfterMatch
+				removed = append(removed, ri)
+				s.stopped = true
+			}
+			continue
+		}
+		step := s.boundStep(r, ev)
+		fb = append(fb, Feedback{
+			Kind: EventBound, Run: r.id, Event: ev,
+			Consumable: step != nil && step.Consume,
+			PrevDelta:  prevDelta, Delta: newDelta,
+		})
+	}
+	if len(removed) > 0 {
+		s.removeRuns(removed)
+	}
+	if s.stopped {
+		// StopAfterMatch ends detection for the whole window: any other
+		// open partial matches are abandoned so their consumption groups
+		// resolve.
+		fb = s.WindowEnd(fb)
+	}
+
+	// Phase 2: start a new run when the event matches the first element
+	// and the selection policy permits another run. A completing event
+	// never also starts a new run (the completion feedback above already
+	// consumed it semantically).
+	if s.stopped {
+		return fb
+	}
+	if max := s.c.selection.MaxConcurrentRuns; max > 0 && len(s.runs) >= max {
+		return fb
+	}
+	if s.eventJustCompleted(fb, ev) {
+		return fb
+	}
+	first := &s.c.elems[0]
+	r := &run{id: s.nextID, bound: make([][]*event.Event, s.c.numFlat)}
+	if boundOK, completed := s.tryStart(r, first, ev); boundOK {
+		s.nextID++
+		s.runs = append(s.runs, r)
+		step := s.boundStep(r, ev)
+		fb = append(fb, Feedback{
+			Kind: RunStarted, Run: r.id, Event: ev,
+			Consumable: step != nil && step.Consume,
+			PrevDelta:  s.c.minLen, Delta: s.delta(r),
+		})
+		if completed {
+			m := s.buildMatch(r, ev)
+			fb = append(fb, Feedback{
+				Kind: RunCompleted, Run: r.id, Event: ev,
+				PrevDelta: s.delta(r), Delta: 0, Match: m,
+			})
+			switch s.c.selection.OnCompletion {
+			case pattern.RestartAfterLeader:
+				if s.leaderConsumed(r, m) {
+					s.removeRun(r.id)
+				} else {
+					s.resetAfterLeader(r)
+					fb = append(fb, s.restartFeedback(r, ev))
+				}
+			case pattern.RestartFresh:
+				s.removeRun(r.id)
+			default:
+				s.removeRun(r.id)
+				s.stopped = true
+				fb = s.WindowEnd(fb)
+			}
+		}
+	}
+	return fb
+}
+
+// restartFeedback announces the re-opened partial match after a
+// restart-after-leader completion: a new consumption group begins,
+// pre-seeded with the retained leader when its step is consume-flagged.
+func (s *State) restartFeedback(r *run, ev *event.Event) Feedback {
+	lead := &s.c.elems[0].step
+	var carry []*event.Event
+	if lead.Consume {
+		carry = append([]*event.Event(nil), r.bound[s.c.elems[0].flat[0]]...)
+	}
+	return Feedback{
+		Kind: RunStarted, Run: r.id, Event: ev, Carry: carry,
+		PrevDelta: s.c.minLen, Delta: s.delta(r),
+	}
+}
+
+// eventJustCompleted reports whether ev carried a RunCompleted feedback in
+// this processing round.
+func (s *State) eventJustCompleted(fb []Feedback, ev *event.Event) bool {
+	for i := len(fb) - 1; i >= 0; i-- {
+		if fb[i].Event != ev {
+			break
+		}
+		if fb[i].Kind == RunCompleted {
+			return true
+		}
+	}
+	return false
+}
+
+// tryStart attempts to bind ev as the first event of a fresh run.
+func (s *State) tryStart(r *run, first *pelem, ev *event.Event) (bound, completed bool) {
+	switch first.kind {
+	case pattern.ElemStep:
+		if !first.step.Matches(ev, r) {
+			return false, false
+		}
+		r.bound[first.flat[0]] = append(r.bound[first.flat[0]], ev)
+		if first.step.Quant == pattern.OneOrMore {
+			r.kcount = 1
+			// Minimum-match: a final Kleene element completes immediately.
+			if r.elem == len(s.c.elems)-1 {
+				r.elem = len(s.c.elems)
+				return true, true
+			}
+			return true, false
+		}
+		r.elem++
+		return true, r.elem == len(s.c.elems)
+	case pattern.ElemSet:
+		for mi := range first.set {
+			if first.set[mi].Matches(ev, r) {
+				r.setMask = 1 << uint(mi)
+				r.bound[first.flat[mi]] = append(r.bound[first.flat[mi]], ev)
+				if bits.OnesCount64(r.setMask) == len(first.set) {
+					r.elem++
+					r.setMask = 0
+					return true, r.elem == len(s.c.elems)
+				}
+				return true, false
+			}
+		}
+	}
+	return false, false
+}
+
+// advance tries to bind ev into the open run r. It returns whether the
+// event was bound and whether the run completed.
+func (s *State) advance(r *run, ev *event.Event) (bound, completed bool) {
+	el := &s.c.elems[r.elem]
+	switch el.kind {
+	case pattern.ElemStep:
+		if el.step.Quant == pattern.OneOrMore && r.kcount > 0 {
+			// Advance-first: prefer moving to the next element.
+			if r.elem+1 < len(s.c.elems) && s.bindInto(r, r.elem+1, ev) {
+				return true, r.elem == len(s.c.elems)
+			}
+			if el.step.Matches(ev, r) {
+				r.bound[el.flat[0]] = append(r.bound[el.flat[0]], ev)
+				return true, false
+			}
+			return false, false
+		}
+		if el.step.Matches(ev, r) {
+			r.bound[el.flat[0]] = append(r.bound[el.flat[0]], ev)
+			if el.step.Quant == pattern.OneOrMore {
+				r.kcount = 1
+				if r.elem == len(s.c.elems)-1 {
+					r.elem = len(s.c.elems)
+					return true, true
+				}
+				return true, false
+			}
+			r.elem++
+			r.kcount = 0
+			return true, r.elem == len(s.c.elems)
+		}
+		return false, false
+	case pattern.ElemSet:
+		for mi := range el.set {
+			if r.setMask&(1<<uint(mi)) != 0 {
+				continue
+			}
+			if el.set[mi].Matches(ev, r) {
+				r.setMask |= 1 << uint(mi)
+				r.bound[el.flat[mi]] = append(r.bound[el.flat[mi]], ev)
+				if bits.OnesCount64(r.setMask) == len(el.set) {
+					r.elem++
+					r.setMask = 0
+					r.kcount = 0
+					return true, r.elem == len(s.c.elems)
+				}
+				return true, false
+			}
+		}
+		return false, false
+	}
+	return false, false
+}
+
+// bindInto binds ev into element ei (used by advance-first). On success the
+// run's position moves to ei (or past it).
+func (s *State) bindInto(r *run, ei int, ev *event.Event) bool {
+	el := &s.c.elems[ei]
+	// Negation guards of the next element also apply during advance-first;
+	// a guard match is handled by the caller's guard pass on the *current*
+	// element only, so be conservative: an event matching a guard of the
+	// next element does not advance.
+	switch el.kind {
+	case pattern.ElemStep:
+		if !el.step.Matches(ev, r) {
+			return false
+		}
+		r.elem = ei
+		r.kcount = 0
+		r.bound[el.flat[0]] = append(r.bound[el.flat[0]], ev)
+		if el.step.Quant == pattern.OneOrMore {
+			r.kcount = 1
+			if ei == len(s.c.elems)-1 {
+				r.elem = len(s.c.elems)
+				return true
+			}
+			return true
+		}
+		r.elem = ei + 1
+		return true
+	case pattern.ElemSet:
+		for mi := range el.set {
+			if el.set[mi].Matches(ev, r) {
+				r.elem = ei
+				r.kcount = 0
+				r.setMask = 1 << uint(mi)
+				r.bound[el.flat[mi]] = append(r.bound[el.flat[mi]], ev)
+				if bits.OnesCount64(r.setMask) == len(el.set) {
+					r.elem = ei + 1
+					r.setMask = 0
+				}
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// boundStep returns the step ev was just bound to in r (the last binding).
+func (s *State) boundStep(r *run, ev *event.Event) *pattern.Step {
+	for fi := len(r.bound) - 1; fi >= 0; fi-- {
+		evs := r.bound[fi]
+		if len(evs) > 0 && evs[len(evs)-1] == ev {
+			return s.flatStep(fi)
+		}
+	}
+	return nil
+}
+
+// flatStep maps a flat index back to its step. Guards occupy flat indices
+// too, so they are searched as well.
+func (s *State) flatStep(fi int) *pattern.Step {
+	for ei := range s.c.elems {
+		el := &s.c.elems[ei]
+		for gi := range el.guards {
+			if el.guards[gi].flat == fi {
+				return &s.c.elems[ei].guards[gi].step
+			}
+		}
+		for j, f := range el.flat {
+			if f == fi {
+				switch el.kind {
+				case pattern.ElemStep:
+					return &s.c.elems[ei].step
+				case pattern.ElemSet:
+					return &s.c.elems[ei].set[j]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// buildMatch assembles the Match for a completed run.
+func (s *State) buildMatch(r *run, completedAt *event.Event) *Match {
+	m := &Match{CompletedAt: completedAt}
+	for fi, evs := range r.bound {
+		if len(evs) == 0 {
+			continue
+		}
+		m.Constituents = append(m.Constituents, evs...)
+		st := s.flatStep(fi)
+		if st != nil && st.Consume {
+			m.Consumed = append(m.Consumed, evs...)
+		}
+	}
+	sort.Slice(m.Constituents, func(i, j int) bool { return m.Constituents[i].Seq < m.Constituents[j].Seq })
+	sort.Slice(m.Consumed, func(i, j int) bool { return m.Consumed[i].Seq < m.Consumed[j].Seq })
+	return m
+}
+
+// leaderConsumed reports whether the run's leading-element binding was
+// consumed by m (restart-after-leader cannot keep a consumed leader).
+func (s *State) leaderConsumed(r *run, m *Match) bool {
+	lead := r.bound[s.c.elems[0].flat[0]]
+	if len(lead) == 0 {
+		return true
+	}
+	for _, c := range m.Consumed {
+		if c == lead[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// resetAfterLeader resets the run to the state right after its leading
+// element matched, keeping the leader binding.
+func (s *State) resetAfterLeader(r *run) {
+	leadFlat := s.c.elems[0].flat[0]
+	lead := r.bound[leadFlat][:1]
+	for i := range r.bound {
+		r.bound[i] = nil
+	}
+	r.bound[leadFlat] = append([]*event.Event(nil), lead...)
+	r.elem = 1
+	r.kcount = 0
+	r.setMask = 0
+}
+
+// WindowEnd abandons all open runs (the window closed before completion).
+func (s *State) WindowEnd(fb []Feedback) []Feedback {
+	for _, r := range s.runs {
+		fb = append(fb, Feedback{
+			Kind: RunAbandoned, Run: r.id,
+			PrevDelta: s.delta(r), Delta: s.delta(r),
+		})
+	}
+	s.runs = s.runs[:0]
+	return fb
+}
+
+// AbandonRunsUsing abandons every open run that has bound an event whose
+// sequence number is in seqs (ascending). It implements same-window
+// consumption: a consumed event invalidates partial matches that use it.
+func (s *State) AbandonRunsUsing(seqs []uint64, fb []Feedback) []Feedback {
+	if len(seqs) == 0 || len(s.runs) == 0 {
+		return fb
+	}
+	var removed []int
+	for ri, r := range s.runs {
+		if r.usesAny(seqs) {
+			fb = append(fb, Feedback{
+				Kind: RunAbandoned, Run: r.id,
+				PrevDelta: s.delta(r), Delta: s.delta(r),
+			})
+			removed = append(removed, ri)
+		}
+	}
+	if len(removed) > 0 {
+		s.removeRuns(removed)
+	}
+	return fb
+}
+
+func (s *State) removeRun(id int) {
+	for ri, r := range s.runs {
+		if r.id == id {
+			s.removeRuns([]int{ri})
+			return
+		}
+	}
+}
+
+// removeRuns removes the runs at the given ascending indices.
+func (s *State) removeRuns(idx []int) {
+	out := s.runs[:0]
+	j := 0
+	for i, r := range s.runs {
+		if j < len(idx) && idx[j] == i {
+			j++
+			continue
+		}
+		out = append(out, r)
+	}
+	// Clear the tail so dropped runs are collectable.
+	for i := len(out); i < len(s.runs); i++ {
+		s.runs[i] = nil
+	}
+	s.runs = out
+}

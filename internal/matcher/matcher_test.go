@@ -1,0 +1,408 @@
+package matcher
+
+import (
+	"testing"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+)
+
+// mk builds a typed event with a sequence number.
+func mk(seq uint64, t event.Type) *event.Event {
+	return &event.Event{Seq: seq, Type: t}
+}
+
+func kinds(fb []Feedback) []FeedbackKind {
+	out := make([]FeedbackKind, len(fb))
+	for i := range fb {
+		out[i] = fb[i].Kind
+	}
+	return out
+}
+
+func compileSeq(t *testing.T, sel pattern.SelectionPolicy, steps ...pattern.Step) *Compiled {
+	t.Helper()
+	p := pattern.Seq("t", steps...)
+	p.Selection = sel
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSequenceLifecycle(t *testing.T) {
+	ta, tb, tc := event.Type(1), event.Type(2), event.Type(3)
+	c := compileSeq(t,
+		pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch},
+		pattern.Step{Name: "A", Types: []event.Type{ta}, Consume: true},
+		pattern.Step{Name: "B", Types: []event.Type{tb}, Consume: true},
+		pattern.Step{Name: "C", Types: []event.Type{tc}, Consume: true},
+	)
+	if c.MinLength() != 3 {
+		t.Fatalf("min length = %d, want 3", c.MinLength())
+	}
+	s := c.NewState()
+
+	fb := s.Process(mk(0, ta), nil)
+	if len(fb) != 1 || fb[0].Kind != RunStarted || !fb[0].Consumable {
+		t.Fatalf("A feedback = %v", kinds(fb))
+	}
+	if fb[0].PrevDelta != 3 || fb[0].Delta != 2 {
+		t.Fatalf("A deltas = %d→%d, want 3→2", fb[0].PrevDelta, fb[0].Delta)
+	}
+
+	// A non-matching event is skipped silently (skip-till-next-match).
+	fb = s.Process(mk(1, event.Type(9)), nil)
+	if len(fb) != 0 {
+		t.Fatalf("non-matching event produced feedback %v", kinds(fb))
+	}
+
+	fb = s.Process(mk(2, tb), nil)
+	if len(fb) != 1 || fb[0].Kind != EventBound || fb[0].Delta != 1 {
+		t.Fatalf("B feedback = %+v", fb)
+	}
+
+	fb = s.Process(mk(3, tc), nil)
+	if len(fb) != 1 || fb[0].Kind != RunCompleted {
+		t.Fatalf("C feedback = %v", kinds(fb))
+	}
+	m := fb[0].Match
+	if len(m.Constituents) != 3 || len(m.Consumed) != 3 {
+		t.Fatalf("match = %d constituents / %d consumed, want 3/3", len(m.Constituents), len(m.Consumed))
+	}
+	if m.CompletedAt.Seq != 3 {
+		t.Fatalf("completed at %d, want 3", m.CompletedAt.Seq)
+	}
+	if !s.Stopped() {
+		t.Fatal("stop-after-match must stop the window")
+	}
+	// Further events do nothing.
+	if fb = s.Process(mk(4, ta), nil); len(fb) != 0 {
+		t.Fatalf("stopped state still reacts: %v", kinds(fb))
+	}
+}
+
+func TestWindowEndAbandons(t *testing.T) {
+	ta, tb := event.Type(1), event.Type(2)
+	c := compileSeq(t,
+		pattern.SelectionPolicy{MaxConcurrentRuns: 1},
+		pattern.Step{Name: "A", Types: []event.Type{ta}},
+		pattern.Step{Name: "B", Types: []event.Type{tb}},
+	)
+	s := c.NewState()
+	s.Process(mk(0, ta), nil)
+	fb := s.WindowEnd(nil)
+	if len(fb) != 1 || fb[0].Kind != RunAbandoned {
+		t.Fatalf("window end feedback = %v", kinds(fb))
+	}
+	if s.OpenRuns() != 0 {
+		t.Fatal("window end must clear all runs")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ta, tb := event.Type(1), event.Type(2)
+	c := compileSeq(t,
+		pattern.SelectionPolicy{MaxConcurrentRuns: 1},
+		pattern.Step{Name: "A", Types: []event.Type{ta}},
+		pattern.Step{Name: "B", Types: []event.Type{tb}},
+	)
+	s := c.NewState()
+	s.Process(mk(0, ta), nil)
+	cl := s.Clone()
+
+	fb := s.Process(mk(1, tb), nil)
+	if len(fb) != 1 || fb[0].Kind != RunCompleted {
+		t.Fatal("original must complete")
+	}
+	// The clone still waits for B.
+	if cl.OpenRuns() != 1 {
+		t.Fatal("clone must keep its own open run")
+	}
+	fb = cl.Process(mk(2, tb), nil)
+	if len(fb) != 1 || fb[0].Kind != RunCompleted {
+		t.Fatal("clone must complete independently")
+	}
+}
+
+func TestKleeneAdvanceFirst(t *testing.T) {
+	ta, tb, tc := event.Type(1), event.Type(2), event.Type(3)
+	// B's filter also matches C-typed events (overlapping predicates):
+	// with at least one B bound, advance-first must prefer moving to C.
+	c := compileSeq(t,
+		pattern.SelectionPolicy{MaxConcurrentRuns: 1},
+		pattern.Step{Name: "A", Types: []event.Type{ta}},
+		pattern.Step{Name: "B", Types: []event.Type{tb, tc}, Quant: pattern.OneOrMore},
+		pattern.Step{Name: "C", Types: []event.Type{tc}},
+	)
+	s := c.NewState()
+	s.Process(mk(0, ta), nil)
+	s.Process(mk(1, tb), nil) // first B
+	fb := s.Process(mk(2, tc), nil)
+	if len(fb) != 1 || fb[0].Kind != RunCompleted {
+		t.Fatalf("advance-first should complete on the ambiguous event, got %v", kinds(fb))
+	}
+	if got := len(fb[0].Match.Constituents); got != 3 {
+		t.Fatalf("constituents = %d, want 3 (A, one B, C)", got)
+	}
+}
+
+func TestKleeneDeltaStable(t *testing.T) {
+	ta, tb, tc := event.Type(1), event.Type(2), event.Type(3)
+	c := compileSeq(t,
+		pattern.SelectionPolicy{MaxConcurrentRuns: 1},
+		pattern.Step{Name: "A", Types: []event.Type{ta}},
+		pattern.Step{Name: "B", Types: []event.Type{tb}, Quant: pattern.OneOrMore},
+		pattern.Step{Name: "C", Types: []event.Type{tc}},
+	)
+	s := c.NewState()
+	fb := s.Process(mk(0, ta), nil)
+	if fb[0].Delta != 2 {
+		t.Fatalf("δ after A = %d, want 2 (B+ needs ≥1, C needs 1)", fb[0].Delta)
+	}
+	fb = s.Process(mk(1, tb), nil)
+	if fb[0].Delta != 1 {
+		t.Fatalf("δ after first B = %d, want 1", fb[0].Delta)
+	}
+	// Additional B's must not advance completion (paper: "the Kleene+
+	// implies that many events can match while the pattern completion
+	// does not progress").
+	fb = s.Process(mk(2, tb), nil)
+	if fb[0].Delta != 1 || fb[0].PrevDelta != 1 {
+		t.Fatalf("δ after second B = %d→%d, want 1→1", fb[0].PrevDelta, fb[0].Delta)
+	}
+}
+
+func TestRestartAfterLeaderCarry(t *testing.T) {
+	ta, tb := event.Type(1), event.Type(2)
+	c := compileSeq(t,
+		pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.RestartAfterLeader},
+		pattern.Step{Name: "A", Types: []event.Type{ta}, Consume: true},
+		pattern.Step{Name: "B", Types: []event.Type{tb}},
+	)
+	s := c.NewState()
+	s.Process(mk(0, ta), nil)
+	fb := s.Process(mk(1, tb), nil)
+	// The match consumes the leader itself, so the run cannot restart:
+	// only the completion is reported and the run dies.
+	if len(fb) != 1 || fb[0].Kind != RunCompleted {
+		t.Fatalf("feedback = %v, want only [completed] (leader consumed)", kinds(fb))
+	}
+	if s.OpenRuns() != 0 {
+		t.Fatal("leader was consumed by the match; the run must not survive")
+	}
+}
+
+func TestRestartAfterLeaderKeepsUnconsumedLeader(t *testing.T) {
+	ta, tb := event.Type(1), event.Type(2)
+	c := compileSeq(t,
+		pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.RestartAfterLeader},
+		pattern.Step{Name: "A", Types: []event.Type{ta}},
+		pattern.Step{Name: "B", Types: []event.Type{tb}, Consume: true},
+	)
+	s := c.NewState()
+	s.Process(mk(0, ta), nil)
+
+	fb := s.Process(mk(1, tb), nil)
+	if len(fb) != 2 || fb[0].Kind != RunCompleted || fb[1].Kind != RunStarted {
+		t.Fatalf("feedback = %v", kinds(fb))
+	}
+	if len(fb[1].Carry) != 0 {
+		t.Fatal("unconsumed leader is not consumable; carry must be empty")
+	}
+	if s.OpenRuns() != 1 {
+		t.Fatal("run must survive with the retained leader")
+	}
+	fb = s.Process(mk(2, tb), nil)
+	if len(fb) != 2 || fb[0].Kind != RunCompleted {
+		t.Fatalf("second B must complete again, got %v", kinds(fb))
+	}
+	m := fb[0].Match
+	if len(m.Constituents) != 2 || m.Constituents[0].Seq != 0 || m.Constituents[1].Seq != 2 {
+		t.Fatalf("second match = %v, want A(0) B(2)", m.Constituents)
+	}
+}
+
+func TestMaxConcurrentRuns(t *testing.T) {
+	ta, tb := event.Type(1), event.Type(2)
+	c := compileSeq(t,
+		pattern.SelectionPolicy{MaxConcurrentRuns: 2, OnCompletion: pattern.RestartFresh},
+		pattern.Step{Name: "A", Types: []event.Type{ta}},
+		pattern.Step{Name: "B", Types: []event.Type{tb}},
+	)
+	s := c.NewState()
+	s.Process(mk(0, ta), nil)
+	s.Process(mk(1, ta), nil)
+	fb := s.Process(mk(2, ta), nil)
+	if len(fb) != 0 || s.OpenRuns() != 2 {
+		t.Fatalf("third A must not start a run (cap 2): fb=%v runs=%d", kinds(fb), s.OpenRuns())
+	}
+	// One B completes both runs (the same event extends every open run).
+	fb = s.Process(mk(3, tb), nil)
+	completed := 0
+	for _, f := range fb {
+		if f.Kind == RunCompleted {
+			completed++
+		}
+	}
+	if completed != 2 {
+		t.Fatalf("B completed %d runs, want 2", completed)
+	}
+}
+
+func TestAbandonRunsUsing(t *testing.T) {
+	ta, tb := event.Type(1), event.Type(2)
+	c := compileSeq(t,
+		pattern.SelectionPolicy{MaxConcurrentRuns: 0, OnCompletion: pattern.RestartFresh},
+		pattern.Step{Name: "A", Types: []event.Type{ta}},
+		pattern.Step{Name: "B", Types: []event.Type{tb}},
+	)
+	s := c.NewState()
+	s.Process(mk(5, ta), nil)
+	s.Process(mk(7, ta), nil)
+	fb := s.AbandonRunsUsing([]uint64{5}, nil)
+	if len(fb) != 1 || fb[0].Kind != RunAbandoned {
+		t.Fatalf("feedback = %v, want one abandon", kinds(fb))
+	}
+	if s.OpenRuns() != 1 {
+		t.Fatalf("open runs = %d, want 1", s.OpenRuns())
+	}
+}
+
+func TestSetOutOfOrderAndDuplicates(t *testing.T) {
+	ta := event.Type(1)
+	x1, x2, x3 := event.Type(11), event.Type(12), event.Type(13)
+	p := &pattern.Pattern{
+		Name: "set",
+		Elements: []pattern.Element{
+			{Kind: pattern.ElemStep, Step: pattern.Step{Name: "A", Types: []event.Type{ta}}},
+			{Kind: pattern.ElemSet, Set: []pattern.Step{
+				{Name: "X1", Types: []event.Type{x1}},
+				{Name: "X2", Types: []event.Type{x2}},
+				{Name: "X3", Types: []event.Type{x3}},
+			}},
+		},
+		Selection: pattern.SelectionPolicy{MaxConcurrentRuns: 1},
+	}
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MinLength() != 4 {
+		t.Fatalf("min length = %d, want 4", c.MinLength())
+	}
+	s := c.NewState()
+	s.Process(mk(0, ta), nil)
+	fb := s.Process(mk(1, x3), nil)
+	if fb[0].Delta != 2 {
+		t.Fatalf("δ after one member = %d, want 2", fb[0].Delta)
+	}
+	// A duplicate member does not bind again.
+	fb = s.Process(mk(2, x3), nil)
+	if len(fb) != 0 {
+		t.Fatalf("duplicate member bound: %v", kinds(fb))
+	}
+	s.Process(mk(3, x1), nil)
+	fb = s.Process(mk(4, x2), nil)
+	if len(fb) != 1 || fb[0].Kind != RunCompleted {
+		t.Fatalf("set completion feedback = %v", kinds(fb))
+	}
+	if got := len(fb[0].Match.Constituents); got != 4 {
+		t.Fatalf("constituents = %d, want 4", got)
+	}
+}
+
+func TestNegationGuardBinderAccess(t *testing.T) {
+	ta, tb, tx := event.Type(1), event.Type(2), event.Type(3)
+	// The negation only fires when the X event's seq is greater than the
+	// bound A's seq + 1 (a predicate over the binder).
+	fieldless := func(ev *event.Event, b pattern.Binder) bool {
+		bound := b.Bound(0)
+		return len(bound) > 0 && ev.Seq > bound[0].Seq+1
+	}
+	p := &pattern.Pattern{
+		Name: "guard",
+		Elements: []pattern.Element{
+			{Kind: pattern.ElemStep, Step: pattern.Step{Name: "A", Types: []event.Type{ta}}},
+			{Kind: pattern.ElemStep, Step: pattern.Step{Name: "X", Types: []event.Type{tx}, Negated: true, Pred: fieldless}},
+			{Kind: pattern.ElemStep, Step: pattern.Step{Name: "B", Types: []event.Type{tb}}},
+		},
+		Selection: pattern.SelectionPolicy{MaxConcurrentRuns: 1},
+	}
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X at seq 1 does not satisfy the guard predicate → run survives.
+	s := c.NewState()
+	s.Process(mk(0, ta), nil)
+	if fb := s.Process(mk(1, tx), nil); len(fb) != 0 {
+		t.Fatalf("guard fired too early: %v", kinds(fb))
+	}
+	if fb := s.Process(mk(2, tb), nil); len(fb) != 1 || fb[0].Kind != RunCompleted {
+		t.Fatal("run must complete")
+	}
+	// X at seq 2 satisfies the guard → abandon.
+	s = c.NewState()
+	s.Process(mk(0, ta), nil)
+	if fb := s.Process(mk(2, tx), nil); len(fb) != 1 || fb[0].Kind != RunAbandoned {
+		t.Fatalf("guard must abandon, got %v", kinds(fb))
+	}
+}
+
+func TestTrailingNegationRejected(t *testing.T) {
+	ta, tx := event.Type(1), event.Type(2)
+	p := &pattern.Pattern{
+		Name: "bad",
+		Elements: []pattern.Element{
+			{Kind: pattern.ElemStep, Step: pattern.Step{Name: "A", Types: []event.Type{ta}}},
+			{Kind: pattern.ElemStep, Step: pattern.Step{Name: "X", Types: []event.Type{tx}, Negated: true}},
+		},
+	}
+	if _, err := Compile(p); err == nil {
+		t.Fatal("trailing negation must be rejected")
+	}
+}
+
+func TestFinalKleeneMinimumMatch(t *testing.T) {
+	ta, tb := event.Type(1), event.Type(2)
+	c := compileSeq(t,
+		pattern.SelectionPolicy{MaxConcurrentRuns: 1},
+		pattern.Step{Name: "A", Types: []event.Type{ta}},
+		pattern.Step{Name: "B", Types: []event.Type{tb}, Quant: pattern.OneOrMore},
+	)
+	s := c.NewState()
+	s.Process(mk(0, ta), nil)
+	fb := s.Process(mk(1, tb), nil)
+	if len(fb) == 0 || fb[len(fb)-1].Kind != RunCompleted {
+		t.Fatalf("final Kleene must complete on its first binding, got %v", kinds(fb))
+	}
+}
+
+func TestRunsSnapshot(t *testing.T) {
+	ta, tb := event.Type(1), event.Type(2)
+	c := compileSeq(t,
+		pattern.SelectionPolicy{MaxConcurrentRuns: 0, OnCompletion: pattern.RestartFresh},
+		pattern.Step{Name: "A", Types: []event.Type{ta}},
+		pattern.Step{Name: "B", Types: []event.Type{tb}},
+	)
+	s := c.NewState()
+	s.Process(mk(0, ta), nil)
+	s.Process(mk(1, ta), nil)
+	infos := s.Runs(nil)
+	if len(infos) != 2 {
+		t.Fatalf("runs = %d, want 2", len(infos))
+	}
+	for _, ri := range infos {
+		if ri.Delta != 1 {
+			t.Fatalf("run %d δ = %d, want 1", ri.ID, ri.Delta)
+		}
+		if got := s.RunDelta(ri.ID); got != 1 {
+			t.Fatalf("RunDelta(%d) = %d, want 1", ri.ID, got)
+		}
+	}
+	if s.RunDelta(999) != -1 {
+		t.Fatal("unknown run must report -1")
+	}
+}

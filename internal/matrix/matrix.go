@@ -1,0 +1,197 @@
+// Package matrix implements the small dense-matrix arithmetic needed by the
+// Markov completion-probability model (paper §3.2.1): multiplication,
+// integer powers, row-vector application, convex interpolation and
+// row-stochastic validation. Matrices are tiny (state space = minimum
+// pattern length + 1), so a simple row-major float64 implementation is both
+// adequate and allocation-friendly.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrDimension is returned when operand dimensions are incompatible.
+var ErrDimension = errors.New("matrix: incompatible dimensions")
+
+// M is a dense square row-major matrix.
+type M struct {
+	N    int
+	Data []float64 // len N*N, Data[r*N+c]
+}
+
+// New returns an N×N zero matrix.
+func New(n int) *M {
+	return &M{N: n, Data: make([]float64, n*n)}
+}
+
+// Identity returns the N×N identity matrix.
+func Identity(n int) *M {
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *M) At(r, c int) float64 { return m.Data[r*m.N+c] }
+
+// Set assigns element (r, c).
+func (m *M) Set(r, c int, v float64) { m.Data[r*m.N+c] = v }
+
+// Clone returns a deep copy.
+func (m *M) Clone() *M {
+	c := New(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Mul returns a*b. It returns ErrDimension when sizes differ.
+func Mul(a, b *M) (*M, error) {
+	if a.N != b.N {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrDimension, a.N, b.N)
+	}
+	n := a.N
+	out := New(n)
+	for r := 0; r < n; r++ {
+		arow := a.Data[r*n : r*n+n]
+		orow := out.Data[r*n : r*n+n]
+		for k := 0; k < n; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			for c := 0; c < n; c++ {
+				orow[c] += av * brow[c]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Pow returns m^p for p ≥ 0 using binary exponentiation. Pow(m, 0) is the
+// identity.
+func Pow(m *M, p int) (*M, error) {
+	if p < 0 {
+		return nil, fmt.Errorf("matrix: negative power %d", p)
+	}
+	result := Identity(m.N)
+	base := m.Clone()
+	for p > 0 {
+		if p&1 == 1 {
+			r, err := Mul(result, base)
+			if err != nil {
+				return nil, err
+			}
+			result = r
+		}
+		p >>= 1
+		if p > 0 {
+			b, err := Mul(base, base)
+			if err != nil {
+				return nil, err
+			}
+			base = b
+		}
+	}
+	return result, nil
+}
+
+// Lerp returns (1-t)*a + t*b. It returns ErrDimension when sizes differ.
+func Lerp(a, b *M, t float64) (*M, error) {
+	if a.N != b.N {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrDimension, a.N, b.N)
+	}
+	out := New(a.N)
+	for i := range out.Data {
+		out.Data[i] = (1-t)*a.Data[i] + t*b.Data[i]
+	}
+	return out, nil
+}
+
+// Blend returns (1-alpha)*old + alpha*recent — the exponential-smoothing
+// update of the paper (T1 = (1-α)·T1_old + α·T1_new).
+func Blend(old, recent *M, alpha float64) (*M, error) {
+	return Lerp(old, recent, alpha)
+}
+
+// ApplyRow returns v*m for a row vector v (len must equal m.N).
+func ApplyRow(v []float64, m *M) ([]float64, error) {
+	if len(v) != m.N {
+		return nil, fmt.Errorf("%w: vector %d vs matrix %d", ErrDimension, len(v), m.N)
+	}
+	n := m.N
+	out := make([]float64, n)
+	for r := 0; r < n; r++ {
+		vr := v[r]
+		if vr == 0 {
+			continue
+		}
+		row := m.Data[r*n : r*n+n]
+		for c := 0; c < n; c++ {
+			out[c] += vr * row[c]
+		}
+	}
+	return out, nil
+}
+
+// IsStochastic reports whether every row sums to 1 within tol and all
+// entries are non-negative.
+func (m *M) IsStochastic(tol float64) bool {
+	n := m.N
+	for r := 0; r < n; r++ {
+		var sum float64
+		for c := 0; c < n; c++ {
+			v := m.Data[r*n+c]
+			if v < -tol {
+				return false
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// NormalizeRows rescales each row to sum to 1. Rows that sum to zero become
+// the corresponding identity row (self-loop), which models "no observation"
+// conservatively.
+func (m *M) NormalizeRows() {
+	n := m.N
+	for r := 0; r < n; r++ {
+		var sum float64
+		for c := 0; c < n; c++ {
+			sum += m.Data[r*n+c]
+		}
+		if sum == 0 {
+			m.Data[r*n+r] = 1
+			continue
+		}
+		for c := 0; c < n; c++ {
+			m.Data[r*n+c] /= sum
+		}
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *M) String() string {
+	var b strings.Builder
+	for r := 0; r < m.N; r++ {
+		if r > 0 {
+			b.WriteByte('\n')
+		}
+		for c := 0; c < m.N; c++ {
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4f", m.At(r, c))
+		}
+	}
+	return b.String()
+}

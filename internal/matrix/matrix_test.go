@@ -1,0 +1,161 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomStochastic(rng *rand.Rand, n int) *M {
+	m := New(n)
+	for r := 0; r < n; r++ {
+		var sum float64
+		row := make([]float64, n)
+		for c := 0; c < n; c++ {
+			row[c] = rng.Float64()
+			sum += row[c]
+		}
+		for c := 0; c < n; c++ {
+			m.Set(r, c, row[c]/sum)
+		}
+	}
+	return m
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	if !id.IsStochastic(0) {
+		t.Fatal("identity must be stochastic")
+	}
+	m := New(3)
+	m.Set(0, 1, 1)
+	m.Set(1, 2, 1)
+	m.Set(2, 0, 1)
+	p, err := Mul(id, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Data {
+		if p.Data[i] != m.Data[i] {
+			t.Fatal("I*M must equal M")
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	if _, err := Mul(New(2), New(3)); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+	if _, err := Lerp(New(2), New(3), 0.5); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+	if _, err := ApplyRow([]float64{1, 2}, New(3)); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}
+
+func TestPowMatchesRepeatedMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomStochastic(rng, 4)
+	byPow, err := Pow(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMul := Identity(4)
+	for i := 0; i < 7; i++ {
+		byMul, err = Mul(byMul, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range byPow.Data {
+		if math.Abs(byPow.Data[i]-byMul.Data[i]) > 1e-12 {
+			t.Fatalf("Pow and repeated Mul differ at %d: %g vs %g", i, byPow.Data[i], byMul.Data[i])
+		}
+	}
+	p0, err := Pow(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p0.IsStochastic(0) {
+		t.Fatal("M^0 must be the identity")
+	}
+	if _, err := Pow(m, -1); err == nil {
+		t.Fatal("negative power must error")
+	}
+}
+
+// TestStochasticClosure: products, powers and convex blends of stochastic
+// matrices stay stochastic (property-based).
+func TestStochasticClosure(t *testing.T) {
+	check := func(seed int64, alphaRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := randomStochastic(rng, n)
+		b := randomStochastic(rng, n)
+		alpha := math.Abs(alphaRaw)
+		alpha -= math.Floor(alpha) // [0,1)
+		prod, err := Mul(a, b)
+		if err != nil || !prod.IsStochastic(1e-9) {
+			return false
+		}
+		pw, err := Pow(a, 1+rng.Intn(30))
+		if err != nil || !pw.IsStochastic(1e-9) {
+			return false
+		}
+		bl, err := Blend(a, b, alpha)
+		if err != nil || !bl.IsStochastic(1e-9) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyRow(t *testing.T) {
+	m := New(2)
+	m.Set(0, 0, 0.25)
+	m.Set(0, 1, 0.75)
+	m.Set(1, 0, 0.5)
+	m.Set(1, 1, 0.5)
+	v, err := ApplyRow([]float64{1, 0}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 0.25 || v[1] != 0.75 {
+		t.Fatalf("v*M = %v, want [0.25 0.75]", v)
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	m := New(2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 6)
+	// Row 1 all zeros → becomes a self-loop.
+	m.NormalizeRows()
+	if m.At(0, 0) != 0.25 || m.At(0, 1) != 0.75 {
+		t.Fatalf("row 0 = %v, want [0.25 0.75]", m.Data[:2])
+	}
+	if m.At(1, 1) != 1 {
+		t.Fatal("zero row must normalize to a self-loop")
+	}
+	if !m.IsStochastic(1e-12) {
+		t.Fatal("normalized matrix must be stochastic")
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomStochastic(rng, 3)
+	b := randomStochastic(rng, 3)
+	l0, _ := Lerp(a, b, 0)
+	l1, _ := Lerp(a, b, 1)
+	for i := range a.Data {
+		if math.Abs(l0.Data[i]-a.Data[i]) > 1e-15 || math.Abs(l1.Data[i]-b.Data[i]) > 1e-15 {
+			t.Fatal("lerp endpoints must reproduce the operands")
+		}
+	}
+}

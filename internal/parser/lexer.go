@@ -1,0 +1,264 @@
+// Package parser implements the textual query language of the paper's
+// Figure 9: the MATCH-RECOGNIZE notation [33] extended with the two Tesla
+// constructs the paper adds — `WITHIN ... FROM` window specifications and
+// `CONSUME` consumption policies — plus small selection-policy extensions.
+//
+// Example (the paper's Q1 for q = 2):
+//
+//	QUERY Q1
+//	PATTERN (MLE RE1 RE2)
+//	DEFINE MLE AS (MLE.symbol IN ('BLUE00','BLUE01') AND MLE.close > MLE.open),
+//	       RE1 AS RE1.close > RE1.open,
+//	       RE2 AS RE2.close > RE2.open
+//	WITHIN 8000 EVENTS FROM MLE
+//	CONSUME (MLE RE1 RE2)
+//
+// Grammar summary (keywords are case-insensitive):
+//
+//	query    := [QUERY ident]
+//	            PATTERN '(' elem+ ')'
+//	            [DEFINE def (',' def)*]
+//	            WITHIN (int EVENTS | duration) [FROM (ident | EVERY int EVENTS)]
+//	            [CONSUME ('(' ident+ ')' | ALL | NONE)]
+//	            [ON MATCH (STOP | RESTART | RESTART LEADER)]
+//	            [RUNS int]
+//	elem     := ident ['+'] | '!' ident | SET '(' ident+ ')'
+//	def      := ident AS expr
+//	expr     := disjunction of conjunctions of comparisons over
+//	            arithmetic on field refs (X.field), X.symbol, numbers,
+//	            strings, with NOT, parentheses and IN ('A','B',...)
+//	duration := int (MS | S | SEC | MIN | H)
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokPlus
+	tokBang
+	tokStar
+	tokSlash
+	tokMinus
+	tokLT
+	tokLE
+	tokGT
+	tokGE
+	tokEQ
+	tokNE
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokPlus:
+		return "'+'"
+	case tokBang:
+		return "'!'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokMinus:
+		return "'-'"
+	case tokLT:
+		return "'<'"
+	case tokLE:
+		return "'<='"
+	case tokGT:
+		return "'>'"
+	case tokGE:
+		return "'>='"
+	case tokEQ:
+		return "'='"
+	case tokNE:
+		return "'!='"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+// Error is a parse error with position information.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("parser: line %d: %s", e.Line, e.Msg) }
+
+func errorf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// SQL-style line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos, line: l.line}, nil
+
+scan:
+	start, line := l.pos, l.line
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start, line: line}, nil
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' || l.src[l.pos] == 'e' ||
+			l.src[l.pos] == 'E' || ((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start &&
+			(l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start, line: line}, nil
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != quote {
+			if l.src[l.pos] == '\n' {
+				return token{}, errorf(line, "unterminated string literal")
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, errorf(line, "unterminated string literal")
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++
+		return token{kind: tokString, text: text, pos: start, line: line}, nil
+	}
+	l.pos++
+	two := byte(0)
+	if l.pos < len(l.src) {
+		two = l.src[l.pos]
+	}
+	mk := func(k tokenKind, text string) (token, error) {
+		return token{kind: k, text: text, pos: start, line: line}, nil
+	}
+	switch c {
+	case '(':
+		return mk(tokLParen, "(")
+	case ')':
+		return mk(tokRParen, ")")
+	case ',':
+		return mk(tokComma, ",")
+	case '.':
+		return mk(tokDot, ".")
+	case '+':
+		return mk(tokPlus, "+")
+	case '*':
+		return mk(tokStar, "*")
+	case '/':
+		return mk(tokSlash, "/")
+	case '-':
+		return mk(tokMinus, "-")
+	case '<':
+		if two == '=' {
+			l.pos++
+			return mk(tokLE, "<=")
+		}
+		if two == '>' {
+			l.pos++
+			return mk(tokNE, "<>")
+		}
+		return mk(tokLT, "<")
+	case '>':
+		if two == '=' {
+			l.pos++
+			return mk(tokGE, ">=")
+		}
+		return mk(tokGT, ">")
+	case '=':
+		if two == '=' {
+			l.pos++
+		}
+		return mk(tokEQ, "=")
+	case '!':
+		if two == '=' {
+			l.pos++
+			return mk(tokNE, "!=")
+		}
+		return mk(tokBang, "!")
+	}
+	return token{}, errorf(line, "unexpected character %q", string(rune(c)))
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// keyword matching is case-insensitive.
+func isKeyword(tok token, kw string) bool {
+	return tok.kind == tokIdent && strings.EqualFold(tok.text, kw)
+}

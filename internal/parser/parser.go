@@ -1,0 +1,510 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+)
+
+// Parse compiles a textual query (see the package comment for the
+// grammar) into a pattern.Query, interning event types and field names in
+// reg.
+func Parse(src string, reg *event.Registry) (*pattern.Query, error) {
+	p := &parser{lex: newLexer(src), reg: reg}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("parser: %w", err)
+	}
+	return q, nil
+}
+
+// rawElem is a pattern element before predicate attachment.
+type rawElem struct {
+	name    string
+	kleene  bool
+	negated bool
+	set     []string // non-nil for SET elements
+	line    int
+}
+
+type parser struct {
+	lex *lexer
+	reg *event.Registry
+	tok token
+
+	elems []rawElem
+	names map[string]int // variable name → flat step index
+	defs  map[string]expr
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, errorf(p.tok.line, "expected %s, got %q", kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) acceptKeyword(kw string) (bool, error) {
+	if isKeyword(p.tok, kw) {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	ok, err := p.acceptKeyword(kw)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errorf(p.tok.line, "expected %s, got %q", strings.ToUpper(kw), p.tok.text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*pattern.Query, error) {
+	name := "query"
+	if ok, err := p.acceptKeyword("QUERY"); err != nil {
+		return nil, err
+	} else if ok {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		name = t.text
+	}
+
+	if err := p.parsePattern(); err != nil {
+		return nil, err
+	}
+	if err := p.parseDefine(); err != nil {
+		return nil, err
+	}
+	win, err := p.parseWithin()
+	if err != nil {
+		return nil, err
+	}
+	consume, consumeAll, err := p.parseConsume()
+	if err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelection()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, errorf(p.tok.line, "unexpected trailing input %q", p.tok.text)
+	}
+
+	pat, err := p.buildPattern(name, sel)
+	if err != nil {
+		return nil, err
+	}
+	if consumeAll {
+		pat.ConsumeAll()
+	} else if len(consume) > 0 {
+		if err := pat.ConsumeSteps(consume...); err != nil {
+			return nil, err
+		}
+	}
+	q := &pattern.Query{Name: name, Pattern: *pat, Window: *win}
+	return q, nil
+}
+
+// parsePattern parses `PATTERN ( elem+ )`.
+func (p *parser) parsePattern() error {
+	if err := p.expectKeyword("PATTERN"); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	p.names = make(map[string]int)
+	flat := 0
+	addName := func(n string, line int) error {
+		if _, dup := p.names[n]; dup {
+			return errorf(line, "duplicate pattern variable %q", n)
+		}
+		p.names[n] = flat
+		flat++
+		return nil
+	}
+	for p.tok.kind != tokRParen {
+		switch {
+		case p.tok.kind == tokBang:
+			if err := p.advance(); err != nil {
+				return err
+			}
+			t, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			if err := addName(t.text, t.line); err != nil {
+				return err
+			}
+			p.elems = append(p.elems, rawElem{name: t.text, negated: true, line: t.line})
+		case isKeyword(p.tok, "SET"):
+			line := p.tok.line
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if _, err := p.expect(tokLParen); err != nil {
+				return err
+			}
+			var members []string
+			for p.tok.kind != tokRParen {
+				t, err := p.expect(tokIdent)
+				if err != nil {
+					return err
+				}
+				if err := addName(t.text, t.line); err != nil {
+					return err
+				}
+				members = append(members, t.text)
+				if p.tok.kind == tokComma {
+					if err := p.advance(); err != nil {
+						return err
+					}
+				}
+			}
+			if err := p.advance(); err != nil { // consume ')'
+				return err
+			}
+			if len(members) == 0 {
+				return errorf(line, "empty SET element")
+			}
+			p.elems = append(p.elems, rawElem{set: members, line: line})
+		case p.tok.kind == tokIdent:
+			t := p.tok
+			if err := p.advance(); err != nil {
+				return err
+			}
+			el := rawElem{name: t.text, line: t.line}
+			if p.tok.kind == tokPlus {
+				el.kleene = true
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+			if err := addName(t.text, t.line); err != nil {
+				return err
+			}
+			p.elems = append(p.elems, el)
+		default:
+			return errorf(p.tok.line, "expected pattern variable, got %q", p.tok.text)
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p.advance(); err != nil { // consume ')'
+		return err
+	}
+	if len(p.elems) == 0 {
+		return errorf(p.tok.line, "empty PATTERN")
+	}
+	return nil
+}
+
+// parseDefine parses the optional `DEFINE v AS expr (, v AS expr)*`.
+func (p *parser) parseDefine() error {
+	p.defs = make(map[string]expr)
+	ok, err := p.acceptKeyword("DEFINE")
+	if err != nil || !ok {
+		return err
+	}
+	for {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		varName := t.text
+		if _, known := p.names[varName]; !known {
+			return errorf(t.line, "DEFINE references unknown pattern variable %q", varName)
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return err
+		}
+		e, err := p.parseExpr(varName)
+		if err != nil {
+			return err
+		}
+		if _, dup := p.defs[varName]; dup {
+			return errorf(t.line, "duplicate DEFINE for %q", varName)
+		}
+		p.defs[varName] = e
+		if p.tok.kind != tokComma {
+			return nil
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+// parseWithin parses `WITHIN (<n> EVENTS | <n> <unit>) [FROM ...]`.
+func (p *parser) parseWithin() (*pattern.WindowSpec, error) {
+	if err := p.expectKeyword("WITHIN"); err != nil {
+		return nil, err
+	}
+	num, err := p.expect(tokNumber)
+	if err != nil {
+		return nil, err
+	}
+	spec := &pattern.WindowSpec{}
+	if ok, err := p.acceptKeyword("EVENTS"); err != nil {
+		return nil, err
+	} else if ok {
+		n, err := strconv.Atoi(num.text)
+		if err != nil || n <= 0 {
+			return nil, errorf(num.line, "bad window size %q", num.text)
+		}
+		spec.EndKind = pattern.EndCount
+		spec.Count = n
+	} else {
+		d, err := parseDuration(num, p.tok)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.advance(); err != nil { // consume the unit
+			return nil, err
+		}
+		spec.EndKind = pattern.EndDuration
+		spec.Duration = d
+	}
+
+	// FROM clause: default is a window from the first pattern variable.
+	fromVar := ""
+	if ok, err := p.acceptKeyword("FROM"); err != nil {
+		return nil, err
+	} else if ok {
+		if ok, err := p.acceptKeyword("EVERY"); err != nil {
+			return nil, err
+		} else if ok {
+			num, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("EVENTS"); err != nil {
+				return nil, err
+			}
+			s, err := strconv.Atoi(num.text)
+			if err != nil || s <= 0 {
+				return nil, errorf(num.line, "bad window slide %q", num.text)
+			}
+			spec.StartKind = pattern.StartEvery
+			spec.Every = s
+			return spec, nil
+		}
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		fromVar = t.text
+	} else {
+		fromVar = p.firstPositiveVar()
+	}
+	if fromVar == "" {
+		return nil, errorf(p.tok.line, "window FROM clause required")
+	}
+	if _, known := p.names[fromVar]; !known {
+		return nil, errorf(p.tok.line, "FROM references unknown pattern variable %q", fromVar)
+	}
+	spec.StartKind = pattern.StartOnMatch
+	// The start filter is the variable's DEFINE predicate evaluated
+	// without bindings (windows open before detection).
+	if def, okDef := p.defs[fromVar]; okDef {
+		compiled, err := p.compilePredicate(fromVar, def)
+		if err != nil {
+			return nil, err
+		}
+		spec.StartPred = func(ev *event.Event) bool { return compiled(ev, nil) }
+	}
+	return spec, nil
+}
+
+func (p *parser) firstPositiveVar() string {
+	for _, el := range p.elems {
+		if el.set == nil && !el.negated {
+			return el.name
+		}
+	}
+	return ""
+}
+
+func parseDuration(num, unit token) (time.Duration, error) {
+	v, err := strconv.ParseFloat(num.text, 64)
+	if err != nil || v <= 0 {
+		return 0, errorf(num.line, "bad duration value %q", num.text)
+	}
+	if unit.kind != tokIdent {
+		return 0, errorf(unit.line, "expected duration unit, got %q", unit.text)
+	}
+	var base time.Duration
+	switch strings.ToLower(unit.text) {
+	case "ms":
+		base = time.Millisecond
+	case "s", "sec", "secs", "second", "seconds":
+		base = time.Second
+	case "min", "mins", "minute", "minutes":
+		base = time.Minute
+	case "h", "hour", "hours":
+		base = time.Hour
+	default:
+		return 0, errorf(unit.line, "unknown duration unit %q", unit.text)
+	}
+	return time.Duration(v * float64(base)), nil
+}
+
+// parseConsume parses the optional CONSUME clause.
+func (p *parser) parseConsume() (names []string, all bool, err error) {
+	ok, err := p.acceptKeyword("CONSUME")
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if ok, err := p.acceptKeyword("ALL"); err != nil {
+		return nil, false, err
+	} else if ok {
+		return nil, true, nil
+	}
+	if ok, err := p.acceptKeyword("NONE"); err != nil {
+		return nil, false, err
+	} else if ok {
+		return nil, false, nil
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, false, err
+	}
+	for p.tok.kind != tokRParen {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, false, err
+		}
+		if _, known := p.names[t.text]; !known {
+			return nil, false, errorf(t.line, "CONSUME references unknown pattern variable %q", t.text)
+		}
+		names = append(names, t.text)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	if err := p.advance(); err != nil {
+		return nil, false, err
+	}
+	if len(names) == 0 {
+		return nil, false, errorf(p.tok.line, "empty CONSUME list")
+	}
+	return names, false, nil
+}
+
+// parseSelection parses the optional `ON MATCH ...` and `RUNS n` clauses.
+func (p *parser) parseSelection() (pattern.SelectionPolicy, error) {
+	sel := pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch}
+	if ok, err := p.acceptKeyword("ON"); err != nil {
+		return sel, err
+	} else if ok {
+		if err := p.expectKeyword("MATCH"); err != nil {
+			return sel, err
+		}
+		switch {
+		case isKeyword(p.tok, "STOP"):
+			sel.OnCompletion = pattern.StopAfterMatch
+			if err := p.advance(); err != nil {
+				return sel, err
+			}
+		case isKeyword(p.tok, "RESTART"):
+			if err := p.advance(); err != nil {
+				return sel, err
+			}
+			sel.OnCompletion = pattern.RestartFresh
+			if ok, err := p.acceptKeyword("LEADER"); err != nil {
+				return sel, err
+			} else if ok {
+				sel.OnCompletion = pattern.RestartAfterLeader
+			}
+		default:
+			return sel, errorf(p.tok.line, "expected STOP or RESTART after ON MATCH, got %q", p.tok.text)
+		}
+	}
+	if ok, err := p.acceptKeyword("RUNS"); err != nil {
+		return sel, err
+	} else if ok {
+		t, err := p.expect(tokNumber)
+		if err != nil {
+			return sel, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return sel, errorf(t.line, "bad RUNS count %q", t.text)
+		}
+		sel.MaxConcurrentRuns = n
+	}
+	return sel, nil
+}
+
+// buildPattern assembles the pattern.Pattern from parsed pieces.
+func (p *parser) buildPattern(name string, sel pattern.SelectionPolicy) (*pattern.Pattern, error) {
+	pat := &pattern.Pattern{Name: name, Selection: sel}
+	mkStep := func(varName string, quant pattern.Quantifier, negated bool) (pattern.Step, error) {
+		st := pattern.Step{Name: varName, Quant: quant, Negated: negated}
+		if def, ok := p.defs[varName]; ok {
+			pred, err := p.compilePredicate(varName, def)
+			if err != nil {
+				return st, err
+			}
+			st.Pred = pred
+		}
+		return st, nil
+	}
+	for _, el := range p.elems {
+		if el.set != nil {
+			set := make([]pattern.Step, 0, len(el.set))
+			for _, m := range el.set {
+				st, err := mkStep(m, pattern.One, false)
+				if err != nil {
+					return nil, err
+				}
+				set = append(set, st)
+			}
+			pat.Elements = append(pat.Elements, pattern.Element{Kind: pattern.ElemSet, Set: set})
+			continue
+		}
+		quant := pattern.One
+		if el.kleene {
+			quant = pattern.OneOrMore
+		}
+		st, err := mkStep(el.name, quant, el.negated)
+		if err != nil {
+			return nil, err
+		}
+		pat.Elements = append(pat.Elements, pattern.Element{Kind: pattern.ElemStep, Step: st})
+	}
+	return pat, nil
+}

@@ -1,0 +1,247 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/seqengine"
+)
+
+func mustParse(t *testing.T, src string) (*pattern.Query, *event.Registry) {
+	t.Helper()
+	reg := event.NewRegistry()
+	q, err := Parse(src, reg)
+	if err != nil {
+		t.Fatalf("Parse failed: %v", err)
+	}
+	return q, reg
+}
+
+func TestParseQ1Shape(t *testing.T) {
+	src := `
+		QUERY Q1
+		PATTERN (MLE RE1 RE2)
+		DEFINE MLE AS (MLE.symbol IN ('BLUE00','BLUE01') AND MLE.close > MLE.open),
+		       RE1 AS RE1.close > RE1.open,
+		       RE2 AS RE2.close > RE2.open
+		WITHIN 8000 EVENTS FROM MLE
+		CONSUME (MLE RE1 RE2)
+	`
+	q, reg := mustParse(t, src)
+	if q.Name != "Q1" {
+		t.Errorf("name = %q, want Q1", q.Name)
+	}
+	if got := len(q.Pattern.Elements); got != 3 {
+		t.Fatalf("elements = %d, want 3", got)
+	}
+	if q.Window.StartKind != pattern.StartOnMatch || q.Window.EndKind != pattern.EndCount || q.Window.Count != 8000 {
+		t.Errorf("window spec = %+v, want on-match / count 8000", q.Window)
+	}
+	if q.Window.StartPred == nil {
+		t.Fatal("window start predicate missing")
+	}
+	if !q.Pattern.HasConsumption() {
+		t.Error("CONSUME clause not applied")
+	}
+	// The MLE predicate must hold only for rising blue chips.
+	openIdx, _ := reg.LookupField("open")
+	closeIdx, _ := reg.LookupField("close")
+	blue, _ := reg.LookupType("BLUE00")
+	other := reg.TypeID("XYZ")
+	mk := func(ty event.Type, open, close float64) *event.Event {
+		f := make([]float64, 2)
+		f[openIdx] = open
+		f[closeIdx] = close
+		return &event.Event{Type: ty, Fields: f}
+	}
+	if !q.Window.StartPred(mk(blue, 10, 11)) {
+		t.Error("rising blue chip should open a window")
+	}
+	if q.Window.StartPred(mk(blue, 11, 10)) {
+		t.Error("falling blue chip must not open a window")
+	}
+	if q.Window.StartPred(mk(other, 10, 11)) {
+		t.Error("non-leader must not open a window")
+	}
+}
+
+func TestParseKleeneAndSlide(t *testing.T) {
+	src := `
+		PATTERN (A B+ C)
+		DEFINE A AS A.close < 10,
+		       B AS (B.close > 10 AND B.close < 20),
+		       C AS C.close > 20
+		WITHIN 500 EVENTS FROM EVERY 100 EVENTS
+		CONSUME ALL
+	`
+	q, _ := mustParse(t, src)
+	if q.Pattern.Elements[1].Step.Quant != pattern.OneOrMore {
+		t.Error("B+ should be Kleene-plus")
+	}
+	if q.Window.StartKind != pattern.StartEvery || q.Window.Every != 100 {
+		t.Errorf("window = %+v, want StartEvery 100", q.Window)
+	}
+	if q.Pattern.MinLength() != 3 {
+		t.Errorf("min length = %d, want 3", q.Pattern.MinLength())
+	}
+}
+
+func TestParseSetAndDuration(t *testing.T) {
+	src := `
+		PATTERN (A SET(X1 X2 X3))
+		DEFINE A AS A.symbol = 'S0000',
+		       X1 AS X1.symbol = 'S0001',
+		       X2 AS X2.symbol = 'S0002',
+		       X3 AS X3.symbol = 'S0003'
+		WITHIN 1 min FROM A
+		CONSUME (A X1 X2 X3)
+	`
+	q, _ := mustParse(t, src)
+	if q.Window.EndKind != pattern.EndDuration || q.Window.Duration != time.Minute {
+		t.Errorf("window = %+v, want 1-minute duration", q.Window)
+	}
+	if q.Pattern.Elements[1].Kind != pattern.ElemSet || len(q.Pattern.Elements[1].Set) != 3 {
+		t.Fatalf("second element should be a 3-member set, got %+v", q.Pattern.Elements[1])
+	}
+	if q.Pattern.MinLength() != 4 {
+		t.Errorf("min length = %d, want 4", q.Pattern.MinLength())
+	}
+}
+
+func TestParseNegationAndPolicies(t *testing.T) {
+	src := `
+		PATTERN (A !C B)
+		DEFINE A AS A.symbol = 'A', B AS B.symbol = 'B', C AS C.symbol = 'C'
+		WITHIN 100 EVENTS FROM A
+		CONSUME (B)
+		ON MATCH RESTART LEADER
+		RUNS 2
+	`
+	q, _ := mustParse(t, src)
+	if !q.Pattern.Elements[1].Step.Negated {
+		t.Error("!C should be negated")
+	}
+	if q.Pattern.Selection.OnCompletion != pattern.RestartAfterLeader {
+		t.Errorf("OnCompletion = %v, want restart-after-leader", q.Pattern.Selection.OnCompletion)
+	}
+	if q.Pattern.Selection.MaxConcurrentRuns != 2 {
+		t.Errorf("MaxConcurrentRuns = %d, want 2", q.Pattern.Selection.MaxConcurrentRuns)
+	}
+	if q.Pattern.Elements[2].Step.Consume != true || q.Pattern.Elements[0].Step.Consume {
+		t.Error("CONSUME (B) should flag only B")
+	}
+}
+
+func TestParseCrossVariablePredicate(t *testing.T) {
+	// The paper's QE computes Factor = B.change / A.change; here we gate B
+	// on a relation to the bound A.
+	src := `
+		PATTERN (A B)
+		DEFINE A AS A.symbol = 'A',
+		       B AS (B.symbol = 'B' AND B.x > A.x)
+		WITHIN 100 EVENTS FROM A
+	`
+	q, reg := mustParse(t, src)
+	eng, err := seqengine.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := reg.LookupType("A")
+	tb, _ := reg.LookupType("B")
+	xIdx, _ := reg.LookupField("x")
+	mk := func(ty event.Type, x float64) event.Event {
+		f := make([]float64, xIdx+1)
+		f[xIdx] = x
+		return event.Event{Type: ty, Fields: f}
+	}
+	out, _, err := eng.Run([]event.Event{
+		mk(ta, 5), mk(tb, 3), mk(tb, 7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B with x=3 fails (3 < 5); B with x=7 matches.
+	if len(out) != 1 || out[0].Key() != "query@0:0,2" {
+		t.Fatalf("got %v, want [query@0:0,2]", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"empty pattern", `PATTERN () WITHIN 10 EVENTS`, "empty PATTERN"},
+		{"unknown define", `PATTERN (A) DEFINE B AS B.x > 1 WITHIN 10 EVENTS FROM A`, "unknown pattern variable"},
+		{"dup variable", `PATTERN (A A) WITHIN 10 EVENTS FROM A`, "duplicate pattern variable"},
+		{"later reference", `PATTERN (A B) DEFINE A AS A.x > B.x WITHIN 10 EVENTS FROM A`, "later step"},
+		{"bad consume", `PATTERN (A B) WITHIN 10 EVENTS FROM A CONSUME (Z)`, "unknown pattern variable"},
+		{"type mismatch", `PATTERN (A) DEFINE A AS A.symbol > 3 WITHIN 10 EVENTS FROM A`, "cannot compare"},
+		{"sym order", `PATTERN (A) DEFINE A AS A.symbol < 'X' WITHIN 10 EVENTS FROM A`, "only = and !="},
+		{"bool arith", `PATTERN (A) DEFINE A AS (A.x > 1) + 2 WITHIN 10 EVENTS FROM A`, "arithmetic"},
+		{"trailing", `PATTERN (A) WITHIN 10 EVENTS FROM A garbage`, "trailing"},
+		{"missing within", `PATTERN (A)`, "expected WITHIN"},
+		{"unterminated string", `PATTERN (A) DEFINE A AS A.symbol = 'x`, "unterminated"},
+		{"leading negation", `PATTERN (!A B) WITHIN 10 EVENTS FROM B`, "negated"},
+	}
+	reg := event.NewRegistry()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src, reg)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tc.src, tc.wantSub)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(tc.wantSub)) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestParsedQueryRuns runs a parsed query end to end through the
+// sequential engine.
+func TestParsedQueryRuns(t *testing.T) {
+	src := `
+		QUERY rising
+		PATTERN (MLE RE1 RE2)
+		DEFINE MLE AS (MLE.symbol = 'LEAD' AND MLE.close > MLE.open),
+		       RE1 AS RE1.close > RE1.open,
+		       RE2 AS RE2.close > RE2.open
+		WITHIN 10 EVENTS FROM MLE
+		CONSUME ALL
+	`
+	q, reg := mustParse(t, src)
+	eng, err := seqengine.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead, _ := reg.LookupType("LEAD")
+	other := reg.TypeID("OTHER")
+	openIdx, _ := reg.LookupField("open")
+	closeIdx, _ := reg.LookupField("close")
+	nf := max(openIdx, closeIdx) + 1
+	mk := func(ty event.Type, open, close float64) event.Event {
+		f := make([]float64, nf)
+		f[openIdx] = open
+		f[closeIdx] = close
+		return event.Event{Type: ty, Fields: f}
+	}
+	out, stats, err := eng.Run([]event.Event{
+		mk(lead, 10, 11),  // MLE rising: opens window, starts run
+		mk(other, 5, 4),   // falling: ignored
+		mk(other, 7, 8),   // rising: RE1
+		mk(other, 3, 3.5), // rising: RE2 → match
+		mk(other, 1, 2),   // rising, but detection stopped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Key() != "rising@0:0,2,3" {
+		t.Fatalf("got %v, want [rising@0:0,2,3]", out)
+	}
+	if stats.EventsConsumed != 3 {
+		t.Errorf("consumed %d events, want 3", stats.EventsConsumed)
+	}
+}

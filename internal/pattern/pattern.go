@@ -1,0 +1,504 @@
+// Package pattern defines the query model: pattern ASTs (sequences,
+// Kleene-plus, unordered sets, negations), predicates over event payloads
+// and earlier bindings, selection policies, consumption policies (the
+// CONSUME clause of the paper's queries, Fig. 9) and window specifications
+// (`WITHIN ... FROM ...`).
+//
+// The model covers the paper's example query Q_E (§2.1) and evaluation
+// queries Q1–Q3 (§4.1), and is the common input of the SPECTRE runtime,
+// the sequential reference engine and the T-REX-style baseline.
+package pattern
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/event"
+)
+
+// Binder exposes the events already bound by a partial match so that
+// predicates can compare the candidate event against earlier steps (e.g.
+// `B.x > A.x`). Steps are addressed by their flat index (see
+// Pattern.FlatSteps).
+type Binder interface {
+	// Bound returns the events bound so far to the flat step index, in
+	// binding order. It returns nil when the step has no binding yet.
+	Bound(step int) []*event.Event
+}
+
+// Predicate decides whether a candidate event matches a step given the
+// bindings accumulated by the partial match. A nil Predicate matches every
+// event (subject to the step's type filter).
+type Predicate func(ev *event.Event, b Binder) bool
+
+// StartPredicate decides whether an event opens a new window. It sees no
+// bindings because windows are created before pattern detection.
+type StartPredicate func(ev *event.Event) bool
+
+// Quantifier describes how many events a step binds.
+type Quantifier int
+
+const (
+	// One binds exactly one event.
+	One Quantifier = iota + 1
+	// OneOrMore is the Kleene-plus of the paper's Q2: one event is
+	// required, further contiguous matches extend the binding without
+	// advancing pattern completion.
+	OneOrMore
+)
+
+// String implements fmt.Stringer.
+func (q Quantifier) String() string {
+	switch q {
+	case One:
+		return "one"
+	case OneOrMore:
+		return "one-or-more"
+	default:
+		return fmt.Sprintf("Quantifier(%d)", int(q))
+	}
+}
+
+// Step is a single pattern variable: a type filter, an optional payload
+// predicate, a quantifier, and flags for negation (the event must NOT
+// occur) and consumption (the CONSUME clause lists this variable).
+type Step struct {
+	// Name is the pattern-variable name (e.g. "MLE", "B").
+	Name string
+	// Types restricts matching to the listed event types; empty means any
+	// type.
+	Types []event.Type
+	// Pred is the payload predicate; nil accepts every event that passes
+	// the type filter.
+	Pred Predicate
+	// Quant is the step quantifier; the zero value is treated as One.
+	Quant Quantifier
+	// Negated marks a negation: if a matching event occurs while the
+	// negation is active, the partial match is abandoned.
+	Negated bool
+	// Consume marks the step as listed in the CONSUME clause: events bound
+	// to it are consumed when the match completes.
+	Consume bool
+}
+
+// MatchesType reports whether the step's type filter accepts t.
+func (s *Step) MatchesType(t event.Type) bool {
+	if len(s.Types) == 0 {
+		return true
+	}
+	for _, want := range s.Types {
+		if want == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Matches reports whether the step accepts ev under bindings b.
+func (s *Step) Matches(ev *event.Event, b Binder) bool {
+	if !s.MatchesType(ev.Type) {
+		return false
+	}
+	if s.Pred == nil {
+		return true
+	}
+	return s.Pred(ev, b)
+}
+
+// ElemKind discriminates pattern elements.
+type ElemKind int
+
+const (
+	// ElemStep is a single (possibly Kleene) step.
+	ElemStep ElemKind = iota + 1
+	// ElemSet is an unordered conjunction: every member step must bind one
+	// event, in any order (the paper's Q3 `SET(X1 ... Xn)`).
+	ElemSet
+)
+
+// Element is one position of the pattern sequence.
+type Element struct {
+	Kind ElemKind
+	// Step is set when Kind == ElemStep.
+	Step Step
+	// Set is set when Kind == ElemSet. Members must be quantifier One and
+	// non-negated.
+	Set []Step
+}
+
+// MinLength returns the minimum number of events the element binds.
+func (e *Element) MinLength() int {
+	switch e.Kind {
+	case ElemStep:
+		if e.Step.Negated {
+			return 0
+		}
+		return 1 // One and OneOrMore both require at least one event
+	case ElemSet:
+		return len(e.Set)
+	default:
+		return 0
+	}
+}
+
+// CompletionBehavior selects what a run does after emitting a match.
+type CompletionBehavior int
+
+const (
+	// StopAfterMatch ends detection for the window after the first match
+	// (paper default for Q1–Q3: one consumption group per window version).
+	StopAfterMatch CompletionBehavior = iota + 1
+	// RestartAfterLeader keeps the binding of the first element and resets
+	// the rest, so the same leader correlates with further events ("first
+	// A, each B" in the paper's Q_E example).
+	RestartAfterLeader
+	// RestartFresh clears the whole run so a new leader can start a new
+	// match in the same window.
+	RestartFresh
+)
+
+// String implements fmt.Stringer.
+func (c CompletionBehavior) String() string {
+	switch c {
+	case StopAfterMatch:
+		return "stop"
+	case RestartAfterLeader:
+		return "restart-after-leader"
+	case RestartFresh:
+		return "restart-fresh"
+	default:
+		return fmt.Sprintf("CompletionBehavior(%d)", int(c))
+	}
+}
+
+// SelectionPolicy bounds concurrent partial matches in a window and defines
+// post-completion behaviour. The paper's evaluations use a single
+// consumption group per window version, i.e. MaxConcurrentRuns = 1.
+type SelectionPolicy struct {
+	// MaxConcurrentRuns caps simultaneously open partial matches per
+	// window version; 0 means unlimited.
+	MaxConcurrentRuns int
+	// OnCompletion selects the post-match behaviour; the zero value is
+	// treated as StopAfterMatch.
+	OnCompletion CompletionBehavior
+}
+
+// Pattern is a complete pattern specification.
+type Pattern struct {
+	// Name labels detections produced from this pattern.
+	Name string
+	// Elements is the ordered element sequence.
+	Elements []Element
+	// Selection is the selection policy.
+	Selection SelectionPolicy
+}
+
+// FlatStep is a step together with its position in the pattern.
+type FlatStep struct {
+	Elem   int // element index
+	Member int // member index within a set element, -1 for step elements
+	Step   *Step
+}
+
+// FlatSteps returns all steps (including negated ones) in pattern order.
+// The returned index space is the one Binder and parser-compiled
+// predicates use.
+func (p *Pattern) FlatSteps() []FlatStep {
+	var out []FlatStep
+	for ei := range p.Elements {
+		el := &p.Elements[ei]
+		switch el.Kind {
+		case ElemStep:
+			out = append(out, FlatStep{Elem: ei, Member: -1, Step: &el.Step})
+		case ElemSet:
+			for mi := range el.Set {
+				out = append(out, FlatStep{Elem: ei, Member: mi, Step: &el.Set[mi]})
+			}
+		}
+	}
+	return out
+}
+
+// StepIndex returns the flat index of the step named name, or -1.
+func (p *Pattern) StepIndex(name string) int {
+	for i, fs := range p.FlatSteps() {
+		if fs.Step.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MinLength returns the minimum number of events a complete match binds —
+// the δ_max of the Markov completion model.
+func (p *Pattern) MinLength() int {
+	var n int
+	for i := range p.Elements {
+		n += p.Elements[i].MinLength()
+	}
+	return n
+}
+
+// ConsumeAll marks every non-negated step as consumed (CONSUME of all
+// pattern variables, as in Q1–Q3).
+func (p *Pattern) ConsumeAll() {
+	for ei := range p.Elements {
+		el := &p.Elements[ei]
+		if el.Kind == ElemStep {
+			if !el.Step.Negated {
+				el.Step.Consume = true
+			}
+			continue
+		}
+		for mi := range el.Set {
+			el.Set[mi].Consume = true
+		}
+	}
+}
+
+// ConsumeNone clears every consume flag (no consumption policy).
+func (p *Pattern) ConsumeNone() {
+	for ei := range p.Elements {
+		el := &p.Elements[ei]
+		if el.Kind == ElemStep {
+			el.Step.Consume = false
+			continue
+		}
+		for mi := range el.Set {
+			el.Set[mi].Consume = false
+		}
+	}
+}
+
+// ConsumeSteps marks exactly the named steps as consumed ("selected B" in
+// the paper's Fig. 1(b) is ConsumeSteps("B")). Unknown names are reported
+// as an error.
+func (p *Pattern) ConsumeSteps(names ...string) error {
+	p.ConsumeNone()
+	for _, name := range names {
+		found := false
+		for ei := range p.Elements {
+			el := &p.Elements[ei]
+			if el.Kind == ElemStep {
+				if el.Step.Name == name {
+					if el.Step.Negated {
+						return fmt.Errorf("pattern %q: cannot consume negated step %q", p.Name, name)
+					}
+					el.Step.Consume = true
+					found = true
+				}
+				continue
+			}
+			for mi := range el.Set {
+				if el.Set[mi].Name == name {
+					el.Set[mi].Consume = true
+					found = true
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("pattern %q: CONSUME references unknown step %q", p.Name, name)
+		}
+	}
+	return nil
+}
+
+// HasConsumption reports whether any step is consume-flagged.
+func (p *Pattern) HasConsumption() bool {
+	for _, fs := range p.FlatSteps() {
+		if fs.Step.Consume {
+			return true
+		}
+	}
+	return false
+}
+
+// Validation errors.
+var (
+	ErrEmptyPattern    = errors.New("pattern: no elements")
+	ErrBadElement      = errors.New("pattern: invalid element")
+	ErrSetTooLarge     = errors.New("pattern: set element exceeds 64 members")
+	ErrLeadingNegation = errors.New("pattern: pattern cannot start with a negated step")
+)
+
+// Validate checks structural constraints. It normalizes zero-value
+// quantifiers to One and zero-value completion behaviour to StopAfterMatch.
+func (p *Pattern) Validate() error {
+	if len(p.Elements) == 0 {
+		return fmt.Errorf("%w (pattern %q)", ErrEmptyPattern, p.Name)
+	}
+	if p.Selection.OnCompletion == 0 {
+		p.Selection.OnCompletion = StopAfterMatch
+	}
+	positives := 0
+	for ei := range p.Elements {
+		el := &p.Elements[ei]
+		switch el.Kind {
+		case ElemStep:
+			if el.Step.Quant == 0 {
+				el.Step.Quant = One
+			}
+			if el.Step.Negated {
+				if ei == 0 {
+					return fmt.Errorf("%w (pattern %q)", ErrLeadingNegation, p.Name)
+				}
+				if el.Step.Quant != One {
+					return fmt.Errorf("%w: negated step %q must have quantifier one", ErrBadElement, el.Step.Name)
+				}
+			} else {
+				positives++
+			}
+		case ElemSet:
+			if len(el.Set) == 0 {
+				return fmt.Errorf("%w: empty set element in pattern %q", ErrBadElement, p.Name)
+			}
+			if len(el.Set) > 64 {
+				return fmt.Errorf("%w (pattern %q, %d members)", ErrSetTooLarge, p.Name, len(el.Set))
+			}
+			for mi := range el.Set {
+				m := &el.Set[mi]
+				if m.Quant == 0 {
+					m.Quant = One
+				}
+				if m.Quant != One || m.Negated {
+					return fmt.Errorf("%w: set member %q must be a plain step", ErrBadElement, m.Name)
+				}
+			}
+			positives++
+		default:
+			return fmt.Errorf("%w: element %d of pattern %q has kind %d", ErrBadElement, ei, p.Name, el.Kind)
+		}
+	}
+	if positives == 0 {
+		return fmt.Errorf("%w: pattern %q has only negated steps", ErrBadElement, p.Name)
+	}
+	if p.Selection.OnCompletion == RestartAfterLeader {
+		if p.Elements[0].Kind != ElemStep || p.Elements[0].Step.Quant != One {
+			return fmt.Errorf("%w: restart-after-leader requires a single-event leading step", ErrBadElement)
+		}
+		if positives < 2 {
+			return fmt.Errorf("%w: restart-after-leader requires at least two positive elements", ErrBadElement)
+		}
+	}
+	return nil
+}
+
+// Seq is a convenience constructor for a plain sequence pattern.
+func Seq(name string, steps ...Step) *Pattern {
+	elems := make([]Element, 0, len(steps))
+	for _, s := range steps {
+		elems = append(elems, Element{Kind: ElemStep, Step: s})
+	}
+	return &Pattern{Name: name, Elements: elems}
+}
+
+// StartKind discriminates how windows open.
+type StartKind int
+
+const (
+	// StartEvery opens a window every Every events (count-based slide,
+	// `FROM every s events`).
+	StartEvery StartKind = iota + 1
+	// StartOnMatch opens a window whenever an event passes the start
+	// filter (`FROM MLE` in Q1; "whenever an A event occurs" in Q_E).
+	StartOnMatch
+)
+
+// EndKind discriminates how windows close.
+type EndKind int
+
+const (
+	// EndCount closes the window after Count events (inclusive of the
+	// start event): `WITHIN ws events`.
+	EndCount EndKind = iota + 1
+	// EndDuration closes the window Duration after the start event's
+	// timestamp: `WITHIN 1 min`.
+	EndDuration
+)
+
+// WindowSpec describes window formation. Windows are contiguous ranges of
+// the raw input stream; the splitter fixes their boundaries at split time
+// (consumption affects detection inside windows, never their extents).
+type WindowSpec struct {
+	StartKind StartKind
+	// Every is the slide in events for StartEvery.
+	Every int
+	// StartTypes/StartPred filter the opening event for StartOnMatch;
+	// empty types match any type, nil predicate accepts everything.
+	StartTypes []event.Type
+	StartPred  StartPredicate
+
+	EndKind EndKind
+	// Count is the window size in events for EndCount.
+	Count int
+	// Duration is the window time scope for EndDuration.
+	Duration time.Duration
+}
+
+// StartMatches reports whether ev opens a window under StartOnMatch.
+func (w *WindowSpec) StartMatches(ev *event.Event) bool {
+	if len(w.StartTypes) > 0 {
+		ok := false
+		for _, t := range w.StartTypes {
+			if t == ev.Type {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if w.StartPred == nil {
+		return true
+	}
+	return w.StartPred(ev)
+}
+
+// Validate checks the window specification.
+func (w *WindowSpec) Validate() error {
+	switch w.StartKind {
+	case StartEvery:
+		if w.Every <= 0 {
+			return fmt.Errorf("window: StartEvery requires positive slide, got %d", w.Every)
+		}
+	case StartOnMatch:
+	default:
+		return fmt.Errorf("window: invalid start kind %d", w.StartKind)
+	}
+	switch w.EndKind {
+	case EndCount:
+		if w.Count <= 0 {
+			return fmt.Errorf("window: EndCount requires positive size, got %d", w.Count)
+		}
+	case EndDuration:
+		if w.Duration <= 0 {
+			return fmt.Errorf("window: EndDuration requires positive duration, got %v", w.Duration)
+		}
+	default:
+		return fmt.Errorf("window: invalid end kind %d", w.EndKind)
+	}
+	return nil
+}
+
+// Query bundles a pattern with its window specification.
+type Query struct {
+	Name    string
+	Pattern Pattern
+	Window  WindowSpec
+}
+
+// Validate checks the query.
+func (q *Query) Validate() error {
+	if q.Name == "" {
+		q.Name = q.Pattern.Name
+	}
+	if q.Pattern.Name == "" {
+		q.Pattern.Name = q.Name
+	}
+	if err := q.Pattern.Validate(); err != nil {
+		return err
+	}
+	return q.Window.Validate()
+}

@@ -1,0 +1,191 @@
+package pattern
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/event"
+)
+
+func twoStep() *Pattern {
+	return Seq("p",
+		Step{Name: "A", Types: []event.Type{1}},
+		Step{Name: "B", Types: []event.Type{2}},
+	)
+}
+
+func TestValidateNormalizes(t *testing.T) {
+	p := twoStep()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Elements[0].Step.Quant != One {
+		t.Fatal("zero quantifier must normalize to One")
+	}
+	if p.Selection.OnCompletion != StopAfterMatch {
+		t.Fatal("zero completion behaviour must normalize to StopAfterMatch")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Pattern
+		want error
+	}{
+		{"empty", &Pattern{Name: "e"}, ErrEmptyPattern},
+		{"leading negation", &Pattern{Name: "n", Elements: []Element{
+			{Kind: ElemStep, Step: Step{Name: "X", Negated: true}},
+			{Kind: ElemStep, Step: Step{Name: "B"}},
+		}}, ErrLeadingNegation},
+		{"empty set", &Pattern{Name: "s", Elements: []Element{
+			{Kind: ElemSet},
+		}}, ErrBadElement},
+		{"set too large", &Pattern{Name: "big", Elements: []Element{
+			{Kind: ElemSet, Set: make([]Step, 65)},
+		}}, ErrSetTooLarge},
+		{"only negations", &Pattern{Name: "neg", Elements: []Element{
+			{Kind: ElemStep, Step: Step{Name: "A"}},
+		}, Selection: SelectionPolicy{OnCompletion: RestartAfterLeader}}, ErrBadElement},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestConsumeHelpers(t *testing.T) {
+	p := twoStep()
+	p.ConsumeAll()
+	if !p.Elements[0].Step.Consume || !p.Elements[1].Step.Consume {
+		t.Fatal("ConsumeAll must flag every step")
+	}
+	if !p.HasConsumption() {
+		t.Fatal("HasConsumption after ConsumeAll")
+	}
+	p.ConsumeNone()
+	if p.HasConsumption() {
+		t.Fatal("ConsumeNone must clear flags")
+	}
+	if err := p.ConsumeSteps("B"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Elements[0].Step.Consume || !p.Elements[1].Step.Consume {
+		t.Fatal("ConsumeSteps(B) must flag only B")
+	}
+	if err := p.ConsumeSteps("Z"); err == nil {
+		t.Fatal("unknown step must error")
+	}
+	neg := &Pattern{Name: "n", Elements: []Element{
+		{Kind: ElemStep, Step: Step{Name: "A"}},
+		{Kind: ElemStep, Step: Step{Name: "X", Negated: true}},
+		{Kind: ElemStep, Step: Step{Name: "B"}},
+	}}
+	if err := neg.ConsumeSteps("X"); err == nil {
+		t.Fatal("consuming a negated step must error")
+	}
+	neg.ConsumeAll()
+	if neg.Elements[1].Step.Consume {
+		t.Fatal("ConsumeAll must skip negated steps")
+	}
+}
+
+func TestFlatStepsAndIndex(t *testing.T) {
+	p := &Pattern{Name: "f", Elements: []Element{
+		{Kind: ElemStep, Step: Step{Name: "A"}},
+		{Kind: ElemSet, Set: []Step{{Name: "X"}, {Name: "Y"}}},
+		{Kind: ElemStep, Step: Step{Name: "B"}},
+	}}
+	fs := p.FlatSteps()
+	if len(fs) != 4 {
+		t.Fatalf("flat steps = %d, want 4", len(fs))
+	}
+	if p.StepIndex("Y") != 2 || p.StepIndex("B") != 3 || p.StepIndex("nope") != -1 {
+		t.Fatal("StepIndex positions")
+	}
+	if p.MinLength() != 4 {
+		t.Fatalf("min length = %d, want 4", p.MinLength())
+	}
+}
+
+func TestStepMatches(t *testing.T) {
+	s := Step{Types: []event.Type{3}, Pred: func(ev *event.Event, _ Binder) bool {
+		return ev.TS > 10
+	}}
+	if s.Matches(&event.Event{Type: 2, TS: 100}, nil) {
+		t.Fatal("type filter must reject")
+	}
+	if s.Matches(&event.Event{Type: 3, TS: 5}, nil) {
+		t.Fatal("predicate must reject")
+	}
+	if !s.Matches(&event.Event{Type: 3, TS: 100}, nil) {
+		t.Fatal("must accept")
+	}
+	open := Step{}
+	if !open.MatchesType(99) {
+		t.Fatal("empty type filter accepts everything")
+	}
+}
+
+func TestWindowSpecValidate(t *testing.T) {
+	good := []WindowSpec{
+		{StartKind: StartEvery, Every: 10, EndKind: EndCount, Count: 100},
+		{StartKind: StartOnMatch, EndKind: EndDuration, Duration: time.Second},
+	}
+	for i, w := range good {
+		if err := w.Validate(); err != nil {
+			t.Fatalf("good spec %d rejected: %v", i, err)
+		}
+	}
+	bad := []WindowSpec{
+		{StartKind: StartEvery, Every: 0, EndKind: EndCount, Count: 1},
+		{StartKind: StartEvery, Every: 1, EndKind: EndCount, Count: 0},
+		{StartKind: StartOnMatch, EndKind: EndDuration, Duration: 0},
+		{EndKind: EndCount, Count: 1},
+		{StartKind: StartEvery, Every: 1},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestStartMatches(t *testing.T) {
+	w := WindowSpec{
+		StartKind:  StartOnMatch,
+		StartTypes: []event.Type{1},
+		StartPred:  func(ev *event.Event) bool { return ev.TS > 0 },
+	}
+	if w.StartMatches(&event.Event{Type: 2, TS: 5}) {
+		t.Fatal("wrong type must not open")
+	}
+	if w.StartMatches(&event.Event{Type: 1, TS: 0}) {
+		t.Fatal("failing predicate must not open")
+	}
+	if !w.StartMatches(&event.Event{Type: 1, TS: 5}) {
+		t.Fatal("must open")
+	}
+}
+
+func TestQueryValidatePropagatesNames(t *testing.T) {
+	q := &Query{
+		Pattern: *twoStep(),
+		Window:  WindowSpec{StartKind: StartEvery, Every: 1, EndKind: EndCount, Count: 10},
+	}
+	q.Pattern.Name = "pat"
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "pat" {
+		t.Fatalf("query name = %q, want pattern name", q.Name)
+	}
+}

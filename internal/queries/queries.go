@@ -1,0 +1,281 @@
+// Package queries provides programmatic builders for the paper's queries:
+// the introductory example Q_E (§2.1, Figure 1) and the evaluation queries
+// Q1–Q3 (§4.1, Figure 9). Each builder returns a pattern.Query ready for
+// any of the engines (SPECTRE runtime, sequential reference, T-REX-style
+// baseline).
+package queries
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/dataset"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+)
+
+// QEConsumption selects the consumption policy variant of Q_E.
+type QEConsumption int
+
+const (
+	// QEConsumeNone reproduces Figure 1(a): no consumption, 5 complex
+	// events in the example stream.
+	QEConsumeNone QEConsumption = iota + 1
+	// QEConsumeSelectedB reproduces Figure 1(b): selected events of type B
+	// are consumed, 3 complex events in the example stream.
+	QEConsumeSelectedB
+)
+
+// QE builds the introductory example query (Tesla notation in §2.1):
+//
+//	define Influence(Factor)
+//	from   B() and A() within 1min from B
+//
+// A window of scope 1 minute opens on every A event; the first A in a
+// window correlates with each B (selection policy "first A, each B").
+func QE(reg *event.Registry, cp QEConsumption) (*pattern.Query, error) {
+	typeA := reg.TypeID("A")
+	typeB := reg.TypeID("B")
+	p := pattern.Seq("QE",
+		pattern.Step{Name: "A", Types: []event.Type{typeA}},
+		pattern.Step{Name: "B", Types: []event.Type{typeB}},
+	)
+	p.Selection = pattern.SelectionPolicy{
+		MaxConcurrentRuns: 1,
+		OnCompletion:      pattern.RestartAfterLeader,
+	}
+	switch cp {
+	case QEConsumeNone:
+		p.ConsumeNone()
+	case QEConsumeSelectedB:
+		if err := p.ConsumeSteps("B"); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("queries: unknown QE consumption variant %d", cp)
+	}
+	q := &pattern.Query{
+		Name:    "QE",
+		Pattern: *p,
+		Window: pattern.WindowSpec{
+			StartKind:  pattern.StartOnMatch,
+			StartTypes: []event.Type{typeA},
+			EndKind:    pattern.EndDuration,
+			Duration:   time.Minute,
+		},
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Q1Config parameterizes Q1 (Figure 9, left).
+type Q1Config struct {
+	// Q is the pattern size q: the number of rising (or falling) events
+	// required after the leading event.
+	Q int
+	// WindowSize is ws in events (paper: 8000).
+	WindowSize int
+	// Leaders is the number of leading blue-chip symbols (paper: 16).
+	Leaders int
+	// Falling selects the falling variant; default is the rising one (the
+	// paper's listing).
+	Falling bool
+}
+
+// Q1 builds the blue-chip correlation query: a rising quote of a leading
+// symbol (MLE) followed by the first q rising quotes of any symbol within
+// ws events from the MLE; all constituents consumed. The pattern has a
+// fixed length of q+1: every matching event moves detection to a higher
+// completion stage.
+func Q1(reg *event.Registry, cfg Q1Config) (*pattern.Query, error) {
+	if cfg.Q <= 0 {
+		return nil, fmt.Errorf("queries: Q1 requires positive q, got %d", cfg.Q)
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 8000
+	}
+	if cfg.Leaders <= 0 {
+		cfg.Leaders = 16
+	}
+	openIdx, closeIdx := dataset.Fields(reg)
+	rising := func(ev *event.Event, _ pattern.Binder) bool {
+		return ev.Field(closeIdx) > ev.Field(openIdx)
+	}
+	falling := func(ev *event.Event, _ pattern.Binder) bool {
+		return ev.Field(closeIdx) < ev.Field(openIdx)
+	}
+	move := rising
+	if cfg.Falling {
+		move = falling
+	}
+
+	leaderTypes := make([]event.Type, cfg.Leaders)
+	for i := 0; i < cfg.Leaders; i++ {
+		leaderTypes[i] = reg.TypeID(dataset.LeaderSymbol(i))
+	}
+
+	steps := make([]pattern.Step, 0, cfg.Q+1)
+	steps = append(steps, pattern.Step{Name: "MLE", Types: leaderTypes, Pred: move})
+	for i := 1; i <= cfg.Q; i++ {
+		steps = append(steps, pattern.Step{Name: fmt.Sprintf("RE%d", i), Pred: move})
+	}
+	p := pattern.Seq("Q1", steps...)
+	p.Selection = pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch}
+	p.ConsumeAll()
+
+	q := &pattern.Query{
+		Name:    "Q1",
+		Pattern: *p,
+		Window: pattern.WindowSpec{
+			StartKind:  pattern.StartOnMatch,
+			StartTypes: leaderTypes,
+			StartPred:  func(ev *event.Event) bool { return move(ev, nil) },
+			EndKind:    pattern.EndCount,
+			Count:      cfg.WindowSize,
+		},
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Q2Config parameterizes Q2 (Figure 9, right; query 9 of Balkesen and
+// Tatbul, extended by the paper with a window and a consumption policy).
+type Q2Config struct {
+	// WindowSize is ws in events (paper: 8000).
+	WindowSize int
+	// Slide is s in events (paper: 1000).
+	Slide int
+	// LowerLimit and UpperLimit are the price bands; they control the
+	// average pattern size (paper §4.2.1).
+	LowerLimit, UpperLimit float64
+}
+
+// Q2 builds the price-band oscillation query
+// `PATTERN (A B+ C D+ E F+ G H+ I J+ K L+ M)`: the close price starts
+// below the lower limit, wanders through the band one or more times, above
+// the upper limit, and so forth — an M/W-shaped chart pattern. Matching
+// events might not advance completion (the Kleene-plus absorbs band
+// events), so the pattern has variable length. All constituents consumed.
+func Q2(reg *event.Registry, cfg Q2Config) (*pattern.Query, error) {
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 8000
+	}
+	if cfg.Slide <= 0 {
+		cfg.Slide = 1000
+	}
+	if cfg.UpperLimit <= cfg.LowerLimit {
+		return nil, fmt.Errorf("queries: Q2 needs LowerLimit < UpperLimit, got %g ≥ %g", cfg.LowerLimit, cfg.UpperLimit)
+	}
+	_, closeIdx := dataset.Fields(reg)
+	lo, hi := cfg.LowerLimit, cfg.UpperLimit
+	below := func(ev *event.Event, _ pattern.Binder) bool { return ev.Field(closeIdx) < lo }
+	within := func(ev *event.Event, _ pattern.Binder) bool {
+		c := ev.Field(closeIdx)
+		return c > lo && c < hi
+	}
+	above := func(ev *event.Event, _ pattern.Binder) bool { return ev.Field(closeIdx) > hi }
+
+	names := []string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M"}
+	steps := make([]pattern.Step, 0, len(names))
+	for i, n := range names {
+		st := pattern.Step{Name: n}
+		switch {
+		case i%2 == 1: // B D F H J L — the band steps, Kleene-plus
+			st.Pred = within
+			st.Quant = pattern.OneOrMore
+		case i%4 == 0: // A E I M — below the lower limit
+			st.Pred = below
+		default: // C G K — above the upper limit
+			st.Pred = above
+		}
+		steps = append(steps, st)
+	}
+	p := pattern.Seq("Q2", steps...)
+	p.Selection = pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch}
+	p.ConsumeAll()
+
+	q := &pattern.Query{
+		Name:    "Q2",
+		Pattern: *p,
+		Window: pattern.WindowSpec{
+			StartKind: pattern.StartEvery,
+			Every:     cfg.Slide,
+			EndKind:   pattern.EndCount,
+			Count:     cfg.WindowSize,
+		},
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Q3Config parameterizes Q3 (Figure 9, middle).
+type Q3Config struct {
+	// SetSize is n, the number of specific symbols following A (order
+	// irrelevant).
+	SetSize int
+	// WindowSize is ws in events (paper Fig. 11: 1000).
+	WindowSize int
+	// Slide is s in events (paper Fig. 11: 100).
+	Slide int
+	// LeaderSymbol overrides the leading symbol name (default the RAND
+	// dataset's first symbol).
+	LeaderSymbol string
+}
+
+// Q3 builds the basket query `PATTERN (A SET(X1 ... Xn))`: symbol A
+// followed by a set of n specific symbols in any order, within ws events,
+// windows sliding every s events. All constituents consumed.
+func Q3(reg *event.Registry, cfg Q3Config) (*pattern.Query, error) {
+	if cfg.SetSize <= 0 {
+		return nil, fmt.Errorf("queries: Q3 requires positive set size, got %d", cfg.SetSize)
+	}
+	if cfg.SetSize > 64 {
+		return nil, fmt.Errorf("queries: Q3 set size %d exceeds the 64-member limit", cfg.SetSize)
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 1000
+	}
+	if cfg.Slide <= 0 {
+		cfg.Slide = 100
+	}
+	leader := cfg.LeaderSymbol
+	if leader == "" {
+		leader = dataset.Symbol(0)
+	}
+	typeA := reg.TypeID(leader)
+	set := make([]pattern.Step, cfg.SetSize)
+	for i := 0; i < cfg.SetSize; i++ {
+		sym := dataset.Symbol(i + 1)
+		set[i] = pattern.Step{Name: fmt.Sprintf("X%d", i+1), Types: []event.Type{reg.TypeID(sym)}}
+	}
+	p := &pattern.Pattern{
+		Name: "Q3",
+		Elements: []pattern.Element{
+			{Kind: pattern.ElemStep, Step: pattern.Step{Name: "A", Types: []event.Type{typeA}}},
+			{Kind: pattern.ElemSet, Set: set},
+		},
+		Selection: pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch},
+	}
+	p.ConsumeAll()
+
+	q := &pattern.Query{
+		Name:    "Q3",
+		Pattern: *p,
+		Window: pattern.WindowSpec{
+			StartKind: pattern.StartEvery,
+			Every:     cfg.Slide,
+			EndKind:   pattern.EndCount,
+			Count:     cfg.WindowSize,
+		},
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

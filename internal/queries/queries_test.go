@@ -1,0 +1,120 @@
+package queries
+
+import (
+	"testing"
+
+	"github.com/spectrecep/spectre/internal/dataset"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+)
+
+func TestQEVariants(t *testing.T) {
+	reg := event.NewRegistry()
+	qNone, err := QE(reg, QEConsumeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qNone.Pattern.HasConsumption() {
+		t.Fatal("QE none must not consume")
+	}
+	qSel, err := QE(reg, QEConsumeSelectedB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qSel.Pattern.HasConsumption() {
+		t.Fatal("QE selected-B must consume")
+	}
+	if qSel.Pattern.Elements[0].Step.Consume {
+		t.Fatal("A must not be consumed under selected-B")
+	}
+	if _, err := QE(reg, QEConsumption(99)); err == nil {
+		t.Fatal("unknown variant must error")
+	}
+}
+
+func TestQ1Shape(t *testing.T) {
+	reg := event.NewRegistry()
+	q, err := Q1(reg, Q1Config{Q: 3, WindowSize: 100, Leaders: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(q.Pattern.Elements); got != 4 {
+		t.Fatalf("elements = %d, want q+1 = 4", got)
+	}
+	if q.Pattern.MinLength() != 4 {
+		t.Fatalf("min length = %d", q.Pattern.MinLength())
+	}
+	if q.Window.StartKind != pattern.StartOnMatch || q.Window.Count != 100 {
+		t.Fatalf("window = %+v", q.Window)
+	}
+	openIdx, closeIdx := dataset.Fields(reg)
+	lead, _ := reg.LookupType(dataset.LeaderSymbol(0))
+	mk := func(ty event.Type, open, close float64) *event.Event {
+		f := make([]float64, max(openIdx, closeIdx)+1)
+		f[openIdx], f[closeIdx] = open, close
+		return &event.Event{Type: ty, Fields: f}
+	}
+	if !q.Window.StartMatches(mk(lead, 1, 2)) {
+		t.Fatal("rising leader must open a window")
+	}
+	if q.Window.StartMatches(mk(lead, 2, 1)) {
+		t.Fatal("falling leader must not open a rising window")
+	}
+	// Falling variant flips the predicate.
+	qf, err := Q1(reg, Q1Config{Q: 3, WindowSize: 100, Leaders: 2, Falling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qf.Window.StartMatches(mk(lead, 2, 1)) {
+		t.Fatal("falling leader must open a falling window")
+	}
+	if _, err := Q1(reg, Q1Config{}); err == nil {
+		t.Fatal("Q1 without q must error")
+	}
+}
+
+func TestQ2Shape(t *testing.T) {
+	reg := event.NewRegistry()
+	q, err := Q2(reg, Q2Config{WindowSize: 400, Slide: 100, LowerLimit: 80, UpperLimit: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(q.Pattern.Elements); got != 13 {
+		t.Fatalf("elements = %d, want 13 (A..M)", got)
+	}
+	kleene := 0
+	for _, el := range q.Pattern.Elements {
+		if el.Step.Quant == pattern.OneOrMore {
+			kleene++
+		}
+	}
+	if kleene != 6 {
+		t.Fatalf("Kleene steps = %d, want 6 (B D F H J L)", kleene)
+	}
+	if q.Pattern.MinLength() != 13 {
+		t.Fatalf("min length = %d, want 13", q.Pattern.MinLength())
+	}
+	if _, err := Q2(reg, Q2Config{LowerLimit: 5, UpperLimit: 5}); err == nil {
+		t.Fatal("equal limits must error")
+	}
+}
+
+func TestQ3Shape(t *testing.T) {
+	reg := event.NewRegistry()
+	q, err := Q3(reg, Q3Config{SetSize: 5, WindowSize: 100, Slide: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pattern.Elements[1].Kind != pattern.ElemSet || len(q.Pattern.Elements[1].Set) != 5 {
+		t.Fatalf("set shape = %+v", q.Pattern.Elements[1])
+	}
+	if q.Pattern.MinLength() != 6 {
+		t.Fatalf("min length = %d, want 6", q.Pattern.MinLength())
+	}
+	if _, err := Q3(reg, Q3Config{SetSize: 0}); err == nil {
+		t.Fatal("zero set size must error")
+	}
+	if _, err := Q3(reg, Q3Config{SetSize: 65}); err == nil {
+		t.Fatal("set size beyond 64 must error")
+	}
+}

@@ -1,0 +1,301 @@
+package seqengine
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/queries"
+)
+
+// figure1Stream builds the intro example stream: A1 A2 B1 B2 B3 with
+// timestamps chosen so that w1 (opened by A1, scope 1 min) contains
+// A1 A2 B1 B2 and w2 (opened by A2) contains A2 B1 B2 B3 — exactly the
+// paper's Figure 1.
+func figure1Stream(reg *event.Registry) []event.Event {
+	typeA := reg.TypeID("A")
+	typeB := reg.TypeID("B")
+	sec := func(s int) int64 { return int64(s) * int64(time.Second) }
+	return []event.Event{
+		{TS: sec(0), Type: typeA},  // seq 0: A1
+		{TS: sec(10), Type: typeA}, // seq 1: A2
+		{TS: sec(20), Type: typeB}, // seq 2: B1
+		{TS: sec(40), Type: typeB}, // seq 3: B2
+		{TS: sec(65), Type: typeB}, // seq 4: B3 (outside w1, inside w2)
+	}
+}
+
+func keys(out []event.Complex) []string {
+	ks := make([]string, len(out))
+	for i := range out {
+		ks[i] = out[i].Key()
+	}
+	return ks
+}
+
+func assertKeys(t *testing.T, got []event.Complex, want []string) {
+	t.Helper()
+	gk := keys(got)
+	if len(gk) != len(want) {
+		t.Fatalf("got %d complex events %v, want %d %v", len(gk), gk, len(want), want)
+	}
+	for i := range want {
+		if gk[i] != want[i] {
+			t.Fatalf("complex event %d: got %s, want %s (all: %v)", i, gk[i], want[i], gk)
+		}
+	}
+}
+
+// TestFigure1a reproduces Figure 1(a): consumption policy "none" yields 5
+// complex events.
+func TestFigure1a(t *testing.T) {
+	reg := event.NewRegistry()
+	q, err := queries.QE(reg, queries.QEConsumeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := eng.Run(figure1Stream(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertKeys(t, out, []string{
+		"QE@0:0,2", // A1 B1
+		"QE@0:0,3", // A1 B2
+		"QE@1:1,2", // A2 B1
+		"QE@1:1,3", // A2 B2
+		"QE@1:1,4", // A2 B3
+	})
+	if stats.EventsConsumed != 0 {
+		t.Fatalf("no-consumption run consumed %d events", stats.EventsConsumed)
+	}
+}
+
+// TestFigure1b reproduces Figure 1(b): consumption policy "selected B"
+// yields 3 complex events because B1 and B2 are consumed in w1.
+func TestFigure1b(t *testing.T) {
+	reg := event.NewRegistry()
+	q, err := queries.QE(reg, queries.QEConsumeSelectedB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := eng.Run(figure1Stream(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertKeys(t, out, []string{
+		"QE@0:0,2", // A1 B1 (consumes B1)
+		"QE@0:0,3", // A1 B2 (consumes B2)
+		"QE@1:1,4", // A2 B3 — B1, B2 are gone
+	})
+	if stats.EventsConsumed != 3 {
+		t.Fatalf("consumed %d events, want 3 (B1, B2, B3)", stats.EventsConsumed)
+	}
+}
+
+// TestSequenceABCConsumeAll reproduces the §3.1 running example: a
+// sequence A B C within a 1-minute window, consume all on match.
+func TestSequenceABCConsumeAll(t *testing.T) {
+	reg := event.NewRegistry()
+	ta, tb, tc := reg.TypeID("A"), reg.TypeID("B"), reg.TypeID("C")
+	p := pattern.Seq("ABC",
+		pattern.Step{Name: "A", Types: []event.Type{ta}},
+		pattern.Step{Name: "B", Types: []event.Type{tb}},
+		pattern.Step{Name: "C", Types: []event.Type{tc}},
+	)
+	p.Selection = pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch}
+	p.ConsumeAll()
+	q := &pattern.Query{
+		Name:    "ABC",
+		Pattern: *p,
+		Window: pattern.WindowSpec{
+			StartKind:  pattern.StartOnMatch,
+			StartTypes: []event.Type{ta},
+			EndKind:    pattern.EndDuration,
+			Duration:   time.Minute,
+		},
+	}
+	eng, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sec := func(s int) int64 { return int64(s) * int64(time.Second) }
+
+	t.Run("complete", func(t *testing.T) {
+		out, stats, err := eng.Run([]event.Event{
+			{TS: sec(0), Type: ta},
+			{TS: sec(10), Type: tb},
+			{TS: sec(20), Type: tc},
+			{TS: sec(90), Type: ta}, // closes w1; opens w2 with no B/C after
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertKeys(t, out, []string{"ABC@0:0,1,2"})
+		if stats.RunsStarted != 2 || stats.RunsCompleted != 1 || stats.RunsAbandoned != 1 {
+			t.Fatalf("stats = %+v, want 2 started / 1 completed / 1 abandoned", stats)
+		}
+		if stats.EventsConsumed != 3 {
+			t.Fatalf("consumed %d, want 3", stats.EventsConsumed)
+		}
+	})
+
+	t.Run("abandoned at window end", func(t *testing.T) {
+		// No C within the window: the consumption group is abandoned, no
+		// event is consumed (§3.1).
+		eng2, err := New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, stats, err := eng2.Run([]event.Event{
+			{TS: sec(0), Type: ta},
+			{TS: sec(10), Type: tb},
+			{TS: sec(70), Type: tc}, // outside w1's scope
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("got %v, want no complex events", keys(out))
+		}
+		if stats.RunsCompleted != 0 || stats.RunsAbandoned != stats.RunsStarted {
+			t.Fatalf("stats = %+v, want all runs abandoned", stats)
+		}
+		if stats.EventsConsumed != 0 {
+			t.Fatalf("consumed %d, want 0", stats.EventsConsumed)
+		}
+	})
+}
+
+// TestNegationAbandonsRun covers the §3.1 discussion: a pattern A then B
+// with no C in between; a C occurrence abandons the consumption group.
+func TestNegationAbandonsRun(t *testing.T) {
+	reg := event.NewRegistry()
+	ta, tb, tc := reg.TypeID("A"), reg.TypeID("B"), reg.TypeID("C")
+	p := pattern.Pattern{
+		Name: "AnotCB",
+		Elements: []pattern.Element{
+			{Kind: pattern.ElemStep, Step: pattern.Step{Name: "A", Types: []event.Type{ta}}},
+			{Kind: pattern.ElemStep, Step: pattern.Step{Name: "C", Types: []event.Type{tc}, Negated: true}},
+			{Kind: pattern.ElemStep, Step: pattern.Step{Name: "B", Types: []event.Type{tb}}},
+		},
+		Selection: pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch},
+	}
+	p.ConsumeAll()
+	q := &pattern.Query{
+		Name:    "AnotCB",
+		Pattern: p,
+		Window: pattern.WindowSpec{
+			StartKind:  pattern.StartOnMatch,
+			StartTypes: []event.Type{ta},
+			EndKind:    pattern.EndCount,
+			Count:      10,
+		},
+	}
+	eng, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("no C: match", func(t *testing.T) {
+		out, _, err := eng.Run([]event.Event{
+			{Type: ta}, {Type: tb},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertKeys(t, out, []string{"AnotCB@0:0,1"})
+	})
+
+	t.Run("C in between: abandoned", func(t *testing.T) {
+		eng2, _ := New(q)
+		out, stats, err := eng2.Run([]event.Event{
+			{Type: ta}, {Type: tc}, {Type: tb},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("got %v, want none", keys(out))
+		}
+		if stats.RunsAbandoned == 0 {
+			t.Fatal("expected the run to be abandoned by the negation")
+		}
+	})
+}
+
+// TestKleeneVariableLength exercises a Q2-like A B+ C pattern: the B+
+// absorbs a variable number of band events.
+func TestKleeneVariableLength(t *testing.T) {
+	reg := event.NewRegistry()
+	tx := reg.TypeID("X")
+	closeIdx := reg.FieldIndex("close")
+	mk := func(c float64) event.Event {
+		f := make([]float64, closeIdx+1)
+		f[closeIdx] = c
+		return event.Event{Type: tx, Fields: f}
+	}
+	below := func(ev *event.Event, _ pattern.Binder) bool { return ev.Field(closeIdx) < 10 }
+	within := func(ev *event.Event, _ pattern.Binder) bool {
+		return ev.Field(closeIdx) > 10 && ev.Field(closeIdx) < 20
+	}
+	above := func(ev *event.Event, _ pattern.Binder) bool { return ev.Field(closeIdx) > 20 }
+
+	p := pattern.Seq("ABC",
+		pattern.Step{Name: "A", Pred: below},
+		pattern.Step{Name: "B", Pred: within, Quant: pattern.OneOrMore},
+		pattern.Step{Name: "C", Pred: above},
+	)
+	p.Selection = pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch}
+	p.ConsumeAll()
+	q := &pattern.Query{
+		Name:    "Kleene",
+		Pattern: *p,
+		Window:  pattern.WindowSpec{StartKind: pattern.StartEvery, Every: 100, EndKind: pattern.EndCount, Count: 100},
+	}
+	eng, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 → start; 12, 15, 13 → B+; 25 → C completes with 5 constituents.
+	out, _, err := eng.Run([]event.Event{
+		mk(5), mk(12), mk(15), mk(13), mk(25),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertKeys(t, out, []string{"Kleene@0:0,1,2,3,4"})
+}
+
+// TestQ3SetDetection exercises the unordered set element.
+func TestQ3SetDetection(t *testing.T) {
+	reg := event.NewRegistry()
+	q, err := queries.Q3(reg, queries.Q3Config{SetSize: 2, WindowSize: 10, Slide: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, _ := reg.LookupType("S0000")
+	s1, _ := reg.LookupType("S0001")
+	s2, _ := reg.LookupType("S0002")
+	eng, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A=S0000, set = {S0001, S0002}; arrive out of order: S0002 first.
+	out, _, err := eng.Run([]event.Event{
+		{Type: s0}, {Type: s2}, {Type: s1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertKeys(t, out, []string{"Q3@0:0,1,2"})
+}

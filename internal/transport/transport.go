@@ -1,0 +1,180 @@
+// Package transport implements the TCP event transport of the paper's
+// evaluation setup (§4.1): "a client program that reads events from a
+// source file and sends them to SPECTRE over a TCP connection".
+//
+// Wire format (all integers little-endian):
+//
+//	frame   := length:uint32 payload
+//	payload := ts:int64 typeLen:uint16 type:[typeLen]byte
+//	           nFields:uint16 fields:[nFields]float64
+//
+// Event types travel as names and are interned into the receiver's
+// registry, so client and server need not share id assignments.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/stream"
+)
+
+// Limits guard against corrupt frames.
+const (
+	maxFrame    = 1 << 20
+	maxTypeLen  = 1 << 12
+	maxFieldLen = 1 << 12
+)
+
+// ErrFrameTooLarge is returned for frames exceeding the limits.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds limit")
+
+// Writer encodes events onto a stream.
+type Writer struct {
+	w   *bufio.Writer
+	reg *event.Registry
+	buf []byte
+}
+
+// NewWriter returns a Writer that resolves type names through reg.
+func NewWriter(w io.Writer, reg *event.Registry) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 64*1024), reg: reg}
+}
+
+// WriteEvent encodes one event.
+func (w *Writer) WriteEvent(ev *event.Event) error {
+	name := w.reg.TypeName(ev.Type)
+	need := 8 + 2 + len(name) + 2 + 8*len(ev.Fields)
+	if need > maxFrame {
+		return ErrFrameTooLarge
+	}
+	w.buf = w.buf[:0]
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(need))
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(ev.TS))
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, uint16(len(name)))
+	w.buf = append(w.buf, name...)
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, uint16(len(ev.Fields)))
+	for _, f := range ev.Fields {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
+	}
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// Flush flushes buffered frames.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes events from a stream, interning types into reg.
+type Reader struct {
+	r   *bufio.Reader
+	reg *event.Registry
+	buf []byte
+}
+
+// NewReader returns a Reader interning into reg.
+func NewReader(r io.Reader, reg *event.Registry) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64*1024), reg: reg}
+}
+
+// ReadEvent decodes one event; io.EOF signals a clean end of stream.
+func (r *Reader) ReadEvent() (event.Event, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r.r, lenBuf[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return event.Event{}, io.ErrUnexpectedEOF
+		}
+		return event.Event{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return event.Event{}, ErrFrameTooLarge
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return event.Event{}, fmt.Errorf("transport: short frame: %w", err)
+	}
+	p := r.buf
+	if len(p) < 12 {
+		return event.Event{}, fmt.Errorf("transport: frame too short (%d bytes)", len(p))
+	}
+	ts := int64(binary.LittleEndian.Uint64(p))
+	p = p[8:]
+	tl := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if tl > maxTypeLen || len(p) < tl+2 {
+		return event.Event{}, fmt.Errorf("transport: bad type length %d", tl)
+	}
+	name := string(p[:tl])
+	p = p[tl:]
+	nf := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if nf > maxFieldLen || len(p) != 8*nf {
+		return event.Event{}, fmt.Errorf("transport: bad field count %d for %d payload bytes", nf, len(p))
+	}
+	ev := event.Event{TS: ts, Type: r.reg.TypeID(name)}
+	if nf > 0 {
+		ev.Fields = make([]float64, nf)
+		for i := 0; i < nf; i++ {
+			ev.Fields[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+		}
+	}
+	return ev, nil
+}
+
+// Send streams events over conn and closes the write side when done.
+func Send(conn net.Conn, reg *event.Registry, events []event.Event) error {
+	w := NewWriter(conn, reg)
+	for i := range events {
+		if err := w.WriteEvent(&events[i]); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if cw, ok := conn.(interface{ CloseWrite() error }); ok {
+		return cw.CloseWrite()
+	}
+	return nil
+}
+
+// connSource adapts a Reader into a stream.Source; decode errors end the
+// stream and are reported through Err.
+type connSource struct {
+	r   *Reader
+	err error
+}
+
+var _ stream.Source = (*connSource)(nil)
+
+// Next implements stream.Source.
+func (s *connSource) Next() (event.Event, bool) {
+	ev, err := s.r.ReadEvent()
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			s.err = err
+		}
+		return event.Event{}, false
+	}
+	return ev, true
+}
+
+// Err returns the first decode error (nil on clean EOF).
+func (s *connSource) Err() error { return s.err }
+
+// SourceFromConn exposes a network connection as an engine Source. Call
+// the returned error function after the engine finishes to learn whether
+// the stream ended cleanly.
+func SourceFromConn(conn io.Reader, reg *event.Registry) (stream.Source, func() error) {
+	s := &connSource{r: NewReader(conn, reg)}
+	return s, func() error { return s.err }
+}

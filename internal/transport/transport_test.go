@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/stream"
+)
+
+func TestRoundTrip(t *testing.T) {
+	sendReg := event.NewRegistry()
+	a := sendReg.TypeID("AAPL")
+	b := sendReg.TypeID("MSFT")
+	events := []event.Event{
+		{TS: 100, Type: a, Fields: []float64{1.5, 2.5}},
+		{TS: 200, Type: b},
+		{TS: 300, Type: a, Fields: []float64{-7}},
+	}
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf, sendReg)
+	for i := range events {
+		if err := w.WriteEvent(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The receiver interns into its own registry (ids may differ).
+	recvReg := event.NewRegistry()
+	recvReg.TypeID("ZZZ") // shift id assignment
+	r := NewReader(&buf, recvReg)
+	for i := range events {
+		got, err := r.ReadEvent()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got.TS != events[i].TS {
+			t.Fatalf("event %d ts = %d", i, got.TS)
+		}
+		wantName := sendReg.TypeName(events[i].Type)
+		if recvReg.TypeName(got.Type) != wantName {
+			t.Fatalf("event %d type = %q, want %q", i, recvReg.TypeName(got.Type), wantName)
+		}
+		if len(got.Fields) != len(events[i].Fields) {
+			t.Fatalf("event %d fields = %v", i, got.Fields)
+		}
+		for j := range got.Fields {
+			if got.Fields[j] != events[i].Fields[j] {
+				t.Fatalf("event %d field %d = %g", i, j, got.Fields[j])
+			}
+		}
+	}
+	if _, err := r.ReadEvent(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+func TestCorruptFrames(t *testing.T) {
+	reg := event.NewRegistry()
+	// Oversized frame length.
+	r := NewReader(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff}), reg)
+	if _, err := r.ReadEvent(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// Truncated frame.
+	r = NewReader(bytes.NewReader([]byte{10, 0, 0, 0, 1, 2}), reg)
+	if _, err := r.ReadEvent(); err == nil {
+		t.Fatal("truncated frame must fail")
+	}
+	// Frame too short for the header.
+	r = NewReader(bytes.NewReader([]byte{2, 0, 0, 0, 1, 2}), reg)
+	if _, err := r.ReadEvent(); err == nil {
+		t.Fatal("short frame must fail")
+	}
+}
+
+func TestSendOverTCP(t *testing.T) {
+	sendReg := event.NewRegistry()
+	ty := sendReg.TypeID("X")
+	events := make([]event.Event, 500)
+	for i := range events {
+		events[i] = event.Event{TS: int64(i), Type: ty, Fields: []float64{float64(i)}}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		done <- Send(conn, sendReg, events)
+	}()
+
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	recvReg := event.NewRegistry()
+	src, srcErr := SourceFromConn(conn, recvReg)
+	got := stream.Collect(src)
+	if err := srcErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("received %d events, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i].TS != int64(i) || got[i].Fields[0] != float64(i) {
+			t.Fatalf("event %d corrupted: %+v", i, got[i])
+		}
+	}
+}

@@ -1,0 +1,654 @@
+// Package trex implements a T-REX-style baseline engine for the paper's
+// §4.2.3 comparison. T-REX (Cugola & Margara, 2012) is a general-purpose
+// event processing engine that automatically translates queries into state
+// machines; it supports consumption policies but processes sequentially
+// (it "does not support event consumptions in parallel processing").
+//
+// This baseline reproduces the two properties the paper's comparison rests
+// on:
+//
+//   - Generality: queries are compiled to an explicit instruction-coded
+//     automaton that is interpreted per event — no query-specific code
+//     path, bindings in persistent (copy-on-append) structures, dynamic
+//     dispatch per instruction. This is what costs T-REX its throughput
+//     against SPECTRE's UDF-style matcher.
+//   - Sequential execution: a single thread advances the automata of all
+//     open windows in arrival order; consumption is applied immediately
+//     when a match completes.
+//
+// Because detection is arrival-ordered (not window-ordered), outputs can
+// differ from SPECTRE/sequential-engine outputs in corner cases where a
+// later window's pattern completes before an earlier window's pending
+// partial match; the throughput comparison is unaffected.
+package trex
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/window"
+)
+
+// opcode is one automaton instruction.
+type opcode int
+
+const (
+	opCheckType opcode = iota + 1 // guard: allowed types
+	opEvalPred                    // guard: interpreted predicate
+	opBind                        // bind the event to a flat step
+	opGoto                        // move to state .target
+	opStay                        // stay in the current state (Kleene extension)
+	opEnterSet                    // move to set state .target, marking member .bit
+	opAbort                       // negation fired: kill the instance
+)
+
+// instr is an interpreted instruction.
+type instr struct {
+	op     opcode
+	types  []event.Type
+	pred   int // index into program.preds; -1 = none
+	flat   int
+	target int
+	bit    int
+}
+
+// block is one alternative: guards followed by an action.
+type block struct {
+	code []instr
+}
+
+// stateKind discriminates automaton states.
+type stateKind int
+
+const (
+	stWait   stateKind = iota + 1 // waiting to bind a step element
+	stLoop                        // inside a Kleene-plus, extend or advance
+	stSet                         // inside a set element, collecting members
+	stAccept                      // pattern complete
+)
+
+// state is an automaton state; its blocks are tried in order.
+type state struct {
+	kind    stateKind
+	blocks  []block
+	setSize int
+	after   int // stSet: state entered once all members are bound
+}
+
+// program is the compiled automaton.
+type program struct {
+	states  []state
+	preds   []pattern.Predicate
+	consume []bool // per flat index
+	accept  int
+}
+
+// instance is one partial match: an interpreted automaton run with
+// persistent bindings.
+type instance struct {
+	state   int
+	setMask uint64
+	// bindings is a persistent association list (copy-on-append), the
+	// kind of generic structure a query-agnostic engine uses.
+	bindings *binding
+}
+
+type binding struct {
+	flat int
+	ev   *event.Event
+	prev *binding
+}
+
+var _ pattern.Binder = (*instance)(nil)
+
+// Bound implements pattern.Binder by walking the persistent list.
+func (in *instance) Bound(step int) []*event.Event {
+	var out []*event.Event
+	for b := in.bindings; b != nil; b = b.prev {
+		if b.flat == step {
+			out = append(out, b.ev)
+		}
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// compiler assembles the program.
+type compiler struct {
+	prog   *program
+	flatOf map[[2]int]int
+	p      *pattern.Pattern
+}
+
+// compile translates the pattern into the instruction program. The state
+// layout per positive element:
+//
+//	step One        → one stWait state
+//	step OneOrMore  → stWait (bind first) followed by stLoop (extend or
+//	                  match the NEXT element, advance-first like the
+//	                  reference matcher)
+//	set             → one stSet state collecting the member bitmask
+//
+// Negation guards attach to the states where the run waits for the next
+// positive element (matching the reference matcher's semantics: guards of
+// a Kleene element stay active while it extends).
+func compile(p *pattern.Pattern) (*program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &compiler{prog: &program{}, p: p, flatOf: make(map[[2]int]int)}
+	flat := p.FlatSteps()
+	c.prog.consume = make([]bool, len(flat))
+	for i, fs := range flat {
+		c.flatOf[[2]int{fs.Elem, fs.Member}] = i
+		c.prog.consume[i] = fs.Step.Consume
+	}
+
+	// Collect positive elements with their guard lists.
+	var elems []posElem
+	var pending []int
+	for ei := range p.Elements {
+		el := &p.Elements[ei]
+		if el.Kind == pattern.ElemStep && el.Step.Negated {
+			pending = append(pending, ei)
+			continue
+		}
+		elems = append(elems, posElem{elem: ei, guards: pending})
+		pending = nil
+	}
+
+	// First pass: assign state indices.
+	entry := make([]int, len(elems))
+	loopOf := make([]int, len(elems))
+	next := 0
+	for i := range elems {
+		entry[i] = next
+		next++
+		el := &p.Elements[elems[i].elem]
+		if el.Kind == pattern.ElemStep && el.Step.Quant == pattern.OneOrMore {
+			loopOf[i] = next
+			next++
+		} else {
+			loopOf[i] = -1
+		}
+	}
+	acceptState := next
+	c.prog.accept = acceptState
+	c.prog.states = make([]state, next+1)
+	c.prog.states[acceptState] = state{kind: stAccept}
+
+	// afterOf returns the state reached after fully matching element i.
+	afterOf := func(i int) int {
+		if i+1 < len(elems) {
+			return entry[i+1]
+		}
+		return acceptState
+	}
+
+	for i := range elems {
+		ei := elems[i].elem
+		el := &p.Elements[ei]
+		guards := c.guardBlocks(elems[i].guards)
+		switch {
+		case el.Kind == pattern.ElemSet:
+			st := state{kind: stSet, setSize: len(el.Set), after: afterOf(i)}
+			st.blocks = append(st.blocks, guards...)
+			for mi := range el.Set {
+				st.blocks = append(st.blocks, c.memberBlock(ei, mi, entry[i]))
+			}
+			c.prog.states[entry[i]] = st
+		case el.Step.Quant == pattern.OneOrMore:
+			// Wait state: bind the first event, move to the loop state
+			// (or accept when the Kleene is final: minimum-match).
+			target := loopOf[i]
+			if i == len(elems)-1 {
+				target = acceptState
+			}
+			wait := state{kind: stWait}
+			wait.blocks = append(wait.blocks, guards...)
+			wait.blocks = append(wait.blocks, c.stepBlock(ei, target))
+			c.prog.states[entry[i]] = wait
+			if target != acceptState {
+				// Loop state: advance-first into the next element, else
+				// extend. The Kleene element's own guards stay active.
+				loop := state{kind: stLoop}
+				loop.blocks = append(loop.blocks, guards...)
+				loop.blocks = append(loop.blocks, c.elementBlocks(i+1, elems, entry, loopOf, acceptState)...)
+				loop.blocks = append(loop.blocks, c.extendBlock(ei))
+				c.prog.states[loopOf[i]] = loop
+			}
+		default:
+			wait := state{kind: stWait}
+			wait.blocks = append(wait.blocks, guards...)
+			wait.blocks = append(wait.blocks, c.stepBlock(ei, afterOf(i)))
+			c.prog.states[entry[i]] = wait
+		}
+	}
+	return c.prog, nil
+}
+
+// posElem is a positive pattern element with the negation guards active
+// while it is pending.
+type posElem struct {
+	elem   int
+	guards []int // element indices of active negations
+}
+
+// elementBlocks returns the blocks that match element j from an
+// advance-first context (the Kleene loop preceding it).
+func (c *compiler) elementBlocks(j int, elems []posElem, entry, loopOf []int, acceptState int) []block {
+	ej := elems[j].elem
+	el := &c.p.Elements[ej]
+	after := acceptState
+	if j+1 < len(elems) {
+		after = entry[j+1]
+	}
+	switch {
+	case el.Kind == pattern.ElemSet:
+		blocks := make([]block, 0, len(el.Set))
+		for mi := range el.Set {
+			blocks = append(blocks, c.memberBlock(ej, mi, entry[j]))
+		}
+		return blocks
+	case el.Step.Quant == pattern.OneOrMore:
+		target := loopOf[j]
+		if j == len(elems)-1 {
+			target = acceptState
+		}
+		return []block{c.stepBlock(ej, target)}
+	default:
+		return []block{c.stepBlock(ej, after)}
+	}
+}
+
+func (c *compiler) predIdx(pr pattern.Predicate) int {
+	if pr == nil {
+		return -1
+	}
+	c.prog.preds = append(c.prog.preds, pr)
+	return len(c.prog.preds) - 1
+}
+
+// guardBlocks builds abort alternatives for active negations.
+func (c *compiler) guardBlocks(negElems []int) []block {
+	var out []block
+	for _, ei := range negElems {
+		st := &c.p.Elements[ei].Step
+		out = append(out, block{code: []instr{
+			{op: opCheckType, types: st.Types},
+			{op: opEvalPred, pred: c.predIdx(st.Pred), flat: c.flatOf[[2]int{ei, -1}]},
+			{op: opAbort},
+		}})
+	}
+	return out
+}
+
+// stepBlock matches a step element and advances to target.
+func (c *compiler) stepBlock(ei, target int) block {
+	st := &c.p.Elements[ei].Step
+	fi := c.flatOf[[2]int{ei, -1}]
+	return block{code: []instr{
+		{op: opCheckType, types: st.Types},
+		{op: opEvalPred, pred: c.predIdx(st.Pred), flat: fi},
+		{op: opBind, flat: fi},
+		{op: opGoto, target: target},
+	}}
+}
+
+// extendBlock matches another Kleene event and stays.
+func (c *compiler) extendBlock(ei int) block {
+	st := &c.p.Elements[ei].Step
+	fi := c.flatOf[[2]int{ei, -1}]
+	return block{code: []instr{
+		{op: opCheckType, types: st.Types},
+		{op: opEvalPred, pred: c.predIdx(st.Pred), flat: fi},
+		{op: opBind, flat: fi},
+		{op: opStay},
+	}}
+}
+
+// memberBlock matches set member mi of element ei; setState is the set's
+// state index.
+func (c *compiler) memberBlock(ei, mi, setState int) block {
+	st := &c.p.Elements[ei].Set[mi]
+	fi := c.flatOf[[2]int{ei, mi}]
+	return block{code: []instr{
+		{op: opCheckType, types: st.Types},
+		{op: opEvalPred, pred: c.predIdx(st.Pred), flat: fi},
+		{op: opBind, flat: fi},
+		{op: opEnterSet, target: setState, bit: mi},
+	}}
+}
+
+// winState is the detection state of one open window.
+type winState struct {
+	win       *window.Window
+	instances []*instance
+	stopped   bool
+}
+
+// Stats summarizes a T-REX run.
+type Stats struct {
+	EventsProcessed uint64 // event×window automaton advances
+	Matches         uint64
+	EventsConsumed  uint64
+}
+
+// Engine is the single-threaded baseline engine.
+type Engine struct {
+	query *pattern.Query
+	prog  *program
+	multi bool
+}
+
+// New compiles the query for the baseline engine, honoring the query's
+// selection policy (closest to the reference semantics).
+func New(q *pattern.Query) (*Engine, error) {
+	return newEngine(q, false)
+}
+
+// NewGeneral compiles the query in general multi-selection mode: like the
+// real T-REX, the engine maintains every partial sequence — a new
+// automaton instance starts whenever an event matches the pattern's first
+// element, and a match does not stop detection in its window. Restricting
+// detection to a single run per window is a UDF-level optimization
+// available to SPECTRE's user-defined operators (paper §4.2.3: "SPECTRE
+// employs user-defined functions ... which allows for more code
+// optimizations") that a general-purpose engine cannot apply; this mode is
+// what the throughput comparison uses.
+func NewGeneral(q *pattern.Query) (*Engine, error) {
+	return newEngine(q, true)
+}
+
+func newEngine(q *pattern.Query, multi bool) (*Engine, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("trex: %w", err)
+	}
+	prog, err := compile(&q.Pattern)
+	if err != nil {
+		return nil, fmt.Errorf("trex: %w", err)
+	}
+	return &Engine{query: q, prog: prog, multi: multi}, nil
+}
+
+// Run processes events in arrival order, advancing every open window's
+// automata, and returns the detected complex events in detection order.
+func (e *Engine) Run(events []event.Event) ([]event.Complex, Stats, error) {
+	for i := range events {
+		events[i].Seq = uint64(i)
+	}
+	var (
+		stats    Stats
+		out      []event.Complex
+		open     []*winState
+		consumed = make([]bool, len(events))
+	)
+	mgr := window.NewManager(e.query.Window)
+	sel := e.query.Pattern.Selection
+
+	for i := range events {
+		ev := &events[i]
+		opened, _ := mgr.Observe(ev)
+		for _, w := range opened {
+			open = append(open, &winState{win: w})
+		}
+		// Expire windows whose boundary passed.
+		live := open[:0]
+		for _, ws := range open {
+			if ws.win.Resolved() && ev.Seq >= ws.win.EndSeq() {
+				continue
+			}
+			live = append(live, ws)
+		}
+		open = live
+		if consumed[i] {
+			continue
+		}
+		// T-REX's event model is a generic attribute-value set; automata
+		// evaluate interpreted predicates over that representation. Events
+		// are converted into tuples on arrival and re-materialized per
+		// automaton evaluation (see tuple below).
+		tup := toTuple(ev)
+		for _, ws := range open {
+			if ws.stopped {
+				continue
+			}
+			stats.EventsProcessed++
+			e.advanceWindow(ws, tup, sel, consumed, &stats, &out)
+		}
+	}
+	return out, stats, nil
+}
+
+// tuple is T-REX's generic event representation: an attribute-value set.
+// Keeping events generic (rather than as typed structs bound to the
+// query's schema) is what makes the engine query-agnostic — and what
+// costs it throughput against SPECTRE's UDF-compiled operators
+// (paper §4.2.3).
+type tuple struct {
+	seq   uint64
+	ts    int64
+	typ   event.Type
+	attrs map[int]float64
+}
+
+func toTuple(ev *event.Event) *tuple {
+	t := &tuple{seq: ev.Seq, ts: ev.TS, typ: ev.Type, attrs: make(map[int]float64, len(ev.Fields))}
+	for i, f := range ev.Fields {
+		t.attrs[i] = f
+	}
+	return t
+}
+
+// materialize rebuilds a concrete event from the generic tuple for one
+// automaton evaluation.
+func (t *tuple) materialize() *event.Event {
+	fields := make([]float64, len(t.attrs))
+	for i, f := range t.attrs {
+		if i < len(fields) {
+			fields[i] = f
+		}
+	}
+	return &event.Event{Seq: t.seq, TS: t.ts, Type: t.typ, Fields: fields}
+}
+
+// advanceWindow interprets the automata of the window against the event
+// tuple. Every automaton evaluation materializes the event from its
+// generic representation, as a query-agnostic engine must.
+func (e *Engine) advanceWindow(ws *winState, tup *tuple, sel pattern.SelectionPolicy,
+	consumed []bool, stats *Stats, out *[]event.Complex) {
+	prog := e.prog
+	kept := ws.instances[:0]
+	completedThis := false
+	var completedInsts []*instance
+	for _, in := range ws.instances {
+		ev := tup.materialize()
+		switch e.step(in, ev) {
+		case stepAborted:
+			// dropped
+		case stepAccepted:
+			completedInsts = append(completedInsts, in)
+			completedThis = true
+		default:
+			kept = append(kept, in)
+		}
+	}
+	ws.instances = kept
+
+	canStart := !ws.stopped && !completedThis &&
+		(e.multi || sel.MaxConcurrentRuns <= 0 || len(ws.instances) < sel.MaxConcurrentRuns)
+	if canStart {
+		fresh := &instance{state: 0}
+		ev := tup.materialize()
+		switch e.step(fresh, ev) {
+		case stepAccepted:
+			completedInsts = append(completedInsts, fresh)
+		case stepAdvanced:
+			ws.instances = append(ws.instances, fresh)
+		}
+	}
+
+	for _, in := range completedInsts {
+		ce := e.emit(in, ws, tup.seq, consumed, stats)
+		*out = append(*out, ce)
+		if e.multi {
+			// General mode: detection continues; consumption (below)
+			// purges overlapping partial sequences.
+			continue
+		}
+		switch sel.OnCompletion {
+		case pattern.RestartFresh:
+			// nothing kept
+		case pattern.RestartAfterLeader:
+			lead := in.Bound(0)
+			if len(lead) > 0 && !consumed[lead[0].Seq] {
+				ws.instances = append(ws.instances, &instance{
+					state:    1,
+					bindings: &binding{flat: 0, ev: lead[0]},
+				})
+			}
+		default:
+			ws.stopped = true
+			ws.instances = ws.instances[:0]
+		}
+	}
+	if len(completedInsts) > 0 {
+		kept := ws.instances[:0]
+		for _, in := range ws.instances {
+			dead := false
+			for b := in.bindings; b != nil; b = b.prev {
+				if consumed[b.ev.Seq] {
+					dead = true
+					break
+				}
+			}
+			if !dead {
+				kept = append(kept, in)
+			}
+		}
+		ws.instances = kept
+	}
+	_ = prog
+}
+
+type stepVerdict int
+
+const (
+	stepNoMatch stepVerdict = iota
+	stepAdvanced
+	stepAccepted
+	stepAborted
+)
+
+// step interprets the current state's alternatives against ev.
+func (e *Engine) step(in *instance, ev *event.Event) stepVerdict {
+	prog := e.prog
+	st := &prog.states[in.state]
+	if st.kind == stAccept {
+		return stepAccepted
+	}
+	for bi := range st.blocks {
+		v, matched := e.runBlock(in, &st.blocks[bi], ev)
+		if matched {
+			return v
+		}
+	}
+	return stepNoMatch
+}
+
+// runBlock executes one alternative; matched reports whether its guards
+// accepted the event.
+func (e *Engine) runBlock(in *instance, b *block, ev *event.Event) (stepVerdict, bool) {
+	prog := e.prog
+	for _, ins := range b.code {
+		switch ins.op {
+		case opCheckType:
+			if len(ins.types) > 0 {
+				ok := false
+				for _, t := range ins.types {
+					if t == ev.Type {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return stepNoMatch, false
+				}
+			}
+		case opEvalPred:
+			if ins.pred >= 0 && !prog.preds[ins.pred](ev, in) {
+				return stepNoMatch, false
+			}
+		case opBind:
+			in.bindings = &binding{flat: ins.flat, ev: ev, prev: in.bindings}
+		case opStay:
+			return stepAdvanced, true
+		case opGoto:
+			in.state = ins.target
+			in.setMask = 0
+			if prog.states[in.state].kind == stAccept {
+				return stepAccepted, true
+			}
+			return stepAdvanced, true
+		case opEnterSet:
+			if in.state != ins.target {
+				in.state = ins.target
+				in.setMask = 0
+			}
+			if in.setMask&(1<<uint(ins.bit)) != 0 {
+				// Member already collected; the binding added above must
+				// be undone (the event did not advance the run).
+				in.bindings = in.bindings.prev
+				return stepNoMatch, false
+			}
+			in.setMask |= 1 << uint(ins.bit)
+			st := &prog.states[in.state]
+			if bits.OnesCount64(in.setMask) == st.setSize {
+				in.state = st.after
+				in.setMask = 0
+				if prog.states[in.state].kind == stAccept {
+					return stepAccepted, true
+				}
+			}
+			return stepAdvanced, true
+		case opAbort:
+			return stepAborted, true
+		}
+	}
+	return stepNoMatch, false
+}
+
+// emit materializes the complex event of a completed instance and applies
+// consumption immediately (T-REX semantics).
+func (e *Engine) emit(in *instance, ws *winState, detectedAt uint64, consumed []bool, stats *Stats) event.Complex {
+	prog := e.prog
+	ce := event.Complex{Query: e.query.Name, WindowID: ws.win.ID, DetectedAt: detectedAt}
+	var cons []uint64
+	var all []*binding
+	for b := in.bindings; b != nil; b = b.prev {
+		all = append(all, b)
+	}
+	for i := len(all) - 1; i >= 0; i-- {
+		b := all[i]
+		ce.Constituents = append(ce.Constituents, b.ev.Seq)
+		if prog.consume[b.flat] {
+			cons = append(cons, b.ev.Seq)
+		}
+	}
+	sort.Slice(ce.Constituents, func(i, j int) bool { return ce.Constituents[i] < ce.Constituents[j] })
+	sort.Slice(cons, func(i, j int) bool { return cons[i] < cons[j] })
+	ce.Consumed = cons
+	for _, seq := range cons {
+		if !consumed[seq] {
+			consumed[seq] = true
+			stats.EventsConsumed++
+		}
+	}
+	stats.Matches++
+	return ce
+}

@@ -1,0 +1,211 @@
+package trex
+
+import (
+	"testing"
+
+	"github.com/spectrecep/spectre/internal/dataset"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/queries"
+	"github.com/spectrecep/spectre/internal/seqengine"
+)
+
+func TestSimpleSequence(t *testing.T) {
+	reg := event.NewRegistry()
+	ta, tb, tc := reg.TypeID("A"), reg.TypeID("B"), reg.TypeID("C")
+	p := pattern.Seq("ABC",
+		pattern.Step{Name: "A", Types: []event.Type{ta}},
+		pattern.Step{Name: "B", Types: []event.Type{tb}},
+		pattern.Step{Name: "C", Types: []event.Type{tc}},
+	)
+	p.Selection = pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch}
+	p.ConsumeAll()
+	q := &pattern.Query{
+		Name:    "ABC",
+		Pattern: *p,
+		Window:  pattern.WindowSpec{StartKind: pattern.StartOnMatch, StartTypes: []event.Type{ta}, EndKind: pattern.EndCount, Count: 10},
+	}
+	eng, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := eng.Run([]event.Event{
+		{Type: ta}, {Type: tb}, {Type: tc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Key() != "ABC@0:0,1,2" {
+		t.Fatalf("got %v, want [ABC@0:0,1,2]", out)
+	}
+	if stats.EventsConsumed != 3 {
+		t.Fatalf("consumed %d, want 3", stats.EventsConsumed)
+	}
+}
+
+func TestKleeneBindsAll(t *testing.T) {
+	reg := event.NewRegistry()
+	ta, tb, tc := reg.TypeID("A"), reg.TypeID("B"), reg.TypeID("C")
+	p := pattern.Seq("ABplusC",
+		pattern.Step{Name: "A", Types: []event.Type{ta}},
+		pattern.Step{Name: "B", Types: []event.Type{tb}, Quant: pattern.OneOrMore},
+		pattern.Step{Name: "C", Types: []event.Type{tc}},
+	)
+	p.Selection = pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch}
+	p.ConsumeAll()
+	q := &pattern.Query{
+		Name:    "ABplusC",
+		Pattern: *p,
+		Window:  pattern.WindowSpec{StartKind: pattern.StartOnMatch, StartTypes: []event.Type{ta}, EndKind: pattern.EndCount, Count: 10},
+	}
+	eng, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := eng.Run([]event.Event{
+		{Type: ta}, {Type: tb}, {Type: tb}, {Type: tb}, {Type: tc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Key() != "ABplusC@0:0,1,2,3,4" {
+		t.Fatalf("got %v, want all three Bs bound", out)
+	}
+}
+
+func TestNegationAborts(t *testing.T) {
+	reg := event.NewRegistry()
+	ta, tb, tx := reg.TypeID("A"), reg.TypeID("B"), reg.TypeID("X")
+	p := pattern.Pattern{
+		Name: "AnotXB",
+		Elements: []pattern.Element{
+			{Kind: pattern.ElemStep, Step: pattern.Step{Name: "A", Types: []event.Type{ta}}},
+			{Kind: pattern.ElemStep, Step: pattern.Step{Name: "X", Types: []event.Type{tx}, Negated: true}},
+			{Kind: pattern.ElemStep, Step: pattern.Step{Name: "B", Types: []event.Type{tb}}},
+		},
+		Selection: pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch},
+	}
+	q := &pattern.Query{
+		Name:    "AnotXB",
+		Pattern: p,
+		Window:  pattern.WindowSpec{StartKind: pattern.StartOnMatch, StartTypes: []event.Type{ta}, EndKind: pattern.EndCount, Count: 10},
+	}
+	eng, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := eng.Run([]event.Event{
+		{Type: ta}, {Type: tx}, {Type: tb},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("got %v, want no matches (negation)", out)
+	}
+}
+
+// TestAgreesWithSequentialOnTumblingWindows cross-checks the baseline
+// against the reference engine on disjoint (tumbling) windows, where
+// arrival-order and window-order consumption coincide exactly.
+func TestAgreesWithSequentialOnTumblingWindows(t *testing.T) {
+	reg := event.NewRegistry()
+	events := dataset.NYSE(reg, dataset.NYSEConfig{Symbols: 30, Leaders: 3, Minutes: 100, Seed: 5})
+	q, err := queries.Q2(reg, queries.Q2Config{WindowSize: 250, Slide: 250, LowerLimit: 80, UpperLimit: 125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := seqengine.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := seq.Run(append([]event.Event(nil), events...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("workload produced no matches; test is vacuous")
+	}
+	eng, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := eng.Run(append([]event.Event(nil), events...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("trex found %d matches, sequential %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key() != want[i].Key() {
+			t.Fatalf("match %d: trex %s, sequential %s", i, got[i].Key(), want[i].Key())
+		}
+	}
+}
+
+// TestAgreesWithSequentialWithoutConsumption cross-checks overlapping
+// windows with no consumption policy: the engines' detection orders
+// differ, but the match sets must be identical.
+func TestAgreesWithSequentialWithoutConsumption(t *testing.T) {
+	reg := event.NewRegistry()
+	events := dataset.NYSE(reg, dataset.NYSEConfig{Symbols: 30, Leaders: 3, Minutes: 60, Seed: 5})
+	q, err := queries.Q1(reg, queries.Q1Config{Q: 4, WindowSize: 150, Leaders: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Pattern.ConsumeNone()
+	seq, err := seqengine.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := seq.Run(append([]event.Event(nil), events...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("workload produced no matches; test is vacuous")
+	}
+	eng, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := eng.Run(append([]event.Event(nil), events...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := make(map[string]bool, len(want))
+	for i := range want {
+		wantKeys[want[i].Key()] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("trex found %d matches, sequential %d", len(got), len(want))
+	}
+	for i := range got {
+		if !wantKeys[got[i].Key()] {
+			t.Fatalf("trex match %s not produced by the sequential engine", got[i].Key())
+		}
+	}
+}
+
+func TestSetDetection(t *testing.T) {
+	reg := event.NewRegistry()
+	q, err := queries.Q3(reg, queries.Q3Config{SetSize: 3, WindowSize: 20, Slide: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := func(i int) event.Type { id, _ := reg.LookupType(dataset.Symbol(i)); return id }
+	eng, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := eng.Run([]event.Event{
+		{Type: s(0)}, {Type: s(3)}, {Type: s(2)}, {Type: s(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Key() != "Q3@0:0,1,2,3" {
+		t.Fatalf("got %v, want [Q3@0:0,1,2,3]", out)
+	}
+}

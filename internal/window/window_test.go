@@ -1,0 +1,143 @@
+package window
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+)
+
+func observeAll(m *Manager, events []event.Event) (opened []*Window) {
+	for i := range events {
+		events[i].Seq = uint64(i)
+		o, _ := m.Observe(&events[i])
+		opened = append(opened, o...)
+	}
+	return opened
+}
+
+func TestCountSlidingWindows(t *testing.T) {
+	m := NewManager(pattern.WindowSpec{
+		StartKind: pattern.StartEvery, Every: 10,
+		EndKind: pattern.EndCount, Count: 25,
+	})
+	events := make([]event.Event, 35)
+	opened := observeAll(m, events)
+	if len(opened) != 4 { // at seq 0, 10, 20, 30
+		t.Fatalf("opened %d windows, want 4", len(opened))
+	}
+	w0 := opened[0]
+	if !w0.Resolved() || w0.StartSeq != 0 || w0.EndSeq() != 25 {
+		t.Fatalf("w0 = %v", w0)
+	}
+	if w0.Size() != 25 {
+		t.Fatalf("size = %d, want 25", w0.Size())
+	}
+	if !w0.Contains(24) || w0.Contains(25) {
+		t.Fatal("containment bounds")
+	}
+	if !w0.Overlaps(opened[1]) || !w0.Overlaps(opened[2]) || w0.Overlaps(opened[3]) {
+		t.Fatal("overlap relations with slides 10/20/30 vs end 25")
+	}
+	if m.AvgSize() != 25 {
+		t.Fatalf("avg size = %g, want 25", m.AvgSize())
+	}
+}
+
+func TestPredicateStartDurationEnd(t *testing.T) {
+	reg := event.NewRegistry()
+	ta := reg.TypeID("A")
+	tb := reg.TypeID("B")
+	m := NewManager(pattern.WindowSpec{
+		StartKind:  pattern.StartOnMatch,
+		StartTypes: []event.Type{ta},
+		EndKind:    pattern.EndDuration,
+		Duration:   time.Minute,
+	})
+	sec := func(s int) int64 { return int64(s) * int64(time.Second) }
+	events := []event.Event{
+		{TS: sec(0), Type: ta},  // opens w0
+		{TS: sec(30), Type: tb}, // inside
+		{TS: sec(59), Type: ta}, // opens w1
+		{TS: sec(61), Type: tb}, // resolves w0 (61 ≥ 0+60)
+		{TS: sec(200), Type: tb},
+	}
+	opened := observeAll(m, events)
+	if len(opened) != 2 {
+		t.Fatalf("opened %d windows, want 2", len(opened))
+	}
+	w0, w1 := opened[0], opened[1]
+	if !w0.Resolved() || w0.EndSeq() != 3 {
+		t.Fatalf("w0 end = %v, want 3 (the first event at/past the boundary)", w0.EndSeq())
+	}
+	if !w1.Resolved() || w1.EndSeq() != 4 {
+		t.Fatalf("w1 end = %v, want 4 (event at 200s resolves it)", w1.EndSeq())
+	}
+	if m.Opened() != 2 {
+		t.Fatalf("Opened = %d", m.Opened())
+	}
+}
+
+func TestFinishResolvesPending(t *testing.T) {
+	reg := event.NewRegistry()
+	ta := reg.TypeID("A")
+	m := NewManager(pattern.WindowSpec{
+		StartKind:  pattern.StartOnMatch,
+		StartTypes: []event.Type{ta},
+		EndKind:    pattern.EndDuration,
+		Duration:   time.Hour,
+	})
+	events := []event.Event{{TS: 0, Type: ta}, {TS: 1, Type: ta}}
+	opened := observeAll(m, events)
+	if opened[0].Resolved() {
+		t.Fatal("window must be unresolved before Finish")
+	}
+	resolved := m.Finish(2)
+	if len(resolved) != 2 {
+		t.Fatalf("Finish resolved %d windows, want 2", len(resolved))
+	}
+	if opened[0].EndSeq() != 2 || opened[1].EndSeq() != 2 {
+		t.Fatal("Finish must set the boundary to the stream length")
+	}
+}
+
+func TestUnresolvedOverlapConservative(t *testing.T) {
+	w1 := NewWindow(0, 0, 0)
+	w2 := NewWindow(1, 100, 0)
+	if !w1.Overlaps(w2) {
+		t.Fatal("unresolved windows must conservatively overlap successors")
+	}
+	w1.SetEndSeq(50)
+	if w1.Overlaps(w2) {
+		t.Fatal("resolved non-overlapping windows must not overlap")
+	}
+}
+
+func TestAvgSizeFallback(t *testing.T) {
+	m := NewManager(pattern.WindowSpec{
+		StartKind: pattern.StartEvery, Every: 5,
+		EndKind: pattern.EndCount, Count: 42,
+	})
+	if m.AvgSize() != 42 {
+		t.Fatalf("count-window fallback avg = %g, want 42", m.AvgSize())
+	}
+	md := NewManager(pattern.WindowSpec{
+		StartKind: pattern.StartEvery, Every: 5,
+		EndKind: pattern.EndDuration, Duration: time.Second,
+	})
+	if md.AvgSize() != 1 {
+		t.Fatalf("duration-window fallback avg = %g, want 1", md.AvgSize())
+	}
+}
+
+func TestWindowString(t *testing.T) {
+	w := NewWindow(2, 10, 0)
+	if w.String() != "w2[10,?)" {
+		t.Fatalf("unresolved string = %q", w.String())
+	}
+	w.SetEndSeq(20)
+	if w.String() != "w2[10,20)" {
+		t.Fatalf("resolved string = %q", w.String())
+	}
+}

@@ -1,0 +1,21 @@
+package spectre_test
+
+import (
+	spectre "github.com/spectrecep/spectre"
+	"github.com/spectrecep/spectre/internal/queries"
+)
+
+// Builders for the paper's evaluation queries, shared by the root-level
+// benchmarks and tests.
+
+func buildQ1(reg *spectre.Registry, q, ws, leaders int) (*spectre.Query, error) {
+	return queries.Q1(reg, queries.Q1Config{Q: q, WindowSize: ws, Leaders: leaders})
+}
+
+func buildQ2(reg *spectre.Registry, ws, slide int, lower, upper float64) (*spectre.Query, error) {
+	return queries.Q2(reg, queries.Q2Config{WindowSize: ws, Slide: slide, LowerLimit: lower, UpperLimit: upper})
+}
+
+func buildQ3(reg *spectre.Registry, setSize, ws, slide int) (*spectre.Query, error) {
+	return queries.Q3(reg, queries.Q3Config{SetSize: setSize, WindowSize: ws, Slide: slide})
+}

@@ -1,0 +1,201 @@
+// Package spectre is a Go implementation of SPECTRE (SPECulaTive Runtime
+// Environment), the window-based parallel complex event processing
+// framework with consumption-policy support from
+//
+//	Mayer, Slo, Tariq, Rothermel, Gräber, Ramachandran:
+//	"SPECTRE: Supporting Consumption Policies in Window-Based Parallel
+//	Complex Event Processing", ACM Middleware 2017.
+//
+// Consumption policies remove events from further pattern detection once
+// they participate in a detected complex event. In window-based data
+// parallelism this creates dependencies between overlapping windows.
+// SPECTRE resolves them speculatively: it maintains multiple versions of
+// each dependent window (one per assumed outcome of each undecided
+// consumption group), predicts the groups' completion probabilities with
+// an online-learned Markov model, and schedules the k most probable window
+// versions onto k parallel operator instances. The delivered output equals
+// sequential processing exactly — no false positives, no false negatives.
+//
+// # Quick start
+//
+//	reg := spectre.NewRegistry()
+//	query, err := spectre.ParseQuery(`
+//	    PATTERN (A B)
+//	    DEFINE A AS A.symbol = 'A', B AS B.symbol = 'B'
+//	    WITHIN 1 min FROM A
+//	    CONSUME (B)
+//	    ON MATCH RESTART LEADER
+//	`, reg)
+//	// handle err
+//	eng, err := spectre.NewEngine(query, spectre.WithInstances(8))
+//	// handle err
+//	err = eng.Run(spectre.FromSlice(events), func(ce spectre.ComplexEvent) {
+//	    fmt.Println(ce)
+//	})
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package spectre
+
+import (
+	"github.com/spectrecep/spectre/internal/core"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/markov"
+	"github.com/spectrecep/spectre/internal/parser"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/seqengine"
+	"github.com/spectrecep/spectre/internal/stream"
+	"github.com/spectrecep/spectre/internal/trex"
+)
+
+// Core data types, re-exported from the internal model.
+type (
+	// Event is a primitive input event.
+	Event = event.Event
+	// ComplexEvent is a detected pattern instance.
+	ComplexEvent = event.Complex
+	// EventType is an interned event type (e.g. a stock symbol).
+	EventType = event.Type
+	// Registry interns event-type and payload-field names.
+	Registry = event.Registry
+	// Query is a compiled query: pattern + window specification.
+	Query = pattern.Query
+	// Pattern is the pattern part of a query (for programmatic
+	// construction; most users should prefer ParseQuery).
+	Pattern = pattern.Pattern
+	// Step is a single pattern variable.
+	Step = pattern.Step
+	// WindowSpec describes window formation.
+	WindowSpec = pattern.WindowSpec
+	// Source yields events in stream order.
+	Source = stream.Source
+	// Metrics are the runtime counters of an Engine run.
+	Metrics = core.Metrics
+	// Predictor predicts consumption-group completion probabilities.
+	Predictor = markov.Predictor
+)
+
+// NewRegistry returns an empty type/field registry. Use one registry per
+// deployment: the query, the data source and the engine must share it.
+func NewRegistry() *Registry { return event.NewRegistry() }
+
+// ParseQuery compiles a textual query in the extended MATCH-RECOGNIZE
+// notation of the paper's Figure 9 (PATTERN / DEFINE / WITHIN ... FROM /
+// CONSUME, see internal/parser for the full grammar).
+func ParseQuery(src string, reg *Registry) (*Query, error) {
+	return parser.Parse(src, reg)
+}
+
+// FromSlice adapts a slice of events into a Source.
+func FromSlice(events []Event) Source { return stream.FromSlice(events) }
+
+// FromChan adapts a channel of events into a Source; close the channel to
+// end the stream.
+func FromChan(ch <-chan Event) Source { return stream.FromChan(ch) }
+
+// Option configures an Engine.
+type Option func(*core.Config)
+
+// WithInstances sets k, the number of parallel operator instances
+// (default 4).
+func WithInstances(k int) Option {
+	return func(c *core.Config) { c.Instances = k }
+}
+
+// WithPredictor replaces the completion-probability model (default: the
+// paper's Markov model with α = 0.7, ℓ = 10).
+func WithPredictor(p Predictor) Option {
+	return func(c *core.Config) { c.Predictor = p }
+}
+
+// WithFixedProbability uses a constant completion probability for every
+// consumption group (the baseline of the paper's Figure 11).
+func WithFixedProbability(p float64) Option {
+	return func(c *core.Config) { c.Predictor = markov.Fixed{P: p} }
+}
+
+// WithMarkov tunes the Markov model: alpha is the exponential-smoothing
+// weight, stepSize is ℓ (precomputed power spacing).
+func WithMarkov(alpha float64, stepSize int) Option {
+	return func(c *core.Config) {
+		c.Markov.Alpha = alpha
+		c.Markov.StepSize = stepSize
+	}
+}
+
+// WithConsistencyCheckEvery sets the periodic consistency-check frequency
+// in processed events (paper Fig. 8; default 64).
+func WithConsistencyCheckEvery(n int) Option {
+	return func(c *core.Config) { c.ConsistencyCheckEvery = n }
+}
+
+// WithBatchSize sets how many events an operator instance processes per
+// scheduling handoff (default 256).
+func WithBatchSize(n int) Option {
+	return func(c *core.Config) { c.BatchSize = n }
+}
+
+// Engine is the parallel SPECTRE runtime for one query. An Engine runs a
+// single stream; construct a new one per run.
+type Engine struct {
+	inner *core.Engine
+}
+
+// NewEngine builds a SPECTRE engine for the query.
+func NewEngine(q *Query, opts ...Option) (*Engine, error) {
+	var cfg core.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	inner, err := core.New(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
+}
+
+// Run processes the source and calls emit for every detected complex
+// event, in canonical order (window order; detection order within a
+// window). The output is exactly what sequential processing would
+// produce. emit must not call back into the engine.
+func (e *Engine) Run(src Source, emit func(ComplexEvent)) error {
+	return e.inner.Run(src, emit)
+}
+
+// Metrics returns a snapshot of the runtime counters (throughput inputs,
+// speculation statistics, dependency-tree high-water mark, ...).
+func (e *Engine) Metrics() Metrics {
+	return e.inner.MetricsSnapshot()
+}
+
+// SequentialStats summarizes a sequential run (the reference semantics).
+type SequentialStats = seqengine.Stats
+
+// RunSequential processes events with the sequential reference engine:
+// windows processed to completion one after the other. It defines the
+// semantics the parallel engine reproduces, and its
+// completed-to-created consumption-group ratio is the "ground truth"
+// completion probability of the paper's Figures 10(d)/(e).
+func RunSequential(q *Query, events []Event) ([]ComplexEvent, SequentialStats, error) {
+	eng, err := seqengine.New(q)
+	if err != nil {
+		return nil, SequentialStats{}, err
+	}
+	return eng.Run(events)
+}
+
+// BaselineStats summarizes a baseline-engine run.
+type BaselineStats = trex.Stats
+
+// RunBaseline processes events with the T-REX-style single-threaded
+// baseline engine (general-purpose interpreted automata in
+// multi-selection mode, maintaining every partial sequence; the
+// comparison system of the paper's §4.2.3). Its detection semantics are
+// arrival-ordered with immediate consumption, so match sets can differ
+// from the window-ordered reference on overlapping windows.
+func RunBaseline(q *Query, events []Event) ([]ComplexEvent, BaselineStats, error) {
+	eng, err := trex.NewGeneral(q)
+	if err != nil {
+		return nil, BaselineStats{}, err
+	}
+	return eng.Run(events)
+}
