@@ -39,12 +39,17 @@ func run() error {
 		minutes   = flag.Int("minutes", 200, "NYSE dataset minutes")
 		randEv    = flag.Int("rand-events", 100000, "RAND dataset events (paper: 3M)")
 		seed      = flag.Int64("seed", 42, "dataset seed")
+		shards    = flag.String("shards", "1,2,4,8", "comma-separated shard counts for the partition experiment")
 	)
 	flag.Parse()
 
 	ks, err := parseInts(*instances)
 	if err != nil {
 		return fmt.Errorf("bad -instances: %w", err)
+	}
+	ns, err := parseInts(*shards)
+	if err != nil {
+		return fmt.Errorf("bad -shards: %w", err)
 	}
 	opt := &bench.Options{
 		Repeats:     *repeats,
@@ -55,6 +60,7 @@ func run() error {
 		NYSEMinutes: *minutes,
 		RandEvents:  *randEv,
 		Seed:        *seed,
+		Shards:      ns,
 		Out:         os.Stdout,
 	}
 

@@ -1,10 +1,14 @@
 // Command spectre-client reads events from a dataset file and streams
 // them to a spectre-server over TCP, as fast as possible (the throughput
-// measurement mode of the paper's evaluation) or rate-limited.
+// measurement mode of the paper's evaluation) or rate-limited. With
+// -query it first submits its own query to the server's shared runtime
+// (the multi-query deployment); without it the server's fallback query
+// applies.
 //
 // Usage:
 //
 //	spectre-client -addr localhost:7071 -file nyse.events
+//	spectre-client -addr localhost:7071 -file nyse.events -query q.mrq
 //	spectre-client -addr localhost:7071 -file nyse.events -rate 10000
 package main
 
@@ -28,9 +32,10 @@ func main() {
 
 func run() error {
 	var (
-		addr = flag.String("addr", "localhost:7071", "server address")
-		file = flag.String("file", "", "dataset file (datagen text format)")
-		rate = flag.Int("rate", 0, "events per second (0 = unthrottled)")
+		addr      = flag.String("addr", "localhost:7071", "server address")
+		file      = flag.String("file", "", "dataset file (datagen text format)")
+		queryFile = flag.String("query", "", "query file to submit before streaming (multi-query server)")
+		rate      = flag.Int("rate", 0, "events per second (0 = unthrottled)")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -52,6 +57,20 @@ func run() error {
 		return err
 	}
 	defer conn.Close()
+
+	if *queryFile != "" {
+		text, err := os.ReadFile(*queryFile)
+		if err != nil {
+			return err
+		}
+		qw := transport.NewWriter(conn, reg)
+		if err := qw.WriteQuery(string(text)); err != nil {
+			return err
+		}
+		if err := qw.Flush(); err != nil {
+			return err
+		}
+	}
 
 	start := time.Now()
 	if *rate <= 0 {

@@ -1,13 +1,19 @@
-// Command spectre-server runs a SPECTRE operator fed over TCP (the
-// deployment of the paper's evaluation setup: a client streams events from
-// a file to the engine over a TCP connection).
+// Command spectre-server runs a shared SPECTRE runtime fed over TCP. It
+// accepts any number of client connections; each client submits its own
+// query (a leading query control frame, see spectre-client -query) and
+// streams events for it. All queries run concurrently on one key-
+// partitioned runtime multiplexed over a shared worker pool.
 //
 // Usage:
 //
-//	spectre-server -addr :7071 -query query.mrq -instances 8
+//	spectre-server -addr :7071 -workers 16
+//	spectre-server -addr :7071 -query query.mrq            # legacy clients
+//	spectre-server -addr :7071 -max-conns 1 -query q.mrq   # one-shot
 //
-// The server accepts one connection, processes the stream, prints each
-// detected complex event, and exits with a metrics summary.
+// Clients that send no query frame fall back to the -query file (the
+// legacy single-query deployment of the paper's evaluation setup). The
+// server prints each detected complex event and a per-connection metrics
+// summary; -max-conns N exits after N connections drain.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sync"
 	"time"
 
 	spectre "github.com/spectrecep/spectre"
@@ -28,66 +35,130 @@ func main() {
 	}
 }
 
+type serverOpts struct {
+	instances int
+	shards    int
+	quiet     bool
+	fallback  string // query text for clients that send no query frame
+}
+
 func run() error {
 	var (
 		addr      = flag.String("addr", ":7071", "listen address")
-		queryFile = flag.String("query", "", "file with the query (extended MATCH-RECOGNIZE notation)")
-		instances = flag.Int("instances", 4, "operator instances k")
+		queryFile = flag.String("query", "", "fallback query file for clients that send no query frame")
+		instances = flag.Int("instances", 4, "operator-instance slots per shard")
+		shards    = flag.Int("shards", 0, "override shard count for partitioned queries (0 = query's SHARDS, then GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "shared worker-pool size (0 = GOMAXPROCS)")
+		maxConns  = flag.Int("max-conns", 0, "exit after this many connections (0 = serve forever)")
 		quiet     = flag.Bool("quiet", false, "suppress per-event output (throughput measurements)")
 	)
 	flag.Parse()
-	if *queryFile == "" {
-		return fmt.Errorf("-query is required")
+
+	opts := serverOpts{instances: *instances, shards: *shards, quiet: *quiet}
+	if *queryFile != "" {
+		src, err := os.ReadFile(*queryFile)
+		if err != nil {
+			return err
+		}
+		opts.fallback = string(src)
 	}
-	src, err := os.ReadFile(*queryFile)
-	if err != nil {
-		return err
-	}
-	reg := spectre.NewRegistry()
-	query, err := spectre.ParseQuery(string(src), reg)
-	if err != nil {
-		return err
-	}
-	eng, err := spectre.NewEngine(query, spectre.WithInstances(*instances))
-	if err != nil {
-		return err
-	}
+
+	// The runtime's own registry only backs programmatic partition options;
+	// every connection parses its query into a private registry so that
+	// type interning stays single-writer per stream.
+	rt := spectre.NewRuntime(spectre.NewRegistry(), spectre.WithWorkers(*workers))
+	defer rt.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	fmt.Fprintf(os.Stderr, "spectre-server: listening on %s (query %s, k=%d)\n", *addr, query.Name, *instances)
+	fmt.Fprintf(os.Stderr, "spectre-server: listening on %s (multi-query runtime, %d-slot shards)\n",
+		*addr, *instances)
 
-	conn, err := ln.Accept()
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-
-	events, srcErr := transport.SourceFromConn(conn, reg)
-	matches := 0
-	start := time.Now()
-	err = eng.Run(events, func(ce spectre.ComplexEvent) {
-		matches++
-		if !*quiet {
-			fmt.Println(ce.String())
+	var wg sync.WaitGroup
+	served := 0
+	for *maxConns <= 0 || served < *maxConns {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
 		}
-	})
-	elapsed := time.Since(start)
+		served++
+		id := served
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := serveConn(rt, conn, id, opts); err != nil {
+				fmt.Fprintf(os.Stderr, "spectre-server: conn %d: %v\n", id, err)
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// serveConn handles one client: read its query, submit it to the shared
+// runtime, feed its event stream, drain and report.
+func serveConn(rt *spectre.Runtime, conn net.Conn, id int, opts serverOpts) error {
+	defer conn.Close()
+	reg := spectre.NewRegistry()
+	r := transport.NewReader(conn, reg)
+
+	queryText, ok, err := r.ReadQuery()
 	if err != nil {
 		return err
 	}
+	if !ok {
+		if opts.fallback == "" {
+			return fmt.Errorf("client sent no query frame and no -query fallback is configured")
+		}
+		queryText = opts.fallback
+	}
+	query, err := spectre.ParseQuery(queryText, reg)
+	if err != nil {
+		return err
+	}
+
+	subOpts := []spectre.Option{spectre.WithInstances(opts.instances)}
+	if opts.shards > 0 && query.Partition != nil {
+		subOpts = append(subOpts, spectre.WithShards(opts.shards))
+	}
+	matches := 0
+	h, err := rt.Submit(query, func(ce spectre.ComplexEvent) {
+		matches++
+		if !opts.quiet {
+			fmt.Printf("[conn %d] %s\n", id, ce.String())
+		}
+	}, subOpts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "spectre-server: conn %d: query %s on %d shard(s)\n",
+		id, h.Name(), h.Shards())
+
+	src, srcErr := transport.SourceFromReader(r)
+	start := time.Now()
+	for {
+		ev, more := src.Next()
+		if !more {
+			break
+		}
+		if err := h.Feed(ev); err != nil {
+			return err
+		}
+	}
+	h.Drain()
+	elapsed := time.Since(start)
 	if err := srcErr(); err != nil {
 		return fmt.Errorf("stream error: %w", err)
 	}
-	m := eng.Metrics()
+	m := h.Metrics()
 	fmt.Fprintf(os.Stderr,
-		"spectre-server: %d events, %d matches in %v (%.0f events/sec)\n"+
-			"  windows=%d versions=%d dropped=%d rollbacks=%d gate-reprocessed=%d max-tree=%d\n",
-		m.EventsIngested, matches, elapsed.Round(time.Millisecond),
-		float64(m.EventsIngested)/elapsed.Seconds(),
+		"spectre-server: conn %d: %d events, %d matches in %v (%.0f events/sec)\n"+
+			"  shards=%d windows=%d versions=%d dropped=%d rollbacks=%d gate-reprocessed=%d max-tree=%d\n",
+		id, m.EventsIngested, matches, elapsed.Round(time.Millisecond),
+		float64(m.EventsIngested)/elapsed.Seconds(), h.Shards(),
 		m.WindowsOpened, m.VersionsCreated, m.VersionsDropped,
 		m.Rollbacks, m.GateReprocessed, m.MaxTreeSize)
 	return nil

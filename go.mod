@@ -1,0 +1,3 @@
+module github.com/spectrecep/spectre
+
+go 1.22

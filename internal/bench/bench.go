@@ -51,6 +51,9 @@ type Options struct {
 	RandSymbols, RandEvents int
 	// Seed makes dataset generation deterministic.
 	Seed int64
+	// Shards is the shard-count sweep of the Partitioned experiment
+	// (default 1, 2, 4, 8).
+	Shards []int
 	// Out receives the printed tables (nil silences printing).
 	Out io.Writer
 }
@@ -502,22 +505,23 @@ func (o *Options) TRexComparison() ([]Row, error) {
 // Experiments maps experiment ids to their runners.
 func (o *Options) Experiments() map[string]func() ([]Row, error) {
 	return map[string]func() ([]Row, error){
-		"fig10a": o.Fig10a,
-		"fig10b": o.Fig10b,
-		"fig10c": o.Fig10c,
-		"fig10d": o.Fig10d,
-		"fig10e": o.Fig10e,
-		"fig10f": o.Fig10f,
-		"fig11a": o.Fig11a,
-		"fig11b": o.Fig11b,
-		"trex":   o.TRexComparison,
+		"fig10a":    o.Fig10a,
+		"fig10b":    o.Fig10b,
+		"fig10c":    o.Fig10c,
+		"fig10d":    o.Fig10d,
+		"fig10e":    o.Fig10e,
+		"fig10f":    o.Fig10f,
+		"fig11a":    o.Fig11a,
+		"fig11b":    o.Fig11b,
+		"trex":      o.TRexComparison,
+		"partition": o.Partitioned,
 	}
 }
 
 // ExperimentOrder lists the experiment ids in presentation order.
 var ExperimentOrder = []string{
 	"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
-	"fig11a", "fig11b", "trex",
+	"fig11a", "fig11b", "trex", "partition",
 }
 
 // RunAll executes every experiment in order.

@@ -1,8 +1,12 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	"github.com/spectrecep/spectre/internal/core"
+	"github.com/spectrecep/spectre/internal/event"
 )
 
 // tinyOptions shrinks every experiment so the whole suite smoke-runs in
@@ -144,5 +148,52 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	}
 	if len(exps) != len(ExperimentOrder) {
 		t.Fatalf("registry has %d entries, order lists %d", len(exps), len(ExperimentOrder))
+	}
+}
+
+func TestPartitionedSmoke(t *testing.T) {
+	var out strings.Builder
+	o := tinyOptions(&out)
+	o.Shards = []int{1, 2}
+	rows, err := o.Partitioned()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Value <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+	}
+	if !strings.Contains(out.String(), "Partitioned runtime") {
+		t.Fatal("table header missing")
+	}
+}
+
+// BenchmarkPartitioned measures the sharded runtime against the
+// single-shard path on a per-symbol stream with hundreds of symbols (the
+// acceptance target: ≥ 2x at 8+ partition keys on a multi-core box).
+func BenchmarkPartitioned(b *testing.B) {
+	reg := event.NewRegistry()
+	o := &Options{NYSESymbols: 200, NYSELeaders: 8, NYSEMinutes: 400, Seed: 42}
+	o.setDefaults()
+	events := o.nyseData(reg)
+	q, err := RiseQuery(reg, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nShards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", nShards), func(b *testing.B) {
+			b.SetBytes(int64(len(events)))
+			for i := 0; i < b.N; i++ {
+				c, _, err := measureRuntime(q, events, core.Config{Instances: 2}, nShards, 0, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(c.Median, "events/sec")
+			}
+		})
 	}
 }

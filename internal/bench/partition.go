@@ -1,0 +1,139 @@
+// Partitioned scaling: the multi-query Runtime's key-sharded execution
+// over a per-symbol trading workload. This experiment goes beyond the
+// paper's figures: it measures how partition-level data parallelism (one
+// SPECTRE dependency tree + splitter per shard, multiplexed on a shared
+// worker pool) multiplies the intra-query speculation parallelism of
+// Figures 10(a)/(b).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/core"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/shard"
+	"github.com/spectrecep/spectre/internal/stats"
+)
+
+// RiseQuery builds the per-symbol trading query of the partition
+// experiments: two consecutive rising quotes where the second closes
+// higher, windows opened by every rising quote. Partitioned by symbol it
+// detects per-symbol momentum; on the merged stream it degenerates to a
+// cross-symbol pattern — the point of the experiment is that partitioning
+// changes both the semantics (per-symbol correlation) and the attainable
+// parallelism.
+func RiseQuery(reg *event.Registry, windowSize int) (*pattern.Query, error) {
+	openIdx := reg.FieldIndex("open")
+	closeIdx := reg.FieldIndex("close")
+	rising := func(ev *event.Event, _ pattern.Binder) bool {
+		return ev.Field(closeIdx) > ev.Field(openIdx)
+	}
+	higher := func(ev *event.Event, b pattern.Binder) bool {
+		if ev.Field(closeIdx) <= ev.Field(openIdx) {
+			return false
+		}
+		xs := b.Bound(0)
+		if len(xs) == 0 {
+			return false
+		}
+		return ev.Field(closeIdx) > xs[0].Field(closeIdx)
+	}
+	p := pattern.Seq("rise",
+		pattern.Step{Name: "X", Pred: rising},
+		pattern.Step{Name: "Y", Pred: higher},
+	)
+	p.Selection = pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch}
+	p.ConsumeAll()
+	q := &pattern.Query{
+		Name:    "rise",
+		Pattern: *p,
+		Window: pattern.WindowSpec{
+			StartKind: pattern.StartOnMatch,
+			StartPred: func(ev *event.Event) bool { return rising(ev, nil) },
+			EndKind:   pattern.EndCount,
+			Count:     windowSize,
+		},
+		Partition: &pattern.PartitionSpec{ByType: true, Field: -1},
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// measureRuntime pushes events through a fresh Runtime with nShards
+// key-partitioned shards and returns the throughput candles.
+func measureRuntime(q *pattern.Query, events []event.Event, cfg core.Config, nShards, workers, repeats int) (stats.Candles, core.Metrics, error) {
+	var series stats.Series
+	var lastMetrics core.Metrics
+	for r := 0; r < repeats; r++ {
+		rt := core.NewRuntime(core.RuntimeConfig{Workers: workers})
+		router := shard.NewRouter(nShards, shard.ByType())
+		h, err := rt.Submit(q, cfg, router.Route, nShards, nil)
+		if err != nil {
+			rt.Close()
+			return stats.Candles{}, core.Metrics{}, err
+		}
+		start := time.Now()
+		for i := range events {
+			if err := h.Feed(events[i]); err != nil {
+				rt.Close()
+				return stats.Candles{}, core.Metrics{}, err
+			}
+		}
+		h.Drain()
+		elapsed := time.Since(start)
+		lastMetrics = h.Metrics()
+		rt.Close()
+		series.Add(stats.Throughput(uint64(len(events)), elapsed))
+	}
+	return series.Candles(), lastMetrics, nil
+}
+
+// ShardCounts returns the shard sweep of the partition experiment.
+func (o *Options) ShardCounts() []int {
+	if len(o.Shards) > 0 {
+		return o.Shards
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// Partitioned measures Runtime throughput versus the shard count on a
+// per-symbol trading stream (hundreds of symbols). The shards=1 row is
+// the single-shard path every other row is compared against.
+func (o *Options) Partitioned() ([]Row, error) {
+	o.setDefaults()
+	reg := event.NewRegistry()
+	events := o.nyseData(reg)
+	q, err := RiseQuery(reg, o.WindowSize)
+	if err != nil {
+		return nil, err
+	}
+	o.printf("\n== Partitioned runtime: throughput vs shard count (%d symbols, ws=%d, %d events) ==\n",
+		o.NYSESymbols, o.WindowSize, len(events))
+	o.printf("%-12s %14s   %s\n", "shards", "med ev/s", "candles (min/p25/med/p75/max)")
+	var rows []Row
+	base := 0.0
+	for _, n := range o.ShardCounts() {
+		c, _, err := measureRuntime(q, events, core.Config{Instances: 2}, n, 0, o.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("shards=%d", n)
+		rows = append(rows, Row{
+			Figure: "partition", Label: label, K: n,
+			Value: c.Median, Metric: "events/sec", Candles: c,
+		})
+		if n == 1 {
+			base = c.Median
+			o.printf("%-12s %14.0f   %s\n", label, c.Median, c)
+		} else if base > 0 {
+			o.printf("%-12s %14.0f   %s  (%.2fx vs 1 shard)\n", label, c.Median, c, c.Median/base)
+		} else {
+			o.printf("%-12s %14.0f   %s\n", label, c.Median, c)
+		}
+	}
+	return rows, nil
+}

@@ -32,6 +32,7 @@ import (
 
 	"github.com/spectrecep/spectre/internal/deptree"
 	"github.com/spectrecep/spectre/internal/markov"
+	"github.com/spectrecep/spectre/internal/pattern"
 )
 
 // Config parameterizes an Engine. The zero value selects the defaults
@@ -59,6 +60,24 @@ type Config struct {
 	// always continues while the root window itself is incomplete, so the
 	// pipeline cannot deadlock.
 	MaxTreeSize int
+	// MaxSpeculation caps the dependency tree's speculative growth
+	// (default 256): once the tree holds this many window versions, new
+	// consumption groups are no longer speculated on (treated as
+	// abandoned). The final validation gate reprocesses deterministically
+	// when such a group completes after all, so the cap bounds tree
+	// explosion on adversarial consume-heavy workloads without affecting
+	// the delivered output. The cap is absolute: a stream that keeps
+	// more of its windows than this in flight at once runs unspeculated
+	// (correct, near-sequential) until the backlog drains — raise the
+	// cap for such window-heavy workloads.
+	MaxSpeculation int
+	// Partition overrides the query's PARTITION BY specification. It is
+	// interpreted by the public Runtime layer (core itself never routes);
+	// a single Engine ignores it.
+	Partition *pattern.PartitionSpec
+	// Shards overrides the shard count for partitioned Runtime queries;
+	// 0 defers to the partition spec, then to the runtime default.
+	Shards int
 }
 
 func (c *Config) setDefaults() {
@@ -76,6 +95,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.MaxTreeSize <= 0 {
 		c.MaxTreeSize = 16384
+	}
+	if c.MaxSpeculation <= 0 {
+		c.MaxSpeculation = 256
 	}
 }
 
@@ -97,6 +119,29 @@ type Metrics struct {
 	GateReprocessed uint64 // final-gate deterministic reprocessing (≈0)
 	MaxTreeSize     int    // high-water mark of window versions (Fig. 10(f))
 	SchedulesIssued uint64 // top-k assignments handed to instances
+}
+
+// Merge folds o into m: counters add, high-water marks take the maximum.
+// Used to aggregate per-shard metrics into per-handle or per-runtime
+// totals.
+func (m *Metrics) Merge(o *Metrics) {
+	m.EventsIngested += o.EventsIngested
+	m.EventsProcessed += o.EventsProcessed
+	m.Cycles += o.Cycles
+	m.WindowsOpened += o.WindowsOpened
+	m.VersionsCreated += o.VersionsCreated
+	m.VersionsDropped += o.VersionsDropped
+	m.CGsCreated += o.CGsCreated
+	m.CGsCompleted += o.CGsCompleted
+	m.CGsAbandoned += o.CGsAbandoned
+	m.Matches += o.Matches
+	m.EventsConsumed += o.EventsConsumed
+	m.Rollbacks += o.Rollbacks
+	m.GateReprocessed += o.GateReprocessed
+	if o.MaxTreeSize > m.MaxTreeSize {
+		m.MaxTreeSize = o.MaxTreeSize
+	}
+	m.SchedulesIssued += o.SchedulesIssued
 }
 
 // metricsBox guards the metrics counters shared by the splitter and the

@@ -21,44 +21,17 @@ import (
 // ErrAlreadyRan is returned when Run is called twice on one engine.
 var ErrAlreadyRan = errors.New("core: an Engine can only Run once")
 
-// Engine is the SPECTRE runtime for a single query.
-type Engine struct {
-	cfg      Config
-	query    *pattern.Query
-	compiled *matcher.Compiled
-
-	ar       *arena.Arena
-	consumed *arena.ConsumedSet
-	tree     *deptree.Tree
-	winMgr   *window.Manager
-	pred     markov.Predictor
-
-	fq    feedbackQueue
-	sched []atomic.Pointer[deptree.WindowVersion] // per-instance assignment
-	// assigned mirrors sched for the splitter's bookkeeping (Fig. 7).
-	assigned []*deptree.WindowVersion
-
-	cgSeq      atomic.Uint64
-	versionSeq uint64 // splitter only
-	schedMark  uint64 // splitter only; per-cycle token
-
-	inputDone atomic.Bool
-	stopFlag  atomic.Bool
-
-	emit func(event.Complex)
-
-	metrics metricsBox
-
+// program is the immutable, compiled form of a query: everything shards of
+// the same query share. It is safe for concurrent read access.
+type program struct {
+	cfg       Config
+	query     *pattern.Query
+	compiled  *matcher.Compiled
 	durWindow bool
-	ran       bool
-
-	topkBuf []*deptree.WindowVersion
-	msgBuf  []msg
-	split   *worker // splitter-side worker for inline reprocessing
 }
 
-// New builds an engine for the query.
-func New(q *pattern.Query, cfg Config) (*Engine, error) {
+// compile validates and compiles q under cfg.
+func compile(q *pattern.Query, cfg Config) (*program, error) {
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -67,106 +40,131 @@ func New(q *pattern.Query, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	pred := cfg.Predictor
-	if pred == nil {
-		model, err := markov.New(compiled.MinLength(), cfg.Markov)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		pred = model
-	}
-	e := &Engine{
+	return &program{
 		cfg:       cfg,
 		query:     q,
 		compiled:  compiled,
-		ar:        arena.New(),
-		consumed:  arena.NewConsumedSet(),
-		winMgr:    window.NewManager(q.Window),
-		pred:      pred,
-		sched:     make([]atomic.Pointer[deptree.WindowVersion], cfg.Instances),
-		assigned:  make([]*deptree.WindowVersion, cfg.Instances),
 		durWindow: q.Window.EndKind == pattern.EndDuration,
-	}
-	e.tree = deptree.NewTree(e.newVersion)
-	e.tree.OnDrop = func(wv *deptree.WindowVersion) {
-		e.metrics.add(func(m *Metrics) { m.VersionsDropped++ })
-	}
-	e.split = newWorker(e)
-	return e, nil
+	}, nil
 }
 
-// newVersion is the dependency tree's window-version factory.
-func (e *Engine) newVersion(win *window.Window, suppressed []*deptree.CG) *deptree.WindowVersion {
-	e.versionSeq++
-	wv := deptree.NewWindowVersion(e.versionSeq, win, suppressed)
-	wv.SetPos(win.StartSeq)
-	e.metrics.add(func(m *Metrics) { m.VersionsCreated++ })
-	return wv
+// newPredictor builds the completion-probability model for one shard. Each
+// shard learns its own Markov model (its substream has its own statistics);
+// a user-supplied predictor is shared by all shards and must be safe for
+// concurrent use.
+func (p *program) newPredictor() (markov.Predictor, error) {
+	if p.cfg.Predictor != nil {
+		return p.cfg.Predictor, nil
+	}
+	model, err := markov.New(p.compiled.MinLength(), p.cfg.Markov)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return model, nil
 }
 
-// Run ingests the source, processes it with k operator instances and
-// invokes emit for every complex event, in canonical order (window order;
-// detection order within a window — exactly the sequential-engine order).
-// emit must not call back into the engine. Run returns after the stream is
-// fully processed; an engine runs once.
-func (e *Engine) Run(src stream.Source, emit func(event.Complex)) error {
-	if e.ran {
-		return ErrAlreadyRan
+// slot is one operator-instance scheduling slot of a shard. The splitter
+// publishes the assigned window version through wv; whichever worker
+// claims busy processes the next batch with the slot's scratch state.
+type slot struct {
+	wv   atomic.Pointer[deptree.WindowVersion]
+	busy atomic.Bool
+	w    *worker
+}
+
+// shardState is the complete per-(query, shard) run state of the SPECTRE
+// runtime: the event arena, window manager, dependency tree, feedback
+// queue, predictor and the scheduling slots. A shardState is driven either
+// by a dedicated splitter goroutine plus k instance goroutines (Engine.Run)
+// or cooperatively by a shared worker Pool (Runtime).
+type shardState struct {
+	prog *program
+
+	ar       *arena.Arena
+	consumed *arena.ConsumedSet
+	tree     *deptree.Tree
+	winMgr   *window.Manager
+	pred     markov.Predictor
+
+	fq    feedbackQueue
+	slots []slot
+	// assigned mirrors the slots for the splitter's bookkeeping (Fig. 7).
+	assigned []*deptree.WindowVersion
+
+	cgSeq      atomic.Uint64
+	versionSeq uint64 // splitter only
+	schedMark  uint64 // splitter only; per-cycle token
+
+	inputDone atomic.Bool
+	finished  atomic.Bool // run fully processed; done is closed
+	splitBusy atomic.Bool // cooperative-splitter claim (Pool mode)
+	done      chan struct{}
+
+	feed feeder
+	emit func(event.Complex)
+
+	metrics metricsBox
+
+	topkBuf []*deptree.WindowVersion
+	msgBuf  []msg
+	split   *worker // splitter-side worker for inline reprocessing
+}
+
+// newShard builds one shard of prog.
+func newShard(prog *program) (*shardState, error) {
+	pred, err := prog.newPredictor()
+	if err != nil {
+		return nil, err
 	}
-	e.ran = true
+	s := &shardState{
+		prog:     prog,
+		ar:       arena.New(),
+		consumed: arena.NewConsumedSet(),
+		winMgr:   window.NewManager(prog.query.Window),
+		pred:     pred,
+		slots:    make([]slot, prog.cfg.Instances),
+		assigned: make([]*deptree.WindowVersion, prog.cfg.Instances),
+		done:     make(chan struct{}),
+	}
+	for i := range s.slots {
+		s.slots[i].w = newWorker(s)
+	}
+	s.tree = deptree.NewTree(s.newVersion)
+	s.tree.CapSize = prog.cfg.MaxSpeculation
+	s.tree.OnDrop = func(wv *deptree.WindowVersion) {
+		s.metrics.add(func(m *Metrics) { m.VersionsDropped++ })
+	}
+	s.split = newWorker(s)
+	return s, nil
+}
+
+// begin wires the shard's intake and output before it is driven.
+func (s *shardState) begin(feed feeder, emit func(event.Complex)) {
 	if emit == nil {
 		emit = func(event.Complex) {}
 	}
-	e.emit = emit
-
-	var wg sync.WaitGroup
-	for i := 0; i < e.cfg.Instances; i++ {
-		in := newInstance(e, i)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			in.loop()
-		}()
-	}
-	e.splitLoop(src)
-	e.stopFlag.Store(true)
-	wg.Wait()
-	e.metrics.add(func(m *Metrics) { m.MaxTreeSize = e.tree.MaxSize() })
-	return nil
+	s.feed = feed
+	s.emit = emit
 }
 
-// MetricsSnapshot returns a copy of the runtime counters.
-func (e *Engine) MetricsSnapshot() Metrics { return e.metrics.snapshot() }
+// newVersion is the dependency tree's window-version factory.
+func (s *shardState) newVersion(win *window.Window, suppressed []*deptree.CG) *deptree.WindowVersion {
+	s.versionSeq++
+	wv := deptree.NewWindowVersion(s.versionSeq, win, suppressed)
+	wv.SetPos(win.StartSeq)
+	s.metrics.add(func(m *Metrics) { m.VersionsCreated++ })
+	return wv
+}
 
-// splitLoop is the splitter: ingest → apply feedback → advance/emit →
-// schedule, repeated until the stream is drained (paper §3.2.2).
-func (e *Engine) splitLoop(src stream.Source) {
+// splitLoop drives the splitter to completion on the calling goroutine:
+// ingest → apply feedback → advance/emit → schedule, repeated until the
+// stream is drained (paper §3.2.2). Used by the dedicated Engine.Run path.
+func (s *shardState) splitLoop() {
 	idle := 0
 	for {
-		worked := false
-
-		if !e.inputDone.Load() && (e.tree.Size() < e.cfg.MaxTreeSize || e.rootNeedsIngest()) {
-			if e.ingest(src) > 0 {
-				worked = true
-			}
-		}
-
-		e.msgBuf = e.fq.drain(e.msgBuf[:0])
-		if len(e.msgBuf) > 0 {
-			worked = true
-		}
-		for i := range e.msgBuf {
-			e.apply(&e.msgBuf[i])
-		}
-
-		if e.advanceRoots() {
-			worked = true
-		}
-
-		e.schedule()
-		e.metrics.add(func(m *Metrics) { m.Cycles++ })
-
-		if e.inputDone.Load() && e.tree.Empty() && e.fq.empty() {
+		worked := s.splitCycle()
+		if s.runComplete() {
+			s.finishRun()
 			return
 		}
 		if worked {
@@ -182,52 +180,119 @@ func (e *Engine) splitLoop(src stream.Source) {
 	}
 }
 
+// splitterStep runs one cooperative splitter cycle if no other worker is
+// inside it. It reports whether any progress was made. Pool workers call
+// this; the claim keeps the splitter's single-threaded state safe.
+func (s *shardState) splitterStep() bool {
+	if s.finished.Load() {
+		return false
+	}
+	if !s.splitBusy.CompareAndSwap(false, true) {
+		return false
+	}
+	worked := s.splitCycle()
+	if s.runComplete() {
+		s.finishRun()
+		worked = true
+	}
+	s.splitBusy.Store(false)
+	return worked
+}
+
+// splitCycle is one splitter maintenance+scheduling cycle.
+func (s *shardState) splitCycle() bool {
+	worked := false
+
+	if !s.inputDone.Load() && (s.tree.Size() < s.prog.cfg.MaxTreeSize || s.rootNeedsIngest()) {
+		if s.ingest() > 0 {
+			worked = true
+		}
+	}
+
+	s.msgBuf = s.fq.drain(s.msgBuf[:0])
+	if len(s.msgBuf) > 0 {
+		worked = true
+	}
+	for i := range s.msgBuf {
+		s.apply(&s.msgBuf[i])
+	}
+
+	if s.advanceRoots() {
+		worked = true
+	}
+
+	s.schedule()
+	s.metrics.add(func(m *Metrics) { m.Cycles++ })
+	return worked
+}
+
+// runComplete reports whether the shard has fully processed its stream.
+func (s *shardState) runComplete() bool {
+	return s.inputDone.Load() && s.tree.Empty() && s.fq.empty()
+}
+
+// finishRun finalizes metrics, clears the scheduling slots and publishes
+// completion. Called exactly once, by whoever drives the final splitter
+// cycle.
+func (s *shardState) finishRun() {
+	s.metrics.add(func(m *Metrics) { m.MaxTreeSize = s.tree.MaxSize() })
+	for i := range s.slots {
+		s.slots[i].wv.Store(nil)
+	}
+	s.finished.Store(true)
+	close(s.done)
+}
+
 // rootNeedsIngest reports whether the root window is still waiting for
 // events, in which case ingestion must continue regardless of tree-size
 // backpressure (liveness).
-func (e *Engine) rootNeedsIngest() bool {
-	root := e.tree.Root()
+func (s *shardState) rootNeedsIngest() bool {
+	root := s.tree.Root()
 	if root == nil {
 		return true
 	}
 	end := root.WV.Win.EndSeq()
-	return end == window.UnknownEnd || e.ar.Len() < end
+	return end == window.UnknownEnd || s.ar.Len() < end
 }
 
-// ingest appends up to IngestBatch events to the arena, forming windows.
-func (e *Engine) ingest(src stream.Source) int {
+// ingest appends up to IngestBatch pending events to the arena, forming
+// windows. Events become visible to the operator slots one by one, as
+// they arrive. At end of stream it finalizes the window manager.
+func (s *shardState) ingest() int {
 	n := 0
-	for ; n < e.cfg.IngestBatch; n++ {
-		ev, ok := src.Next()
+	for ; n < s.prog.cfg.IngestBatch; n++ {
+		ev, ok, done := s.feed.next()
 		if !ok {
-			e.winMgr.Finish(e.ar.Len())
-			e.inputDone.Store(true)
+			if done {
+				s.winMgr.Finish(s.ar.Len())
+				s.inputDone.Store(true)
+			}
 			break
 		}
-		seq := e.ar.Append(ev)
-		stored := e.ar.Get(seq)
-		opened, _ := e.winMgr.Observe(stored)
+		seq := s.ar.Append(ev)
+		stored := s.ar.Get(seq)
+		opened, _ := s.winMgr.Observe(stored)
 		for _, w := range opened {
-			e.tree.NewWindow(w)
-			e.metrics.add(func(m *Metrics) { m.WindowsOpened++ })
+			s.tree.NewWindow(w)
+			s.metrics.add(func(m *Metrics) { m.WindowsOpened++ })
 		}
 	}
 	if n > 0 {
-		e.metrics.add(func(m *Metrics) { m.EventsIngested += uint64(n) })
+		s.metrics.add(func(m *Metrics) { m.EventsIngested += uint64(n) })
 	}
 	return n
 }
 
 // apply folds one feedback message into the dependency tree.
-func (e *Engine) apply(m *msg) {
+func (s *shardState) apply(m *msg) {
 	switch m.kind {
 	case msgCGCreated:
-		e.tree.CGCreated(m.cg)
-		e.metrics.add(func(mm *Metrics) { mm.CGsCreated++ })
+		s.tree.CGCreated(m.cg)
+		s.metrics.add(func(mm *Metrics) { mm.CGsCreated++ })
 	case msgCGResolved:
 		out := m.cg.Outcome()
-		e.tree.CGResolved(m.cg)
-		e.metrics.add(func(mm *Metrics) {
+		s.tree.CGResolved(m.cg)
+		s.metrics.add(func(mm *Metrics) {
 			if out == deptree.CGCompleted {
 				mm.CGsCompleted++
 			} else {
@@ -235,29 +300,29 @@ func (e *Engine) apply(m *msg) {
 			}
 		})
 	case msgRolledBack:
-		e.tree.RebuildBelow(m.wv)
+		s.tree.RebuildBelow(m.wv)
 	case msgStats:
-		for _, s := range m.stats {
-			e.pred.RecordTransitionN(s.from, s.to, s.count)
+		for _, st := range m.stats {
+			s.pred.RecordTransitionN(st.from, st.to, st.count)
 		}
 	}
 }
 
 // advanceRoots validates, drains and pops finished roots (in-order
 // emission). It returns whether any progress was made.
-func (e *Engine) advanceRoots() bool {
+func (s *shardState) advanceRoots() bool {
 	changed := false
 	for {
-		root := e.tree.Root()
+		root := s.tree.Root()
 		if root == nil {
 			return changed
 		}
 		wv := root.WV
 		if !wv.Validated() {
-			e.validate(wv)
+			s.validate(wv)
 			changed = true
 		}
-		if e.drainOutputs(wv) {
+		if s.drainOutputs(wv) {
 			changed = true
 		}
 		if !wv.Finished() {
@@ -270,8 +335,8 @@ func (e *Engine) advanceRoots() bool {
 			// open group, so it will arrive).
 			return changed
 		}
-		e.drainOutputs(wv)
-		e.tree.PopRoot()
+		s.drainOutputs(wv)
+		s.tree.PopRoot()
 		changed = true
 	}
 }
@@ -281,7 +346,7 @@ func (e *Engine) advanceRoots() bool {
 // speculatively skipped must be finally consumed. On violation the version
 // is reprocessed deterministically. Either way the version leaves this
 // function validated, so everything it emits afterwards is final.
-func (e *Engine) validate(wv *deptree.WindowVersion) {
+func (s *shardState) validate(wv *deptree.WindowVersion) {
 	wv.Mu.Lock()
 	defer wv.Mu.Unlock()
 	if wv.Validated() {
@@ -289,22 +354,22 @@ func (e *Engine) validate(wv *deptree.WindowVersion) {
 	}
 	ok := true
 	for _, u := range wv.Used {
-		if e.consumed.Contains(u) {
+		if s.consumed.Contains(u) {
 			ok = false
 			break
 		}
 	}
 	if ok {
-		for _, s := range wv.Skipped {
-			if !e.consumed.Contains(s) {
+		for _, sk := range wv.Skipped {
+			if !s.consumed.Contains(sk) {
 				ok = false
 				break
 			}
 		}
 	}
 	if !ok {
-		e.metrics.add(func(m *Metrics) { m.GateReprocessed++ })
-		e.reprocessInline(wv)
+		s.metrics.add(func(m *Metrics) { m.GateReprocessed++ })
+		s.reprocessInline(wv)
 	}
 	wv.StatsEligible = true
 	wv.MarkValidated()
@@ -314,9 +379,9 @@ func (e *Engine) validate(wv *deptree.WindowVersion) {
 // its dependents are rebuilt, its state reset, and the whole available
 // window span is processed with suppression from the final consumed set
 // only. Tree updates are applied synchronously.
-func (e *Engine) reprocessInline(wv *deptree.WindowVersion) {
-	e.tree.RebuildBelow(wv)
-	wv.State = e.compiled.NewState()
+func (s *shardState) reprocessInline(wv *deptree.WindowVersion) {
+	s.tree.RebuildBelow(wv)
+	wv.State = s.prog.compiled.NewState()
 	wv.SetPos(wv.Win.StartSeq)
 	wv.Used = wv.Used[:0]
 	wv.Skipped = wv.Skipped[:0]
@@ -326,12 +391,12 @@ func (e *Engine) reprocessInline(wv *deptree.WindowVersion) {
 	wv.ClearFinished()
 	wv.Rollbacks++
 
-	w := e.split
+	w := s.split
 	for {
 		w.msgs = w.msgs[:0]
 		progressed := w.processSpan(wv, 1<<20)
 		for i := range w.msgs {
-			e.apply(&w.msgs[i])
+			s.apply(&w.msgs[i])
 		}
 		if !progressed || wv.Finished() {
 			return
@@ -341,7 +406,7 @@ func (e *Engine) reprocessInline(wv *deptree.WindowVersion) {
 
 // drainOutputs emits the validated root's buffered complex events and
 // finalizes their consumption. Emission happens outside the version lock.
-func (e *Engine) drainOutputs(wv *deptree.WindowVersion) bool {
+func (s *shardState) drainOutputs(wv *deptree.WindowVersion) bool {
 	if !wv.Validated() {
 		return false
 	}
@@ -358,29 +423,29 @@ func (e *Engine) drainOutputs(wv *deptree.WindowVersion) bool {
 	consumedCount := 0
 	for i := range out {
 		for _, seq := range out[i].Consumed {
-			if !e.consumed.Contains(seq) {
-				e.consumed.Mark(seq)
+			if !s.consumed.Contains(seq) {
+				s.consumed.Mark(seq)
 				consumedCount++
 			}
 		}
 	}
-	e.metrics.add(func(m *Metrics) {
+	s.metrics.add(func(m *Metrics) {
 		m.Matches += uint64(len(out))
 		m.EventsConsumed += uint64(consumedCount)
 	})
 	for i := range out {
-		e.emit(out[i])
+		s.emit(out[i])
 	}
 	return true
 }
 
 // schedule selects the top-k window versions and assigns the difference
-// to free instances (paper Fig. 7: already-scheduled versions stay put).
-func (e *Engine) schedule() {
-	k := e.cfg.Instances
-	arenaLen := e.ar.Len()
-	avgSize := e.winMgr.AvgSize()
-	inputDone := e.inputDone.Load()
+// to free slots (paper Fig. 7: already-scheduled versions stay put).
+func (s *shardState) schedule() {
+	k := len(s.slots)
+	arenaLen := s.ar.Len()
+	avgSize := s.winMgr.AvgSize()
+	inputDone := s.inputDone.Load()
 
 	probOf := func(cg *deptree.CG) float64 {
 		switch cg.Outcome() {
@@ -391,7 +456,7 @@ func (e *Engine) schedule() {
 		}
 		owner := cg.Owner
 		n := int(avgSize) - int(owner.Pos()-owner.Win.StartSeq)
-		return e.pred.CompletionProbability(cg.Delta(), n)
+		return s.pred.CompletionProbability(cg.Delta(), n)
 	}
 	eligible := func(wv *deptree.WindowVersion) bool {
 		if wv.Finished() || wv.Dropped() {
@@ -411,30 +476,30 @@ func (e *Engine) schedule() {
 		return inputDone && pos >= arenaLen
 	}
 
-	e.topkBuf = e.tree.TopK(k, probOf, eligible, e.topkBuf[:0])
-	e.schedMark++
+	s.topkBuf = s.tree.TopK(k, probOf, eligible, s.topkBuf[:0])
+	s.schedMark++
 
-	for _, wv := range e.topkBuf {
-		wv.SchedMark = e.schedMark
+	for _, wv := range s.topkBuf {
+		wv.SchedMark = s.schedMark
 	}
-	// First pass: free instances whose assignment fell out of the top-k
+	// First pass: free slots whose assignment fell out of the top-k
 	// (or was dropped/finished).
 	var free []int
-	for i, cur := range e.assigned {
+	for i, cur := range s.assigned {
 		if cur == nil {
 			free = append(free, i)
 			continue
 		}
-		if cur.SchedMark != e.schedMark || cur.Dropped() || cur.Finished() {
+		if cur.SchedMark != s.schedMark || cur.Dropped() || cur.Finished() {
 			cur.SetScheduledOn(-1)
-			e.sched[i].Store(nil)
-			e.assigned[i] = nil
+			s.slots[i].wv.Store(nil)
+			s.assigned[i] = nil
 			free = append(free, i)
 		}
 	}
 	// Second pass: schedule the not-yet-scheduled top-k versions.
 	scheduled := 0
-	for _, wv := range e.topkBuf {
+	for _, wv := range s.topkBuf {
 		if wv.ScheduledOn() >= 0 {
 			continue
 		}
@@ -443,12 +508,67 @@ func (e *Engine) schedule() {
 		}
 		i := free[0]
 		free = free[1:]
-		e.assigned[i] = wv
+		s.assigned[i] = wv
 		wv.SetScheduledOn(i)
-		e.sched[i].Store(wv)
+		s.slots[i].wv.Store(wv)
 		scheduled++
 	}
 	if scheduled > 0 {
-		e.metrics.add(func(m *Metrics) { m.SchedulesIssued += uint64(scheduled) })
+		s.metrics.add(func(m *Metrics) { m.SchedulesIssued += uint64(scheduled) })
 	}
 }
+
+// Engine is the SPECTRE runtime for a single query over a single stream: a
+// thin wrapper around one shardState driven by a dedicated splitter
+// goroutine (the caller of Run) and k instance goroutines. Multi-query,
+// key-partitioned deployments use Runtime instead, which multiplexes many
+// shards onto a shared worker pool.
+type Engine struct {
+	prog  *program
+	shard *shardState
+	ran   bool
+}
+
+// New builds an engine for the query.
+func New(q *pattern.Query, cfg Config) (*Engine, error) {
+	prog, err := compile(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newShard(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{prog: prog, shard: s}, nil
+}
+
+// Run ingests the source, processes it with k operator instances and
+// invokes emit for every complex event, in canonical order (window order;
+// detection order within a window — exactly the sequential-engine order).
+// emit must not call back into the engine. Run returns after the stream is
+// fully processed; an engine runs once.
+func (e *Engine) Run(src stream.Source, emit func(event.Complex)) error {
+	if e.ran {
+		return ErrAlreadyRan
+	}
+	e.ran = true
+	s := e.shard
+	s.begin(&sourceFeeder{src: src}, emit)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := range s.slots {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.slotLoop(i, &stop)
+		}(i)
+	}
+	s.splitLoop()
+	stop.Store(true)
+	wg.Wait()
+	return nil
+}
+
+// MetricsSnapshot returns a copy of the runtime counters.
+func (e *Engine) MetricsSnapshot() Metrics { return e.shard.metrics.snapshot() }

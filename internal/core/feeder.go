@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/stream"
+)
+
+// feeder abstracts the splitter's event intake so the same splitter code
+// serves both a dedicated blocking run (Engine.Run over a stream.Source)
+// and a pool-driven shard fed asynchronously through a queue.
+type feeder interface {
+	// next returns the next event. ok=false with done=false means no
+	// event is available right now (queue feeders; the splitter carries
+	// on with its cycle); ok=false with done=true means the stream has
+	// ended for good. A source-backed feeder may block in next, exactly
+	// like the historical splitter blocked in Source.Next.
+	next() (ev event.Event, ok bool, done bool)
+}
+
+// sourceFeeder adapts a blocking stream.Source.
+type sourceFeeder struct {
+	src stream.Source
+	eos bool
+}
+
+func (f *sourceFeeder) next() (event.Event, bool, bool) {
+	if f.eos {
+		return event.Event{}, false, true
+	}
+	ev, ok := f.src.Next()
+	if !ok {
+		f.eos = true
+		return event.Event{}, false, true
+	}
+	return ev, true, false
+}
+
+// shardQueueCap bounds the pending backlog of one shard queue. A full
+// queue blocks push, so backpressure propagates from a slow shard to
+// Handle.Feed and, through it, to whatever drives the stream (for the
+// TCP server: the connection's read loop, and thus the client's send
+// window) — mirroring the blocking-source ingest of a dedicated engine.
+const shardQueueCap = 1 << 16
+
+// shardQueue is the asynchronous intake of one pool-driven shard: the
+// routing side pushes events (blocking while the shard is shardQueueCap
+// events behind), the shard's splitter pops them without ever blocking.
+// Closing marks end of stream once the backlog drains.
+type shardQueue struct {
+	mu     sync.Mutex
+	space  sync.Cond // signalled when the backlog drops below capacity
+	buf    []event.Event
+	head   int
+	closed bool
+}
+
+func newShardQueue() *shardQueue {
+	q := &shardQueue{}
+	q.space.L = &q.mu
+	return q
+}
+
+// push appends ev, blocking while the queue is full. It reports false
+// when the queue is closed (the event is dropped).
+func (q *shardQueue) push(ev event.Event) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.closed && len(q.buf)-q.head >= shardQueueCap {
+		q.space.Wait()
+	}
+	if q.closed {
+		return false
+	}
+	q.buf = append(q.buf, ev)
+	return true
+}
+
+// close marks end of stream; pending events are still delivered and any
+// blocked producers are released.
+func (q *shardQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.space.Broadcast()
+	q.mu.Unlock()
+}
+
+// next implements feeder. It never blocks.
+func (q *shardQueue) next() (event.Event, bool, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head < len(q.buf) {
+		ev := q.buf[q.head]
+		q.buf[q.head] = event.Event{}
+		q.head++
+		if len(q.buf)-q.head == shardQueueCap-1 {
+			q.space.Broadcast()
+		}
+		// Compact once the consumed prefix dominates, so the backing
+		// array does not grow without bound on long streams.
+		if q.head >= 1024 && q.head*2 >= len(q.buf) {
+			n := copy(q.buf, q.buf[q.head:])
+			q.buf = q.buf[:n]
+			q.head = 0
+		}
+		return ev, true, false
+	}
+	return event.Event{}, false, q.closed
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/spectrecep/spectre/internal/deptree"
@@ -11,80 +12,73 @@ import (
 	"github.com/spectrecep/spectre/internal/window"
 )
 
-// instance is one operator instance (paper Fig. 8): it processes the
-// window version the splitter assigned to it, in batches under the
-// version's mutex.
-type instance struct {
-	e   *Engine
-	idx int
-	w   *worker
-}
-
-func newInstance(e *Engine, idx int) *instance {
-	return &instance{e: e, idx: idx, w: newWorker(e)}
-}
-
-// loop runs until the engine stops: pick up the scheduled version, process
-// a batch, push feedback.
-func (in *instance) loop() {
+// slotLoop drives one scheduling slot with a dedicated goroutine until
+// stop: pick up the scheduled version, process a batch, push feedback.
+// Used by the dedicated Engine.Run path (paper Fig. 8's k operator
+// instances); the Pool drives the same slots cooperatively via slotStep.
+func (s *shardState) slotLoop(i int, stop *atomic.Bool) {
 	idle := 0
-	for !in.e.stopFlag.Load() {
-		wv := in.e.sched[in.idx].Load()
-		if wv == nil || wv.Dropped() || wv.Finished() {
-			idle++
-			if idle < 64 {
-				runtime.Gosched()
-			} else {
-				time.Sleep(20 * time.Microsecond)
-			}
+	for !stop.Load() {
+		if s.slotStep(i) {
+			idle = 0
 			continue
 		}
-		if in.processBatch(wv) {
-			idle = 0
+		idle++
+		if idle < 64 {
+			runtime.Gosched()
 		} else {
-			idle++
-			if idle < 64 {
-				runtime.Gosched()
-			} else {
-				time.Sleep(20 * time.Microsecond)
-			}
+			time.Sleep(20 * time.Microsecond)
 		}
 	}
+}
+
+// slotStep processes one batch of slot i's assigned window version, if any
+// and if no other worker currently owns the slot. It reports whether any
+// progress was made.
+func (s *shardState) slotStep(i int) bool {
+	sl := &s.slots[i]
+	wv := sl.wv.Load()
+	if wv == nil || wv.Dropped() || wv.Finished() {
+		return false
+	}
+	if !sl.busy.CompareAndSwap(false, true) {
+		return false
+	}
+	worked := s.processBatch(sl.w, wv)
+	sl.busy.Store(false)
+	return worked
 }
 
 // processBatch processes up to BatchSize events of wv and forwards the
 // accumulated feedback. Feedback is pushed while still holding the
 // version's mutex, which keeps the queue FIFO per window version even if
-// the version later migrates to another instance.
-func (in *instance) processBatch(wv *deptree.WindowVersion) bool {
+// the version later migrates to another slot.
+func (s *shardState) processBatch(w *worker, wv *deptree.WindowVersion) bool {
 	wv.Mu.Lock()
 	defer wv.Mu.Unlock()
 	if wv.Dropped() || wv.Finished() {
 		return false
 	}
-	in.w.msgs = in.w.msgs[:0]
-	worked := in.w.processSpan(wv, in.e.cfg.BatchSize)
-	in.w.flushStats(wv)
-	in.e.fq.push(in.w.msgs)
+	w.msgs = w.msgs[:0]
+	worked := w.processSpan(wv, s.prog.cfg.BatchSize)
+	w.flushStats(wv)
+	s.fq.push(w.msgs)
 	return worked
 }
 
-// worker holds the per-goroutine scratch state of event processing. It is
-// used by operator instances and by the splitter's inline reprocessing.
+// worker holds the per-slot scratch state of event processing. It is used
+// by operator slots and by the splitter's inline reprocessing.
 type worker struct {
-	e       *Engine
+	s       *shardState
 	msgs    []msg
 	fb      []matcher.Feedback
 	runBuf  []matcher.RunInfo
 	touched []int
 	stats   map[[2]int]int
-
-	// local metric accumulators, flushed per span
-	processed uint64
 }
 
-func newWorker(e *Engine) *worker {
-	return &worker{e: e, stats: make(map[[2]int]int)}
+func newWorker(s *shardState) *worker {
+	return &worker{s: s, stats: make(map[[2]int]int)}
 }
 
 // stat records one Markov transition observation.
@@ -110,29 +104,29 @@ func (w *worker) flushStats(wv *deptree.WindowVersion) {
 // wv.Mu. It returns whether any progress was made (events processed, the
 // version finished, or a rollback happened).
 func (w *worker) processSpan(wv *deptree.WindowVersion, max int) bool {
-	e := w.e
+	s := w.s
 	win := wv.Win
 	if wv.State == nil {
-		wv.State = e.compiled.NewState()
+		wv.State = s.prog.compiled.NewState()
 		wv.SetPos(win.StartSeq)
 	}
-	arenaLen := e.ar.Len()
+	arenaLen := s.ar.Len()
 	end := win.EndSeq()
 	limit := arenaLen
 	if end < limit {
 		limit = end
 	}
 	pos := wv.Pos()
-	dur := int64(e.query.Window.Duration)
+	dur := int64(s.prog.query.Window.Duration)
 
 	processed := 0
-	checkEvery := e.cfg.ConsistencyCheckEvery
+	checkEvery := s.prog.cfg.ConsistencyCheckEvery
 	for pos < limit && processed < max {
 		seq := pos
-		ev := e.ar.Get(seq)
+		ev := s.ar.Get(seq)
 		// Window extents are raw-stream ranges: the duration boundary is
 		// checked before any consumption filtering.
-		if e.durWindow && end == window.UnknownEnd && ev.TS-win.StartTS >= dur {
+		if s.prog.durWindow && end == window.UnknownEnd && ev.TS-win.StartTS >= dur {
 			w.finish(wv)
 			w.flushMetrics(processed)
 			return true
@@ -141,7 +135,7 @@ func (w *worker) processSpan(wv *deptree.WindowVersion, max int) bool {
 		if wv.State.Stopped() {
 			// StopAfterMatch: detection is over; only the window boundary
 			// matters. Count windows can skip ahead.
-			if !e.durWindow || end != window.UnknownEnd {
+			if !s.prog.durWindow || end != window.UnknownEnd {
 				pos = limit
 				wv.SetPos(pos)
 				break
@@ -150,7 +144,7 @@ func (w *worker) processSpan(wv *deptree.WindowVersion, max int) bool {
 			wv.SetPos(pos)
 			continue
 		}
-		if e.consumed.Contains(seq) {
+		if s.consumed.Contains(seq) {
 			// Finally consumed by an earlier window.
 			pos++
 			wv.SetPos(pos)
@@ -194,7 +188,7 @@ func (w *worker) processSpan(wv *deptree.WindowVersion, max int) bool {
 	finished := false
 	if end != window.UnknownEnd && pos >= end {
 		finished = true
-	} else if e.inputDone.Load() && pos >= e.ar.Len() {
+	} else if s.inputDone.Load() && pos >= s.ar.Len() {
 		// Stream ended; no further events can arrive for this window.
 		finished = true
 	}
@@ -219,7 +213,7 @@ func (w *worker) flushMetrics(processed int) {
 	if processed == 0 {
 		return
 	}
-	w.e.metrics.add(func(m *Metrics) { m.EventsProcessed += uint64(processed) })
+	w.s.metrics.add(func(m *Metrics) { m.EventsProcessed += uint64(processed) })
 }
 
 // finish runs the window-end logic: all open partial matches are abandoned
@@ -234,7 +228,7 @@ func (w *worker) finish(wv *deptree.WindowVersion) {
 // outputs and feedback messages. It reports whether ev influenced the
 // matcher state (and therefore matters for consumption consistency).
 func (w *worker) applyFeedback(wv *deptree.WindowVersion, ev *event.Event) bool {
-	e := w.e
+	s := w.s
 	influenced := false
 	eligible := wv.StatsEligible
 	w.touched = w.touched[:0]
@@ -243,7 +237,7 @@ func (w *worker) applyFeedback(wv *deptree.WindowVersion, ev *event.Event) bool 
 		w.touched = append(w.touched, f.Run)
 		switch f.Kind {
 		case matcher.RunStarted:
-			cg := deptree.NewCG(e.cgSeq.Add(1), wv, f.Run, f.Delta)
+			cg := deptree.NewCG(s.cgSeq.Add(1), wv, f.Run, f.Delta)
 			for _, c := range f.Carry {
 				cg.Add(c.Seq)
 			}
@@ -272,7 +266,7 @@ func (w *worker) applyFeedback(wv *deptree.WindowVersion, ev *event.Event) bool 
 		case matcher.RunCompleted:
 			cg := wv.RunCGs[f.Run]
 			delete(wv.RunCGs, f.Run)
-			ce := buildComplex(e.query.Name, wv.Win.ID, f.Match)
+			ce := buildComplex(s.prog.query.Name, wv.Win.ID, f.Match)
 			wv.Buffered = append(wv.Buffered, ce)
 			if cg != nil {
 				cg.SetDelta(0)
@@ -348,8 +342,8 @@ func (w *worker) consistencyCheck(wv *deptree.WindowVersion) bool {
 // groups are discarded; the splitter rebuilds the dependent subtree on
 // the rollback message.
 func (w *worker) rollback(wv *deptree.WindowVersion) {
-	e := w.e
-	wv.State = e.compiled.NewState()
+	s := w.s
+	wv.State = s.prog.compiled.NewState()
 	wv.SetPos(wv.Win.StartSeq)
 	wv.Used = wv.Used[:0]
 	wv.Skipped = wv.Skipped[:0]
@@ -363,7 +357,7 @@ func (w *worker) rollback(wv *deptree.WindowVersion) {
 	wv.Rollbacks++
 	clear(w.stats)
 	w.msgs = append(w.msgs, msg{kind: msgRolledBack, wv: wv})
-	e.metrics.add(func(m *Metrics) { m.Rollbacks++ })
+	s.metrics.add(func(m *Metrics) { m.Rollbacks++ })
 }
 
 // suppressedBy reports whether seq is currently in any suppressed group of

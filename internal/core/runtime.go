@@ -1,0 +1,244 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/stream"
+)
+
+// Runtime errors.
+var (
+	// ErrRuntimeClosed is returned by Submit/Run after Close.
+	ErrRuntimeClosed = errors.New("core: runtime is closed")
+	// ErrHandleClosed is returned by Feed after the handle closed.
+	ErrHandleClosed = errors.New("core: query handle is closed")
+)
+
+// RuntimeConfig parameterizes a Runtime.
+type RuntimeConfig struct {
+	// Workers sizes the shared worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// Runtime is the long-lived, multi-query SPECTRE service: it hosts many
+// concurrent queries, each split into one or more key-partitioned shards
+// (an independent dependency tree + splitter per (query, shard)), and
+// multiplexes all shards onto one shared worker pool sized to the machine
+// instead of k goroutines per engine.
+type Runtime struct {
+	pool    *Pool
+	mu      sync.Mutex
+	closed  bool
+	handles []*Handle
+}
+
+// NewRuntime starts a runtime with its own worker pool.
+func NewRuntime(cfg RuntimeConfig) *Runtime {
+	return &Runtime{pool: NewPool(cfg.Workers)}
+}
+
+// Handle is one submitted query: the routing function, its shards and the
+// per-handle emit callback. Feed routes events to shards; Close marks end
+// of stream; Wait blocks until every shard drained.
+type Handle struct {
+	rt     *Runtime
+	name   string
+	route  func(*event.Event) int
+	shards []*shardState
+	queues []*shardQueue
+	emitMu sync.Mutex
+	closed atomic.Bool
+}
+
+// Submit compiles q and starts nShards independent shard states on the
+// shared pool. route maps an event to a shard index (ignored — and may be
+// nil — when nShards is 1); emit receives every complex event of the
+// query, serialized per handle (shard order within a shard is canonical,
+// interleaving across shards is arrival-order). The handle is live
+// immediately: Feed before, during and after other queries' runs.
+func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event) int, nShards int, emit func(event.Complex)) (*Handle, error) {
+	if nShards <= 0 {
+		nShards = 1
+	}
+	if nShards > 1 && route == nil {
+		return nil, fmt.Errorf("core: %d shards need a routing function", nShards)
+	}
+	prog, err := compile(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{rt: rt, name: q.Name, route: route}
+	if emit == nil {
+		emit = func(event.Complex) {}
+	}
+	for i := 0; i < nShards; i++ {
+		s, err := newShard(prog)
+		if err != nil {
+			return nil, err
+		}
+		queue := newShardQueue()
+		s.begin(queue, func(ce event.Complex) {
+			h.emitMu.Lock()
+			emit(ce)
+			h.emitMu.Unlock()
+		})
+		h.shards = append(h.shards, s)
+		h.queues = append(h.queues, queue)
+	}
+
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil, ErrRuntimeClosed
+	}
+	rt.handles = append(rt.handles, h)
+	rt.mu.Unlock()
+	rt.pool.Attach(h.shards...)
+	return h, nil
+}
+
+// Run feeds src to every currently submitted handle (each handle routes
+// the events through its own partitioner), then closes the handles and
+// waits until all of them drain. It is the batch convenience on top of
+// Feed/Close/Wait.
+func (rt *Runtime) Run(src stream.Source) error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return ErrRuntimeClosed
+	}
+	handles := append([]*Handle(nil), rt.handles...)
+	rt.mu.Unlock()
+
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		for _, h := range handles {
+			if !h.closed.Load() {
+				h.feed(ev)
+			}
+		}
+	}
+	for _, h := range handles {
+		h.Close()
+	}
+	for _, h := range handles {
+		h.Wait()
+	}
+	return nil
+}
+
+// Close drains every handle gracefully (end-of-stream, wait for all
+// shards) and stops the worker pool. The runtime is unusable afterwards.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.closed = true
+	handles := append([]*Handle(nil), rt.handles...)
+	rt.mu.Unlock()
+
+	for _, h := range handles {
+		h.Close()
+	}
+	for _, h := range handles {
+		h.Wait()
+	}
+	rt.pool.Close()
+	return nil
+}
+
+// Name returns the submitted query's name.
+func (h *Handle) Name() string { return h.name }
+
+// Shards returns the number of shards the query runs on.
+func (h *Handle) Shards() int { return len(h.shards) }
+
+// Feed routes one event to its shard. It returns ErrHandleClosed after
+// Close.
+func (h *Handle) Feed(ev event.Event) error {
+	if h.closed.Load() {
+		return ErrHandleClosed
+	}
+	h.feed(ev)
+	return nil
+}
+
+func (h *Handle) feed(ev event.Event) {
+	i := 0
+	if h.route != nil {
+		if i = h.route(&ev); i < 0 || i >= len(h.queues) {
+			i = 0
+		}
+	}
+	h.queues[i].push(ev)
+}
+
+// Close marks end of stream for every shard. Pending events are still
+// processed; use Wait to block until the query drains. Idempotent.
+func (h *Handle) Close() {
+	if !h.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, q := range h.queues {
+		q.close()
+	}
+}
+
+// Wait blocks until every shard has fully processed its stream. Callers
+// must Close first (directly or via Runtime.Run/Close), otherwise Wait
+// blocks forever. Once drained, the runtime forgets the handle (its
+// arenas and trees become collectable as soon as the caller drops it).
+func (h *Handle) Wait() {
+	for _, s := range h.shards {
+		<-s.done
+	}
+	h.rt.forget(h)
+}
+
+// forget drops a fully drained handle from the runtime's bookkeeping so
+// long-lived servers do not accumulate dead queries.
+func (rt *Runtime) forget(h *Handle) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i, cur := range rt.handles {
+		if cur == h {
+			rt.handles = append(rt.handles[:i], rt.handles[i+1:]...)
+			return
+		}
+	}
+}
+
+// Drain closes the handle and waits for completion.
+func (h *Handle) Drain() {
+	h.Close()
+	h.Wait()
+}
+
+// Metrics aggregates the runtime counters across the handle's shards.
+func (h *Handle) Metrics() Metrics {
+	var total Metrics
+	for _, s := range h.shards {
+		m := s.metrics.snapshot()
+		total.Merge(&m)
+	}
+	return total
+}
+
+// ShardMetrics returns the per-shard counters.
+func (h *Handle) ShardMetrics() []Metrics {
+	out := make([]Metrics, len(h.shards))
+	for i, s := range h.shards {
+		out[i] = s.metrics.snapshot()
+	}
+	return out
+}

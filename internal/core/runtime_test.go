@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+)
+
+func testQuery(t *testing.T, reg *event.Registry) *pattern.Query {
+	t.Helper()
+	ta, tb := reg.TypeID("A"), reg.TypeID("B")
+	p := pattern.Seq("q",
+		pattern.Step{Name: "A", Types: []event.Type{ta}},
+		pattern.Step{Name: "B", Types: []event.Type{tb}},
+	)
+	p.ConsumeAll()
+	return &pattern.Query{
+		Name:    "q",
+		Pattern: *p,
+		Window: pattern.WindowSpec{
+			StartKind: pattern.StartOnMatch, StartTypes: []event.Type{ta},
+			EndKind: pattern.EndCount, Count: 8,
+		},
+	}
+}
+
+// TestRuntimeForgetsDrainedHandles guards the long-lived server case: a
+// drained handle must leave the runtime's bookkeeping so its arenas can
+// be collected.
+func TestRuntimeForgetsDrainedHandles(t *testing.T) {
+	reg := event.NewRegistry()
+	rt := NewRuntime(RuntimeConfig{Workers: 2})
+	defer rt.Close()
+
+	for i := 0; i < 3; i++ {
+		h, err := rt.Submit(testQuery(t, reg), Config{Instances: 1}, nil, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Feed(event.Event{TS: 1, Type: 1}); err != nil {
+			t.Fatal(err)
+		}
+		h.Drain()
+	}
+	rt.mu.Lock()
+	n := len(rt.handles)
+	rt.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("runtime retains %d drained handles, want 0", n)
+	}
+}
+
+// TestShardQueueBackpressure checks that push blocks at capacity, resumes
+// when the consumer drains, and is released by close.
+func TestShardQueueBackpressure(t *testing.T) {
+	q := newShardQueue()
+	for i := 0; i < shardQueueCap; i++ {
+		if !q.push(event.Event{Seq: uint64(i)}) {
+			t.Fatal("push before capacity must succeed")
+		}
+	}
+	pushed := make(chan bool, 1)
+	go func() { pushed <- q.push(event.Event{Seq: shardQueueCap}) }()
+	select {
+	case <-pushed:
+		t.Fatal("push beyond capacity must block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, ok, _ := q.next(); !ok {
+		t.Fatal("pop from full queue must succeed")
+	}
+	select {
+	case ok := <-pushed:
+		if !ok {
+			t.Fatal("unblocked push must succeed")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("push must unblock after a pop")
+	}
+
+	// A blocked producer is released (with a drop) when the queue closes.
+	blocked := make(chan bool, 1)
+	for {
+		q.mu.Lock()
+		full := len(q.buf)-q.head >= shardQueueCap
+		q.mu.Unlock()
+		if full {
+			break
+		}
+		q.push(event.Event{})
+	}
+	go func() { blocked <- q.push(event.Event{}) }()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	select {
+	case ok := <-blocked:
+		if ok {
+			t.Fatal("push into a closed queue must report a drop")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close must release blocked producers")
+	}
+	if q.push(event.Event{}) {
+		t.Fatal("push after close must report a drop")
+	}
+
+	// Pending events still drain after close; then done is reported.
+	drained := 0
+	for {
+		_, ok, done := q.next()
+		if ok {
+			drained++
+			continue
+		}
+		if !done {
+			t.Fatal("closed empty queue must report done")
+		}
+		break
+	}
+	if drained != shardQueueCap {
+		t.Fatalf("drained %d pending events, want %d", drained, shardQueueCap)
+	}
+}

@@ -54,6 +54,16 @@ type Tree struct {
 	// OnDrop is invoked for every window version removed from the tree
 	// (wrong speculation path); may be nil.
 	OnDrop func(wv *WindowVersion)
+	// CapSize bounds speculative growth: once the tree holds CapSize
+	// window versions in total, CGCreated stops inserting
+	// consumption-group vertices (the group is treated as abandoned by
+	// the tree). Adverse outcomes are caught by the runtime's final
+	// validation gate, which reprocesses deterministically, so the cap
+	// trades throughput for a bounded tree without affecting the
+	// delivered output. The bound is absolute — a stream keeping more
+	// than CapSize windows in flight runs unspeculated until the backlog
+	// drains. 0 = unlimited.
+	CapSize int
 
 	root    *Node
 	stamp   uint64
@@ -167,6 +177,14 @@ func appendCG(sup []*CG, cg *CG) []*CG {
 func (t *Tree) CGCreated(cg *CG) []*WindowVersion {
 	owner := cg.Owner
 	if owner == nil || owner.Dropped() || owner.node == nil || owner.node.detached {
+		return nil
+	}
+	if t.CapSize > 0 && t.size >= t.CapSize {
+		// Speculation budget exhausted: the structure copy below would grow
+		// the tree combinatorially (and on adversarial streams, livelock
+		// the splitter in copy/drop churn). Dependent versions simply do
+		// not suppress this group; if it completes after all, the final
+		// validation gate reprocesses the affected roots deterministically.
 		return nil
 	}
 	n := owner.node

@@ -22,6 +22,7 @@
 //	            [CONSUME ('(' ident+ ')' | ALL | NONE)]
 //	            [ON MATCH (STOP | RESTART | RESTART LEADER)]
 //	            [RUNS int]
+//	            [PARTITION BY (TYPE | ident) [SHARDS int]]
 //	elem     := ident ['+'] | '!' ident | SET '(' ident+ ')'
 //	def      := ident AS expr
 //	expr     := disjunction of conjunctions of comparisons over

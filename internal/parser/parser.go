@@ -115,6 +115,10 @@ func (p *parser) parseQuery() (*pattern.Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	part, err := p.parsePartition()
+	if err != nil {
+		return nil, err
+	}
 	if p.tok.kind != tokEOF {
 		return nil, errorf(p.tok.line, "unexpected trailing input %q", p.tok.text)
 	}
@@ -130,8 +134,51 @@ func (p *parser) parseQuery() (*pattern.Query, error) {
 			return nil, err
 		}
 	}
-	q := &pattern.Query{Name: name, Pattern: *pat, Window: *win}
+	q := &pattern.Query{Name: name, Pattern: *pat, Window: *win, Partition: part}
 	return q, nil
+}
+
+// parsePartition parses the optional
+// `PARTITION BY (TYPE | field) [SHARDS n]` clause. TYPE partitions on the
+// event type (the stock symbol in the trading workloads); a bare
+// identifier names a payload field, interned through the registry exactly
+// like DEFINE field references (unknown names allocate a fresh index —
+// events that never carry the field all read 0 and land on one shard).
+func (p *parser) parsePartition() (*pattern.PartitionSpec, error) {
+	ok, err := p.acceptKeyword("PARTITION")
+	if err != nil || !ok {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	spec := &pattern.PartitionSpec{Field: -1}
+	if ok, err := p.acceptKeyword("TYPE"); err != nil {
+		return nil, err
+	} else if ok {
+		spec.ByType = true
+	} else {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		spec.FieldName = t.text
+		spec.Field = p.reg.FieldIndex(t.text)
+	}
+	if ok, err := p.acceptKeyword("SHARDS"); err != nil {
+		return nil, err
+	} else if ok {
+		t, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return nil, errorf(t.line, "bad shard count %q", t.text)
+		}
+		spec.Shards = n
+	}
+	return spec, nil
 }
 
 // parsePattern parses `PATTERN ( elem+ )`.

@@ -245,3 +245,66 @@ func TestParsedQueryRuns(t *testing.T) {
 		t.Errorf("consumed %d events, want 3", stats.EventsConsumed)
 	}
 }
+
+func TestParsePartitionBy(t *testing.T) {
+	t.Run("by type with shards", func(t *testing.T) {
+		q, _ := mustParse(t, `
+			PATTERN (A B)
+			WITHIN 100 EVENTS FROM A
+			CONSUME ALL
+			PARTITION BY TYPE SHARDS 16
+		`)
+		if q.Partition == nil {
+			t.Fatal("PARTITION BY clause not applied")
+		}
+		if !q.Partition.ByType || q.Partition.Shards != 16 {
+			t.Fatalf("partition spec = %+v, want by-type, 16 shards", q.Partition)
+		}
+	})
+	t.Run("by field", func(t *testing.T) {
+		q, reg := mustParse(t, `
+			PATTERN (A B)
+			WITHIN 100 EVENTS FROM A
+			PARTITION BY account
+		`)
+		if q.Partition == nil || q.Partition.ByType {
+			t.Fatalf("partition spec = %+v, want by-field", q.Partition)
+		}
+		idx, ok := reg.LookupField("account")
+		if !ok || q.Partition.Field != idx {
+			t.Fatalf("field %q not resolved: spec=%+v idx=%d", "account", q.Partition, idx)
+		}
+		if q.Partition.FieldName != "account" || q.Partition.Shards != 0 {
+			t.Fatalf("partition spec = %+v", q.Partition)
+		}
+	})
+	t.Run("absent", func(t *testing.T) {
+		q, _ := mustParse(t, `PATTERN (A B) WITHIN 10 EVENTS FROM A`)
+		if q.Partition != nil {
+			t.Fatalf("unexpected partition spec %+v", q.Partition)
+		}
+	})
+	t.Run("after selection clauses", func(t *testing.T) {
+		q, _ := mustParse(t, `
+			PATTERN (A B)
+			WITHIN 10 EVENTS FROM A
+			ON MATCH RESTART RUNS 2
+			PARTITION BY TYPE
+		`)
+		if q.Partition == nil || !q.Partition.ByType {
+			t.Fatalf("partition spec = %+v", q.Partition)
+		}
+	})
+	t.Run("errors", func(t *testing.T) {
+		for _, src := range []string{
+			`PATTERN (A B) WITHIN 10 EVENTS FROM A PARTITION TYPE`,
+			`PATTERN (A B) WITHIN 10 EVENTS FROM A PARTITION BY`,
+			`PATTERN (A B) WITHIN 10 EVENTS FROM A PARTITION BY TYPE SHARDS 0`,
+			`PATTERN (A B) WITHIN 10 EVENTS FROM A PARTITION BY TYPE SHARDS x`,
+		} {
+			if _, err := Parse(src, event.NewRegistry()); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", src)
+			}
+		}
+	})
+}

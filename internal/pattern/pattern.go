@@ -482,11 +482,47 @@ func (w *WindowSpec) Validate() error {
 	return nil
 }
 
-// Query bundles a pattern with its window specification.
+// PartitionSpec describes key-partitioned execution (the PARTITION BY
+// clause): the input stream is split by a key attribute and every
+// partition runs its own independent window formation and detection.
+// Consumption dependencies never cross partition keys, so partitioning
+// composes with SPECTRE's window-level speculation without touching the
+// correctness argument.
+type PartitionSpec struct {
+	// ByType partitions on the event type (e.g. the stock symbol in the
+	// paper's trading workloads): `PARTITION BY TYPE`.
+	ByType bool
+	// Field is the payload field index to partition on when !ByType. A
+	// negative value means the field name has not been resolved against a
+	// registry yet (see FieldName).
+	Field int
+	// FieldName is the payload field name backing Field; kept for
+	// diagnostics and for late resolution when Field < 0.
+	FieldName string
+	// Shards is the preferred shard count; 0 lets the runtime decide
+	// (typically GOMAXPROCS).
+	Shards int
+}
+
+// Validate checks the partition specification.
+func (p *PartitionSpec) Validate() error {
+	if !p.ByType && p.Field < 0 && p.FieldName == "" {
+		return errors.New("partition: neither TYPE nor a payload field given")
+	}
+	if p.Shards < 0 {
+		return fmt.Errorf("partition: negative shard count %d", p.Shards)
+	}
+	return nil
+}
+
+// Query bundles a pattern with its window specification and an optional
+// partitioning specification.
 type Query struct {
 	Name    string
 	Pattern Pattern
 	Window  WindowSpec
+	// Partition is nil for unpartitioned queries.
+	Partition *PartitionSpec
 }
 
 // Validate checks the query.
@@ -499,6 +535,11 @@ func (q *Query) Validate() error {
 	}
 	if err := q.Pattern.Validate(); err != nil {
 		return err
+	}
+	if q.Partition != nil {
+		if err := q.Partition.Validate(); err != nil {
+			return err
+		}
 	}
 	return q.Window.Validate()
 }

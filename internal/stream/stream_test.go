@@ -117,3 +117,40 @@ func TestReadEventsErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestEmptySliceSource(t *testing.T) {
+	s := FromSlice(nil)
+	if s.Len() != 0 {
+		t.Fatal("empty source must report zero length")
+	}
+	if ev, ok := s.Next(); ok || ev.TS != 0 || ev.Type != event.NoType {
+		t.Fatalf("empty source yielded (%+v, %v), want zero event and false", ev, ok)
+	}
+	// Next after exhaustion stays terminal and allocation-free.
+	if _, ok := s.Next(); ok {
+		t.Fatal("empty source must stay exhausted")
+	}
+	if got := Collect(s); len(got) != 0 {
+		t.Fatalf("Collect(empty) = %v", got)
+	}
+	s.Reset()
+	if _, ok := s.Next(); ok {
+		t.Fatal("reset of an empty source must stay empty")
+	}
+}
+
+func TestChanSourceClosedBeforeFirstRead(t *testing.T) {
+	ch := make(chan event.Event)
+	close(ch)
+	s := FromChan(ch)
+	if ev, ok := s.Next(); ok || ev.TS != 0 {
+		t.Fatalf("closed channel yielded (%+v, %v), want zero event and false", ev, ok)
+	}
+	// Reading a closed channel repeatedly keeps returning end-of-stream.
+	if _, ok := s.Next(); ok {
+		t.Fatal("closed channel source must stay exhausted")
+	}
+	if got := Collect(s); len(got) != 0 {
+		t.Fatalf("Collect over closed channel = %v", got)
+	}
+}

@@ -1,6 +1,8 @@
 // Package transport implements the TCP event transport of the paper's
 // evaluation setup (§4.1): "a client program that reads events from a
-// source file and sends them to SPECTRE over a TCP connection".
+// source file and sends them to SPECTRE over a TCP connection", extended
+// with a query control frame so one server can host many client queries
+// against a shared runtime.
 //
 // Wire format (all integers little-endian):
 //
@@ -8,8 +10,16 @@
 //	payload := ts:int64 typeLen:uint16 type:[typeLen]byte
 //	           nFields:uint16 fields:[nFields]float64
 //
-// Event types travel as names and are interned into the receiver's
-// registry, so client and server need not share id assignments.
+// A length word with the high bit set marks a control frame instead:
+//
+//	ctrl    := (ctrlFlag|length):uint32 kind:uint8 body:[length-1]byte
+//	kind 1  := query submission; body is the query text
+//
+// Clients may send one query control frame before their event stream
+// (spectre-client -query); event-only streams remain valid (the legacy
+// single-query deployment). Event types travel as names and are interned
+// into the receiver's registry, so client and server need not share id
+// assignments.
 package transport
 
 import (
@@ -30,6 +40,15 @@ const (
 	maxFrame    = 1 << 20
 	maxTypeLen  = 1 << 12
 	maxFieldLen = 1 << 12
+)
+
+// Control-frame encoding.
+const (
+	// ctrlFlag marks a control frame in the length word. Event frames
+	// never set it (maxFrame is far below).
+	ctrlFlag = uint32(1) << 31
+	// ctrlQuery is the query-submission control kind.
+	ctrlQuery = byte(1)
 )
 
 // ErrFrameTooLarge is returned for frames exceeding the limits.
@@ -70,6 +89,21 @@ func (w *Writer) WriteEvent(ev *event.Event) error {
 // Flush flushes buffered frames.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
+// WriteQuery encodes a query-submission control frame. Clients send it
+// once, before the first event frame.
+func (w *Writer) WriteQuery(query string) error {
+	need := 1 + len(query)
+	if need > maxFrame {
+		return ErrFrameTooLarge
+	}
+	w.buf = w.buf[:0]
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, ctrlFlag|uint32(need))
+	w.buf = append(w.buf, ctrlQuery)
+	w.buf = append(w.buf, query...)
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
 // Reader decodes events from a stream, interning types into reg.
 type Reader struct {
 	r   *bufio.Reader
@@ -80,6 +114,41 @@ type Reader struct {
 // NewReader returns a Reader interning into reg.
 func NewReader(r io.Reader, reg *event.Registry) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 64*1024), reg: reg}
+}
+
+// ReadQuery consumes the query control frame when the stream starts with
+// one. ok is false — and nothing is consumed — when the next frame is an
+// event frame (a legacy event-only client) or the stream is empty.
+func (r *Reader) ReadQuery() (query string, ok bool, err error) {
+	head, err := r.r.Peek(4)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return "", false, nil
+		}
+		return "", false, err
+	}
+	n := binary.LittleEndian.Uint32(head)
+	if n&ctrlFlag == 0 {
+		return "", false, nil
+	}
+	n &^= ctrlFlag
+	if n > maxFrame || n < 1 {
+		return "", false, fmt.Errorf("transport: bad control frame length %d", n)
+	}
+	if _, err := r.r.Discard(4); err != nil {
+		return "", false, err
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return "", false, fmt.Errorf("transport: short control frame: %w", err)
+	}
+	if r.buf[0] != ctrlQuery {
+		return "", false, fmt.Errorf("transport: unknown control kind %d", r.buf[0])
+	}
+	return string(r.buf[1:]), true, nil
 }
 
 // ReadEvent decodes one event; io.EOF signals a clean end of stream.
@@ -175,6 +244,13 @@ func (s *connSource) Err() error { return s.err }
 // the returned error function after the engine finishes to learn whether
 // the stream ended cleanly.
 func SourceFromConn(conn io.Reader, reg *event.Registry) (stream.Source, func() error) {
-	s := &connSource{r: NewReader(conn, reg)}
+	return SourceFromReader(NewReader(conn, reg))
+}
+
+// SourceFromReader exposes an existing Reader as an engine Source — used
+// after ReadQuery consumed the leading control frame, so the event stream
+// continues on the same buffered reader.
+func SourceFromReader(r *Reader) (stream.Source, func() error) {
+	s := &connSource{r: r}
 	return s, func() error { return s.err }
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"net"
@@ -127,5 +128,113 @@ func TestSendOverTCP(t *testing.T) {
 		if got[i].TS != int64(i) || got[i].Fields[0] != float64(i) {
 			t.Fatalf("event %d corrupted: %+v", i, got[i])
 		}
+	}
+}
+
+// TestQueryFrameRoundTrip covers the multi-query protocol: a query
+// control frame followed by events on the same buffered reader.
+func TestQueryFrameRoundTrip(t *testing.T) {
+	const queryText = "PATTERN (A B)\nWITHIN 10 EVENTS FROM A\nPARTITION BY TYPE"
+	reg := event.NewRegistry()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, reg)
+	if err := w.WriteQuery(queryText); err != nil {
+		t.Fatal(err)
+	}
+	events := []event.Event{
+		{TS: 1, Type: reg.TypeID("A"), Fields: []float64{1.5}},
+		{TS: 2, Type: reg.TypeID("B")},
+	}
+	for i := range events {
+		if err := w.WriteEvent(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recvReg := event.NewRegistry()
+	r := NewReader(&buf, recvReg)
+	got, ok, err := r.ReadQuery()
+	if err != nil || !ok {
+		t.Fatalf("ReadQuery = (%q, %v, %v)", got, ok, err)
+	}
+	if got != queryText {
+		t.Fatalf("query text corrupted: %q", got)
+	}
+	src, srcErr := SourceFromReader(r)
+	decoded := stream.Collect(src)
+	if err := srcErr(); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(decoded), len(events))
+	}
+	if recvReg.TypeName(decoded[0].Type) != "A" || decoded[0].Fields[0] != 1.5 {
+		t.Fatalf("event corrupted: %+v", decoded[0])
+	}
+}
+
+// TestReadQueryLegacyStream checks that event-only streams (legacy
+// clients) pass ReadQuery untouched.
+func TestReadQueryLegacyStream(t *testing.T) {
+	reg := event.NewRegistry()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, reg)
+	ev := event.Event{TS: 7, Type: reg.TypeID("X")}
+	if err := w.WriteEvent(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf, event.NewRegistry())
+	if q, ok, err := r.ReadQuery(); err != nil || ok || q != "" {
+		t.Fatalf("ReadQuery on event stream = (%q, %v, %v), want not-a-query", q, ok, err)
+	}
+	got, err := r.ReadEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TS != 7 {
+		t.Fatalf("event not preserved after peek: %+v", got)
+	}
+
+	// Empty stream: no query, no error.
+	r = NewReader(bytes.NewReader(nil), event.NewRegistry())
+	if q, ok, err := r.ReadQuery(); err != nil || ok || q != "" {
+		t.Fatalf("ReadQuery on empty stream = (%q, %v, %v)", q, ok, err)
+	}
+}
+
+// TestReadQueryCorruptControl checks control-frame validation.
+func TestReadQueryCorruptControl(t *testing.T) {
+	// Unknown control kind.
+	var buf bytes.Buffer
+	frame := binary.LittleEndian.AppendUint32(nil, (uint32(1)<<31)|2)
+	frame = append(frame, 0xEE, 0x00)
+	buf.Write(frame)
+	r := NewReader(&buf, event.NewRegistry())
+	if _, _, err := r.ReadQuery(); err == nil {
+		t.Fatal("unknown control kind must error")
+	}
+
+	// Oversized control frame.
+	buf.Reset()
+	buf.Write(binary.LittleEndian.AppendUint32(nil, (uint32(1)<<31)|(2<<20)))
+	r = NewReader(&buf, event.NewRegistry())
+	if _, _, err := r.ReadQuery(); err == nil {
+		t.Fatal("oversized control frame must error")
+	}
+
+	// Truncated control frame body.
+	buf.Reset()
+	buf.Write(binary.LittleEndian.AppendUint32(nil, (uint32(1)<<31)|100))
+	buf.WriteByte(1)
+	r = NewReader(&buf, event.NewRegistry())
+	if _, _, err := r.ReadQuery(); err == nil {
+		t.Fatal("truncated control frame must error")
 	}
 }

@@ -141,3 +141,64 @@ func TestWindowString(t *testing.T) {
 		t.Fatalf("resolved string = %q", w.String())
 	}
 }
+
+// TestFinishWithoutResolutions covers the stream-cut edge: windows open
+// but the stream ends before any duration boundary arrives, so every
+// boundary (and the size statistics) comes from Finish alone.
+func TestFinishWithoutResolutions(t *testing.T) {
+	reg := event.NewRegistry()
+	ta := reg.TypeID("A")
+	m := NewManager(pattern.WindowSpec{
+		StartKind:  pattern.StartOnMatch,
+		StartTypes: []event.Type{ta},
+		EndKind:    pattern.EndDuration,
+		Duration:   time.Hour,
+	})
+	// Before anything happened, AvgSize falls back to 1 for duration
+	// windows and Finish on an empty manager is a no-op.
+	if m.AvgSize() != 1 {
+		t.Fatalf("AvgSize fallback = %v, want 1", m.AvgSize())
+	}
+	if resolved := m.Finish(0); len(resolved) != 0 {
+		t.Fatalf("Finish with no windows resolved %d", len(resolved))
+	}
+
+	events := []event.Event{
+		{TS: 0, Type: ta},
+		{TS: int64(time.Minute), Type: ta},
+		{TS: int64(2 * time.Minute), Type: ta},
+	}
+	opened := observeAll(m, events)
+	if len(opened) != 3 {
+		t.Fatalf("opened %d windows, want 3", len(opened))
+	}
+	for i, w := range opened {
+		if w.Resolved() {
+			t.Fatalf("window %d resolved before Finish", i)
+		}
+		if w.Size() != 0 {
+			t.Fatalf("unresolved window %d must report size 0", i)
+		}
+	}
+	resolved := m.Finish(uint64(len(events)))
+	if len(resolved) != 3 {
+		t.Fatalf("Finish resolved %d windows, want 3", len(resolved))
+	}
+	// Boundaries are the stream length; sizes shrink with the start seq.
+	for i, w := range opened {
+		if w.EndSeq() != 3 {
+			t.Fatalf("window %d boundary = %d, want 3", i, w.EndSeq())
+		}
+		if want := uint64(3 - i); w.Size() != want {
+			t.Fatalf("window %d size = %d, want %d", i, w.Size(), want)
+		}
+	}
+	// The averaged sizes (3+2+1)/3 feed the scheduler's probability model.
+	if got := m.AvgSize(); got != 2 {
+		t.Fatalf("AvgSize = %v, want 2", got)
+	}
+	// Finish is terminal: a second call has nothing left to resolve.
+	if again := m.Finish(99); len(again) != 0 {
+		t.Fatalf("second Finish resolved %d windows", len(again))
+	}
+}

@@ -1,0 +1,181 @@
+package spectre
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/spectrecep/spectre/internal/core"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/shard"
+)
+
+// Runtime errors, re-exported from the internal runtime.
+var (
+	// ErrAlreadyRan is returned when Engine.Run is called twice.
+	ErrAlreadyRan = core.ErrAlreadyRan
+	// ErrRuntimeClosed is returned by Submit/Run after Runtime.Close.
+	ErrRuntimeClosed = core.ErrRuntimeClosed
+	// ErrHandleClosed is returned by Handle.Feed after Handle.Close.
+	ErrHandleClosed = core.ErrHandleClosed
+)
+
+// PartitionSpec describes key-partitioned execution (the PARTITION BY
+// clause), re-exported from the query model.
+type PartitionSpec = pattern.PartitionSpec
+
+// RuntimeOption configures a Runtime.
+type RuntimeOption func(*core.RuntimeConfig)
+
+// WithWorkers sizes the runtime's shared worker pool (default GOMAXPROCS).
+func WithWorkers(n int) RuntimeOption {
+	return func(c *core.RuntimeConfig) { c.Workers = n }
+}
+
+// WithShards overrides the shard count of a partitioned query submitted to
+// a Runtime (default: the query's PARTITION BY ... SHARDS value, then
+// GOMAXPROCS).
+func WithShards(n int) Option {
+	return func(c *core.Config) { c.Shards = n }
+}
+
+// WithPartitionBy partitions the query's input stream by the named payload
+// field, overriding any PARTITION BY clause in the query text. Runtime
+// submissions only; a standalone Engine ignores it.
+func WithPartitionBy(field string) Option {
+	return func(c *core.Config) {
+		c.Partition = &pattern.PartitionSpec{Field: -1, FieldName: field}
+	}
+}
+
+// WithPartitionByType partitions the query's input stream by event type
+// (e.g. per stock symbol), overriding any PARTITION BY clause in the query
+// text. Runtime submissions only; a standalone Engine ignores it.
+func WithPartitionByType() Option {
+	return func(c *core.Config) {
+		c.Partition = &pattern.PartitionSpec{ByType: true, Field: -1}
+	}
+}
+
+// Runtime is the long-lived, multi-query SPECTRE service. Unlike Engine —
+// one query, one stream, one run — a Runtime hosts many concurrent
+// queries, partitions each query's input by a key attribute (PARTITION BY
+// in the query text, or WithPartitionBy/WithPartitionByType) into
+// independent shards, and multiplexes every (query, shard) SPECTRE
+// pipeline onto one shared worker pool sized to the machine.
+//
+//	rt := spectre.NewRuntime(reg)
+//	h, err := rt.Submit(query, func(ce spectre.ComplexEvent) { ... })
+//	// handle err
+//	for _, ev := range events {
+//	    _ = h.Feed(ev)
+//	}
+//	h.Drain()
+//	rt.Close()
+type Runtime struct {
+	rt  *core.Runtime
+	reg *Registry
+}
+
+// NewRuntime starts a runtime. The registry must be the one shared by the
+// queries and event sources fed to it.
+func NewRuntime(reg *Registry, opts ...RuntimeOption) *Runtime {
+	var cfg core.RuntimeConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Runtime{rt: core.NewRuntime(cfg), reg: reg}
+}
+
+// Handle is one query submitted to a Runtime.
+type Handle struct {
+	h *core.Handle
+}
+
+// Submit compiles and starts q on the runtime. emit receives every
+// detected complex event of this query (per-handle callback, serialized;
+// within a shard the order is canonical — exactly a standalone Engine's
+// order over that partition's substream). Options are the Engine options
+// plus WithShards/WithPartitionBy/WithPartitionByType.
+func (rt *Runtime) Submit(q *Query, emit func(ComplexEvent), opts ...Option) (*Handle, error) {
+	var cfg core.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	spec := cfg.Partition
+	if spec == nil {
+		spec = q.Partition
+	}
+	nShards := 1
+	var route func(*event.Event) int
+	if spec != nil {
+		resolved := *spec
+		if !resolved.ByType && resolved.Field < 0 {
+			if resolved.FieldName == "" {
+				return nil, fmt.Errorf("spectre: partition spec names no key")
+			}
+			resolved.Field = rt.reg.FieldIndex(resolved.FieldName)
+		}
+		nShards = cfg.Shards
+		if nShards <= 0 {
+			nShards = resolved.Shards
+		}
+		if nShards <= 0 {
+			nShards = runtime.GOMAXPROCS(0)
+		}
+		key, err := shard.FromSpec(&resolved)
+		if err != nil {
+			return nil, fmt.Errorf("spectre: %w", err)
+		}
+		route = shard.NewRouter(nShards, key).Route
+	} else if cfg.Shards > 1 {
+		return nil, fmt.Errorf("spectre: %d shards requested but the query has no partition key (use PARTITION BY or WithPartitionBy)", cfg.Shards)
+	}
+
+	var coreEmit func(event.Complex)
+	if emit != nil {
+		coreEmit = func(ce event.Complex) { emit(ce) }
+	}
+	h, err := rt.rt.Submit(q, cfg, route, nShards, coreEmit)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{h: h}, nil
+}
+
+// Run feeds src to every currently submitted query (each routes events
+// through its own partitioner), closes the handles and waits until all of
+// them drain. It is the batch convenience on top of Feed/Close/Wait.
+func (rt *Runtime) Run(src Source) error {
+	return rt.rt.Run(src)
+}
+
+// Close drains every handle gracefully and stops the worker pool. The
+// runtime is unusable afterwards.
+func (rt *Runtime) Close() error { return rt.rt.Close() }
+
+// Name returns the query's name.
+func (h *Handle) Name() string { return h.h.Name() }
+
+// Shards returns how many shards the query runs on.
+func (h *Handle) Shards() int { return h.h.Shards() }
+
+// Feed routes one event to its shard. Events must arrive in stream order
+// per handle. It returns ErrHandleClosed after Close.
+func (h *Handle) Feed(ev Event) error { return h.h.Feed(ev) }
+
+// Close marks end of stream; pending events are still processed.
+func (h *Handle) Close() { h.h.Close() }
+
+// Wait blocks until every shard of the query has drained (Close first).
+func (h *Handle) Wait() { h.h.Wait() }
+
+// Drain closes the handle and waits for completion.
+func (h *Handle) Drain() { h.h.Drain() }
+
+// Metrics aggregates the runtime counters across the query's shards.
+func (h *Handle) Metrics() Metrics { return h.h.Metrics() }
+
+// ShardMetrics returns the per-shard runtime counters.
+func (h *Handle) ShardMetrics() []Metrics { return h.h.ShardMetrics() }

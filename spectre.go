@@ -33,6 +33,13 @@
 //	    fmt.Println(ce)
 //	})
 //
+// An Engine serves one query over one stream. Long-lived, multi-tenant
+// deployments use Runtime instead: it hosts many concurrent queries,
+// partitions each input stream by a key attribute (`PARTITION BY` in the
+// query text, or WithPartitionBy/WithPartitionByType) and multiplexes
+// every (query, shard) SPECTRE pipeline onto one shared worker pool —
+// see Runtime, Handle and examples/partitioned.
+//
 // See examples/ for complete programs and DESIGN.md for the architecture.
 package spectre
 
@@ -126,6 +133,15 @@ func WithMarkov(alpha float64, stepSize int) Option {
 // in processed events (paper Fig. 8; default 64).
 func WithConsistencyCheckEvery(n int) Option {
 	return func(c *core.Config) { c.ConsistencyCheckEvery = n }
+}
+
+// WithMaxSpeculation caps the dependency tree's speculative growth
+// (default 256 window versions). Beyond the cap new consumption groups
+// are not speculated on; the final validation gate keeps the output
+// exactly sequential regardless, so the cap only trades throughput for
+// bounded memory on adversarial consume-heavy workloads.
+func WithMaxSpeculation(n int) Option {
+	return func(c *core.Config) { c.MaxSpeculation = n }
 }
 
 // WithBatchSize sets how many events an operator instance processes per
