@@ -13,10 +13,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	spectre "github.com/spectrecep/spectre"
@@ -41,6 +45,11 @@ func run() error {
 	if *file == "" {
 		return fmt.Errorf("-file is required")
 	}
+	// SIGINT/SIGTERM stops the send mid-stream but still closes the write
+	// side cleanly, so the server drains what was sent instead of seeing
+	// a torn frame.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	f, err := os.Open(*file)
 	if err != nil {
 		return err
@@ -73,8 +82,12 @@ func run() error {
 	}
 
 	start := time.Now()
+	sent := len(events)
 	if *rate <= 0 {
-		if err := transport.Send(conn.(*net.TCPConn), reg, events); err != nil {
+		err := transport.Send(ctx, conn.(*net.TCPConn), reg, events)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "spectre-client: interrupted; closed stream early")
+		} else if err != nil {
 			return err
 		}
 	} else {
@@ -82,6 +95,11 @@ func run() error {
 		interval := time.Second / time.Duration(*rate)
 		next := time.Now()
 		for i := range events {
+			if ctx.Err() != nil {
+				sent = i
+				fmt.Fprintln(os.Stderr, "spectre-client: interrupted; closed stream early")
+				break
+			}
 			if err := w.WriteEvent(&events[i]); err != nil {
 				return err
 			}
@@ -90,7 +108,12 @@ func run() error {
 				if err := w.Flush(); err != nil {
 					return err
 				}
-				time.Sleep(d)
+				timer := time.NewTimer(d)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+				}
 			}
 		}
 		if err := w.Flush(); err != nil {
@@ -104,6 +127,6 @@ func run() error {
 	}
 	elapsed := time.Since(start)
 	fmt.Fprintf(os.Stderr, "spectre-client: sent %d events in %v (%.0f events/sec)\n",
-		len(events), elapsed.Round(time.Millisecond), float64(len(events))/elapsed.Seconds())
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
 	return nil
 }

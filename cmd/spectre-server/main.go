@@ -14,14 +14,23 @@
 // legacy single-query deployment of the paper's evaluation setup). The
 // server prints each detected complex event and a per-connection metrics
 // summary; -max-conns N exits after N connections drain.
+//
+// On SIGINT/SIGTERM the server stops accepting, unwedges every connection
+// stream, and drains the admitted backlog through Runtime.Shutdown with a
+// -drain-timeout deadline; queries that miss it are aborted instead of
+// dying mid-write.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	spectre "github.com/spectrecep/spectre"
@@ -44,13 +53,14 @@ type serverOpts struct {
 
 func run() error {
 	var (
-		addr      = flag.String("addr", ":7071", "listen address")
-		queryFile = flag.String("query", "", "fallback query file for clients that send no query frame")
-		instances = flag.Int("instances", 4, "operator-instance slots per shard")
-		shards    = flag.Int("shards", 0, "override shard count for partitioned queries (0 = query's SHARDS, then GOMAXPROCS)")
-		workers   = flag.Int("workers", 0, "shared worker-pool size (0 = GOMAXPROCS)")
-		maxConns  = flag.Int("max-conns", 0, "exit after this many connections (0 = serve forever)")
-		quiet     = flag.Bool("quiet", false, "suppress per-event output (throughput measurements)")
+		addr         = flag.String("addr", ":7071", "listen address")
+		queryFile    = flag.String("query", "", "fallback query file for clients that send no query frame")
+		instances    = flag.Int("instances", 4, "operator-instance slots per shard")
+		shards       = flag.Int("shards", 0, "override shard count for partitioned queries (0 = query's SHARDS, then GOMAXPROCS)")
+		workers      = flag.Int("workers", 0, "shared worker-pool size (0 = GOMAXPROCS)")
+		maxConns     = flag.Int("max-conns", 0, "exit after this many connections (0 = serve forever)")
+		quiet        = flag.Bool("quiet", false, "suppress per-event output (throughput measurements)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline after SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -63,50 +73,90 @@ func run() error {
 		opts.fallback = string(src)
 	}
 
+	// ctx ends on the first SIGINT/SIGTERM; a second signal kills the
+	// process the default way (stop() restores default handling).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	// The runtime's own registry only backs programmatic partition options;
 	// every connection parses its query into a private registry so that
 	// type interning stays single-writer per stream.
-	rt := spectre.NewRuntime(spectre.NewRegistry(), spectre.WithWorkers(*workers))
-	defer rt.Close()
-
-	ln, err := net.Listen("tcp", *addr)
+	var rtOpts []spectre.RuntimeOption
+	if *workers > 0 {
+		rtOpts = append(rtOpts, spectre.WithWorkers(*workers))
+	}
+	rt, err := spectre.NewRuntime(spectre.NewRegistry(), rtOpts...)
 	if err != nil {
 		return err
 	}
-	defer ln.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		rt.Close()
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "spectre-server: listening on %s (multi-query runtime, %d-slot shards)\n",
 		*addr, *instances)
 
+	// Shutdown path: stop accepting as soon as the signal lands; the
+	// per-connection watchers (AbortReadsOnDone) unwedge the streams.
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+
 	var wg sync.WaitGroup
 	served := 0
-	for *maxConns <= 0 || served < *maxConns {
+	var acceptErr error
+	for (*maxConns <= 0 || served < *maxConns) && ctx.Err() == nil {
 		conn, err := ln.Accept()
 		if err != nil {
-			return err
+			if ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+				acceptErr = err
+			}
+			break
 		}
 		served++
 		id := served
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := serveConn(rt, conn, id, opts); err != nil {
+			if err := serveConn(ctx, rt, conn, id, opts); err != nil {
 				fmt.Fprintf(os.Stderr, "spectre-server: conn %d: %v\n", id, err)
 			}
 		}()
 	}
+	ln.Close()
 	wg.Wait()
-	return nil
+
+	// Drain whatever the connections admitted, bounded by -drain-timeout.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := rt.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "spectre-server: drain timeout after %v: aborted remaining queries\n", *drainTimeout)
+	} else if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "spectre-server: drained cleanly after signal")
+	}
+	return acceptErr
 }
 
 // serveConn handles one client: read its query, submit it to the shared
-// runtime, feed its event stream, drain and report.
-func serveConn(rt *spectre.Runtime, conn net.Conn, id int, opts serverOpts) error {
+// runtime, feed its event stream, drain and report. A done ctx unwedges
+// the connection read and drains what was admitted instead of dying
+// mid-stream.
+func serveConn(ctx context.Context, rt *spectre.Runtime, conn net.Conn, id int, opts serverOpts) error {
 	defer conn.Close()
+	stopWatch := transport.AbortReadsOnDone(ctx, conn)
+	defer stopWatch()
+
 	reg := spectre.NewRegistry()
 	r := transport.NewReader(conn, reg)
 
 	queryText, ok, err := r.ReadQuery()
 	if err != nil {
+		if transport.IsClosedOrCanceled(err) && ctx.Err() != nil {
+			return nil
+		}
 		return err
 	}
 	if !ok {
@@ -125,12 +175,12 @@ func serveConn(rt *spectre.Runtime, conn net.Conn, id int, opts serverOpts) erro
 		subOpts = append(subOpts, spectre.WithShards(opts.shards))
 	}
 	matches := 0
-	h, err := rt.Submit(query, func(ce spectre.ComplexEvent) {
+	h, err := rt.Submit(context.Background(), query, spectre.SinkFunc(func(ce spectre.ComplexEvent) {
 		matches++
 		if !opts.quiet {
 			fmt.Printf("[conn %d] %s\n", id, ce.String())
 		}
-	}, subOpts...)
+	}), subOpts...)
 	if err != nil {
 		return err
 	}
@@ -139,18 +189,23 @@ func serveConn(rt *spectre.Runtime, conn net.Conn, id int, opts serverOpts) erro
 
 	src, srcErr := transport.SourceFromReader(r)
 	start := time.Now()
-	for {
-		ev, more := src.Next()
-		if !more {
-			break
+	feedErr := func() error {
+		for {
+			ev, more := src.Next()
+			if !more {
+				return nil
+			}
+			if err := h.Feed(ctx, ev); err != nil {
+				return err
+			}
 		}
-		if err := h.Feed(ev); err != nil {
-			return err
-		}
-	}
+	}()
 	h.Drain()
 	elapsed := time.Since(start)
-	if err := srcErr(); err != nil {
+	if feedErr != nil && !errors.Is(feedErr, context.Canceled) {
+		return fmt.Errorf("feed error: %w", feedErr)
+	}
+	if err := srcErr(); err != nil && !(transport.IsClosedOrCanceled(err) && ctx.Err() != nil) {
 		return fmt.Errorf("stream error: %w", err)
 	}
 	m := h.Metrics()

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -67,31 +68,53 @@ func run() error {
 		return err
 	}
 
-	rt := spectre.NewRuntime(reg)
-	defer rt.Close()
-
-	// One counter per handle: emit callbacks are serialized per handle but
-	// run concurrently across handles, so the two queries must not share a
-	// counter (or any other unsynchronized state).
-	var nMomentum, nReversal int
-	hMomentum, err := rt.Submit(momentum, func(spectre.ComplexEvent) { nMomentum++ })
+	ctx := context.Background()
+	rt, err := spectre.NewRuntime(reg)
 	if err != nil {
 		return err
 	}
-	hReversal, err := rt.Submit(reversal, func(spectre.ComplexEvent) { nReversal++ })
+	defer rt.Close()
+
+	// One counter per handle: sink callbacks are serialized per handle but
+	// run concurrently across handles, so the two queries must not share a
+	// counter (or any other unsynchronized state).
+	var nMomentum, nReversal int
+	hMomentum, err := rt.Submit(ctx, momentum, spectre.SinkFunc(func(spectre.ComplexEvent) { nMomentum++ }))
+	if err != nil {
+		return err
+	}
+	hReversal, err := rt.Submit(ctx, reversal, spectre.SinkFunc(func(spectre.ComplexEvent) { nReversal++ }))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("submitted %s on %d shards, %s on %d shards\n",
 		hMomentum.Name(), hMomentum.Shards(), hReversal.Name(), hReversal.Shards())
 
-	// One pass over the stream feeds both queries; each routes every event
-	// to the right shard by symbol hash.
+	// Feed both queries in batches: FeedBatch scatters each slice to its
+	// shards with one queue handoff per (batch, shard) — the cheap intake
+	// path — and each handle routes every event by symbol hash.
 	start := time.Now()
-	if err := rt.Run(spectre.FromSlice(events)); err != nil {
+	const batch = 512
+	for lo := 0; lo < len(events); lo += batch {
+		hi := min(lo+batch, len(events))
+		if err := hMomentum.FeedBatch(ctx, events[lo:hi]); err != nil {
+			return err
+		}
+		if err := hReversal.FeedBatch(ctx, events[lo:hi]); err != nil {
+			return err
+		}
+	}
+	hMomentum.Drain()
+	hReversal.Drain()
+	elapsed := time.Since(start)
+
+	// Graceful teardown with a deadline: a production service would call
+	// this from its SIGTERM handler.
+	shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
 
 	fmt.Printf("processed %d events through both queries in %v (%.0f events/sec)\n",
 		len(events), elapsed.Round(time.Millisecond),

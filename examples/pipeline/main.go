@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -78,7 +79,7 @@ func run() error {
 		}
 		defer conn.Close()
 		start := time.Now()
-		if err := transport.Send(conn, clientReg, events); err != nil {
+		if err := transport.Send(context.Background(), conn, clientReg, events); err != nil {
 			clientErr <- err
 			return
 		}
@@ -95,12 +96,12 @@ func run() error {
 
 	matches := 0
 	start := time.Now()
-	if err := eng.Run(src, func(ce spectre.ComplexEvent) {
+	if err := eng.Run(context.Background(), src, spectre.SinkFunc(func(ce spectre.ComplexEvent) {
 		matches++
 		if matches <= 5 {
 			fmt.Printf("  M-shape detected: window w%d, %d constituents\n", ce.WindowID, len(ce.Constituents))
 		}
-	}); err != nil {
+	})); err != nil {
 		return err
 	}
 	elapsed := time.Since(start)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -76,14 +77,14 @@ func runVariant(src string) error {
 		return err
 	}
 	count := 0
-	err = eng.Run(spectre.FromSlice(events), func(ce spectre.ComplexEvent) {
+	err = eng.Run(context.Background(), spectre.FromSlice(events), spectre.SinkFunc(func(ce spectre.ComplexEvent) {
 		count++
 		parts := make([]string, len(ce.Constituents))
 		for i, seq := range ce.Constituents {
 			parts[i] = names[seq]
 		}
 		fmt.Printf("  complex event %d: window w%d, constituents %v\n", count, ce.WindowID+1, parts)
-	})
+	}))
 	if err != nil {
 		return err
 	}

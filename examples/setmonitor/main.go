@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -81,7 +82,7 @@ func run() error {
 		}
 		matches := 0
 		start := time.Now()
-		if err := eng.Run(spectre.FromSlice(events), func(spectre.ComplexEvent) { matches++ }); err != nil {
+		if err := eng.Run(context.Background(), spectre.FromSlice(events), spectre.SinkFunc(func(spectre.ComplexEvent) { matches++ })); err != nil {
 			return err
 		}
 		elapsed := time.Since(start)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -92,9 +93,9 @@ func run() error {
 		}
 		var got []spectre.ComplexEvent
 		start := time.Now()
-		if err := eng.Run(spectre.FromSlice(events), func(ce spectre.ComplexEvent) {
+		if err := eng.Run(context.Background(), spectre.FromSlice(events), spectre.SinkFunc(func(ce spectre.ComplexEvent) {
 			got = append(got, ce)
-		}); err != nil {
+		})); err != nil {
 			return err
 		}
 		elapsed := time.Since(start)

@@ -1,3 +1,3 @@
 module github.com/spectrecep/spectre
 
-go 1.22
+go 1.23

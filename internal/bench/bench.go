@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -158,7 +159,7 @@ func measureSpectre(q *pattern.Query, events []event.Event, cfg core.Config, rep
 		}
 		src := stream.FromSlice(events)
 		start := time.Now()
-		if err := eng.Run(src, nil); err != nil {
+		if err := eng.Run(context.Background(), src, nil); err != nil {
 			return stats.Candles{}, core.Metrics{}, err
 		}
 		elapsed := time.Since(start)
@@ -335,7 +336,7 @@ func (o *Options) Fig10c() ([]Row, error) {
 				return nil, err
 			}
 			start := time.Now()
-			if err := eng.Run(stream.FromSlice(events), nil); err != nil {
+			if err := eng.Run(context.Background(), stream.FromSlice(events), nil); err != nil {
 				return nil, err
 			}
 			elapsed := time.Since(start)
@@ -376,7 +377,7 @@ func (o *Options) Fig10f() ([]Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := eng.Run(stream.FromSlice(events), nil); err != nil {
+			if err := eng.Run(context.Background(), stream.FromSlice(events), nil); err != nil {
 				return nil, err
 			}
 			series.Add(float64(eng.MetricsSnapshot().MaxTreeSize))
@@ -515,13 +516,14 @@ func (o *Options) Experiments() map[string]func() ([]Row, error) {
 		"fig11b":    o.Fig11b,
 		"trex":      o.TRexComparison,
 		"partition": o.Partitioned,
+		"feedbatch": o.FeedBatch,
 	}
 }
 
 // ExperimentOrder lists the experiment ids in presentation order.
 var ExperimentOrder = []string{
 	"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
-	"fig11a", "fig11b", "trex", "partition",
+	"fig11a", "fig11b", "trex", "partition", "feedbatch",
 }
 
 // RunAll executes every experiment in order.

@@ -188,7 +188,7 @@ func BenchmarkPartitioned(b *testing.B) {
 		b.Run(fmt.Sprintf("shards=%d", nShards), func(b *testing.B) {
 			b.SetBytes(int64(len(events)))
 			for i := 0; i < b.N; i++ {
-				c, _, err := measureRuntime(q, events, core.Config{Instances: 2}, nShards, 0, 1)
+				c, _, err := measureRuntime(q, events, core.Config{Instances: 2}, nShards, 0, 1, 0)
 				if err != nil {
 					b.Fatal(err)
 				}

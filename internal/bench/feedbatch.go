@@ -1,0 +1,63 @@
+// FeedBatch ingestion overhead: per-event Feed pays one shard-queue
+// lock/unlock (and, under backpressure, one wakeup) per event; FeedBatch
+// pays it once per (batch, shard). This experiment measures end-to-end
+// throughput of the same partitioned workload at increasing batch sizes —
+// the communication-overhead lever of Mayer et al., "Minimizing
+// Communication Overhead in Window-Based Parallel Complex Event
+// Processing", applied to the intake path.
+package bench
+
+import (
+	"fmt"
+
+	"github.com/spectrecep/spectre/internal/core"
+	"github.com/spectrecep/spectre/internal/event"
+)
+
+// BatchSizes returns the ingestion batch-size sweep of the FeedBatch
+// experiment; 0 is the per-event Feed baseline.
+func (o *Options) BatchSizes() []int {
+	return []int{0, 16, 64, 256, 1024}
+}
+
+// FeedBatch measures Runtime ingest throughput versus the feed batch
+// size on the partitioned trading workload (the batch=0 row is per-event
+// Handle.Feed; every other row hands whole slices to Handle.FeedBatch).
+func (o *Options) FeedBatch() ([]Row, error) {
+	o.setDefaults()
+	reg := event.NewRegistry()
+	events := o.nyseData(reg)
+	q, err := RiseQuery(reg, o.WindowSize)
+	if err != nil {
+		return nil, err
+	}
+	nShards := 4
+	o.printf("\n== FeedBatch: ingest throughput vs batch size (%d shards, ws=%d, %d events) ==\n",
+		nShards, o.WindowSize, len(events))
+	o.printf("%-12s %14s   %s\n", "batch", "med ev/s", "candles (min/p25/med/p75/max)")
+	var rows []Row
+	base := 0.0
+	for _, bs := range o.BatchSizes() {
+		c, _, err := measureRuntime(q, events, core.Config{Instances: 2}, nShards, 0, o.Repeats, bs)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("batch=%d", bs)
+		if bs == 0 {
+			label = "feed"
+		}
+		rows = append(rows, Row{
+			Figure: "feedbatch", Label: label, K: bs,
+			Value: c.Median, Metric: "events/sec", Candles: c,
+		})
+		if bs == 0 {
+			base = c.Median
+			o.printf("%-12s %14.0f   %s\n", label, c.Median, c)
+		} else if base > 0 {
+			o.printf("%-12s %14.0f   %s  (%.2fx vs per-event Feed)\n", label, c.Median, c, c.Median/base)
+		} else {
+			o.printf("%-12s %14.0f   %s\n", label, c.Median, c)
+		}
+	}
+	return rows, nil
+}

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -64,23 +65,36 @@ func RiseQuery(reg *event.Registry, windowSize int) (*pattern.Query, error) {
 }
 
 // measureRuntime pushes events through a fresh Runtime with nShards
-// key-partitioned shards and returns the throughput candles.
-func measureRuntime(q *pattern.Query, events []event.Event, cfg core.Config, nShards, workers, repeats int) (stats.Candles, core.Metrics, error) {
+// key-partitioned shards and returns the throughput candles. batchSize 0
+// feeds per event (Handle.Feed); larger values feed batchSize-event
+// slices through Handle.FeedBatch.
+func measureRuntime(q *pattern.Query, events []event.Event, cfg core.Config, nShards, workers, repeats, batchSize int) (stats.Candles, core.Metrics, error) {
+	ctx := context.Background()
 	var series stats.Series
 	var lastMetrics core.Metrics
 	for r := 0; r < repeats; r++ {
 		rt := core.NewRuntime(core.RuntimeConfig{Workers: workers})
 		router := shard.NewRouter(nShards, shard.ByType())
-		h, err := rt.Submit(q, cfg, router.Route, nShards, nil)
+		h, err := rt.Submit(q, cfg, router.Route, nShards, nil, nil)
 		if err != nil {
 			rt.Close()
 			return stats.Candles{}, core.Metrics{}, err
 		}
 		start := time.Now()
-		for i := range events {
-			if err := h.Feed(events[i]); err != nil {
-				rt.Close()
-				return stats.Candles{}, core.Metrics{}, err
+		if batchSize <= 0 {
+			for i := range events {
+				if err := h.Feed(ctx, events[i]); err != nil {
+					rt.Close()
+					return stats.Candles{}, core.Metrics{}, err
+				}
+			}
+		} else {
+			for lo := 0; lo < len(events); lo += batchSize {
+				hi := min(lo+batchSize, len(events))
+				if err := h.FeedBatch(ctx, events[lo:hi]); err != nil {
+					rt.Close()
+					return stats.Candles{}, core.Metrics{}, err
+				}
 			}
 		}
 		h.Drain()
@@ -117,7 +131,7 @@ func (o *Options) Partitioned() ([]Row, error) {
 	var rows []Row
 	base := 0.0
 	for _, n := range o.ShardCounts() {
-		c, _, err := measureRuntime(q, events, core.Config{Instances: 2}, n, 0, o.Repeats)
+		c, _, err := measureRuntime(q, events, core.Config{Instances: 2}, n, 0, o.Repeats, 0)
 		if err != nil {
 			return nil, err
 		}

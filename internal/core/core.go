@@ -28,12 +28,35 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 
 	"github.com/spectrecep/spectre/internal/deptree"
 	"github.com/spectrecep/spectre/internal/markov"
 	"github.com/spectrecep/spectre/internal/pattern"
 )
+
+// ErrOverloaded is the sentinel matched (via errors.Is) by every
+// *OverloadError: a non-blocking admission attempt found the shard queue
+// full. Callers shed load or retry; blocking Feed never returns it.
+var ErrOverloaded = errors.New("core: shard queue is full")
+
+// OverloadError reports a rejected non-blocking admission (TryFeed): the
+// target shard's intake queue was at capacity. It matches ErrOverloaded
+// with errors.Is, so load-shedding callers need not depend on the struct.
+type OverloadError struct {
+	Shard   int // shard index the event routed to
+	Pending int // events queued on that shard at rejection time
+	Cap     int // the shard queue's capacity
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("core: shard %d queue is full (%d/%d events pending)", e.Shard, e.Pending, e.Cap)
+}
+
+// Is reports ErrOverloaded equivalence for errors.Is.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
 
 // Config parameterizes an Engine. The zero value selects the defaults
 // documented on each field.
@@ -78,6 +101,22 @@ type Config struct {
 	// Shards overrides the shard count for partitioned Runtime queries;
 	// 0 defers to the partition spec, then to the runtime default.
 	Shards int
+	// QueueCap bounds the pending backlog of each shard intake queue
+	// (default 1<<16 events). A full queue blocks Feed and rejects
+	// TryFeed with an *OverloadError.
+	QueueCap int
+	// Err carries the first invalid-option error; constructors check it
+	// before using any other field. Options record violations here (the
+	// option-function signature has no error return).
+	Err error
+}
+
+// SetError records the first option-validation error. Later errors are
+// dropped: the first bad option is the one the caller should hear about.
+func (c *Config) SetError(err error) {
+	if c.Err == nil {
+		c.Err = err
+	}
 }
 
 func (c *Config) setDefaults() {
@@ -98,6 +137,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.MaxSpeculation <= 0 {
 		c.MaxSpeculation = 256
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = defaultQueueCap
 	}
 }
 

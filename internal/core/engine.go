@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -32,6 +33,9 @@ type program struct {
 
 // compile validates and compiles q under cfg.
 func compile(q *pattern.Query, cfg Config) (*program, error) {
+	if cfg.Err != nil {
+		return nil, cfg.Err
+	}
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -96,6 +100,7 @@ type shardState struct {
 	schedMark  uint64 // splitter only; per-cycle token
 
 	inputDone atomic.Bool
+	cancelled atomic.Bool // abort requested; the next splitter cycle finishes
 	finished  atomic.Bool // run fully processed; done is closed
 	splitBusy atomic.Bool // cooperative-splitter claim (Pool mode)
 	done      chan struct{}
@@ -158,10 +163,14 @@ func (s *shardState) newVersion(win *window.Window, suppressed []*deptree.CG) *d
 
 // splitLoop drives the splitter to completion on the calling goroutine:
 // ingest → apply feedback → advance/emit → schedule, repeated until the
-// stream is drained (paper §3.2.2). Used by the dedicated Engine.Run path.
-func (s *shardState) splitLoop() {
+// stream is drained (paper §3.2.2) or ctx is done. Used by the dedicated
+// Engine.Run path.
+func (s *shardState) splitLoop(ctx context.Context) {
 	idle := 0
 	for {
+		if ctx.Err() != nil {
+			s.cancel()
+		}
 		worked := s.splitCycle()
 		if s.runComplete() {
 			s.finishRun()
@@ -201,6 +210,11 @@ func (s *shardState) splitterStep() bool {
 
 // splitCycle is one splitter maintenance+scheduling cycle.
 func (s *shardState) splitCycle() bool {
+	if s.cancelled.Load() {
+		// Aborted: emit nothing more; the caller's runComplete check
+		// finishes the run.
+		return false
+	}
 	worked := false
 
 	if !s.inputDone.Load() && (s.tree.Size() < s.prog.cfg.MaxTreeSize || s.rootNeedsIngest()) {
@@ -226,9 +240,25 @@ func (s *shardState) splitCycle() bool {
 	return worked
 }
 
-// runComplete reports whether the shard has fully processed its stream.
+// runComplete reports whether the shard has fully processed its stream —
+// or was cancelled, in which case the remaining tree state is abandoned.
 func (s *shardState) runComplete() bool {
+	if s.cancelled.Load() {
+		return true
+	}
 	return s.inputDone.Load() && s.tree.Empty() && s.fq.empty()
+}
+
+// cancel requests an abort: the next splitter cycle (dedicated or
+// pool-driven) observes it, skips the remaining work and finishes the
+// run. Pending and future intake is discarded. Idempotent.
+func (s *shardState) cancel() {
+	if s.cancelled.CompareAndSwap(false, true) {
+		if q, ok := s.feed.(*shardQueue); ok {
+			q.discard()
+		}
+		s.inputDone.Store(true)
+	}
 }
 
 // finishRun finalizes metrics, clears the scheduling slots and publishes
@@ -546,14 +576,21 @@ func New(q *pattern.Query, cfg Config) (*Engine, error) {
 // invokes emit for every complex event, in canonical order (window order;
 // detection order within a window — exactly the sequential-engine order).
 // emit must not call back into the engine. Run returns after the stream is
-// fully processed; an engine runs once.
-func (e *Engine) Run(src stream.Source, emit func(event.Complex)) error {
+// fully processed, or with ctx.Err() as soon as ctx is done (within one
+// splitter cycle; already-emitted output stands, the rest is discarded).
+// An engine runs once.
+func (e *Engine) Run(ctx context.Context, src stream.Source, emit func(event.Complex)) error {
 	if e.ran {
 		return ErrAlreadyRan
 	}
+	// A context that is already done rejects the call without consuming
+	// the engine's single run.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	e.ran = true
 	s := e.shard
-	s.begin(&sourceFeeder{src: src}, emit)
+	s.begin(&sourceFeeder{ctx: ctx, src: src}, emit)
 
 	var stop atomic.Bool
 	var wg sync.WaitGroup
@@ -564,9 +601,12 @@ func (e *Engine) Run(src stream.Source, emit func(event.Complex)) error {
 			s.slotLoop(i, &stop)
 		}(i)
 	}
-	s.splitLoop()
+	s.splitLoop(ctx)
 	stop.Store(true)
 	wg.Wait()
+	if s.cancelled.Load() {
+		return ctx.Err()
+	}
 	return nil
 }
 

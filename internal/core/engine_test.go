@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -23,7 +24,7 @@ func runSpectre(t *testing.T, q *pattern.Query, events []event.Event, cfg Config
 		t.Fatal(err)
 	}
 	var out []event.Complex
-	if err := eng.Run(stream.FromSlice(events), func(ce event.Complex) {
+	if err := eng.Run(context.Background(), stream.FromSlice(events), func(ce event.Complex) {
 		out = append(out, ce)
 	}); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"github.com/spectrecep/spectre/internal/event"
@@ -19,8 +20,11 @@ type feeder interface {
 	next() (ev event.Event, ok bool, done bool)
 }
 
-// sourceFeeder adapts a blocking stream.Source.
+// sourceFeeder adapts a blocking stream.Source, honouring the run's
+// context: a done context ends the stream, and sources that implement
+// stream.ContextSource (e.g. ChanSource) unblock mid-read.
 type sourceFeeder struct {
+	ctx context.Context
 	src stream.Source
 	eos bool
 }
@@ -29,7 +33,19 @@ func (f *sourceFeeder) next() (event.Event, bool, bool) {
 	if f.eos {
 		return event.Event{}, false, true
 	}
-	ev, ok := f.src.Next()
+	if f.ctx.Err() != nil {
+		f.eos = true
+		return event.Event{}, false, true
+	}
+	var (
+		ev event.Event
+		ok bool
+	)
+	if cs, ctxAware := f.src.(stream.ContextSource); ctxAware {
+		ev, ok = cs.NextCtx(f.ctx)
+	} else {
+		ev, ok = f.src.Next()
+	}
 	if !ok {
 		f.eos = true
 		return event.Event{}, false, true
@@ -37,50 +53,131 @@ func (f *sourceFeeder) next() (event.Event, bool, bool) {
 	return ev, true, false
 }
 
-// shardQueueCap bounds the pending backlog of one shard queue. A full
+// defaultQueueCap bounds the pending backlog of one shard queue. A full
 // queue blocks push, so backpressure propagates from a slow shard to
 // Handle.Feed and, through it, to whatever drives the stream (for the
 // TCP server: the connection's read loop, and thus the client's send
 // window) — mirroring the blocking-source ingest of a dedicated engine.
-const shardQueueCap = 1 << 16
+const defaultQueueCap = 1 << 16
 
 // shardQueue is the asynchronous intake of one pool-driven shard: the
-// routing side pushes events (blocking while the shard is shardQueueCap
-// events behind), the shard's splitter pops them without ever blocking.
+// routing side pushes events or whole batches (blocking while the shard
+// is cap events behind, unblocking early when the pusher's context is
+// cancelled), the shard's splitter pops them without ever blocking.
 // Closing marks end of stream once the backlog drains.
 type shardQueue struct {
 	mu     sync.Mutex
 	space  sync.Cond // signalled when the backlog drops below capacity
 	buf    []event.Event
 	head   int
+	cap    int
 	closed bool
 }
 
-func newShardQueue() *shardQueue {
-	q := &shardQueue{}
+func newShardQueue(capacity int) *shardQueue {
+	if capacity <= 0 {
+		capacity = defaultQueueCap
+	}
+	q := &shardQueue{cap: capacity}
 	q.space.L = &q.mu
 	return q
 }
 
-// push appends ev, blocking while the queue is full. It reports false
-// when the queue is closed (the event is dropped).
-func (q *shardQueue) push(ev event.Event) bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for !q.closed && len(q.buf)-q.head >= shardQueueCap {
+// waitSpace blocks (mu held) until the queue has room, is closed, or ctx
+// is done. It reports the terminal condition as an error; nil means the
+// caller may append.
+func (q *shardQueue) waitSpace(ctx context.Context) error {
+	if q.closed {
+		return ErrHandleClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(q.buf)-q.head < q.cap {
+		return nil
+	}
+	// Only a blocked push pays for the cancellation hook: AfterFunc wakes
+	// the condition variable so a cancelled producer leaves promptly.
+	stop := context.AfterFunc(ctx, func() {
+		q.mu.Lock()
+		q.space.Broadcast()
+		q.mu.Unlock()
+	})
+	defer stop()
+	for !q.closed && len(q.buf)-q.head >= q.cap {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		q.space.Wait()
 	}
 	if q.closed {
-		return false
+		return ErrHandleClosed
+	}
+	return ctx.Err()
+}
+
+// push appends ev, blocking while the queue is full. It returns
+// ErrHandleClosed when the queue closed, or the context error when ctx
+// was done first.
+func (q *shardQueue) push(ctx context.Context, ev event.Event) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.waitSpace(ctx); err != nil {
+		return err
 	}
 	q.buf = append(q.buf, ev)
-	return true
+	return nil
+}
+
+// pushBatch appends evs in one critical section, blocking until the queue
+// has room for the batch's head. The whole batch is admitted at once (the
+// backlog may transiently overshoot cap by len(evs)-1 events) — that is
+// the point: one lock acquisition and one wakeup per batch instead of per
+// event.
+func (q *shardQueue) pushBatch(ctx context.Context, evs []event.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.waitSpace(ctx); err != nil {
+		return err
+	}
+	q.buf = append(q.buf, evs...)
+	return nil
+}
+
+// tryPush appends ev without blocking. A full queue returns pending (the
+// current backlog) and false; the caller wraps it into an *OverloadError.
+// A closed queue returns ErrHandleClosed via ok=false, pending=-1.
+func (q *shardQueue) tryPush(ev event.Event) (pending int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return -1, false
+	}
+	if n := len(q.buf) - q.head; n >= q.cap {
+		return n, false
+	}
+	q.buf = append(q.buf, ev)
+	return 0, true
 }
 
 // close marks end of stream; pending events are still delivered and any
 // blocked producers are released.
 func (q *shardQueue) close() {
 	q.mu.Lock()
+	q.closed = true
+	q.space.Broadcast()
+	q.mu.Unlock()
+}
+
+// discard drops the pending backlog and closes the queue (abort path:
+// a cancelled handle must not keep feeding its splitter).
+func (q *shardQueue) discard() {
+	q.mu.Lock()
+	q.buf = nil
+	q.head = 0
 	q.closed = true
 	q.space.Broadcast()
 	q.mu.Unlock()
@@ -94,7 +191,7 @@ func (q *shardQueue) next() (event.Event, bool, bool) {
 		ev := q.buf[q.head]
 		q.buf[q.head] = event.Event{}
 		q.head++
-		if len(q.buf)-q.head == shardQueueCap-1 {
+		if len(q.buf)-q.head == q.cap-1 {
 			q.space.Broadcast()
 		}
 		// Compact once the consumed prefix dominates, so the backing

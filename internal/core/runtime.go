@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -23,6 +24,16 @@ var (
 type RuntimeConfig struct {
 	// Workers sizes the shared worker pool; <= 0 selects GOMAXPROCS.
 	Workers int
+	// Err carries the first invalid-option error; NewRuntime callers
+	// check it before starting the pool.
+	Err error
+}
+
+// SetError records the first option-validation error.
+func (c *RuntimeConfig) SetError(err error) {
+	if c.Err == nil {
+		c.Err = err
+	}
 }
 
 // Runtime is the long-lived, multi-query SPECTRE service: it hosts many
@@ -46,22 +57,29 @@ func NewRuntime(cfg RuntimeConfig) *Runtime {
 // per-handle emit callback. Feed routes events to shards; Close marks end
 // of stream; Wait blocks until every shard drained.
 type Handle struct {
-	rt     *Runtime
-	name   string
-	route  func(*event.Event) int
-	shards []*shardState
-	queues []*shardQueue
-	emitMu sync.Mutex
-	closed atomic.Bool
+	rt      *Runtime
+	name    string
+	route   func(*event.Event) int
+	shards  []*shardState
+	queues  []*shardQueue
+	scatter [][]event.Event // FeedBatch per-shard scratch (single producer)
+	emitMu  sync.Mutex
+	closed  atomic.Bool
+	drained sync.Once
+	onDrain func()
 }
 
 // Submit compiles q and starts nShards independent shard states on the
 // shared pool. route maps an event to a shard index (ignored — and may be
 // nil — when nShards is 1); emit receives every complex event of the
 // query, serialized per handle (shard order within a shard is canonical,
-// interleaving across shards is arrival-order). The handle is live
-// immediately: Feed before, during and after other queries' runs.
-func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event) int, nShards int, emit func(event.Complex)) (*Handle, error) {
+// interleaving across shards is arrival-order); onDrain, if non-nil, fires
+// exactly once when the handle has fully drained (or aborted). The handle
+// is live immediately: Feed before, during and after other queries' runs.
+func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event) int, nShards int, emit func(event.Complex), onDrain func()) (*Handle, error) {
+	if cfg.Err != nil {
+		return nil, cfg.Err
+	}
 	if nShards <= 0 {
 		nShards = 1
 	}
@@ -72,7 +90,7 @@ func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event)
 	if err != nil {
 		return nil, err
 	}
-	h := &Handle{rt: rt, name: q.Name, route: route}
+	h := &Handle{rt: rt, name: q.Name, route: route, onDrain: onDrain}
 	if emit == nil {
 		emit = func(event.Complex) {}
 	}
@@ -81,7 +99,7 @@ func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event)
 		if err != nil {
 			return nil, err
 		}
-		queue := newShardQueue()
+		queue := newShardQueue(prog.cfg.QueueCap)
 		s.begin(queue, func(ce event.Complex) {
 			h.emitMu.Lock()
 			emit(ce)
@@ -90,6 +108,7 @@ func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event)
 		h.shards = append(h.shards, s)
 		h.queues = append(h.queues, queue)
 	}
+	h.scatter = make([][]event.Event, nShards)
 
 	rt.mu.Lock()
 	if rt.closed {
@@ -104,9 +123,10 @@ func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event)
 
 // Run feeds src to every currently submitted handle (each handle routes
 // the events through its own partitioner), then closes the handles and
-// waits until all of them drain. It is the batch convenience on top of
-// Feed/Close/Wait.
-func (rt *Runtime) Run(src stream.Source) error {
+// waits until all of them drain. A done ctx stops mid-stream: the handles
+// are still closed and drained of what they admitted, and ctx.Err() is
+// returned. It is the batch convenience on top of Feed/Close/Wait.
+func (rt *Runtime) Run(ctx context.Context, src stream.Source) error {
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
@@ -115,14 +135,25 @@ func (rt *Runtime) Run(src stream.Source) error {
 	handles := append([]*Handle(nil), rt.handles...)
 	rt.mu.Unlock()
 
-	for {
-		ev, ok := src.Next()
+	cs, ctxAware := src.(stream.ContextSource)
+	for ctx.Err() == nil {
+		var (
+			ev event.Event
+			ok bool
+		)
+		// Context-aware sources (channels, network reads) unblock on
+		// cancellation instead of waiting for an event that never comes.
+		if ctxAware {
+			ev, ok = cs.NextCtx(ctx)
+		} else {
+			ev, ok = src.Next()
+		}
 		if !ok {
 			break
 		}
 		for _, h := range handles {
 			if !h.closed.Load() {
-				h.feed(ev)
+				h.feed(ctx, ev)
 			}
 		}
 	}
@@ -132,12 +163,19 @@ func (rt *Runtime) Run(src stream.Source) error {
 	for _, h := range handles {
 		h.Wait()
 	}
-	return nil
+	return ctx.Err()
 }
 
 // Close drains every handle gracefully (end-of-stream, wait for all
 // shards) and stops the worker pool. The runtime is unusable afterwards.
-func (rt *Runtime) Close() error {
+func (rt *Runtime) Close() error { return rt.Shutdown(context.Background()) }
+
+// Shutdown closes every handle (end of stream) and waits for all shards
+// to drain their admitted backlog. If ctx expires first, the remaining
+// handles are aborted — pending events are discarded, splitters finish
+// within one cycle — and ctx.Err() is returned. Either way the worker
+// pool is stopped and the runtime is unusable afterwards.
+func (rt *Runtime) Shutdown(ctx context.Context) error {
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
@@ -150,11 +188,33 @@ func (rt *Runtime) Close() error {
 	for _, h := range handles {
 		h.Close()
 	}
-	for _, h := range handles {
-		h.Wait()
+	err := ctx.Err()
+	if err == nil {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for _, h := range handles {
+				h.Wait()
+			}
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	}
+	if err != nil {
+		// Drain deadline missed: abort what is left. Cancelled splitters
+		// finish on their next pool cycle, so the second wait is short.
+		for _, h := range handles {
+			h.Abort()
+		}
+		for _, h := range handles {
+			h.Wait()
+		}
 	}
 	rt.pool.Close()
-	return nil
+	return err
 }
 
 // Name returns the submitted query's name.
@@ -163,24 +223,76 @@ func (h *Handle) Name() string { return h.name }
 // Shards returns the number of shards the query runs on.
 func (h *Handle) Shards() int { return len(h.shards) }
 
-// Feed routes one event to its shard. It returns ErrHandleClosed after
-// Close.
-func (h *Handle) Feed(ev event.Event) error {
+// Feed routes one event to its shard, blocking while that shard's queue
+// is full. It returns ErrHandleClosed after Close, or ctx.Err() when ctx
+// is done first (the event is not admitted).
+func (h *Handle) Feed(ctx context.Context, ev event.Event) error {
 	if h.closed.Load() {
 		return ErrHandleClosed
 	}
-	h.feed(ev)
+	return h.feed(ctx, ev)
+}
+
+// TryFeed routes one event to its shard without ever blocking. A full
+// shard queue rejects the event with an *OverloadError (errors.Is
+// ErrOverloaded) — the admission signal load-shedding callers need.
+func (h *Handle) TryFeed(ev event.Event) error {
+	if h.closed.Load() {
+		return ErrHandleClosed
+	}
+	i := h.shardOf(&ev)
+	pending, ok := h.queues[i].tryPush(ev)
+	if ok {
+		return nil
+	}
+	if pending < 0 {
+		return ErrHandleClosed
+	}
+	return &OverloadError{Shard: i, Pending: pending, Cap: h.queues[i].cap}
+}
+
+// FeedBatch routes a batch of in-order events, enqueueing one slice per
+// shard: per-event queue synchronization is paid once per (batch, shard)
+// instead of once per event. Like Feed it blocks on full shard queues and
+// unblocks with ctx.Err() on cancellation; a batch interrupted mid-way
+// reports the error with events of earlier shards already admitted (the
+// per-shard prefix property callers rely on still holds: every shard
+// receives an in-order prefix of its substream).
+func (h *Handle) FeedBatch(ctx context.Context, evs []event.Event) error {
+	if h.closed.Load() {
+		return ErrHandleClosed
+	}
+	if len(h.queues) == 1 {
+		return h.queues[0].pushBatch(ctx, evs)
+	}
+	for i := range h.scatter {
+		h.scatter[i] = h.scatter[i][:0]
+	}
+	for i := range evs {
+		shard := h.shardOf(&evs[i])
+		h.scatter[shard] = append(h.scatter[shard], evs[i])
+	}
+	for i, chunk := range h.scatter {
+		if err := h.queues[i].pushBatch(ctx, chunk); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-func (h *Handle) feed(ev event.Event) {
-	i := 0
-	if h.route != nil {
-		if i = h.route(&ev); i < 0 || i >= len(h.queues) {
-			i = 0
-		}
+// shardOf maps ev to its shard index.
+func (h *Handle) shardOf(ev *event.Event) int {
+	if h.route == nil {
+		return 0
 	}
-	h.queues[i].push(ev)
+	if i := h.route(ev); i >= 0 && i < len(h.queues) {
+		return i
+	}
+	return 0
+}
+
+func (h *Handle) feed(ctx context.Context, ev event.Event) error {
+	return h.queues[h.shardOf(&ev)].push(ctx, ev)
 }
 
 // Close marks end of stream for every shard. Pending events are still
@@ -194,15 +306,33 @@ func (h *Handle) Close() {
 	}
 }
 
+// Abort closes the handle and cancels its shards: pending events are
+// discarded and the splitters finish within one pool cycle without
+// emitting further output. Used when a submission context is cancelled
+// and by Shutdown on drain timeout. Idempotent; safe concurrently with
+// Close/Wait/Feed.
+func (h *Handle) Abort() {
+	h.closed.Store(true)
+	for _, s := range h.shards {
+		s.cancel()
+	}
+}
+
 // Wait blocks until every shard has fully processed its stream. Callers
 // must Close first (directly or via Runtime.Run/Close), otherwise Wait
 // blocks forever. Once drained, the runtime forgets the handle (its
-// arenas and trees become collectable as soon as the caller drops it).
+// arenas and trees become collectable as soon as the caller drops it) and
+// the handle's drain callback fires (exactly once, on the first waiter).
 func (h *Handle) Wait() {
 	for _, s := range h.shards {
 		<-s.done
 	}
 	h.rt.forget(h)
+	h.drained.Do(func() {
+		if h.onDrain != nil {
+			h.onDrain()
+		}
+	})
 }
 
 // forget drops a fully drained handle from the runtime's bookkeeping so

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -35,11 +36,11 @@ func TestRuntimeForgetsDrainedHandles(t *testing.T) {
 	defer rt.Close()
 
 	for i := 0; i < 3; i++ {
-		h, err := rt.Submit(testQuery(t, reg), Config{Instances: 1}, nil, 1, nil)
+		h, err := rt.Submit(testQuery(t, reg), Config{Instances: 1}, nil, 1, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := h.Feed(event.Event{TS: 1, Type: 1}); err != nil {
+		if err := h.Feed(context.Background(), event.Event{TS: 1, Type: 1}); err != nil {
 			t.Fatal(err)
 		}
 		h.Drain()
@@ -55,14 +56,16 @@ func TestRuntimeForgetsDrainedHandles(t *testing.T) {
 // TestShardQueueBackpressure checks that push blocks at capacity, resumes
 // when the consumer drains, and is released by close.
 func TestShardQueueBackpressure(t *testing.T) {
-	q := newShardQueue()
-	for i := 0; i < shardQueueCap; i++ {
-		if !q.push(event.Event{Seq: uint64(i)}) {
-			t.Fatal("push before capacity must succeed")
+	ctx := context.Background()
+	const cap = 64
+	q := newShardQueue(cap)
+	for i := 0; i < cap; i++ {
+		if err := q.push(ctx, event.Event{Seq: uint64(i)}); err != nil {
+			t.Fatalf("push before capacity must succeed, got %v", err)
 		}
 	}
-	pushed := make(chan bool, 1)
-	go func() { pushed <- q.push(event.Event{Seq: shardQueueCap}) }()
+	pushed := make(chan error, 1)
+	go func() { pushed <- q.push(ctx, event.Event{Seq: cap}) }()
 	select {
 	case <-pushed:
 		t.Fatal("push beyond capacity must block")
@@ -72,38 +75,40 @@ func TestShardQueueBackpressure(t *testing.T) {
 		t.Fatal("pop from full queue must succeed")
 	}
 	select {
-	case ok := <-pushed:
-		if !ok {
-			t.Fatal("unblocked push must succeed")
+	case err := <-pushed:
+		if err != nil {
+			t.Fatalf("unblocked push must succeed, got %v", err)
 		}
 	case <-time.After(time.Second):
 		t.Fatal("push must unblock after a pop")
 	}
 
 	// A blocked producer is released (with a drop) when the queue closes.
-	blocked := make(chan bool, 1)
+	blocked := make(chan error, 1)
 	for {
 		q.mu.Lock()
-		full := len(q.buf)-q.head >= shardQueueCap
+		full := len(q.buf)-q.head >= cap
 		q.mu.Unlock()
 		if full {
 			break
 		}
-		q.push(event.Event{})
+		if err := q.push(ctx, event.Event{}); err != nil {
+			t.Fatal(err)
+		}
 	}
-	go func() { blocked <- q.push(event.Event{}) }()
+	go func() { blocked <- q.push(ctx, event.Event{}) }()
 	time.Sleep(10 * time.Millisecond)
 	q.close()
 	select {
-	case ok := <-blocked:
-		if ok {
-			t.Fatal("push into a closed queue must report a drop")
+	case err := <-blocked:
+		if err != ErrHandleClosed {
+			t.Fatalf("push into a closed queue = %v, want ErrHandleClosed", err)
 		}
 	case <-time.After(time.Second):
 		t.Fatal("close must release blocked producers")
 	}
-	if q.push(event.Event{}) {
-		t.Fatal("push after close must report a drop")
+	if err := q.push(ctx, event.Event{}); err != ErrHandleClosed {
+		t.Fatalf("push after close = %v, want ErrHandleClosed", err)
 	}
 
 	// Pending events still drain after close; then done is reported.
@@ -119,7 +124,86 @@ func TestShardQueueBackpressure(t *testing.T) {
 		}
 		break
 	}
-	if drained != shardQueueCap {
-		t.Fatalf("drained %d pending events, want %d", drained, shardQueueCap)
+	if drained != cap {
+		t.Fatalf("drained %d pending events, want %d", drained, cap)
+	}
+}
+
+// TestShardQueueContextCancel checks that a producer blocked on a full
+// queue is released with the context error — the "cancelled context
+// unblocks Feed within one ingest cycle" contract.
+func TestShardQueueContextCancel(t *testing.T) {
+	q := newShardQueue(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < 2; i++ {
+		if err := q.push(ctx, event.Event{Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- q.push(ctx, event.Event{Seq: 2}) }()
+	select {
+	case <-blocked:
+		t.Fatal("push beyond capacity must block")
+	case <-time.After(10 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-blocked:
+		if err != context.Canceled {
+			t.Fatalf("cancelled push = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancel must release the blocked producer")
+	}
+	// An already-cancelled context fails fast even with queue space.
+	if _, ok, _ := q.next(); !ok {
+		t.Fatal("pop must succeed")
+	}
+	if err := q.push(ctx, event.Event{}); err != context.Canceled {
+		t.Fatalf("push with done ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestShardQueueTryPushAndBatch covers the non-blocking and batched
+// admission paths.
+func TestShardQueueTryPushAndBatch(t *testing.T) {
+	ctx := context.Background()
+	q := newShardQueue(4)
+	evs := []event.Event{{Seq: 0}, {Seq: 1}, {Seq: 2}}
+	if err := q.pushBatch(ctx, evs); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.tryPush(event.Event{Seq: 3}); !ok {
+		t.Fatal("tryPush below capacity must succeed")
+	}
+	if pending, ok := q.tryPush(event.Event{Seq: 4}); ok || pending != 4 {
+		t.Fatalf("tryPush at capacity = (%d, %v), want (4, false)", pending, ok)
+	}
+	// A batch admits as one unit once there is head-of-queue space, even
+	// if it overshoots the cap.
+	if _, ok, _ := q.next(); !ok {
+		t.Fatal("pop must succeed")
+	}
+	if err := q.pushBatch(ctx, evs); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		_, ok, _ := q.next()
+		if !ok {
+			break
+		}
+		got++
+	}
+	if got != 6 {
+		t.Fatalf("drained %d events, want 6", got)
+	}
+	q.discard()
+	if _, ok := q.tryPush(event.Event{}); ok {
+		t.Fatal("tryPush after discard must fail")
+	}
+	if _, ok, done := q.next(); ok || !done {
+		t.Fatal("discarded queue must be empty and done")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -146,10 +147,10 @@ func TestEngineRunsOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.Run(sliceSrc(nil), nil); err != nil {
+	if err := eng.Run(context.Background(), sliceSrc(nil), nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.Run(sliceSrc(nil), nil); err != ErrAlreadyRan {
+	if err := eng.Run(context.Background(), sliceSrc(nil), nil); err != ErrAlreadyRan {
 		t.Fatalf("second Run = %v, want ErrAlreadyRan", err)
 	}
 }

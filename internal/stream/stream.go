@@ -5,6 +5,7 @@ package stream
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -19,6 +20,18 @@ type Source interface {
 	// Next returns the next event and true, or a zero event and false at
 	// end of stream.
 	Next() (event.Event, bool)
+}
+
+// ContextSource is implemented by sources whose Next can block
+// indefinitely (channels, network reads). NextCtx behaves like Next but
+// returns early — reporting end of stream — once ctx is done, so a
+// cancelled engine run is not stuck waiting for an event that never
+// arrives.
+type ContextSource interface {
+	Source
+	// NextCtx returns the next event, or false at end of stream or when
+	// ctx is done first.
+	NextCtx(ctx context.Context) (event.Event, bool)
 }
 
 // SliceSource streams a slice of events.
@@ -63,6 +76,19 @@ func FromChan(ch <-chan event.Event) *ChanSource { return &ChanSource{C: ch} }
 func (s *ChanSource) Next() (event.Event, bool) {
 	ev, ok := <-s.C
 	return ev, ok
+}
+
+var _ ContextSource = (*ChanSource)(nil)
+
+// NextCtx implements ContextSource: a done ctx ends the stream instead of
+// blocking on a quiet channel.
+func (s *ChanSource) NextCtx(ctx context.Context) (event.Event, bool) {
+	select {
+	case ev, ok := <-s.C:
+		return ev, ok
+	case <-ctx.Done():
+		return event.Event{}, false
+	}
 }
 
 // Collect drains a source into a slice.

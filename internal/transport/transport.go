@@ -24,12 +24,15 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net"
+	"os"
+	"time"
 
 	"github.com/spectrecep/spectre/internal/event"
 	"github.com/spectrecep/spectre/internal/stream"
@@ -199,21 +202,53 @@ func (r *Reader) ReadEvent() (event.Event, error) {
 	return ev, nil
 }
 
-// Send streams events over conn and closes the write side when done.
-func Send(conn net.Conn, reg *event.Registry, events []event.Event) error {
+// Send streams events over conn and closes the write side when done. A
+// done ctx stops mid-stream: already-buffered frames are flushed and the
+// write side is closed cleanly (the receiver sees a short but valid
+// stream), then ctx.Err() is returned.
+func Send(ctx context.Context, conn net.Conn, reg *event.Registry, events []event.Event) error {
 	w := NewWriter(conn, reg)
-	for i := range events {
-		if err := w.WriteEvent(&events[i]); err != nil {
-			return err
+	sendErr := func() error {
+		for i := range events {
+			// Poll cheaply: one atomic-ish Err check per frame beats a
+			// select per frame and still stops within one event.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := w.WriteEvent(&events[i]); err != nil {
+				return err
+			}
 		}
-	}
-	if err := w.Flush(); err != nil {
-		return err
+		return nil
+	}()
+	if err := w.Flush(); err != nil && sendErr == nil {
+		sendErr = err
 	}
 	if cw, ok := conn.(interface{ CloseWrite() error }); ok {
-		return cw.CloseWrite()
+		if err := cw.CloseWrite(); err != nil && sendErr == nil {
+			sendErr = err
+		}
 	}
-	return nil
+	return sendErr
+}
+
+// AbortReadsOnDone arranges for blocked reads on conn to fail once ctx is
+// done, by snapping the read deadline to the past. It returns a stop
+// function releasing the watcher (call it when the connection is done
+// regardless of cancellation). This is how a server unwedges connection
+// streams on shutdown: the read loop fails with a deadline error, the
+// serving goroutine drains what was admitted and exits.
+func AbortReadsOnDone(ctx context.Context, conn net.Conn) (stop func() bool) {
+	return context.AfterFunc(ctx, func() {
+		conn.SetReadDeadline(time.Now())
+	})
+}
+
+// IsClosedOrCanceled reports whether err looks like the read-side fallout
+// of a cancelled connection: a snapped deadline (AbortReadsOnDone) or a
+// concurrently closed socket.
+func IsClosedOrCanceled(err error) bool {
+	return errors.Is(err, os.ErrDeadlineExceeded) || errors.Is(err, net.ErrClosed)
 }
 
 // connSource adapts a Reader into a stream.Source; decode errors end the

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"io"
@@ -104,7 +105,7 @@ func TestSendOverTCP(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		done <- Send(conn, sendReg, events)
+		done <- Send(context.Background(), conn, sendReg, events)
 	}()
 
 	conn, err := ln.Accept()

@@ -1,8 +1,11 @@
 package spectre
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"github.com/spectrecep/spectre/internal/core"
 	"github.com/spectrecep/spectre/internal/event"
@@ -10,33 +13,34 @@ import (
 	"github.com/spectrecep/spectre/internal/shard"
 )
 
-// Runtime errors, re-exported from the internal runtime.
-var (
-	// ErrAlreadyRan is returned when Engine.Run is called twice.
-	ErrAlreadyRan = core.ErrAlreadyRan
-	// ErrRuntimeClosed is returned by Submit/Run after Runtime.Close.
-	ErrRuntimeClosed = core.ErrRuntimeClosed
-	// ErrHandleClosed is returned by Handle.Feed after Handle.Close.
-	ErrHandleClosed = core.ErrHandleClosed
-)
-
 // PartitionSpec describes key-partitioned execution (the PARTITION BY
 // clause), re-exported from the query model.
 type PartitionSpec = pattern.PartitionSpec
 
-// RuntimeOption configures a Runtime.
+// RuntimeOption configures a Runtime. Invalid arguments are reported by
+// NewRuntime, never silently replaced with a default.
 type RuntimeOption func(*core.RuntimeConfig)
 
 // WithWorkers sizes the runtime's shared worker pool (default GOMAXPROCS).
 func WithWorkers(n int) RuntimeOption {
-	return func(c *core.RuntimeConfig) { c.Workers = n }
+	return func(c *core.RuntimeConfig) {
+		if n <= 0 || n > maxOptionValue {
+			c.SetError(fmt.Errorf("spectre: WithWorkers(%d): value must be in [1, %d]", n, maxOptionValue))
+			return
+		}
+		c.Workers = n
+	}
 }
 
 // WithShards overrides the shard count of a partitioned query submitted to
 // a Runtime (default: the query's PARTITION BY ... SHARDS value, then
 // GOMAXPROCS).
 func WithShards(n int) Option {
-	return func(c *core.Config) { c.Shards = n }
+	return func(c *core.Config) {
+		if validCount(c, "WithShards", n) {
+			c.Shards = n
+		}
+	}
 }
 
 // WithPartitionBy partitions the query's input stream by the named payload
@@ -64,43 +68,65 @@ func WithPartitionByType() Option {
 // independent shards, and multiplexes every (query, shard) SPECTRE
 // pipeline onto one shared worker pool sized to the machine.
 //
-//	rt := spectre.NewRuntime(reg)
-//	h, err := rt.Submit(query, func(ce spectre.ComplexEvent) { ... })
+//	rt, err := spectre.NewRuntime(reg)
 //	// handle err
-//	for _, ev := range events {
-//	    _ = h.Feed(ev)
+//	h, err := rt.Submit(ctx, query, spectre.SinkFunc(func(ce spectre.ComplexEvent) { ... }))
+//	// handle err
+//	for _, batch := range batches {
+//	    _ = h.FeedBatch(ctx, batch)
 //	}
 //	h.Drain()
-//	rt.Close()
+//	rt.Shutdown(ctx)
 type Runtime struct {
 	rt  *core.Runtime
 	reg *Registry
 }
 
 // NewRuntime starts a runtime. The registry must be the one shared by the
-// queries and event sources fed to it.
-func NewRuntime(reg *Registry, opts ...RuntimeOption) *Runtime {
+// queries and event sources fed to it. Invalid options (e.g.
+// WithWorkers(0)) are reported as an error.
+func NewRuntime(reg *Registry, opts ...RuntimeOption) (*Runtime, error) {
 	var cfg core.RuntimeConfig
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return &Runtime{rt: core.NewRuntime(cfg), reg: reg}
+	if cfg.Err != nil {
+		return nil, cfg.Err
+	}
+	return &Runtime{rt: core.NewRuntime(cfg), reg: reg}, nil
 }
 
-// Handle is one query submitted to a Runtime.
+// Handle is one query submitted to a Runtime. Feed/TryFeed/FeedBatch are
+// single-producer: events of one handle must be fed from one goroutine
+// (or externally serialized) so the stream order is well-defined.
 type Handle struct {
-	h *core.Handle
+	h       *core.Handle
+	mu      sync.Mutex // serializes every sink invocation; guards the fields below
+	sink    Sink
+	drained bool        // OnDrain delivered; suppresses any later OnError
+	stop    func() bool // cancels the submission-context watcher
 }
 
-// Submit compiles and starts q on the runtime. emit receives every
-// detected complex event of this query (per-handle callback, serialized;
-// within a shard the order is canonical — exactly a standalone Engine's
-// order over that partition's substream). Options are the Engine options
-// plus WithShards/WithPartitionBy/WithPartitionByType.
-func (rt *Runtime) Submit(q *Query, emit func(ComplexEvent), opts ...Option) (*Handle, error) {
+// Submit compiles and starts q on the runtime. The sink receives the
+// query's output (serialized per handle; within a shard the match order
+// is canonical — exactly a standalone Engine's order over that
+// partition's substream); it may be nil to discard matches. Options are
+// the Engine options plus WithShards/WithPartitionBy/WithPartitionByType.
+//
+// ctx governs the submission's lifetime: if it is cancelled while the
+// query is live, the handle aborts — pending events are discarded, the
+// sink hears OnError(ctx.Err()) and then OnDrain. Compile and validation
+// failures are returned synchronously as a *QueryError.
+func (rt *Runtime) Submit(ctx context.Context, q *Query, sink Sink, opts ...Option) (*Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var cfg core.Config
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.Err != nil {
+		return nil, queryErr(q, cfg.Err)
 	}
 
 	spec := cfg.Partition
@@ -113,7 +139,7 @@ func (rt *Runtime) Submit(q *Query, emit func(ComplexEvent), opts ...Option) (*H
 		resolved := *spec
 		if !resolved.ByType && resolved.Field < 0 {
 			if resolved.FieldName == "" {
-				return nil, fmt.Errorf("spectre: partition spec names no key")
+				return nil, queryErr(q, fmt.Errorf("partition spec names no key"))
 			}
 			resolved.Field = rt.reg.FieldIndex(resolved.FieldName)
 		}
@@ -126,34 +152,97 @@ func (rt *Runtime) Submit(q *Query, emit func(ComplexEvent), opts ...Option) (*H
 		}
 		key, err := shard.FromSpec(&resolved)
 		if err != nil {
-			return nil, fmt.Errorf("spectre: %w", err)
+			return nil, queryErr(q, err)
 		}
 		route = shard.NewRouter(nShards, key).Route
 	} else if cfg.Shards > 1 {
-		return nil, fmt.Errorf("spectre: %d shards requested but the query has no partition key (use PARTITION BY or WithPartitionBy)", cfg.Shards)
+		return nil, queryErr(q, fmt.Errorf("%d shards requested but the query has no partition key (use PARTITION BY or WithPartitionBy)", cfg.Shards))
 	}
 
-	var coreEmit func(event.Complex)
-	if emit != nil {
-		coreEmit = func(ce event.Complex) { emit(ce) }
+	h := &Handle{sink: sink}
+	var emit func(event.Complex)
+	if sink != nil {
+		emit = func(ce event.Complex) {
+			h.mu.Lock()
+			sink.OnMatch(ce)
+			h.mu.Unlock()
+		}
 	}
-	h, err := rt.rt.Submit(q, cfg, route, nShards, coreEmit)
+	ch, err := rt.rt.Submit(q, cfg, route, nShards, emit, h.notifyDrain)
 	if err != nil {
-		return nil, err
+		if errors.Is(err, ErrRuntimeClosed) {
+			return nil, err
+		}
+		return nil, queryErr(q, err)
 	}
-	return &Handle{h: h}, nil
+	h.h = ch
+	if ctx.Done() != nil {
+		h.mu.Lock()
+		alreadyDrained := h.drained
+		h.stop = context.AfterFunc(ctx, func() {
+			h.mu.Lock()
+			if h.drained {
+				// The query drained before the cancellation landed: the
+				// sink already heard its terminal OnDrain, nothing to do.
+				h.mu.Unlock()
+				return
+			}
+			if sink != nil {
+				sink.OnError(ctx.Err())
+			}
+			h.mu.Unlock()
+			// Abort and drive the drain ourselves, so the sink hears
+			// OnError and then OnDrain even if the caller never Waits.
+			ch.Abort()
+			ch.Wait()
+		})
+		h.mu.Unlock()
+		if alreadyDrained {
+			h.stop()
+		}
+	}
+	return h, nil
+}
+
+// notifyDrain forwards the core drain notification to the sink (exactly
+// once, serialized with OnMatch/OnError, and terminal: later
+// cancellations are suppressed) and disarms the submission-context
+// watcher.
+func (h *Handle) notifyDrain() {
+	h.mu.Lock()
+	h.drained = true
+	stop := h.stop
+	if h.sink != nil {
+		h.sink.OnDrain()
+	}
+	h.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
 }
 
 // Run feeds src to every currently submitted query (each routes events
 // through its own partitioner), closes the handles and waits until all of
-// them drain. It is the batch convenience on top of Feed/Close/Wait.
-func (rt *Runtime) Run(src Source) error {
-	return rt.rt.Run(src)
+// them drain. A done ctx stops mid-stream (the handles still drain what
+// they admitted) and is reported as ctx.Err(). It is the batch
+// convenience on top of Feed/Close/Wait.
+func (rt *Runtime) Run(ctx context.Context, src Source) error {
+	return rt.rt.Run(ctx, src)
 }
 
-// Close drains every handle gracefully and stops the worker pool. The
-// runtime is unusable afterwards.
+// Close drains every handle gracefully and stops the worker pool, with no
+// deadline. The runtime is unusable afterwards. Equivalent to
+// Shutdown(context.Background()).
 func (rt *Runtime) Close() error { return rt.rt.Close() }
+
+// Shutdown closes every handle (end of stream) and waits for the admitted
+// backlog to drain. If ctx expires first, the remaining queries are
+// aborted — pending events discarded, their sinks notified — and
+// ctx.Err() is returned. Either way the worker pool stops and the runtime
+// is unusable afterwards.
+func (rt *Runtime) Shutdown(ctx context.Context) error {
+	return rt.rt.Shutdown(ctx)
+}
 
 // Name returns the query's name.
 func (h *Handle) Name() string { return h.h.Name() }
@@ -161,9 +250,25 @@ func (h *Handle) Name() string { return h.h.Name() }
 // Shards returns how many shards the query runs on.
 func (h *Handle) Shards() int { return h.h.Shards() }
 
-// Feed routes one event to its shard. Events must arrive in stream order
-// per handle. It returns ErrHandleClosed after Close.
-func (h *Handle) Feed(ev Event) error { return h.h.Feed(ev) }
+// Feed routes one event to its shard, blocking while the shard's queue is
+// full (backpressure). Events must arrive in stream order per handle. It
+// returns ErrHandleClosed after Close, or ctx.Err() when ctx is done
+// before the event is admitted.
+func (h *Handle) Feed(ctx context.Context, ev Event) error { return h.h.Feed(ctx, ev) }
+
+// TryFeed routes one event to its shard without ever blocking: a full
+// shard queue rejects it with an *OverloadError (errors.Is
+// ErrOverloaded). This is the admission signal for overload-aware
+// producers — shed, sample or retry instead of stalling.
+func (h *Handle) TryFeed(ev Event) error { return h.h.TryFeed(ev) }
+
+// FeedBatch routes a batch of in-order events with one queue handoff per
+// (batch, shard) instead of one per event — the cheap path for
+// high-throughput producers. It blocks like Feed on full shard queues and
+// unblocks with ctx.Err() on cancellation; on error, events routed to
+// earlier shards may already be admitted (each shard always receives an
+// in-order prefix of its substream).
+func (h *Handle) FeedBatch(ctx context.Context, evs []Event) error { return h.h.FeedBatch(ctx, evs) }
 
 // Close marks end of stream; pending events are still processed.
 func (h *Handle) Close() { h.h.Close() }
@@ -172,7 +277,10 @@ func (h *Handle) Close() { h.h.Close() }
 func (h *Handle) Wait() { h.h.Wait() }
 
 // Drain closes the handle and waits for completion.
-func (h *Handle) Drain() { h.h.Drain() }
+func (h *Handle) Drain() {
+	h.Close()
+	h.Wait()
+}
 
 // Metrics aggregates the runtime counters across the query's shards.
 func (h *Handle) Metrics() Metrics { return h.h.Metrics() }

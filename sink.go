@@ -1,0 +1,39 @@
+package spectre
+
+// Sink receives a query's output. It replaces the bare emit callback of
+// the v1 API: matches, asynchronous errors and end-of-stream all arrive
+// through one interface, and the runtime serializes every call per
+// engine/handle — implementations need no internal locking, but must not
+// call back into the engine or handle that invokes them.
+type Sink interface {
+	// OnMatch receives every detected complex event, in canonical order
+	// within a shard (window order; detection order within a window).
+	OnMatch(ComplexEvent)
+	// OnError receives asynchronous per-query errors — today, the context
+	// error when the submission or run context is cancelled mid-stream.
+	// Synchronous errors (bad options, compile failures) are returned
+	// from the calling method instead and never reach OnError.
+	OnError(error)
+	// OnDrain fires exactly once, after the query has fully drained:
+	// every admitted event processed (or, after an abort, discarded) and
+	// no further OnMatch/OnError calls to come.
+	OnDrain()
+}
+
+// SinkFunc adapts a plain match callback to a Sink, so one-liners keep
+// working: OnMatch calls the function, OnError and OnDrain are no-ops.
+// A nil SinkFunc discards matches.
+type SinkFunc func(ComplexEvent)
+
+// OnMatch implements Sink.
+func (f SinkFunc) OnMatch(ce ComplexEvent) {
+	if f != nil {
+		f(ce)
+	}
+}
+
+// OnError implements Sink as a no-op.
+func (f SinkFunc) OnError(error) {}
+
+// OnDrain implements Sink as a no-op.
+func (f SinkFunc) OnDrain() {}

@@ -29,9 +29,28 @@
 //	// handle err
 //	eng, err := spectre.NewEngine(query, spectre.WithInstances(8))
 //	// handle err
-//	err = eng.Run(spectre.FromSlice(events), func(ce spectre.ComplexEvent) {
+//	err = eng.Run(ctx, spectre.FromSlice(events), spectre.SinkFunc(func(ce spectre.ComplexEvent) {
 //	    fmt.Println(ce)
-//	})
+//	}))
+//
+// # The v2 streaming API
+//
+// Every streaming entry point takes a context.Context and a Sink:
+//
+//   - Run/Submit/Feed/FeedBatch unblock with ctx.Err() as soon as the
+//     context is done — a cancelled run stops within one ingest cycle,
+//     a cancelled Feed stops waiting on a full shard queue.
+//   - A Sink replaces the bare emit callback: OnMatch receives matches,
+//     OnError asynchronous errors (e.g. a cancelled submission context),
+//     OnDrain fires exactly once when the query has fully drained. Wrap a
+//     plain function with SinkFunc when that is all you need.
+//   - Handle.TryFeed never blocks: a full shard queue rejects the event
+//     with an *OverloadError (errors.Is ErrOverloaded), the admission
+//     signal overload-aware producers shed load on.
+//   - Handle.FeedBatch admits whole batches with one queue handoff per
+//     (batch, shard) — the cheap path for high-throughput producers.
+//   - Runtime.Shutdown(ctx) drains every query gracefully and aborts
+//     whatever misses the deadline.
 //
 // An Engine serves one query over one stream. Long-lived, multi-tenant
 // deployments use Runtime instead: it hosts many concurrent queries,
@@ -44,6 +63,10 @@
 package spectre
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
 	"github.com/spectrecep/spectre/internal/core"
 	"github.com/spectrecep/spectre/internal/event"
 	"github.com/spectrecep/spectre/internal/markov"
@@ -96,16 +119,39 @@ func ParseQuery(src string, reg *Registry) (*Query, error) {
 func FromSlice(events []Event) Source { return stream.FromSlice(events) }
 
 // FromChan adapts a channel of events into a Source; close the channel to
-// end the stream.
+// end the stream. The returned source is context-aware: a cancelled run
+// does not stay blocked on a quiet channel.
 func FromChan(ch <-chan Event) Source { return stream.FromChan(ch) }
 
-// Option configures an Engine.
+// Option configures an Engine (and, via Runtime.Submit, a submitted
+// query). Invalid arguments — zero, negative or absurdly large counts —
+// are reported as an error by the constructor or Submit call the option
+// is passed to, never silently replaced with a default.
 type Option func(*core.Config)
+
+// maxOptionValue caps count-valued options: values beyond it are
+// configuration mistakes (a shard or instance count in the millions buys
+// nothing but memory), so they fail validation instead of thrashing.
+const maxOptionValue = 1 << 20
+
+// validCount reports whether n is a sane value for the named count
+// option, recording the validation error on c otherwise.
+func validCount(c *core.Config, option string, n int) bool {
+	if n <= 0 || n > maxOptionValue {
+		c.SetError(fmt.Errorf("spectre: %s(%d): value must be in [1, %d]", option, n, maxOptionValue))
+		return false
+	}
+	return true
+}
 
 // WithInstances sets k, the number of parallel operator instances
 // (default 4).
 func WithInstances(k int) Option {
-	return func(c *core.Config) { c.Instances = k }
+	return func(c *core.Config) {
+		if validCount(c, "WithInstances", k) {
+			c.Instances = k
+		}
+	}
 }
 
 // WithPredictor replaces the completion-probability model (default: the
@@ -147,7 +193,26 @@ func WithMaxSpeculation(n int) Option {
 // WithBatchSize sets how many events an operator instance processes per
 // scheduling handoff (default 256).
 func WithBatchSize(n int) Option {
-	return func(c *core.Config) { c.BatchSize = n }
+	return func(c *core.Config) {
+		if validCount(c, "WithBatchSize", n) {
+			c.BatchSize = n
+		}
+	}
+}
+
+// WithQueueCap bounds the per-shard intake queue of a Runtime submission
+// (default 65536 events). A full queue blocks Feed/FeedBatch and rejects
+// TryFeed with an *OverloadError, so the cap is the admission-control
+// knob: smaller caps surface overload sooner, larger caps absorb bursts.
+// A standalone Engine ignores it.
+func WithQueueCap(n int) Option {
+	return func(c *core.Config) {
+		if n <= 0 {
+			c.SetError(fmt.Errorf("spectre: WithQueueCap(%d): value must be positive", n))
+			return
+		}
+		c.QueueCap = n
+	}
 }
 
 // Engine is the parallel SPECTRE runtime for one query. An Engine runs a
@@ -156,7 +221,8 @@ type Engine struct {
 	inner *core.Engine
 }
 
-// NewEngine builds a SPECTRE engine for the query.
+// NewEngine builds a SPECTRE engine for the query. Invalid options and
+// query-validation failures are reported as a *QueryError.
 func NewEngine(q *Query, opts ...Option) (*Engine, error) {
 	var cfg core.Config
 	for _, opt := range opts {
@@ -164,17 +230,37 @@ func NewEngine(q *Query, opts ...Option) (*Engine, error) {
 	}
 	inner, err := core.New(q, cfg)
 	if err != nil {
-		return nil, err
+		return nil, queryErr(q, err)
 	}
 	return &Engine{inner: inner}, nil
 }
 
-// Run processes the source and calls emit for every detected complex
-// event, in canonical order (window order; detection order within a
-// window). The output is exactly what sequential processing would
-// produce. emit must not call back into the engine.
-func (e *Engine) Run(src Source, emit func(ComplexEvent)) error {
-	return e.inner.Run(src, emit)
+// Run processes the source and calls sink.OnMatch for every detected
+// complex event, in canonical order (window order; detection order within
+// a window). The output is exactly what sequential processing would
+// produce. When ctx is done, Run stops within one ingest cycle — already
+// delivered matches stand, the rest is discarded — reports the context
+// error to sink.OnError and returns it. On normal completion sink.OnDrain
+// fires before Run returns nil. sink may be nil to discard matches; sink
+// methods must not call back into the engine.
+func (e *Engine) Run(ctx context.Context, src Source, sink Sink) error {
+	var emit func(event.Complex)
+	if sink != nil {
+		emit = sink.OnMatch
+	}
+	err := e.inner.Run(ctx, src, emit)
+	if sink != nil {
+		switch {
+		case err == nil:
+			sink.OnDrain()
+		case errors.Is(err, ErrAlreadyRan):
+			// Synchronous misuse, not a stream error: the return value
+			// is the only report.
+		default:
+			sink.OnError(err)
+		}
+	}
+	return err
 }
 
 // Metrics returns a snapshot of the runtime counters (throughput inputs,

@@ -1,6 +1,8 @@
 package spectre_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"testing"
@@ -81,15 +83,19 @@ func TestRuntimeShardedCrossCheck(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rt := spectre.NewRuntime(reg)
-	defer rt.Close()
-	gotRise := make(map[string]int)
-	gotFall := make(map[string]int)
-	hRise, err := rt.Submit(qRise, func(ce spectre.ComplexEvent) { gotRise[ce.Key()]++ })
+	ctx := context.Background()
+	rt, err := spectre.NewRuntime(reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hFall, err := rt.Submit(qFall, func(ce spectre.ComplexEvent) { gotFall[ce.Key()]++ })
+	defer rt.Close()
+	gotRise := make(map[string]int)
+	gotFall := make(map[string]int)
+	hRise, err := rt.Submit(ctx, qRise, spectre.SinkFunc(func(ce spectre.ComplexEvent) { gotRise[ce.Key()]++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hFall, err := rt.Submit(ctx, qFall, spectre.SinkFunc(func(ce spectre.ComplexEvent) { gotFall[ce.Key()]++ }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +103,7 @@ func TestRuntimeShardedCrossCheck(t *testing.T) {
 		t.Fatalf("shards = %d/%d, want 8/3", hRise.Shards(), hFall.Shards())
 	}
 
-	if err := rt.Run(spectre.FromSlice(events)); err != nil {
+	if err := rt.Run(ctx, spectre.FromSlice(events)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -142,10 +148,14 @@ func TestRuntimeSingleShardMatchesEngineOrder(t *testing.T) {
 		t.Fatal("reference produced no matches; test is vacuous")
 	}
 
-	rt := spectre.NewRuntime(reg, spectre.WithWorkers(4))
+	ctx := context.Background()
+	rt, err := spectre.NewRuntime(reg, spectre.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer rt.Close()
 	var got []spectre.ComplexEvent
-	h, err := rt.Submit(q, func(ce spectre.ComplexEvent) { got = append(got, ce) })
+	h, err := rt.Submit(ctx, q, spectre.SinkFunc(func(ce spectre.ComplexEvent) { got = append(got, ce) }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +163,7 @@ func TestRuntimeSingleShardMatchesEngineOrder(t *testing.T) {
 		t.Fatalf("unpartitioned query got %d shards", h.Shards())
 	}
 	for i := range events {
-		if err := h.Feed(events[i]); err != nil {
+		if err := h.Feed(ctx, events[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -177,28 +187,38 @@ func TestRuntimeLifecycleErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rt := spectre.NewRuntime(reg, spectre.WithWorkers(2))
-	h, err := rt.Submit(q, nil)
+	ctx := context.Background()
+	rt, err := spectre.NewRuntime(reg, spectre.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := rt.Submit(ctx, q, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.Close()
-	if err := h.Feed(spectre.Event{Type: 1}); err != spectre.ErrHandleClosed {
+	if err := h.Feed(ctx, spectre.Event{Type: 1}); !errors.Is(err, spectre.ErrHandleClosed) {
 		t.Fatalf("Feed after Close = %v, want ErrHandleClosed", err)
+	}
+	if err := h.TryFeed(spectre.Event{Type: 1}); !errors.Is(err, spectre.ErrHandleClosed) {
+		t.Fatalf("TryFeed after Close = %v, want ErrHandleClosed", err)
+	}
+	if err := h.FeedBatch(ctx, []spectre.Event{{Type: 1}}); !errors.Is(err, spectre.ErrHandleClosed) {
+		t.Fatalf("FeedBatch after Close = %v, want ErrHandleClosed", err)
 	}
 	h.Wait()
 
-	if _, err := rt.Submit(q, nil, spectre.WithShards(4)); err == nil {
+	if _, err := rt.Submit(ctx, q, nil, spectre.WithShards(4)); err == nil {
 		t.Fatal("WithShards without a partition key must fail")
 	}
 
 	if err := rt.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rt.Submit(q, nil); err != spectre.ErrRuntimeClosed {
+	if _, err := rt.Submit(ctx, q, nil); !errors.Is(err, spectre.ErrRuntimeClosed) {
 		t.Fatalf("Submit after Close = %v, want ErrRuntimeClosed", err)
 	}
-	if err := rt.Run(spectre.FromSlice(nil)); err != spectre.ErrRuntimeClosed {
+	if err := rt.Run(ctx, spectre.FromSlice(nil)); !errors.Is(err, spectre.ErrRuntimeClosed) {
 		t.Fatalf("Run after Close = %v, want ErrRuntimeClosed", err)
 	}
 	if err := rt.Close(); err != nil {
@@ -259,10 +279,14 @@ func TestRuntimeWithPartitionByField(t *testing.T) {
 		t.Fatal("reference produced no matches; test is vacuous")
 	}
 
-	rt := spectre.NewRuntime(reg)
+	ctx := context.Background()
+	rt, err := spectre.NewRuntime(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer rt.Close()
 	got := make(map[string]int)
-	h, err := rt.Submit(q, func(ce spectre.ComplexEvent) { got[ce.Key()]++ },
+	h, err := rt.Submit(ctx, q, spectre.SinkFunc(func(ce spectre.ComplexEvent) { got[ce.Key()]++ }),
 		spectre.WithPartitionBy("account"), spectre.WithShards(nShards))
 	if err != nil {
 		t.Fatal(err)
@@ -270,8 +294,12 @@ func TestRuntimeWithPartitionByField(t *testing.T) {
 	if h.Shards() != nShards {
 		t.Fatalf("shards = %d, want %d", h.Shards(), nShards)
 	}
-	for i := range events {
-		if err := h.Feed(events[i]); err != nil {
+	// Feed the partitioned stream in batches: same result, one queue
+	// handoff per (batch, shard).
+	const batch = 100
+	for lo := 0; lo < len(events); lo += batch {
+		hi := min(lo+batch, len(events))
+		if err := h.FeedBatch(ctx, events[lo:hi]); err != nil {
 			t.Fatal(err)
 		}
 	}

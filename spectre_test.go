@@ -1,6 +1,7 @@
 package spectre_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -43,9 +44,9 @@ func TestPublicAPIFigure1(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []spectre.ComplexEvent
-	if err := eng.Run(spectre.FromSlice(events), func(ce spectre.ComplexEvent) {
+	if err := eng.Run(context.Background(), spectre.FromSlice(events), spectre.SinkFunc(func(ce spectre.ComplexEvent) {
 		got = append(got, ce)
-	}); err != nil {
+	})); err != nil {
 		t.Fatal(err)
 	}
 	want := []string{"influence@0:0,2", "influence@0:0,3", "influence@1:1,4"}
@@ -85,9 +86,9 @@ func TestEnginesAgreeViaPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []spectre.ComplexEvent
-	if err := eng.Run(spectre.FromSlice(events), func(ce spectre.ComplexEvent) {
+	if err := eng.Run(context.Background(), spectre.FromSlice(events), spectre.SinkFunc(func(ce spectre.ComplexEvent) {
 		got = append(got, ce)
-	}); err != nil {
+	})); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != len(want) {
@@ -127,7 +128,7 @@ func TestFixedProbabilityOption(t *testing.T) {
 			t.Fatal(err)
 		}
 		count := 0
-		if err := eng.Run(spectre.FromSlice(events), func(spectre.ComplexEvent) { count++ }); err != nil {
+		if err := eng.Run(context.Background(), spectre.FromSlice(events), spectre.SinkFunc(func(spectre.ComplexEvent) { count++ })); err != nil {
 			t.Fatal(err)
 		}
 		if count != len(want) {
