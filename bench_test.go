@@ -117,6 +117,7 @@ func BenchmarkFig10c(b *testing.B) {
 	query := q1Query(b, 10, 1000)
 	for _, k := range []int{1, 4} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
 				eng, err := spectre.NewEngine(query, spectre.WithInstances(k))
@@ -140,6 +141,7 @@ func BenchmarkFig10f(b *testing.B) {
 	query := q1Query(b, 10, 1000)
 	for _, k := range []int{1, 4} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			maxTree := 0
 			for i := 0; i < b.N; i++ {
 				eng, err := spectre.NewEngine(query, spectre.WithInstances(k))
@@ -290,6 +292,35 @@ func BenchmarkFeedBatch(b *testing.B) {
 				b.ReportMetric(float64(len(data.nyse))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 			})
 		}
+	}
+}
+
+// BenchmarkSpeculation measures checkpointed speculation forking on the
+// consume-heavy RAND workload (Q3, CONSUME ALL, slide ws/4 — every event
+// lies in four windows, so most consumption groups fork dependent
+// versions). ckpt=off reprocesses every fork from the window start; the
+// checkpointed runs replay only the suffix past the divergence point.
+// Throughput and allocs/op should both improve with checkpointing on.
+func BenchmarkSpeculation(b *testing.B) {
+	data.init()
+	query, err := buildQ3(data.reg, 3, 1000, 250)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		label string
+		opts  []spectre.Option
+	}{
+		{"ckpt=off", []spectre.Option{spectre.WithoutCheckpoints()}},
+		{"ckpt=16", []spectre.Option{spectre.WithCheckpointEvery(16)}},
+		{"ckpt=64", []spectre.Option{spectre.WithCheckpointEvery(64)}},
+		{"ckpt=default", nil},
+	}
+	for _, m := range modes {
+		b.Run(m.label, func(b *testing.B) {
+			opts := append([]spectre.Option{spectre.WithInstances(4)}, m.opts...)
+			runEngine(b, query, data.random, opts...)
+		})
 	}
 }
 

@@ -6,15 +6,19 @@
 //
 //	spectre-bench -exp all
 //	spectre-bench -exp fig10a,fig10d -instances 1,2,4 -repeats 5
+//	spectre-bench -exp speculation -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Measured medians go to stdout; record them in EXPERIMENTS.md alongside
-// the paper's reference shapes.
+// the paper's reference shapes. -cpuprofile/-memprofile write pprof
+// profiles covering the selected experiments.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -40,8 +44,36 @@ func run() error {
 		randEv    = flag.Int("rand-events", 100000, "RAND dataset events (paper: 3M)")
 		seed      = flag.Int64("seed", 42, "dataset seed")
 		shards    = flag.String("shards", "1,2,4,8", "comma-separated shard counts for the partition experiment")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spectre-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "spectre-bench: memprofile:", err)
+			}
+		}()
+	}
 
 	ks, err := parseInts(*instances)
 	if err != nil {

@@ -19,6 +19,9 @@
 // stream, and drains the admitted backlog through Runtime.Shutdown with a
 // -drain-timeout deadline; queries that miss it are aborted instead of
 // dying mid-write.
+//
+// -pprof serves net/http/pprof (live CPU/heap/goroutine profiles of the
+// running runtime) on a separate address, e.g. -pprof localhost:6060.
 package main
 
 import (
@@ -27,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"sync"
@@ -61,8 +66,26 @@ func run() error {
 		maxConns     = flag.Int("max-conns", 0, "exit after this many connections (0 = serve forever)")
 		quiet        = flag.Bool("quiet", false, "suppress per-event output (throughput measurements)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline after SIGINT/SIGTERM")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// DefaultServeMux carries the /debug/pprof handlers via the
+		// net/http/pprof import; live profiles of a serving runtime:
+		//   go tool pprof http://localhost:6060/debug/pprof/profile
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		defer pln.Close()
+		fmt.Fprintf(os.Stderr, "spectre-server: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "spectre-server: pprof:", err)
+			}
+		}()
+	}
 
 	opts := serverOpts{instances: *instances, shards: *shards, quiet: *quiet}
 	if *queryFile != "" {

@@ -506,24 +506,25 @@ func (o *Options) TRexComparison() ([]Row, error) {
 // Experiments maps experiment ids to their runners.
 func (o *Options) Experiments() map[string]func() ([]Row, error) {
 	return map[string]func() ([]Row, error){
-		"fig10a":    o.Fig10a,
-		"fig10b":    o.Fig10b,
-		"fig10c":    o.Fig10c,
-		"fig10d":    o.Fig10d,
-		"fig10e":    o.Fig10e,
-		"fig10f":    o.Fig10f,
-		"fig11a":    o.Fig11a,
-		"fig11b":    o.Fig11b,
-		"trex":      o.TRexComparison,
-		"partition": o.Partitioned,
-		"feedbatch": o.FeedBatch,
+		"fig10a":      o.Fig10a,
+		"fig10b":      o.Fig10b,
+		"fig10c":      o.Fig10c,
+		"fig10d":      o.Fig10d,
+		"fig10e":      o.Fig10e,
+		"fig10f":      o.Fig10f,
+		"fig11a":      o.Fig11a,
+		"fig11b":      o.Fig11b,
+		"trex":        o.TRexComparison,
+		"partition":   o.Partitioned,
+		"feedbatch":   o.FeedBatch,
+		"speculation": o.Speculation,
 	}
 }
 
 // ExperimentOrder lists the experiment ids in presentation order.
 var ExperimentOrder = []string{
 	"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
-	"fig11a", "fig11b", "trex", "partition", "feedbatch",
+	"fig11a", "fig11b", "trex", "partition", "feedbatch", "speculation",
 }
 
 // RunAll executes every experiment in order.

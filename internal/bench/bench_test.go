@@ -186,6 +186,7 @@ func BenchmarkPartitioned(b *testing.B) {
 	}
 	for _, nShards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", nShards), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(len(events)))
 			for i := 0; i < b.N; i++ {
 				c, _, err := measureRuntime(q, events, core.Config{Instances: 2}, nShards, 0, 1, 0)

@@ -1,0 +1,97 @@
+// Speculation cost: checkpointed forking on a consume-heavy workload.
+// This experiment goes beyond the paper's figures: it measures what the
+// "modified copy" of Fig. 4 costs when dependent window versions are
+// created incrementally from matcher-state checkpoints (replaying only
+// the suffix past the divergence point) versus reprocessed from the
+// window start, across checkpoint intervals.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/core"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/queries"
+	"github.com/spectrecep/spectre/internal/stats"
+	"github.com/spectrecep/spectre/internal/stream"
+)
+
+// SpeculationIntervals are the checkpoint intervals swept by the
+// speculation experiment; -1 disables checkpointing (the baseline: every
+// fork and rollback reprocesses from the window start).
+var SpeculationIntervals = []int{-1, 16, 64, 256}
+
+// speculationQuery builds the consume-heavy overlapping-window workload
+// of the speculation experiment: Q3's unordered set detection with
+// CONSUME ALL on the RAND stream, with a slide of ws/4 so every event
+// lies in four windows and most consumption groups have dependents.
+// Windows are long (ws/2 of the Q1/Q2 window) so that reprocessing a
+// dependent version from the window start — the cost checkpointed
+// forking removes — dominates over version-creation churn.
+func (o *Options) speculationQuery() queries.Q3Config {
+	cfg := queries.Q3Config{
+		SetSize:    3,
+		WindowSize: o.WindowSize / 2,
+		Slide:      o.WindowSize / 8,
+	}
+	if cfg.WindowSize < 8 {
+		cfg.WindowSize = 8
+	}
+	if cfg.Slide < 1 {
+		cfg.Slide = 1
+	}
+	return cfg
+}
+
+// Speculation measures throughput versus the checkpoint interval on the
+// consume-heavy RAND workload, together with the speculation counters
+// that explain the shape: how many fresh versions were seeded from a
+// checkpoint, how many window positions the seeds skipped, and how many
+// rollbacks restarted from a prefix.
+func (o *Options) Speculation() ([]Row, error) {
+	o.setDefaults()
+	reg := event.NewRegistry()
+	events := o.randData(reg)
+	qcfg := o.speculationQuery()
+	q, err := queries.Q3(reg, qcfg)
+	if err != nil {
+		return nil, err
+	}
+	k := o.Instances[len(o.Instances)-1]
+	o.printf("\n== Speculation: checkpointed forking on consume-heavy RAND (n=%d ws=%d s=%d, k=%d) ==\n",
+		qcfg.SetSize, qcfg.WindowSize, qcfg.Slide, k)
+	o.printf("%-10s %14s %10s %12s %10s %10s\n",
+		"ckpt", "med ev/s", "seeded", "skipped ev", "partial", "rollbacks")
+	var rows []Row
+	for _, interval := range SpeculationIntervals {
+		var series stats.Series
+		var last core.Metrics
+		cfg := core.Config{Instances: k, CheckpointEvery: interval}
+		for r := 0; r < o.Repeats; r++ {
+			eng, err := core.New(q, cfg)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if err := eng.Run(context.Background(), stream.FromSlice(events), nil); err != nil {
+				return nil, err
+			}
+			series.Add(stats.Throughput(uint64(len(events)), time.Since(start)))
+			last = eng.MetricsSnapshot()
+		}
+		c := series.Candles()
+		label := fmt.Sprintf("ckpt=%d", interval)
+		if interval < 0 {
+			label = "off"
+		}
+		rows = append(rows, Row{
+			Figure: "speculation", Label: label, K: k,
+			Value: c.Median, Metric: "events/sec", Candles: c,
+		})
+		o.printf("%-10s %14.0f %10d %12d %10d %10d\n",
+			label, c.Median, last.VersionsSeeded, last.SeededEvents, last.PartialRolls, last.Rollbacks)
+	}
+	return rows, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/spectrecep/spectre/internal/arena"
+	"github.com/spectrecep/spectre/internal/deptree"
+)
+
+// maxCheckpointsPerWindow bounds the checkpoint store per window. When a
+// window accumulates more, the second-oldest entry is evicted, keeping
+// the earliest checkpoint (useful for early divergence points) and a
+// recency-biased tail.
+const maxCheckpointsPerWindow = 32
+
+// ckptStore holds the recent matcher-state checkpoints of one shard,
+// keyed by window id. Workers record checkpoints while processing (under
+// the version's mutex); the splitter consults the store when it creates
+// fresh speculative versions (forks), and workers consult it again on
+// rollback to restart from the latest still-consistent prefix. Entries
+// are immutable; the store only guards the per-window lists.
+type ckptStore struct {
+	mu    sync.Mutex
+	byWin map[uint64][]*deptree.Checkpoint
+}
+
+func newCkptStore() *ckptStore {
+	return &ckptStore{byWin: make(map[uint64][]*deptree.Checkpoint)}
+}
+
+// record adds a checkpoint to its window's list.
+func (cs *ckptStore) record(ck *deptree.Checkpoint) {
+	cs.mu.Lock()
+	list := cs.byWin[ck.Win.ID]
+	if len(list) >= maxCheckpointsPerWindow {
+		copy(list[1:], list[2:])
+		list = list[:len(list)-1]
+	}
+	cs.byWin[ck.Win.ID] = append(list, ck)
+	cs.mu.Unlock()
+}
+
+// drop forgets a window's checkpoints (the window is fully resolved; no
+// further versions of it can be created).
+func (cs *ckptStore) drop(winID uint64) {
+	cs.mu.Lock()
+	delete(cs.byWin, winID)
+	cs.mu.Unlock()
+}
+
+// clear empties the store.
+func (cs *ckptStore) clear() {
+	cs.mu.Lock()
+	cs.byWin = make(map[uint64][]*deptree.Checkpoint)
+	cs.mu.Unlock()
+}
+
+// bestFor returns the latest checkpoint that can seed wv — the deepest
+// consistent prefix at or before wv's divergence point — together with
+// the suppressed-group snapshot versions it was verified against
+// (parallel to wv.Suppressed), or nil when no checkpoint applies.
+func (cs *ckptStore) bestFor(wv *deptree.WindowVersion, consumed *arena.ConsumedSet) (*deptree.Checkpoint, []uint64) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	list := cs.byWin[wv.Win.ID]
+	end := wv.Win.EndSeq()
+	var best *deptree.Checkpoint
+	var bestVers, scratch []uint64
+	for _, ck := range list {
+		if ck.Pos <= wv.Win.StartSeq {
+			continue // replays nothing
+		}
+		if ck.Pos >= end {
+			// Recorded before a duration window's end was known: a
+			// version seeded at or past the end would never be eligible
+			// for scheduling and could not run its window-end logic.
+			continue
+		}
+		if best != nil && ck.Pos <= best.Pos {
+			continue
+		}
+		var ok bool
+		scratch, ok = seedable(ck, wv, consumed, scratch[:0])
+		if ok {
+			best = ck
+			bestVers = append(bestVers[:0], scratch...)
+		}
+	}
+	return best, bestVers
+}
+
+// seedable implements the checkpoint validity conditions (see
+// deptree.Checkpoint): the checkpoint's suppression set must be a subset
+// of wv's; every divergence group (suppressed by wv but not by the
+// prefix) must currently hold no event before the checkpoint position;
+// and the prefix's used events must be claimed by no suppressed group
+// and no finally consumed event. The snapshot versions the check
+// observed are appended to vers, parallel to wv.Suppressed, so the
+// caller can seed LastChecked and skip a redundant first consistency
+// check; vers is returned (possibly partially filled) either way so its
+// capacity can be reused across candidates.
+func seedable(ck *deptree.Checkpoint, wv *deptree.WindowVersion, consumed *arena.ConsumedSet, vers []uint64) ([]uint64, bool) {
+	i := 0
+	for _, g := range wv.Suppressed {
+		snap := g.Snapshot()
+		vers = append(vers, snap.Version)
+		common := i < len(ck.Sup) && ck.Sup[i] == g
+		if common {
+			i++
+		} else if firstInRange(snap.Seqs, wv.Win.StartSeq) < ck.Pos {
+			// Divergence group already claims a prefix event the prefix
+			// processed normally. Members below the window start are
+			// irrelevant — no version of this window ever processes them.
+			return vers, false
+		}
+		if intersectsSorted(ck.Used, snap.Seqs) {
+			return vers, false
+		}
+	}
+	if i != len(ck.Sup) {
+		// The prefix suppressed a group wv does not: it may have
+		// speculatively skipped events wv must process.
+		return vers, false
+	}
+	for _, u := range ck.Used {
+		if consumed.Contains(u) {
+			// Stale prefix: a now-final consumption invalidates it (the
+			// gate would reprocess such a version unconditionally).
+			return vers, false
+		}
+	}
+	return vers, true
+}
+
+// firstInRange returns the first element of ascending seqs that is >= lo,
+// or MaxUint64 when none is.
+func firstInRange(seqs []uint64, lo uint64) uint64 {
+	i := sort.Search(len(seqs), func(i int) bool { return seqs[i] >= lo })
+	if i == len(seqs) {
+		return math.MaxUint64
+	}
+	return seqs[i]
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/spectrecep/spectre/internal/deptree"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/window"
+)
+
+// rollShard builds a single-shard state over one 64-event count window
+// of A events (every A starts a run, so every position is Used) with a
+// checkpoint every 4 positions, plus a version of that window that
+// suppresses a synthetic consumption group.
+func rollShard(t *testing.T) (*shardState, *deptree.WindowVersion, *deptree.CG) {
+	t.Helper()
+	reg := event.NewRegistry()
+	ta, tb := reg.TypeID("A"), reg.TypeID("B")
+	p := pattern.Seq("roll",
+		pattern.Step{Name: "A", Types: []event.Type{ta}, Consume: true},
+		pattern.Step{Name: "B", Types: []event.Type{tb}, Consume: true},
+	)
+	q := &pattern.Query{
+		Name:    "roll",
+		Pattern: *p,
+		Window: pattern.WindowSpec{
+			StartKind: pattern.StartEvery, Every: 64,
+			EndKind: pattern.EndCount, Count: 64,
+		},
+	}
+	prog, err := compile(q, Config{
+		Instances:             1,
+		CheckpointEvery:       4,
+		ConsistencyCheckEvery: 1 << 20, // only explicit checks
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newShard(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var win *window.Window
+	for i := 0; i < 64; i++ {
+		seq := s.ar.Append(event.Event{TS: int64(i), Type: ta})
+		opened, _ := s.winMgr.Observe(s.ar.Get(seq))
+		if len(opened) > 0 {
+			win = opened[0]
+		}
+	}
+	if win == nil {
+		t.Fatal("window manager opened no window")
+	}
+	owner := deptree.NewWindowVersion(999, win, nil)
+	cg := deptree.NewCG(1, owner, 0, 1)
+	wv := s.newVersion(win, []*deptree.CG{cg})
+	return s, wv, cg
+}
+
+// TestPartialRollback forces the consistency-violation path
+// deterministically: the version processes (and Uses) a prefix spanning
+// several checkpoints, then the suppressed group claims an already-used
+// event. The rollback must restart from the latest checkpoint before the
+// claimed event — not the window start — and the replay must skip the
+// now-suppressed position.
+func TestPartialRollback(t *testing.T) {
+	s, wv, cg := rollShard(t)
+	w := s.split
+
+	// Process 32 of 64 positions; checkpoints land at 4, 8, ..., 32.
+	wv.Mu.Lock()
+	defer wv.Mu.Unlock()
+	if !w.processSpan(wv, 32) {
+		t.Fatal("no progress")
+	}
+	if got := wv.Pos(); got != 32 {
+		t.Fatalf("pos = %d, want 32", got)
+	}
+	if len(wv.Used) != 32 {
+		t.Fatalf("used %d positions, want 32 (every A starts a run)", len(wv.Used))
+	}
+
+	// The suppressed group now claims position 10 — which this version
+	// already used. The periodic check must fail and the rollback must
+	// restore the checkpoint at position 8 (the deepest prefix that does
+	// not use 10), not the window start.
+	cg.Add(10)
+	if w.consistencyCheck(wv) {
+		t.Fatal("consistency check must fail once the group claims a used event")
+	}
+	w.rollback(wv)
+	if got := wv.Pos(); got != 8 {
+		t.Fatalf("rolled back to %d, want checkpoint at 8", got)
+	}
+	if len(wv.Used) != 8 {
+		t.Fatalf("restored Used has %d entries, want 8", len(wv.Used))
+	}
+	m := s.metrics.snapshot()
+	if m.Rollbacks != 1 || m.PartialRolls != 1 {
+		t.Fatalf("rollbacks=%d partial=%d, want 1/1", m.Rollbacks, m.PartialRolls)
+	}
+
+	// Replay: the claimed position must now be skipped speculatively,
+	// everything else re-used, and the version must finish the window.
+	for w.processSpan(wv, 1<<20) && !wv.Finished() {
+	}
+	if !wv.Finished() {
+		t.Fatal("version did not finish after partial rollback")
+	}
+	if !containsSorted(wv.Skipped, 10) {
+		t.Fatalf("position 10 must be speculatively skipped after the group claimed it (skipped=%v)", wv.Skipped)
+	}
+	for _, u := range wv.Used {
+		if u == 10 {
+			t.Fatal("position 10 must not be re-used after rollback")
+		}
+	}
+}
+
+// TestRollbackWithoutUsableCheckpoint verifies the fallback: when every
+// checkpoint's prefix used the claimed event, the rollback resets to the
+// window start.
+func TestRollbackWithoutUsableCheckpoint(t *testing.T) {
+	s, wv, cg := rollShard(t)
+	w := s.split
+
+	wv.Mu.Lock()
+	defer wv.Mu.Unlock()
+	if !w.processSpan(wv, 32) {
+		t.Fatal("no progress")
+	}
+	cg.Add(1) // before the first checkpoint: every prefix used it
+	if w.consistencyCheck(wv) {
+		t.Fatal("consistency check must fail")
+	}
+	w.rollback(wv)
+	if got := wv.Pos(); got != wv.Win.StartSeq {
+		t.Fatalf("rolled back to %d, want window start %d", got, wv.Win.StartSeq)
+	}
+	m := s.metrics.snapshot()
+	if m.Rollbacks != 1 || m.PartialRolls != 0 {
+		t.Fatalf("rollbacks=%d partial=%d, want 1/0", m.Rollbacks, m.PartialRolls)
+	}
+}
+
+// TestSeededForkSkipsDivergenceSuffix verifies fork seeding end to end at
+// the unit level: a second version of the same window that additionally
+// suppresses a group whose first event lies late in the window must seed
+// from the deepest checkpoint before that divergence point.
+func TestSeededForkSkipsDivergenceSuffix(t *testing.T) {
+	s, wv, _ := rollShard(t)
+	w := s.split
+
+	wv.Mu.Lock()
+	if !w.processSpan(wv, 32) {
+		t.Fatal("no progress")
+	}
+	wv.Mu.Unlock()
+
+	// A new group, owned elsewhere, claims position 20: a fork that
+	// suppresses it diverges there and must seed from the checkpoint at
+	// 20 (checkpoints land at 4, 8, ..., 32).
+	owner := deptree.NewWindowVersion(998, wv.Win, nil)
+	late := deptree.NewCG(2, owner, 0, 1)
+	late.Add(20)
+	fork := s.newVersion(wv.Win, append(append([]*deptree.CG(nil), wv.Suppressed...), late))
+	if got := fork.Pos(); got != 20 {
+		t.Fatalf("fork seeded at %d, want 20 (deepest checkpoint at or before the divergence point)", got)
+	}
+	if len(fork.Used) != 20 {
+		t.Fatalf("fork inherited %d used positions, want 20", len(fork.Used))
+	}
+	m := s.metrics.snapshot()
+	if m.VersionsSeeded != 1 || m.SeededEvents != 20 {
+		t.Fatalf("seeded=%d seededEvents=%d, want 1/20", m.VersionsSeeded, m.SeededEvents)
+	}
+}
+
+// TestCheckpointStoreEviction verifies the per-window bound and the
+// keep-earliest eviction policy.
+func TestCheckpointStoreEviction(t *testing.T) {
+	cs := newCkptStore()
+	win := &window.Window{ID: 7}
+	for i := 0; i < maxCheckpointsPerWindow+10; i++ {
+		cs.record(&deptree.Checkpoint{Pos: uint64(i + 1), Win: win})
+	}
+	list := cs.byWin[7]
+	if len(list) != maxCheckpointsPerWindow {
+		t.Fatalf("store holds %d checkpoints, want %d", len(list), maxCheckpointsPerWindow)
+	}
+	if list[0].Pos != 1 {
+		t.Fatalf("earliest checkpoint evicted (first pos = %d, want 1)", list[0].Pos)
+	}
+	if last := list[len(list)-1].Pos; last != uint64(maxCheckpointsPerWindow+10) {
+		t.Fatalf("latest checkpoint missing (last pos = %d)", last)
+	}
+	cs.drop(7)
+	if len(cs.byWin) != 0 {
+		t.Fatal("drop must forget the window")
+	}
+}

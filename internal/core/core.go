@@ -75,6 +75,16 @@ type Config struct {
 	// BatchSize is the number of events an operator instance processes
 	// per lock acquisition (default 256).
 	BatchSize int
+	// CheckpointEvery is the matcher-state checkpoint interval in raw
+	// stream positions: while processing a window version, a deep-copy
+	// checkpoint of the matcher state (plus the consumption bookkeeping
+	// prefix) is recorded every CheckpointEvery positions. Fresh
+	// speculative versions of the same window are seeded from the latest
+	// checkpoint at or before their divergence point and replay only the
+	// suffix, and rollbacks restart from the latest still-consistent
+	// prefix instead of the window start. 0 selects the default
+	// (BatchSize); negative disables checkpointing entirely.
+	CheckpointEvery int
 	// IngestBatch is the number of events the splitter ingests per cycle
 	// (default 1024).
 	IngestBatch int
@@ -129,6 +139,9 @@ func (c *Config) setDefaults() {
 	if c.BatchSize <= 0 {
 		c.BatchSize = 256
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = c.BatchSize
+	}
 	if c.IngestBatch <= 0 {
 		c.IngestBatch = 1024
 	}
@@ -161,6 +174,10 @@ type Metrics struct {
 	GateReprocessed uint64 // final-gate deterministic reprocessing (≈0)
 	MaxTreeSize     int    // high-water mark of window versions (Fig. 10(f))
 	SchedulesIssued uint64 // top-k assignments handed to instances
+	Checkpoints     uint64 // matcher-state checkpoints recorded
+	VersionsSeeded  uint64 // fresh versions seeded from a checkpoint
+	SeededEvents    uint64 // window positions skipped through seeding
+	PartialRolls    uint64 // rollbacks restarted from a checkpoint
 }
 
 // Merge folds o into m: counters add, high-water marks take the maximum.
@@ -184,6 +201,10 @@ func (m *Metrics) Merge(o *Metrics) {
 		m.MaxTreeSize = o.MaxTreeSize
 	}
 	m.SchedulesIssued += o.SchedulesIssued
+	m.Checkpoints += o.Checkpoints
+	m.VersionsSeeded += o.VersionsSeeded
+	m.SeededEvents += o.SeededEvents
+	m.PartialRolls += o.PartialRolls
 }
 
 // metricsBox guards the metrics counters shared by the splitter and the
@@ -224,6 +245,22 @@ const (
 
 type statEntry struct {
 	from, to, count int
+}
+
+// statsPool recycles the entry slices carried by msgStats messages: the
+// worker fills one per flushed batch, the splitter returns it after
+// applying.
+var statsPool = sync.Pool{
+	New: func() any { s := make([]statEntry, 0, 64); return &s },
+}
+
+func newStatEntries() []statEntry {
+	return (*statsPool.Get().(*[]statEntry))[:0]
+}
+
+func putStatEntries(s []statEntry) {
+	s = s[:0]
+	statsPool.Put(&s)
 }
 
 type msg struct {

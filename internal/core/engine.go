@@ -89,6 +89,7 @@ type shardState struct {
 	tree     *deptree.Tree
 	winMgr   *window.Manager
 	pred     markov.Predictor
+	ckpts    *ckptStore
 
 	fq    feedbackQueue
 	slots []slot
@@ -127,6 +128,7 @@ func newShard(prog *program) (*shardState, error) {
 		consumed: arena.NewConsumedSet(),
 		winMgr:   window.NewManager(prog.query.Window),
 		pred:     pred,
+		ckpts:    newCkptStore(),
 		slots:    make([]slot, prog.cfg.Instances),
 		assigned: make([]*deptree.WindowVersion, prog.cfg.Instances),
 		done:     make(chan struct{}),
@@ -152,11 +154,26 @@ func (s *shardState) begin(feed feeder, emit func(event.Complex)) {
 	s.emit = emit
 }
 
-// newVersion is the dependency tree's window-version factory.
+// newVersion is the dependency tree's window-version factory. When
+// checkpointing is enabled, the fresh version is seeded from the deepest
+// valid checkpoint of an earlier version of the same window — the
+// paper's "modified copy" made incremental: the fork replays only the
+// suffix past the checkpoint instead of the whole window.
 func (s *shardState) newVersion(win *window.Window, suppressed []*deptree.CG) *deptree.WindowVersion {
 	s.versionSeq++
 	wv := deptree.NewWindowVersion(s.versionSeq, win, suppressed)
 	wv.SetPos(win.StartSeq)
+	wv.LastCkpt = win.StartSeq
+	if s.prog.cfg.CheckpointEvery > 0 {
+		if ck, vers := s.ckpts.bestFor(wv, s.consumed); ck != nil {
+			wv.Restore(ck)
+			copy(wv.LastChecked, vers)
+			s.metrics.add(func(m *Metrics) {
+				m.VersionsSeeded++
+				m.SeededEvents += ck.Pos - win.StartSeq
+			})
+		}
+	}
 	s.metrics.add(func(m *Metrics) { m.VersionsCreated++ })
 	return wv
 }
@@ -269,6 +286,7 @@ func (s *shardState) finishRun() {
 	for i := range s.slots {
 		s.slots[i].wv.Store(nil)
 	}
+	s.ckpts.clear()
 	s.finished.Store(true)
 	close(s.done)
 }
@@ -335,6 +353,8 @@ func (s *shardState) apply(m *msg) {
 		for _, st := range m.stats {
 			s.pred.RecordTransitionN(st.from, st.to, st.count)
 		}
+		putStatEntries(m.stats)
+		m.stats = nil
 	}
 }
 
@@ -367,6 +387,9 @@ func (s *shardState) advanceRoots() bool {
 		}
 		s.drainOutputs(wv)
 		s.tree.PopRoot()
+		// The window is fully resolved: no further versions of it can be
+		// created, so its checkpoints are dead weight.
+		s.ckpts.drop(wv.Win.ID)
 		changed = true
 	}
 }
@@ -411,14 +434,7 @@ func (s *shardState) validate(wv *deptree.WindowVersion) {
 // only. Tree updates are applied synchronously.
 func (s *shardState) reprocessInline(wv *deptree.WindowVersion) {
 	s.tree.RebuildBelow(wv)
-	wv.State = s.prog.compiled.NewState()
-	wv.SetPos(wv.Win.StartSeq)
-	wv.Used = wv.Used[:0]
-	wv.Skipped = wv.Skipped[:0]
-	wv.LocalConsumed = wv.LocalConsumed[:0]
-	wv.Buffered = wv.Buffered[:0]
-	clear(wv.RunCGs)
-	wv.ClearFinished()
+	wv.ResetToStart(s.prog.compiled.NewState())
 	wv.Rollbacks++
 
 	w := s.split

@@ -67,36 +67,60 @@ func (s *shardState) processBatch(w *worker, wv *deptree.WindowVersion) bool {
 }
 
 // worker holds the per-slot scratch state of event processing. It is used
-// by operator slots and by the splitter's inline reprocessing.
+// by operator slots and by the splitter's inline reprocessing. All its
+// buffers are reused across batches, so steady-state processing does not
+// allocate.
 type worker struct {
-	s       *shardState
-	msgs    []msg
-	fb      []matcher.Feedback
-	runBuf  []matcher.RunInfo
-	touched []int
-	stats   map[[2]int]int
+	s        *shardState
+	msgs     []msg
+	fb       []matcher.Feedback
+	runBuf   []matcher.RunInfo
+	touched  []int
+	dirtyCGs []*deptree.CG
+	// stats is a dense (δ_max+1)×(δ_max+1) transition-count matrix,
+	// indexed from*statDim+to and reused across batches. δ is bounded by
+	// the pattern's minimum match length, so the matrix is small.
+	stats    []uint32
+	statDim  int
+	statsSet int // number of nonzero cells
 }
 
 func newWorker(s *shardState) *worker {
-	return &worker{s: s, stats: make(map[[2]int]int)}
+	dim := s.prog.compiled.MinLength() + 1
+	return &worker{s: s, stats: make([]uint32, dim*dim), statDim: dim}
 }
 
 // stat records one Markov transition observation.
 func (w *worker) stat(from, to int) {
-	w.stats[[2]int{from, to}]++
+	if from < 0 || to < 0 || from >= w.statDim || to >= w.statDim {
+		return
+	}
+	i := from*w.statDim + to
+	if w.stats[i] == 0 {
+		w.statsSet++
+	}
+	w.stats[i]++
 }
 
 // flushStats converts accumulated transition counts into a feedback
 // message. Only called for stats-eligible (validated) versions' spans.
+// Entry slices come from a pool; the splitter returns them after
+// applying the message.
 func (w *worker) flushStats(wv *deptree.WindowVersion) {
-	if len(w.stats) == 0 {
+	if w.statsSet == 0 {
 		return
 	}
-	entries := make([]statEntry, 0, len(w.stats))
-	for k, c := range w.stats {
-		entries = append(entries, statEntry{from: k[0], to: k[1], count: c})
+	entries := newStatEntries()
+	for from := 0; from < w.statDim; from++ {
+		row := w.stats[from*w.statDim : (from+1)*w.statDim]
+		for to, c := range row {
+			if c != 0 {
+				entries = append(entries, statEntry{from: from, to: to, count: int(c)})
+				row[to] = 0
+			}
+		}
 	}
-	clear(w.stats)
+	w.statsSet = 0
 	w.msgs = append(w.msgs, msg{kind: msgStats, stats: entries})
 }
 
@@ -121,6 +145,10 @@ func (w *worker) processSpan(wv *deptree.WindowVersion, max int) bool {
 
 	processed := 0
 	checkEvery := s.prog.cfg.ConsistencyCheckEvery
+	ckptEvery := uint64(0)
+	if ce := s.prog.cfg.CheckpointEvery; ce > 0 {
+		ckptEvery = uint64(ce)
+	}
 	for pos < limit && processed < max {
 		seq := pos
 		ev := s.ar.Get(seq)
@@ -183,6 +211,16 @@ func (w *worker) processSpan(wv *deptree.WindowVersion, max int) bool {
 				return true
 			}
 		}
+		// Periodic checkpoint: a deep-copy snapshot of the matcher state
+		// and consumption bookkeeping, from which later forks of this
+		// window (and this version's own rollbacks) replay only the
+		// suffix. Validated versions are skipped — no new version of a
+		// root window is ever created. Positions at or past the window
+		// end are skipped too: a version seeded there would never be
+		// eligible for scheduling and could not run its window-end logic.
+		if ckptEvery > 0 && pos < end && pos-wv.LastCkpt >= ckptEvery && !wv.Validated() {
+			w.checkpoint(wv)
+		}
 	}
 
 	finished := false
@@ -239,11 +277,12 @@ func (w *worker) applyFeedback(wv *deptree.WindowVersion, ev *event.Event) bool 
 		case matcher.RunStarted:
 			cg := deptree.NewCG(s.cgSeq.Add(1), wv, f.Run, f.Delta)
 			for _, c := range f.Carry {
-				cg.Add(c.Seq)
+				cg.Append(c.Seq)
 			}
 			if f.Consumable && f.Event != nil {
-				cg.Add(f.Event.Seq)
+				cg.Append(f.Event.Seq)
 			}
+			w.dirtyCGs = append(w.dirtyCGs, cg)
 			wv.RunCGs[f.Run] = cg
 			w.msgs = append(w.msgs, msg{kind: msgCGCreated, wv: wv, cg: cg})
 			if eligible {
@@ -254,7 +293,8 @@ func (w *worker) applyFeedback(wv *deptree.WindowVersion, ev *event.Event) bool 
 		case matcher.EventBound:
 			if cg := wv.RunCGs[f.Run]; cg != nil {
 				if f.Consumable && f.Event != nil {
-					cg.Add(f.Event.Seq)
+					cg.Append(f.Event.Seq)
+					w.dirtyCGs = append(w.dirtyCGs, cg)
 				}
 				cg.SetDelta(f.Delta)
 			}
@@ -299,6 +339,13 @@ func (w *worker) applyFeedback(wv *deptree.WindowVersion, ev *event.Event) bool 
 			}
 		}
 	}
+	// Snapshot publication is batched: one new snapshot per touched group
+	// per feedback application instead of one per added event.
+	for i, cg := range w.dirtyCGs {
+		cg.Publish()
+		w.dirtyCGs[i] = nil
+	}
+	w.dirtyCGs = w.dirtyCGs[:0]
 	return influenced
 }
 
@@ -337,27 +384,47 @@ func (w *worker) consistencyCheck(wv *deptree.WindowVersion) bool {
 	return true
 }
 
-// rollback resets the version to the window start (paper: "the state of
-// the window version is rolled back to the start"). Its own consumption
-// groups are discarded; the splitter rebuilds the dependent subtree on
+// checkpoint records a snapshot of wv's current processing prefix in the
+// shard's checkpoint store. The caller must hold wv.Mu.
+func (w *worker) checkpoint(wv *deptree.WindowVersion) {
+	wv.LastCkpt = wv.Pos()
+	w.s.ckpts.record(wv.Capture())
+	w.s.metrics.add(func(m *Metrics) { m.Checkpoints++ })
+}
+
+// rollback resets the version (paper: "the state of the window version
+// is rolled back to the start") — but only as far as necessary: when a
+// checkpoint of a still-consistent prefix exists, the version restarts
+// from it and replays only the suffix. Its own consumption groups are
+// discarded either way; the splitter rebuilds the dependent subtree on
 // the rollback message.
 func (w *worker) rollback(wv *deptree.WindowVersion) {
 	s := w.s
-	wv.State = s.prog.compiled.NewState()
-	wv.SetPos(wv.Win.StartSeq)
-	wv.Used = wv.Used[:0]
-	wv.Skipped = wv.Skipped[:0]
-	wv.LocalConsumed = wv.LocalConsumed[:0]
-	wv.Buffered = wv.Buffered[:0]
-	clear(wv.RunCGs)
-	for i := range wv.LastChecked {
-		wv.LastChecked[i] = 0
+	partial := false
+	if s.prog.cfg.CheckpointEvery > 0 {
+		// Partial rollback: the inconsistency invalidates the suffix past
+		// the offending event only; bestFor rejects any checkpoint whose
+		// prefix used a now-claimed event, so the deepest surviving one
+		// is a sound restart point.
+		if ck, vers := s.ckpts.bestFor(wv, s.consumed); ck != nil {
+			wv.Restore(ck)
+			copy(wv.LastChecked, vers)
+			partial = true
+		}
 	}
-	wv.ClearFinished()
+	if !partial {
+		wv.ResetToStart(s.prog.compiled.NewState())
+	}
 	wv.Rollbacks++
 	clear(w.stats)
+	w.statsSet = 0
 	w.msgs = append(w.msgs, msg{kind: msgRolledBack, wv: wv})
-	s.metrics.add(func(m *Metrics) { m.Rollbacks++ })
+	s.metrics.add(func(m *Metrics) {
+		m.Rollbacks++
+		if partial {
+			m.PartialRolls++
+		}
+	})
 }
 
 // suppressedBy reports whether seq is currently in any suppressed group of
@@ -411,10 +478,15 @@ func intersectsSorted(a, b []uint64) bool {
 	return false
 }
 
-// mergeSorted merges ascending b into ascending a, deduplicating.
+// mergeSorted merges ascending b into ascending a, deduplicating. The
+// common case — ascending insertion entirely past a's tail — appends in
+// place instead of re-copying the whole slice.
 func mergeSorted(a, b []uint64) []uint64 {
 	if len(b) == 0 {
 		return a
+	}
+	if len(a) == 0 || b[0] > a[len(a)-1] {
+		return append(a, b...)
 	}
 	out := make([]uint64, 0, len(a)+len(b))
 	i, j := 0, 0

@@ -310,12 +310,62 @@ func TestRandomizedEquivalence(t *testing.T) {
 
 			want := runSequential(t, q, events)
 			k := 1 + rng.Intn(6)
-			got, _ := runSpectre(t, q, events, Config{
-				Instances:             k,
-				ConsistencyCheckEvery: 1 + rng.Intn(64),
-				BatchSize:             1 + rng.Intn(128),
-			})
-			assertSameOutput(t, fmt.Sprintf("random(k=%d)", k), got, want)
+			check := 1 + rng.Intn(64)
+			batch := 1 + rng.Intn(128)
+			// Sweep the checkpoint interval across its extremes: disabled
+			// (every fork reprocesses from the window start), every single
+			// position (maximum seeding), and far beyond any window (only
+			// the implicit batch-default cadence differs). The delivered
+			// output must be identical in all three.
+			for _, ckpt := range []int{-1, 1, 4096} {
+				got, _ := runSpectre(t, q, events, Config{
+					Instances:             k,
+					ConsistencyCheckEvery: check,
+					BatchSize:             batch,
+					CheckpointEvery:       ckpt,
+				})
+				assertSameOutput(t, fmt.Sprintf("random(k=%d,ckpt=%d)", k, ckpt), got, want)
+			}
 		})
+	}
+}
+
+// TestCheckpointSeededEquivalence drives the checkpoint-forking machinery
+// hard: a consume-heavy overlapping-window workload with a tiny
+// checkpoint interval and aggressive consistency checking, so forks are
+// frequent and almost always seeded. Output must equal the sequential
+// reference, and on this workload the seeding path must actually fire.
+func TestCheckpointSeededEquivalence(t *testing.T) {
+	reg := event.NewRegistry()
+	events := dataset.Rand(reg, dataset.RandConfig{Symbols: 6, Events: 8000, Seed: 5})
+	q, err := queries.Q3(reg, queries.Q3Config{SetSize: 3, WindowSize: 120, Slide: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runSequential(t, q, events)
+	if len(want) == 0 {
+		t.Fatal("workload produced no matches; test is vacuous")
+	}
+	seeded := uint64(0)
+	// Intervals must fit inside the 120-event window for checkpoints to
+	// be due at all.
+	for _, ckpt := range []int{1, 16, 64} {
+		t.Run(fmt.Sprintf("ckpt=%d", ckpt), func(t *testing.T) {
+			got, eng := runSpectre(t, q, events, Config{
+				Instances:             4,
+				ConsistencyCheckEvery: 4,
+				BatchSize:             32,
+				CheckpointEvery:       ckpt,
+			})
+			assertSameOutput(t, fmt.Sprintf("ckpt=%d", ckpt), got, want)
+			m := eng.MetricsSnapshot()
+			if m.Checkpoints == 0 {
+				t.Fatal("no checkpoints recorded on a speculation-heavy workload")
+			}
+			seeded += m.VersionsSeeded
+		})
+	}
+	if seeded == 0 {
+		t.Fatal("no fork was ever seeded from a checkpoint")
 	}
 }

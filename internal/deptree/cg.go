@@ -82,6 +82,14 @@ type CG struct {
 	delta   atomic.Int64 // current completion state δ of the partial match
 	outcome atomic.Int32 // CGOutcome
 
+	// buf is the writer-owned backing of the event set. Published
+	// snapshots alias immutable prefixes of it: the single writer only
+	// ever appends past every published length (or swaps in a fresh
+	// backing on the rare out-of-order insert), so readers of an old
+	// snapshot never observe a mutated element.
+	buf   []uint64
+	dirty bool // appended but not yet published
+
 	// nodes are the tree vertices referencing this group (more than one
 	// when a sibling group's creation copied the structure). Owned by the
 	// splitter.
@@ -102,25 +110,48 @@ func (cg *CG) Snapshot() *CGSnapshot { return cg.snap.Load() }
 // Contains reports whether seq is currently in the group.
 func (cg *CG) Contains(seq uint64) bool { return cg.snap.Load().Contains(seq) }
 
-// Add appends seq to the group. Single writer: the instance processing the
-// owning window version. Events are bound in stream order, so seqs arrive
-// ascending; out-of-order seqs are inserted defensively.
-func (cg *CG) Add(seq uint64) {
-	old := cg.snap.Load()
-	seqs := make([]uint64, len(old.Seqs), len(old.Seqs)+1)
-	copy(seqs, old.Seqs)
-	if n := len(seqs); n == 0 || seqs[n-1] < seq {
-		seqs = append(seqs, seq)
-	} else {
-		i := sort.Search(len(seqs), func(i int) bool { return seqs[i] >= seq })
-		if i < len(seqs) && seqs[i] == seq {
-			return // already present
-		}
-		seqs = append(seqs, 0)
-		copy(seqs[i+1:], seqs[i:])
-		seqs[i] = seq
+// Append records seq in the group without publishing a new snapshot.
+// Single writer: the instance processing the owning window version.
+// Events are bound in stream order, so the common case is an O(1)
+// append at the tail; out-of-order seqs swap in a fresh backing so
+// published snapshots stay intact.
+func (cg *CG) Append(seq uint64) {
+	if n := len(cg.buf); n == 0 || cg.buf[n-1] < seq {
+		cg.buf = append(cg.buf, seq)
+		cg.dirty = true
+		return
 	}
-	cg.snap.Store(&CGSnapshot{Version: old.Version + 1, Seqs: seqs})
+	i := sort.Search(len(cg.buf), func(i int) bool { return cg.buf[i] >= seq })
+	if i < len(cg.buf) && cg.buf[i] == seq {
+		return // already present
+	}
+	grown := make([]uint64, 0, len(cg.buf)+1)
+	grown = append(grown, cg.buf[:i]...)
+	grown = append(grown, seq)
+	grown = append(grown, cg.buf[i:]...)
+	cg.buf = grown
+	cg.dirty = true
+}
+
+// Publish makes all appended events visible in a new snapshot. Called
+// once per feedback application rather than per event, so a batch of
+// appends costs one snapshot allocation.
+func (cg *CG) Publish() {
+	if !cg.dirty {
+		return
+	}
+	cg.dirty = false
+	old := cg.snap.Load()
+	cg.snap.Store(&CGSnapshot{
+		Version: old.Version + 1,
+		Seqs:    cg.buf[:len(cg.buf):len(cg.buf)],
+	})
+}
+
+// Add appends seq and publishes immediately (Append + Publish).
+func (cg *CG) Add(seq uint64) {
+	cg.Append(seq)
+	cg.Publish()
 }
 
 // SetDelta publishes the partial match's current completion state δ.
@@ -197,6 +228,9 @@ type WindowVersion struct {
 	// LastChecked maps suppressed groups to the snapshot version seen by
 	// the last consistency check (parallel to Suppressed).
 	LastChecked []uint64
+	// LastCkpt is the position of the last recorded checkpoint (the
+	// window start when none has been taken).
+	LastCkpt uint64
 	// Rollbacks counts how many times this version was rolled back.
 	Rollbacks int
 	// StatsEligible marks versions whose transitions feed the Markov

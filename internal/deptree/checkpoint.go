@@ -1,0 +1,107 @@
+package deptree
+
+import (
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/matcher"
+	"github.com/spectrecep/spectre/internal/window"
+)
+
+// Checkpoint is an immutable snapshot of a window version's processing
+// prefix: the matcher state plus the consumption bookkeeping accumulated
+// up to (but excluding) position Pos. The SPECTRE runtime records one
+// every CheckpointEvery events and uses them to implement the paper's
+// "modified copy" (Fig. 4) cheaply — a new speculative version of the
+// same window is seeded from the latest checkpoint at or before its
+// divergence point and replays only the suffix, instead of reprocessing
+// the whole window. Rollbacks reuse the same snapshots to restart from
+// the latest still-consistent prefix.
+//
+// A checkpoint is valid as a seed for a version v when
+//
+//   - Sup ⊆ v.Suppressed (the prefix suppressed no group v does not), and
+//   - every group in v.Suppressed \ Sup currently holds no event before
+//     Pos (the prefix could not have speculatively skipped it), and
+//   - Used intersects no suppressed group's current membership and no
+//     finally consumed event (the prefix is consistent as of now).
+//
+// Later membership changes are caught by the periodic consistency checks
+// exactly as for an unseeded version — the seed inherits the prefix's
+// Used set — and the final validation gate stays unconditional, so
+// seeding never affects delivered output.
+//
+// All fields are immutable after capture; Restore deep-copies them.
+type Checkpoint struct {
+	// Pos is the next raw-stream position the prefix would process.
+	Pos uint64
+	// Win is the underlying window.
+	Win *window.Window
+	// State is a deep clone of the matcher state at Pos. It is never
+	// mutated; Restore clones it again.
+	State *matcher.State
+	// Used, Skipped, LocalConsumed and Buffered are copies of the
+	// version's bookkeeping at Pos (see WindowVersion).
+	Used, Skipped, LocalConsumed []uint64
+	Buffered                     []event.Complex
+	// Sup is the suppression set the prefix was processed under (the
+	// recording version's, sorted by CG ID; aliased, not copied — a
+	// version's suppression set is immutable).
+	Sup []*CG
+}
+
+// Capture snapshots the version's current processing prefix. The caller
+// must hold wv.Mu and wv.State must be non-nil.
+func (wv *WindowVersion) Capture() *Checkpoint {
+	return &Checkpoint{
+		Pos:           wv.Pos(),
+		Win:           wv.Win,
+		State:         wv.State.Clone(),
+		Used:          append([]uint64(nil), wv.Used...),
+		Skipped:       append([]uint64(nil), wv.Skipped...),
+		LocalConsumed: append([]uint64(nil), wv.LocalConsumed...),
+		Buffered:      append([]event.Complex(nil), wv.Buffered...),
+		Sup:           wv.Suppressed,
+	}
+}
+
+// Restore resets the version's processing state to the checkpointed
+// prefix. The caller must own the version (hold Mu, or have exclusive
+// access to a freshly created version). Open matcher runs inherited from
+// the prefix are resumed without consumption-group tracking (RunCGs is
+// cleared): the tree does not speculate on them, and if such a run
+// completes after all, the final validation gate repairs dependents —
+// the same fallback the speculation budget uses. LastChecked is zeroed;
+// the caller that verified the checkpoint against current group
+// snapshots should overwrite it with the verified snapshot versions.
+func (wv *WindowVersion) Restore(ck *Checkpoint) {
+	wv.State = ck.State.Clone()
+	wv.SetPos(ck.Pos)
+	wv.Used = append(wv.Used[:0], ck.Used...)
+	wv.Skipped = append(wv.Skipped[:0], ck.Skipped...)
+	wv.LocalConsumed = append(wv.LocalConsumed[:0], ck.LocalConsumed...)
+	wv.Buffered = append(wv.Buffered[:0], ck.Buffered...)
+	clear(wv.RunCGs)
+	for i := range wv.LastChecked {
+		wv.LastChecked[i] = 0
+	}
+	wv.LastCkpt = ck.Pos
+	wv.ClearFinished()
+}
+
+// ResetToStart resets the version's processing state to the window
+// start with the given fresh matcher state — the full-reprocessing
+// fallback shared by rollbacks without a usable checkpoint and the
+// final validation gate. The caller must own the version.
+func (wv *WindowVersion) ResetToStart(state *matcher.State) {
+	wv.State = state
+	wv.SetPos(wv.Win.StartSeq)
+	wv.LastCkpt = wv.Win.StartSeq
+	wv.Used = wv.Used[:0]
+	wv.Skipped = wv.Skipped[:0]
+	wv.LocalConsumed = wv.LocalConsumed[:0]
+	wv.Buffered = wv.Buffered[:0]
+	clear(wv.RunCGs)
+	for i := range wv.LastChecked {
+		wv.LastChecked[i] = 0
+	}
+	wv.ClearFinished()
+}

@@ -199,44 +199,57 @@ func (c *Compiled) MinLength() int { return c.minLen }
 // Name returns the pattern name.
 func (c *Compiled) Name() string { return c.name }
 
-// run is one partial match.
+// span locates one flat step's bindings inside a run's backing slice.
+type span struct {
+	start, n int32
+}
+
+// run is one partial match. Bindings are interned in a single backing
+// slice in bind order with per-flat-index spans, so cloning a run is two
+// memcpys instead of one allocation per step. The layout invariant —
+// each flat index's bindings are contiguous — holds because only the
+// pending element accumulates bindings, always at the tail.
 type run struct {
-	id      int
-	elem    int // current pending element index
-	kcount  int // events bound to the pending Kleene element
-	setMask uint64
-	bound   [][]*event.Event // indexed by flat step index
+	id       int
+	elem     int // current pending element index
+	kcount   int // events bound to the pending Kleene element
+	setMask  uint64
+	lastFlat int32          // flat index of the most recent binding, -1 if none
+	events   []*event.Event // all bound events, bind order
+	spans    []span         // indexed by flat step index
 }
 
 var _ pattern.Binder = (*run)(nil)
 
 // Bound implements pattern.Binder.
 func (r *run) Bound(step int) []*event.Event {
-	if step < 0 || step >= len(r.bound) {
+	if step < 0 || step >= len(r.spans) {
 		return nil
 	}
-	return r.bound[step]
+	sp := r.spans[step]
+	if sp.n == 0 {
+		return nil
+	}
+	return r.events[sp.start : sp.start+sp.n]
 }
 
-func (r *run) clone() *run {
-	c := &run{id: r.id, elem: r.elem, kcount: r.kcount, setMask: r.setMask}
-	c.bound = make([][]*event.Event, len(r.bound))
-	for i, evs := range r.bound {
-		if evs != nil {
-			c.bound[i] = append([]*event.Event(nil), evs...)
-		}
+// bind appends ev as a binding of flat step index fi.
+func (r *run) bind(fi int, ev *event.Event) {
+	sp := &r.spans[fi]
+	if sp.n == 0 {
+		sp.start = int32(len(r.events))
 	}
-	return c
+	r.events = append(r.events, ev)
+	sp.n++
+	r.lastFlat = int32(fi)
 }
 
 // usesAny reports whether the run has bound any event in seqs (sorted).
 func (r *run) usesAny(seqs []uint64) bool {
-	for _, evs := range r.bound {
-		for _, ev := range evs {
-			i := sort.Search(len(seqs), func(i int) bool { return seqs[i] >= ev.Seq })
-			if i < len(seqs) && seqs[i] == ev.Seq {
-				return true
-			}
+	for _, ev := range r.events {
+		i := sort.Search(len(seqs), func(i int) bool { return seqs[i] >= ev.Seq })
+		if i < len(seqs) && seqs[i] == ev.Seq {
+			return true
 		}
 	}
 	return false
@@ -246,6 +259,8 @@ func (r *run) usesAny(seqs []uint64) bool {
 type State struct {
 	c       *Compiled
 	runs    []*run
+	free    []*run // recycled runs; the per-event hot path never allocates
+	idxBuf  []int  // scratch for batched run removal
 	nextID  int
 	stopped bool // StopAfterMatch fired
 }
@@ -255,12 +270,39 @@ func (c *Compiled) NewState() *State {
 	return &State{c: c}
 }
 
-// Clone deep-copies the state.
+// newRun takes a run from the freelist (or allocates one) and resets it.
+func (s *State) newRun() *run {
+	if n := len(s.free); n > 0 {
+		r := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		r.elem, r.kcount, r.setMask, r.lastFlat = 0, 0, 0, -1
+		r.events = r.events[:0]
+		clear(r.spans)
+		return r
+	}
+	return &run{lastFlat: -1, spans: make([]span, s.c.numFlat)}
+}
+
+// recycle returns a run to the freelist.
+func (s *State) recycle(r *run) {
+	s.free = append(s.free, r)
+}
+
+// Clone deep-copies the state. Each cloned run is two slice copies, so
+// forking a speculative window version costs O(open bindings), not
+// O(pattern steps × allocations).
 func (s *State) Clone() *State {
 	cl := &State{c: s.c, nextID: s.nextID, stopped: s.stopped}
 	cl.runs = make([]*run, len(s.runs))
 	for i, r := range s.runs {
-		cl.runs[i] = r.clone()
+		nr := &run{
+			id: r.id, elem: r.elem, kcount: r.kcount,
+			setMask: r.setMask, lastFlat: r.lastFlat,
+			events: append(make([]*event.Event, 0, len(r.events)), r.events...),
+			spans:  append(make([]span, 0, len(r.spans)), r.spans...),
+		}
+		cl.runs[i] = nr
 	}
 	return cl
 }
@@ -326,7 +368,7 @@ func (s *State) delta(r *run) int {
 func (s *State) Process(ev *event.Event, fb []Feedback) []Feedback {
 	// Phase 1: negation guards and advancement of open runs.
 	// Runs are scanned in creation order; removals are batched.
-	var removed []int
+	removed := s.idxBuf[:0]
 	for ri, r := range s.runs {
 		prevDelta := s.delta(r)
 		el := &s.c.elems[r.elem]
@@ -385,6 +427,7 @@ func (s *State) Process(ev *event.Event, fb []Feedback) []Feedback {
 	if len(removed) > 0 {
 		s.removeRuns(removed)
 	}
+	s.idxBuf = removed[:0]
 	if s.stopped {
 		// StopAfterMatch ends detection for the whole window: any other
 		// open partial matches are abandoned so their consumption groups
@@ -406,8 +449,11 @@ func (s *State) Process(ev *event.Event, fb []Feedback) []Feedback {
 		return fb
 	}
 	first := &s.c.elems[0]
-	r := &run{id: s.nextID, bound: make([][]*event.Event, s.c.numFlat)}
-	if boundOK, completed := s.tryStart(r, first, ev); boundOK {
+	r := s.newRun()
+	r.id = s.nextID
+	if boundOK, completed := s.tryStart(r, first, ev); !boundOK {
+		s.recycle(r)
+	} else {
 		s.nextID++
 		s.runs = append(s.runs, r)
 		step := s.boundStep(r, ev)
@@ -449,7 +495,7 @@ func (s *State) restartFeedback(r *run, ev *event.Event) Feedback {
 	lead := &s.c.elems[0].step
 	var carry []*event.Event
 	if lead.Consume {
-		carry = append([]*event.Event(nil), r.bound[s.c.elems[0].flat[0]]...)
+		carry = append([]*event.Event(nil), r.Bound(s.c.elems[0].flat[0])...)
 	}
 	return Feedback{
 		Kind: RunStarted, Run: r.id, Event: ev, Carry: carry,
@@ -478,7 +524,7 @@ func (s *State) tryStart(r *run, first *pelem, ev *event.Event) (bound, complete
 		if !first.step.Matches(ev, r) {
 			return false, false
 		}
-		r.bound[first.flat[0]] = append(r.bound[first.flat[0]], ev)
+		r.bind(first.flat[0], ev)
 		if first.step.Quant == pattern.OneOrMore {
 			r.kcount = 1
 			// Minimum-match: a final Kleene element completes immediately.
@@ -494,7 +540,7 @@ func (s *State) tryStart(r *run, first *pelem, ev *event.Event) (bound, complete
 		for mi := range first.set {
 			if first.set[mi].Matches(ev, r) {
 				r.setMask = 1 << uint(mi)
-				r.bound[first.flat[mi]] = append(r.bound[first.flat[mi]], ev)
+				r.bind(first.flat[mi], ev)
 				if bits.OnesCount64(r.setMask) == len(first.set) {
 					r.elem++
 					r.setMask = 0
@@ -519,13 +565,13 @@ func (s *State) advance(r *run, ev *event.Event) (bound, completed bool) {
 				return true, r.elem == len(s.c.elems)
 			}
 			if el.step.Matches(ev, r) {
-				r.bound[el.flat[0]] = append(r.bound[el.flat[0]], ev)
+				r.bind(el.flat[0], ev)
 				return true, false
 			}
 			return false, false
 		}
 		if el.step.Matches(ev, r) {
-			r.bound[el.flat[0]] = append(r.bound[el.flat[0]], ev)
+			r.bind(el.flat[0], ev)
 			if el.step.Quant == pattern.OneOrMore {
 				r.kcount = 1
 				if r.elem == len(s.c.elems)-1 {
@@ -546,7 +592,7 @@ func (s *State) advance(r *run, ev *event.Event) (bound, completed bool) {
 			}
 			if el.set[mi].Matches(ev, r) {
 				r.setMask |= 1 << uint(mi)
-				r.bound[el.flat[mi]] = append(r.bound[el.flat[mi]], ev)
+				r.bind(el.flat[mi], ev)
 				if bits.OnesCount64(r.setMask) == len(el.set) {
 					r.elem++
 					r.setMask = 0
@@ -576,7 +622,7 @@ func (s *State) bindInto(r *run, ei int, ev *event.Event) bool {
 		}
 		r.elem = ei
 		r.kcount = 0
-		r.bound[el.flat[0]] = append(r.bound[el.flat[0]], ev)
+		r.bind(el.flat[0], ev)
 		if el.step.Quant == pattern.OneOrMore {
 			r.kcount = 1
 			if ei == len(s.c.elems)-1 {
@@ -593,7 +639,7 @@ func (s *State) bindInto(r *run, ei int, ev *event.Event) bool {
 				r.elem = ei
 				r.kcount = 0
 				r.setMask = 1 << uint(mi)
-				r.bound[el.flat[mi]] = append(r.bound[el.flat[mi]], ev)
+				r.bind(el.flat[mi], ev)
 				if bits.OnesCount64(r.setMask) == len(el.set) {
 					r.elem = ei + 1
 					r.setMask = 0
@@ -608,13 +654,10 @@ func (s *State) bindInto(r *run, ei int, ev *event.Event) bool {
 
 // boundStep returns the step ev was just bound to in r (the last binding).
 func (s *State) boundStep(r *run, ev *event.Event) *pattern.Step {
-	for fi := len(r.bound) - 1; fi >= 0; fi-- {
-		evs := r.bound[fi]
-		if len(evs) > 0 && evs[len(evs)-1] == ev {
-			return s.flatStep(fi)
-		}
+	if r.lastFlat < 0 || len(r.events) == 0 || r.events[len(r.events)-1] != ev {
+		return nil
 	}
-	return nil
+	return s.flatStep(int(r.lastFlat))
 }
 
 // flatStep maps a flat index back to its step. Guards occupy flat indices
@@ -644,10 +687,12 @@ func (s *State) flatStep(fi int) *pattern.Step {
 // buildMatch assembles the Match for a completed run.
 func (s *State) buildMatch(r *run, completedAt *event.Event) *Match {
 	m := &Match{CompletedAt: completedAt}
-	for fi, evs := range r.bound {
-		if len(evs) == 0 {
+	for fi := range r.spans {
+		sp := r.spans[fi]
+		if sp.n == 0 {
 			continue
 		}
+		evs := r.events[sp.start : sp.start+sp.n]
 		m.Constituents = append(m.Constituents, evs...)
 		st := s.flatStep(fi)
 		if st != nil && st.Consume {
@@ -662,7 +707,7 @@ func (s *State) buildMatch(r *run, completedAt *event.Event) *Match {
 // leaderConsumed reports whether the run's leading-element binding was
 // consumed by m (restart-after-leader cannot keep a consumed leader).
 func (s *State) leaderConsumed(r *run, m *Match) bool {
-	lead := r.bound[s.c.elems[0].flat[0]]
+	lead := r.Bound(s.c.elems[0].flat[0])
 	if len(lead) == 0 {
 		return true
 	}
@@ -675,14 +720,17 @@ func (s *State) leaderConsumed(r *run, m *Match) bool {
 }
 
 // resetAfterLeader resets the run to the state right after its leading
-// element matched, keeping the leader binding.
+// element matched, keeping the leader binding. The backing slice is
+// truncated in place — the leader is always the run's first binding
+// (restart-after-leader requires a single-event leading step).
 func (s *State) resetAfterLeader(r *run) {
 	leadFlat := s.c.elems[0].flat[0]
-	lead := r.bound[leadFlat][:1]
-	for i := range r.bound {
-		r.bound[i] = nil
-	}
-	r.bound[leadFlat] = append([]*event.Event(nil), lead...)
+	lead := r.events[r.spans[leadFlat].start]
+	r.events = r.events[:0]
+	clear(r.spans)
+	r.events = append(r.events, lead)
+	r.spans[leadFlat] = span{start: 0, n: 1}
+	r.lastFlat = int32(leadFlat)
 	r.elem = 1
 	r.kcount = 0
 	r.setMask = 0
@@ -695,7 +743,9 @@ func (s *State) WindowEnd(fb []Feedback) []Feedback {
 			Kind: RunAbandoned, Run: r.id,
 			PrevDelta: s.delta(r), Delta: s.delta(r),
 		})
+		s.recycle(r)
 	}
+	clear(s.runs)
 	s.runs = s.runs[:0]
 	return fb
 }
@@ -707,7 +757,7 @@ func (s *State) AbandonRunsUsing(seqs []uint64, fb []Feedback) []Feedback {
 	if len(seqs) == 0 || len(s.runs) == 0 {
 		return fb
 	}
-	var removed []int
+	removed := s.idxBuf[:0]
 	for ri, r := range s.runs {
 		if r.usesAny(seqs) {
 			fb = append(fb, Feedback{
@@ -720,30 +770,36 @@ func (s *State) AbandonRunsUsing(seqs []uint64, fb []Feedback) []Feedback {
 	if len(removed) > 0 {
 		s.removeRuns(removed)
 	}
+	s.idxBuf = removed[:0]
 	return fb
 }
 
 func (s *State) removeRun(id int) {
 	for ri, r := range s.runs {
 		if r.id == id {
-			s.removeRuns([]int{ri})
+			copy(s.runs[ri:], s.runs[ri+1:])
+			s.runs[len(s.runs)-1] = nil // no duplicate reference in the tail
+			s.runs = s.runs[:len(s.runs)-1]
+			s.recycle(r)
 			return
 		}
 	}
 }
 
-// removeRuns removes the runs at the given ascending indices.
+// removeRuns removes the runs at the given ascending indices, recycling
+// them through the freelist.
 func (s *State) removeRuns(idx []int) {
 	out := s.runs[:0]
 	j := 0
 	for i, r := range s.runs {
 		if j < len(idx) && idx[j] == i {
 			j++
+			s.recycle(r)
 			continue
 		}
 		out = append(out, r)
 	}
-	// Clear the tail so dropped runs are collectable.
+	// Clear the tail so the slice holds no duplicate references.
 	for i := len(out); i < len(s.runs); i++ {
 		s.runs[i] = nil
 	}

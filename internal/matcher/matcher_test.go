@@ -1,6 +1,9 @@
 package matcher
 
 import (
+	"fmt"
+	"math/rand"
+	"strings"
 	"testing"
 
 	"github.com/spectrecep/spectre/internal/event"
@@ -404,5 +407,127 @@ func TestRunsSnapshot(t *testing.T) {
 	}
 	if s.RunDelta(999) != -1 {
 		t.Fatal("unknown run must report -1")
+	}
+}
+
+// fbKey renders one feedback for byte-exact comparison.
+func fbKey(f Feedback) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s run=%d cons=%t %d->%d", f.Kind, f.Run, f.Consumable, f.PrevDelta, f.Delta)
+	if f.Event != nil {
+		fmt.Fprintf(&b, " ev=%d", f.Event.Seq)
+	}
+	for _, c := range f.Carry {
+		fmt.Fprintf(&b, " carry=%d", c.Seq)
+	}
+	if f.Match != nil {
+		b.WriteString(" match=[")
+		for _, c := range f.Match.Constituents {
+			fmt.Fprintf(&b, "%d,", c.Seq)
+		}
+		b.WriteString("] consumed=[")
+		for _, c := range f.Match.Consumed {
+			fmt.Fprintf(&b, "%d,", c.Seq)
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// TestCloneForkEquivalence is the fork-correctness property behind
+// checkpointed speculation: a state cloned mid-stream and fed the
+// identical suffix must produce byte-identical feedback and matches.
+// Random patterns, selection policies and streams.
+func TestCloneForkEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		types := []event.Type{1, 2, 3, 4}
+		nSteps := 2 + rng.Intn(3)
+		steps := make([]pattern.Step, 0, nSteps)
+		for i := 0; i < nSteps; i++ {
+			st := pattern.Step{
+				Name:    fmt.Sprintf("S%d", i),
+				Types:   []event.Type{types[rng.Intn(len(types))]},
+				Consume: rng.Intn(2) == 0,
+			}
+			if rng.Intn(2) == 0 {
+				st.Quant = pattern.OneOrMore
+			}
+			if i > 0 && i < nSteps-1 && rng.Intn(5) == 0 {
+				st.Negated = true
+				st.Quant = pattern.One
+				st.Consume = false
+			}
+			steps = append(steps, st)
+		}
+		positives := 0
+		for i := range steps {
+			if !steps[i].Negated {
+				positives++
+			}
+		}
+		if positives < 2 {
+			steps[0].Negated = false
+			steps[len(steps)-1].Negated = false
+		}
+		p := pattern.Seq("fork", steps...)
+		p.Selection = pattern.SelectionPolicy{
+			MaxConcurrentRuns: rng.Intn(3),
+			OnCompletion:      pattern.CompletionBehavior(1 + rng.Intn(3)),
+		}
+		if p.Selection.OnCompletion == pattern.RestartAfterLeader {
+			steps[0].Quant = pattern.One
+			steps[0].Negated = false
+			p = pattern.Seq("fork", steps...)
+			p.Selection = pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.RestartAfterLeader}
+		}
+		c, err := Compile(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		n := 200 + rng.Intn(200)
+		split := rng.Intn(n)
+		s := c.NewState()
+		var fork *State
+		for i := 0; i < n; i++ {
+			if i == split {
+				fork = s.Clone()
+				if fork.OpenRuns() != s.OpenRuns() {
+					t.Fatalf("seed %d: clone has %d runs, original %d", seed, fork.OpenRuns(), s.OpenRuns())
+				}
+			}
+			ev := mk(uint64(i), types[rng.Intn(len(types))])
+			got := s.Process(ev, nil)
+			if fork == nil {
+				continue
+			}
+			want := fork.Process(ev, nil)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d ev %d: original %d feedback, fork %d", seed, i, len(got), len(want))
+			}
+			for j := range got {
+				if g, w := fbKey(got[j]), fbKey(want[j]); g != w {
+					t.Fatalf("seed %d ev %d fb %d:\noriginal: %s\n    fork: %s", seed, i, j, g, w)
+				}
+			}
+			if s.Stopped() != fork.Stopped() || s.OpenRuns() != fork.OpenRuns() {
+				t.Fatalf("seed %d ev %d: state diverged (stopped %t/%t, runs %d/%d)",
+					seed, i, s.Stopped(), fork.Stopped(), s.OpenRuns(), fork.OpenRuns())
+			}
+		}
+		if fork == nil {
+			continue
+		}
+		a := s.WindowEnd(nil)
+		b := fork.WindowEnd(nil)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: window end diverged (%d vs %d abandons)", seed, len(a), len(b))
+		}
+		for j := range a {
+			if fbKey(a[j]) != fbKey(b[j]) {
+				t.Fatalf("seed %d window-end fb %d: %s vs %s", seed, j, fbKey(a[j]), fbKey(b[j]))
+			}
+		}
 	}
 }

@@ -200,6 +200,30 @@ func WithBatchSize(n int) Option {
 	}
 }
 
+// WithCheckpointEvery sets the matcher-state checkpoint interval in
+// stream positions (default: the batch size). While a window version is
+// processed, the engine periodically snapshots its matcher state; new
+// speculative versions of the same window fork from the deepest valid
+// checkpoint instead of reprocessing the window from the start, and
+// rollbacks restart from the latest still-consistent prefix. Smaller
+// intervals make forks and rollbacks cheaper at the cost of more
+// snapshot work; the delivered output is identical for every setting.
+// Use WithoutCheckpoints to disable snapshotting entirely.
+func WithCheckpointEvery(n int) Option {
+	return func(c *core.Config) {
+		if validCount(c, "WithCheckpointEvery", n) {
+			c.CheckpointEvery = n
+		}
+	}
+}
+
+// WithoutCheckpoints disables matcher-state checkpointing: speculative
+// forks and rollbacks reprocess their window from the start (the
+// verbatim behaviour of the paper's Fig. 4).
+func WithoutCheckpoints() Option {
+	return func(c *core.Config) { c.CheckpointEvery = -1 }
+}
+
 // WithQueueCap bounds the per-shard intake queue of a Runtime submission
 // (default 65536 events). A full queue blocks Feed/FeedBatch and rejects
 // TryFeed with an *OverloadError, so the cap is the admission-control
