@@ -6,6 +6,16 @@
 // "selected B" policy, B1 and B2 are consumed by the first window's
 // matches and only 3 complex events remain.
 //
+// The queries are constructed with the typed builder of the query
+// package; the equivalent DSL text for the selected-B variant is
+//
+//	QUERY influence
+//	PATTERN (A B)
+//	DEFINE A AS A.symbol = 'A', B AS B.symbol = 'B'
+//	WITHIN 1 min FROM A
+//	CONSUME (B)
+//	ON MATCH RESTART LEADER
+//
 // Run it with:
 //
 //	go run ./examples/quickstart
@@ -18,42 +28,42 @@ import (
 	"time"
 
 	spectre "github.com/spectrecep/spectre"
-)
-
-const (
-	queryNoConsumption = `
-		QUERY influence
-		PATTERN (A B)
-		DEFINE A AS A.symbol = 'A', B AS B.symbol = 'B'
-		WITHIN 1 min FROM A
-		CONSUME NONE
-		ON MATCH RESTART LEADER
-	`
-	querySelectedB = `
-		QUERY influence
-		PATTERN (A B)
-		DEFINE A AS A.symbol = 'A', B AS B.symbol = 'B'
-		WITHIN 1 min FROM A
-		CONSUME (B)
-		ON MATCH RESTART LEADER
-	`
+	"github.com/spectrecep/spectre/query"
 )
 
 func main() {
-	for _, variant := range []struct{ label, src string }{
-		{"consumption policy: none (Figure 1a)", queryNoConsumption},
-		{"consumption policy: selected B (Figure 1b)", querySelectedB},
+	for _, variant := range []struct {
+		label   string
+		consume bool
+	}{
+		{"consumption policy: none (Figure 1a)", false},
+		{"consumption policy: selected B (Figure 1b)", true},
 	} {
 		fmt.Printf("\n%s\n", variant.label)
-		if err := runVariant(variant.src); err != nil {
+		if err := runVariant(variant.consume); err != nil {
 			log.Fatal(err)
 		}
 	}
 }
 
-func runVariant(src string) error {
+func runVariant(consumeB bool) error {
 	reg := spectre.NewRegistry()
-	query, err := spectre.ParseQuery(src, reg)
+
+	// Q_E: a window of scope 1 minute opens on every A event; the first A
+	// in a window correlates with each B ("first A, each B").
+	b := query.New(reg).Name("influence").
+		Pattern(
+			query.Step("A").Types("A"),
+			query.Step("B").Types("B"),
+		).
+		Within(query.Duration(time.Minute)).From("A").
+		OnMatch(query.RestartLeader)
+	if consumeB {
+		b.Consume("B")
+	} else {
+		b.ConsumeNone()
+	}
+	q, err := b.Build()
 	if err != nil {
 		return err
 	}
@@ -72,7 +82,7 @@ func runVariant(src string) error {
 	}
 	names := []string{"A1", "A2", "B1", "B2", "B3"}
 
-	eng, err := spectre.NewEngine(query, spectre.WithInstances(4))
+	eng, err := spectre.NewEngine(q, spectre.WithInstances(4))
 	if err != nil {
 		return err
 	}

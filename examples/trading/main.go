@@ -13,10 +13,10 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"strings"
 	"time"
 
 	spectre "github.com/spectrecep/spectre"
+	"github.com/spectrecep/spectre/query"
 )
 
 func main() {
@@ -40,30 +40,31 @@ func run() error {
 	fmt.Printf("generated %d quotes\n", len(events))
 
 	// Q1 with q = 20 rising quotes within a 1000-event window from the
-	// leader. Built in the query language; the leader list is the IN set.
+	// leader. Programmatic construction is where the typed builder shines:
+	// the q steps are a loop, the predicate is a Go closure over field
+	// accessors resolved once, and the leader list is a Types filter.
+	b := query.New(reg).Name("Q1")
+	open, close := b.Float("open"), b.Float("close")
+	rising := func(ev *query.Event, _ query.Binder) bool {
+		return close.Of(ev) > open.Of(ev)
+	}
 	leaderList := make([]string, leaders)
 	for i := range leaderList {
-		leaderList[i] = "'" + spectre.LeaderSymbol(i) + "'"
+		leaderList[i] = spectre.LeaderSymbol(i)
 	}
-	var b strings.Builder
-	b.WriteString("QUERY Q1\nPATTERN (MLE")
+	b.Pattern(query.Step("MLE").Types(leaderList...).Where(rising))
 	const q = 20
 	for i := 1; i <= q; i++ {
-		fmt.Fprintf(&b, " RE%d", i)
+		b.Pattern(query.Step(fmt.Sprintf("RE%d", i)).Where(rising))
 	}
-	b.WriteString(")\nDEFINE MLE AS (MLE.symbol IN (" + strings.Join(leaderList, ",") + ") AND MLE.close > MLE.open)")
-	for i := 1; i <= q; i++ {
-		fmt.Fprintf(&b, ",\n RE%d AS RE%d.close > RE%d.open", i, i, i)
-	}
-	b.WriteString("\nWITHIN 1000 EVENTS FROM MLE\nCONSUME ALL\n")
-	query, err := spectre.ParseQuery(b.String(), reg)
+	q1, err := b.Within(query.Events(1000)).From("MLE").ConsumeAll().Build()
 	if err != nil {
 		return err
 	}
 
 	// Sequential reference: defines the expected output.
 	seqStart := time.Now()
-	want, stats, err := spectre.RunSequential(query, append([]spectre.Event(nil), events...))
+	want, stats, err := spectre.RunSequential(q1, append([]spectre.Event(nil), events...))
 	if err != nil {
 		return err
 	}
@@ -74,7 +75,7 @@ func run() error {
 
 	// T-REX-style baseline.
 	trexStart := time.Now()
-	trexOut, _, err := spectre.RunBaseline(query, append([]spectre.Event(nil), events...))
+	trexOut, _, err := spectre.RunBaseline(q1, append([]spectre.Event(nil), events...))
 	if err != nil {
 		return err
 	}
@@ -87,7 +88,7 @@ func run() error {
 
 	// SPECTRE at increasing parallelism.
 	for _, k := range []int{1, 2, 4, 8} {
-		eng, err := spectre.NewEngine(query, spectre.WithInstances(k))
+		eng, err := spectre.NewEngine(q1, spectre.WithInstances(k))
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Type is an interned event type identifier. In the algorithmic-trading
@@ -109,7 +110,13 @@ func (c *Complex) Clone() Complex {
 // Registry interns event type names and payload field names. A single
 // Registry is shared by the query, the dataset and the engine so that ids
 // are consistent. The zero value is not usable; call NewRegistry.
+//
+// A Registry is safe for concurrent use: interning and lookups may race
+// freely across goroutines (e.g. two Runtime.Submit calls resolving
+// partition fields against a shared registry), and an id handed out once
+// is never reassigned.
 type Registry struct {
+	mu        sync.RWMutex
 	typeIDs   map[string]Type
 	typeNames []string
 
@@ -129,10 +136,18 @@ func NewRegistry() *Registry {
 // TypeID interns name and returns its id. Ids start at 1; NoType (0) is
 // never returned.
 func (r *Registry) TypeID(name string) Type {
+	r.mu.RLock()
+	id, ok := r.typeIDs[name]
+	r.mu.RUnlock()
+	if ok {
+		return id
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if id, ok := r.typeIDs[name]; ok {
 		return id
 	}
-	id := Type(len(r.typeNames))
+	id = Type(len(r.typeNames))
 	r.typeNames = append(r.typeNames, name)
 	r.typeIDs[name] = id
 	return id
@@ -140,12 +155,16 @@ func (r *Registry) TypeID(name string) Type {
 
 // LookupType returns the id for name and whether it is registered.
 func (r *Registry) LookupType(name string) (Type, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	id, ok := r.typeIDs[name]
 	return id, ok
 }
 
 // TypeName returns the name for id, or "" for unknown ids.
 func (r *Registry) TypeName(id Type) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if int(id) >= len(r.typeNames) {
 		return ""
 	}
@@ -153,14 +172,26 @@ func (r *Registry) TypeName(id Type) string {
 }
 
 // NumTypes reports the number of registered types (excluding NoType).
-func (r *Registry) NumTypes() int { return len(r.typeNames) - 1 }
+func (r *Registry) NumTypes() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.typeNames) - 1
+}
 
 // FieldIndex interns a payload field name and returns its dense index.
 func (r *Registry) FieldIndex(name string) int {
+	r.mu.RLock()
+	idx, ok := r.fieldIdx[name]
+	r.mu.RUnlock()
+	if ok {
+		return idx
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if idx, ok := r.fieldIdx[name]; ok {
 		return idx
 	}
-	idx := len(r.fieldNames)
+	idx = len(r.fieldNames)
 	r.fieldNames = append(r.fieldNames, name)
 	r.fieldIdx[name] = idx
 	return idx
@@ -168,12 +199,16 @@ func (r *Registry) FieldIndex(name string) int {
 
 // LookupField returns the index for a field name and whether it exists.
 func (r *Registry) LookupField(name string) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	idx, ok := r.fieldIdx[name]
 	return idx, ok
 }
 
 // FieldName returns the name of field idx, or "" when out of range.
 func (r *Registry) FieldName(idx int) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if idx < 0 || idx >= len(r.fieldNames) {
 		return ""
 	}
@@ -181,7 +216,11 @@ func (r *Registry) FieldName(idx int) string {
 }
 
 // NumFields reports the number of registered payload fields.
-func (r *Registry) NumFields() int { return len(r.fieldNames) }
+func (r *Registry) NumFields() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.fieldNames)
+}
 
 // Format renders an event using the registry's names, for debugging.
 func (r *Registry) Format(e *Event) string {

@@ -1,8 +1,57 @@
 package event
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 )
+
+// TestRegistryConcurrent hammers interning and lookup from many
+// goroutines; run under -race it proves the registry is safe to share
+// (e.g. between concurrent Runtime.Submit calls resolving partition
+// fields).
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		goroutines = 8
+		types      = 50
+		fields     = 20
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				name := fmt.Sprintf("T%02d", (i+g)%types)
+				id := reg.TypeID(name)
+				if got, ok := reg.LookupType(name); !ok || got != id {
+					t.Errorf("LookupType(%q) = %d,%v after TypeID returned %d", name, got, ok, id)
+					return
+				}
+				if got := reg.TypeName(id); got != name {
+					t.Errorf("TypeName(%d) = %q, want %q", id, got, name)
+					return
+				}
+				fname := fmt.Sprintf("f%d", (i*7+g)%fields)
+				idx := reg.FieldIndex(fname)
+				if got := reg.FieldName(idx); got != fname {
+					t.Errorf("FieldName(%d) = %q, want %q", idx, got, fname)
+					return
+				}
+				_ = reg.NumTypes()
+				_ = reg.NumFields()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := reg.NumTypes(); got != types {
+		t.Fatalf("NumTypes = %d, want %d (ids must stay dense under contention)", got, types)
+	}
+	if got := reg.NumFields(); got != fields {
+		t.Fatalf("NumFields = %d, want %d", got, fields)
+	}
+}
 
 func TestRegistryInterning(t *testing.T) {
 	reg := NewRegistry()

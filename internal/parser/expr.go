@@ -273,7 +273,7 @@ func (p *parser) parseOr(self string) (expr, error) {
 		return nil, err
 	}
 	for isKeyword(p.tok, "OR") {
-		line := p.tok.line
+		opTok := p.tok
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -282,7 +282,7 @@ func (p *parser) parseOr(self string) (expr, error) {
 			return nil, err
 		}
 		if l.kind() != vBool || r.kind() != vBool {
-			return nil, errorf(line, "OR requires boolean operands")
+			return nil, p.errf(opTok, "OR requires boolean operands")
 		}
 		l = logical{and: false, l: l, r: r}
 	}
@@ -295,7 +295,7 @@ func (p *parser) parseAnd(self string) (expr, error) {
 		return nil, err
 	}
 	for isKeyword(p.tok, "AND") {
-		line := p.tok.line
+		opTok := p.tok
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -304,7 +304,7 @@ func (p *parser) parseAnd(self string) (expr, error) {
 			return nil, err
 		}
 		if l.kind() != vBool || r.kind() != vBool {
-			return nil, errorf(line, "AND requires boolean operands")
+			return nil, p.errf(opTok, "AND requires boolean operands")
 		}
 		l = logical{and: true, l: l, r: r}
 	}
@@ -313,7 +313,7 @@ func (p *parser) parseAnd(self string) (expr, error) {
 
 func (p *parser) parseNot(self string) (expr, error) {
 	if isKeyword(p.tok, "NOT") {
-		line := p.tok.line
+		opTok := p.tok
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -322,7 +322,7 @@ func (p *parser) parseNot(self string) (expr, error) {
 			return nil, err
 		}
 		if e.kind() != vBool {
-			return nil, errorf(line, "NOT requires a boolean operand")
+			return nil, p.errf(opTok, "NOT requires a boolean operand")
 		}
 		return notExpr{e: e}, nil
 	}
@@ -335,7 +335,7 @@ func (p *parser) parseComparison(self string) (expr, error) {
 		return nil, err
 	}
 	if isKeyword(p.tok, "IN") {
-		line := p.tok.line
+		opTok := p.tok
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -350,11 +350,11 @@ func (p *parser) parseComparison(self string) (expr, error) {
 			case tokNumber:
 				n, err := strconv.ParseFloat(p.tok.text, 64)
 				if err != nil {
-					return nil, errorf(p.tok.line, "bad number %q", p.tok.text)
+					return nil, p.errf(p.tok, "bad number %q", p.tok.text)
 				}
 				in.nums = append(in.nums, n)
 			default:
-				return nil, errorf(p.tok.line, "IN list accepts strings and numbers, got %q", p.tok.text)
+				return nil, p.errf(p.tok, "IN list accepts strings and numbers, got %q", p.tok.text)
 			}
 			if err := p.advance(); err != nil {
 				return nil, err
@@ -369,10 +369,10 @@ func (p *parser) parseComparison(self string) (expr, error) {
 			return nil, err
 		}
 		if l.kind() == vSym && len(in.nums) > 0 || l.kind() == vNum && len(in.syms) > 0 {
-			return nil, errorf(line, "IN list element type does not match the tested expression")
+			return nil, p.errf(opTok, "IN list element type does not match the tested expression")
 		}
 		if l.kind() == vBool {
-			return nil, errorf(line, "IN requires a number or symbol expression")
+			return nil, p.errf(opTok, "IN requires a number or symbol expression")
 		}
 		return in, nil
 	}
@@ -380,7 +380,7 @@ func (p *parser) parseComparison(self string) (expr, error) {
 	switch p.tok.kind {
 	case tokLT, tokLE, tokGT, tokGE, tokEQ, tokNE:
 		op := p.tok.kind
-		line := p.tok.line
+		opTok := p.tok
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -389,13 +389,13 @@ func (p *parser) parseComparison(self string) (expr, error) {
 			return nil, err
 		}
 		if l.kind() != r.kind() {
-			return nil, errorf(line, "cannot compare %s with %s", l.kind(), r.kind())
+			return nil, p.errf(opTok, "cannot compare %s with %s", l.kind(), r.kind())
 		}
 		if l.kind() == vSym && op != tokEQ && op != tokNE {
-			return nil, errorf(line, "symbols support only = and != comparisons")
+			return nil, p.errf(opTok, "symbols support only = and != comparisons")
 		}
 		if l.kind() == vBool {
-			return nil, errorf(line, "comparison operands must be numbers or symbols")
+			return nil, p.errf(opTok, "comparison operands must be numbers or symbols")
 		}
 		return cmp{op: op, l: l, r: r}, nil
 	}
@@ -409,7 +409,7 @@ func (p *parser) parseAdd(self string) (expr, error) {
 	}
 	for p.tok.kind == tokPlus || p.tok.kind == tokMinus {
 		op := p.tok.kind
-		line := p.tok.line
+		opTok := p.tok
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -418,7 +418,7 @@ func (p *parser) parseAdd(self string) (expr, error) {
 			return nil, err
 		}
 		if l.kind() != vNum || r.kind() != vNum {
-			return nil, errorf(line, "arithmetic requires numeric operands")
+			return nil, p.errf(opTok, "arithmetic requires numeric operands")
 		}
 		l = arith{op: op, l: l, r: r}
 	}
@@ -432,7 +432,7 @@ func (p *parser) parseMul(self string) (expr, error) {
 	}
 	for p.tok.kind == tokStar || p.tok.kind == tokSlash {
 		op := p.tok.kind
-		line := p.tok.line
+		opTok := p.tok
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -441,7 +441,7 @@ func (p *parser) parseMul(self string) (expr, error) {
 			return nil, err
 		}
 		if l.kind() != vNum || r.kind() != vNum {
-			return nil, errorf(line, "arithmetic requires numeric operands")
+			return nil, p.errf(opTok, "arithmetic requires numeric operands")
 		}
 		l = arith{op: op, l: l, r: r}
 	}
@@ -450,7 +450,7 @@ func (p *parser) parseMul(self string) (expr, error) {
 
 func (p *parser) parseUnary(self string) (expr, error) {
 	if p.tok.kind == tokMinus {
-		line := p.tok.line
+		opTok := p.tok
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -459,7 +459,7 @@ func (p *parser) parseUnary(self string) (expr, error) {
 			return nil, err
 		}
 		if e.kind() != vNum {
-			return nil, errorf(line, "unary minus requires a numeric operand")
+			return nil, p.errf(opTok, "unary minus requires a numeric operand")
 		}
 		return neg{e: e}, nil
 	}
@@ -471,7 +471,7 @@ func (p *parser) parsePrimary(self string) (expr, error) {
 	case tokNumber:
 		n, err := strconv.ParseFloat(p.tok.text, 64)
 		if err != nil {
-			return nil, errorf(p.tok.line, "bad number %q", p.tok.text)
+			return nil, p.errf(p.tok, "bad number %q", p.tok.text)
 		}
 		if err := p.advance(); err != nil {
 			return nil, err
@@ -497,15 +497,15 @@ func (p *parser) parsePrimary(self string) (expr, error) {
 		return e, nil
 	case tokIdent:
 		if isKeyword(p.tok, "NOT") || isKeyword(p.tok, "AND") || isKeyword(p.tok, "OR") {
-			return nil, errorf(p.tok.line, "unexpected keyword %q", p.tok.text)
+			return nil, p.errf(p.tok, "unexpected keyword %q", p.tok.text)
 		}
-		name := p.tok.text
-		line := p.tok.line
+		nameTok := p.tok
+		name := nameTok.text
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
 		if _, err := p.expect(tokDot); err != nil {
-			return nil, errorf(line, "pattern-variable reference %q needs a field (e.g. %s.close)", name, name)
+			return nil, p.errf(nameTok, "pattern-variable reference %q needs a field (e.g. %s.close)", name, name)
 		}
 		fieldTok, err := p.expect(tokIdent)
 		if err != nil {
@@ -513,13 +513,13 @@ func (p *parser) parsePrimary(self string) (expr, error) {
 		}
 		flat, known := p.names[name]
 		if !known {
-			return nil, errorf(line, "reference to unknown pattern variable %q", name)
+			return nil, p.errf(nameTok, "reference to unknown pattern variable %q", name)
 		}
 		isSelf := name == self
 		if !isSelf {
 			selfFlat, ok := p.names[self]
 			if ok && flat > selfFlat {
-				return nil, errorf(line, "variable %q cannot reference the later step %q", self, name)
+				return nil, p.errf(nameTok, "variable %q cannot reference the later step %q", self, name)
 			}
 		}
 		field := fieldTok.text
@@ -528,14 +528,15 @@ func (p *parser) parsePrimary(self string) (expr, error) {
 		}
 		return fieldRef{self: isSelf, flat: flat, field: p.reg.FieldIndex(field)}, nil
 	}
-	return nil, errorf(p.tok.line, "unexpected %q in expression", p.tok.text)
+	return nil, p.errf(p.tok, "unexpected %q in expression", p.tok.text)
 }
 
 // compilePredicate converts the AST of varName's DEFINE into a
 // pattern.Predicate.
-func (p *parser) compilePredicate(varName string, e expr) (pattern.Predicate, error) {
+func (p *parser) compilePredicate(varName string, def defEntry) (pattern.Predicate, error) {
+	e := def.e
 	if e.kind() != vBool {
-		return nil, errorf(0, "DEFINE of %q must be a boolean expression, got %s", varName, e.kind())
+		return nil, p.errf(def.tok, "DEFINE of %q must be a boolean expression, got %s", varName, e.kind())
 	}
 	return func(ev *event.Event, b pattern.Binder) bool {
 		ctx := evalCtx{ev: ev, b: b}

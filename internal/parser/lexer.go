@@ -3,38 +3,22 @@
 // constructs the paper adds — `WITHIN ... FROM` window specifications and
 // `CONSUME` consumption policies — plus small selection-policy extensions.
 //
-// Example (the paper's Q1 for q = 2):
+// The authoritative grammar lives in the public query package docs
+// (github.com/spectrecep/spectre/query), together with the fluent builder
+// every parsed query lowers through: the parser desugars clauses into
+// query.Builder calls, so the DSL and programmatic construction share one
+// compilation and validation path.
 //
-//	QUERY Q1
-//	PATTERN (MLE RE1 RE2)
-//	DEFINE MLE AS (MLE.symbol IN ('BLUE00','BLUE01') AND MLE.close > MLE.open),
-//	       RE1 AS RE1.close > RE1.open,
-//	       RE2 AS RE2.close > RE2.open
-//	WITHIN 8000 EVENTS FROM MLE
-//	CONSUME (MLE RE1 RE2)
-//
-// Grammar summary (keywords are case-insensitive):
-//
-//	query    := [QUERY ident]
-//	            PATTERN '(' elem+ ')'
-//	            [DEFINE def (',' def)*]
-//	            WITHIN (int EVENTS | duration) [FROM (ident | EVERY int EVENTS)]
-//	            [CONSUME ('(' ident+ ')' | ALL | NONE)]
-//	            [ON MATCH (STOP | RESTART | RESTART LEADER)]
-//	            [RUNS int]
-//	            [PARTITION BY (TYPE | ident) [SHARDS int]]
-//	elem     := ident ['+'] | '!' ident | SET '(' ident+ ')'
-//	def      := ident AS expr
-//	expr     := disjunction of conjunctions of comparisons over
-//	            arithmetic on field refs (X.field), X.symbol, numbers,
-//	            strings, with NOT, parentheses and IN ('A','B',...)
-//	duration := int (MS | S | SEC | MIN | H)
+// Errors are *query.Error values carrying line:column positions and a
+// caret excerpt of the offending source line.
 package parser
 
 import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"github.com/spectrecep/spectre/query"
 )
 
 type tokenKind int
@@ -109,36 +93,62 @@ func (k tokenKind) String() string {
 type token struct {
 	kind tokenKind
 	text string
-	pos  int // byte offset, for error messages
-	line int
+	pos  int // byte offset into the source
+	line int // 1-based source line
+	col  int // 1-based byte column within the line
 }
 
-// Error is a parse error with position information.
-type Error struct {
-	Line int
-	Msg  string
+// errAt builds a positioned single-issue *query.Error with a caret
+// excerpt of the offending source line.
+func errAt(src string, line, col int, format string, args ...any) error {
+	return &query.Error{Issues: []query.Issue{{
+		Line:    line,
+		Col:     col,
+		Msg:     fmt.Sprintf(format, args...),
+		Excerpt: excerpt(src, line, col),
+	}}}
 }
 
-// Error implements error.
-func (e *Error) Error() string { return fmt.Sprintf("parser: line %d: %s", e.Line, e.Msg) }
-
-func errorf(line int, format string, args ...any) error {
-	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+// excerpt returns the line'th source line followed by a caret under col.
+// Tabs in the prefix are preserved so the caret lines up in terminals.
+func excerpt(src string, line, col int) string {
+	for l := 1; l < line; l++ {
+		i := strings.IndexByte(src, '\n')
+		if i < 0 {
+			return ""
+		}
+		src = src[i+1:]
+	}
+	if i := strings.IndexByte(src, '\n'); i >= 0 {
+		src = src[:i]
+	}
+	src = strings.TrimRight(src, "\r")
+	if col < 1 || col > len(src)+1 {
+		return src
+	}
+	pad := make([]byte, 0, col-1)
+	for _, c := range []byte(src[:col-1]) {
+		if c == '\t' {
+			pad = append(pad, '\t')
+		} else {
+			pad = append(pad, ' ')
+		}
+	}
+	return src + "\n" + string(pad) + "^"
 }
 
 type lexer struct {
-	src  string
-	pos  int
-	line int
+	src       string
+	pos       int
+	line      int
+	lineStart int // byte offset of the current line's first byte
 }
 
 func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
 
-func (l *lexer) peekByte() byte {
-	if l.pos >= len(l.src) {
-		return 0
-	}
-	return l.src[l.pos]
+// errAt reports a lexical error at the given byte offset.
+func (l *lexer) errAt(pos, line int, format string, args ...any) error {
+	return errAt(l.src, line, pos-l.lineStart+1, format, args...)
 }
 
 func (l *lexer) next() (token, error) {
@@ -148,6 +158,7 @@ func (l *lexer) next() (token, error) {
 		case c == '\n':
 			l.line++
 			l.pos++
+			l.lineStart = l.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			l.pos++
 		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
@@ -159,39 +170,39 @@ func (l *lexer) next() (token, error) {
 			goto scan
 		}
 	}
-	return token{kind: tokEOF, pos: l.pos, line: l.line}, nil
+	return token{kind: tokEOF, pos: l.pos, line: l.line, col: l.pos - l.lineStart + 1}, nil
 
 scan:
-	start, line := l.pos, l.line
+	start, line, col := l.pos, l.line, l.pos-l.lineStart+1
 	c := l.src[l.pos]
 	switch {
 	case isIdentStart(rune(c)):
 		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
 			l.pos++
 		}
-		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start, line: line}, nil
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start, line: line, col: col}, nil
 	case c >= '0' && c <= '9':
 		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' || l.src[l.pos] == 'e' ||
 			l.src[l.pos] == 'E' || ((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start &&
 			(l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
 			l.pos++
 		}
-		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start, line: line}, nil
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start, line: line, col: col}, nil
 	case c == '\'' || c == '"':
 		quote := c
 		l.pos++
 		for l.pos < len(l.src) && l.src[l.pos] != quote {
 			if l.src[l.pos] == '\n' {
-				return token{}, errorf(line, "unterminated string literal")
+				return token{}, l.errAt(start, line, "unterminated string literal")
 			}
 			l.pos++
 		}
 		if l.pos >= len(l.src) {
-			return token{}, errorf(line, "unterminated string literal")
+			return token{}, l.errAt(start, line, "unterminated string literal")
 		}
 		text := l.src[start+1 : l.pos]
 		l.pos++
-		return token{kind: tokString, text: text, pos: start, line: line}, nil
+		return token{kind: tokString, text: text, pos: start, line: line, col: col}, nil
 	}
 	l.pos++
 	two := byte(0)
@@ -199,7 +210,7 @@ scan:
 		two = l.src[l.pos]
 	}
 	mk := func(k tokenKind, text string) (token, error) {
-		return token{kind: k, text: text, pos: start, line: line}, nil
+		return token{kind: k, text: text, pos: start, line: line, col: col}, nil
 	}
 	switch c {
 	case '(':
@@ -246,7 +257,7 @@ scan:
 		}
 		return mk(tokBang, "!")
 	}
-	return token{}, errorf(line, "unexpected character %q", string(rune(c)))
+	return token{}, l.errAt(start, line, "unexpected character %q", string(rune(c)))
 }
 
 func isIdentStart(r rune) bool {

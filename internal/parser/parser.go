@@ -1,31 +1,27 @@
 package parser
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/spectrecep/spectre/internal/event"
 	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/query"
 )
 
-// Parse compiles a textual query (see the package comment for the
+// Parse compiles a textual query (see the query package docs for the
 // grammar) into a pattern.Query, interning event types and field names in
-// reg.
+// reg. Every clause is desugared into query.Builder calls, so parsed and
+// programmatically built queries share one compilation and validation
+// path. Errors are *query.Error values with line:column positions and a
+// caret excerpt.
 func Parse(src string, reg *event.Registry) (*pattern.Query, error) {
 	p := &parser{lex: newLexer(src), reg: reg}
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
-	q, err := p.parseQuery()
-	if err != nil {
-		return nil, err
-	}
-	if err := q.Validate(); err != nil {
-		return nil, fmt.Errorf("parser: %w", err)
-	}
-	return q, nil
+	return p.parseQuery()
 }
 
 // rawElem is a pattern element before predicate attachment.
@@ -34,7 +30,13 @@ type rawElem struct {
 	kleene  bool
 	negated bool
 	set     []string // non-nil for SET elements
-	line    int
+}
+
+// defEntry is a DEFINE body together with the defining token, kept for
+// error positions.
+type defEntry struct {
+	e   expr
+	tok token
 }
 
 type parser struct {
@@ -44,7 +46,12 @@ type parser struct {
 
 	elems []rawElem
 	names map[string]int // variable name → flat step index
-	defs  map[string]expr
+	defs  map[string]defEntry
+}
+
+// errf reports a parse error positioned at tok.
+func (p *parser) errf(tok token, format string, args ...any) error {
+	return errAt(p.lex.src, tok.line, tok.col, format, args...)
 }
 
 func (p *parser) advance() error {
@@ -58,7 +65,7 @@ func (p *parser) advance() error {
 
 func (p *parser) expect(kind tokenKind) (token, error) {
 	if p.tok.kind != kind {
-		return token{}, errorf(p.tok.line, "expected %s, got %q", kind, p.tok.text)
+		return token{}, p.errf(p.tok, "expected %s, got %q", kind, p.tok.text)
 	}
 	t := p.tok
 	if err := p.advance(); err != nil {
@@ -80,9 +87,33 @@ func (p *parser) expectKeyword(kw string) error {
 		return err
 	}
 	if !ok {
-		return errorf(p.tok.line, "expected %s, got %q", strings.ToUpper(kw), p.tok.text)
+		return p.errf(p.tok, "expected %s, got %q", strings.ToUpper(kw), p.tok.text)
 	}
 	return nil
+}
+
+// winClause is the parsed WITHIN ... FROM clause before lowering.
+type winClause struct {
+	isDur   bool
+	count   int
+	dur     time.Duration
+	every   int    // > 0 for FROM EVERY n EVENTS
+	fromVar string // set when every == 0
+}
+
+// selClause is the parsed ON MATCH / RUNS clauses before lowering.
+type selClause struct {
+	onMatch    query.Completion
+	onMatchSet bool
+	runs       int
+	runsSet    bool
+}
+
+// partClause is the parsed PARTITION BY clause before lowering.
+type partClause struct {
+	byType bool
+	field  string
+	shards int
 }
 
 func (p *parser) parseQuery() (*pattern.Query, error) {
@@ -120,22 +151,94 @@ func (p *parser) parseQuery() (*pattern.Query, error) {
 		return nil, err
 	}
 	if p.tok.kind != tokEOF {
-		return nil, errorf(p.tok.line, "unexpected trailing input %q", p.tok.text)
+		return nil, p.errf(p.tok, "unexpected trailing input %q", p.tok.text)
 	}
+	return p.lower(name, win, consume, consumeAll, sel, part)
+}
 
-	pat, err := p.buildPattern(name, sel)
-	if err != nil {
-		return nil, err
-	}
-	if consumeAll {
-		pat.ConsumeAll()
-	} else if len(consume) > 0 {
-		if err := pat.ConsumeSteps(consume...); err != nil {
+// lower desugars the parsed clauses into builder calls and compiles the
+// query. The builder re-validates everything the parser established, so
+// DSL and programmatic construction cannot diverge.
+func (p *parser) lower(name string, win *winClause, consume []string, consumeAll bool, sel selClause, part *partClause) (*pattern.Query, error) {
+	b := query.New(p.reg).Name(name)
+	elems := make([]query.Elem, 0, len(p.elems))
+	for _, el := range p.elems {
+		if el.set != nil {
+			members := make([]*query.StepBuilder, 0, len(el.set))
+			for _, m := range el.set {
+				sb := query.Step(m)
+				if err := p.attachPred(sb, m); err != nil {
+					return nil, err
+				}
+				members = append(members, sb)
+			}
+			elems = append(elems, query.Set(members...))
+			continue
+		}
+		var sb *query.StepBuilder
+		switch {
+		case el.negated:
+			sb = query.Neg(el.name)
+		case el.kleene:
+			sb = query.Plus(el.name)
+		default:
+			sb = query.Step(el.name)
+		}
+		if err := p.attachPred(sb, el.name); err != nil {
 			return nil, err
 		}
+		elems = append(elems, sb)
 	}
-	q := &pattern.Query{Name: name, Pattern: *pat, Window: *win, Partition: part}
-	return q, nil
+	b.Pattern(elems...)
+
+	if win.isDur {
+		b.Within(query.Duration(win.dur))
+	} else {
+		b.Within(query.Events(win.count))
+	}
+	if win.every > 0 {
+		b.FromEvery(win.every)
+	} else {
+		b.From(win.fromVar)
+	}
+
+	if consumeAll {
+		b.ConsumeAll()
+	} else if len(consume) > 0 {
+		b.Consume(consume...)
+	}
+	if sel.onMatchSet {
+		b.OnMatch(sel.onMatch)
+	}
+	if sel.runsSet {
+		b.Runs(sel.runs)
+	}
+	if part != nil {
+		if part.byType {
+			b.PartitionByType()
+		} else {
+			b.PartitionBy(part.field)
+		}
+		if part.shards > 0 {
+			b.Shards(part.shards)
+		}
+	}
+	return b.Build()
+}
+
+// attachPred compiles varName's DEFINE body (when present) and attaches
+// it to the step.
+func (p *parser) attachPred(sb *query.StepBuilder, varName string) error {
+	def, ok := p.defs[varName]
+	if !ok {
+		return nil
+	}
+	pred, err := p.compilePredicate(varName, def)
+	if err != nil {
+		return err
+	}
+	sb.Where(pred)
+	return nil
 }
 
 // parsePartition parses the optional
@@ -144,7 +247,7 @@ func (p *parser) parseQuery() (*pattern.Query, error) {
 // identifier names a payload field, interned through the registry exactly
 // like DEFINE field references (unknown names allocate a fresh index —
 // events that never carry the field all read 0 and land on one shard).
-func (p *parser) parsePartition() (*pattern.PartitionSpec, error) {
+func (p *parser) parsePartition() (*partClause, error) {
 	ok, err := p.acceptKeyword("PARTITION")
 	if err != nil || !ok {
 		return nil, err
@@ -152,18 +255,17 @@ func (p *parser) parsePartition() (*pattern.PartitionSpec, error) {
 	if err := p.expectKeyword("BY"); err != nil {
 		return nil, err
 	}
-	spec := &pattern.PartitionSpec{Field: -1}
+	spec := &partClause{}
 	if ok, err := p.acceptKeyword("TYPE"); err != nil {
 		return nil, err
 	} else if ok {
-		spec.ByType = true
+		spec.byType = true
 	} else {
 		t, err := p.expect(tokIdent)
 		if err != nil {
 			return nil, err
 		}
-		spec.FieldName = t.text
-		spec.Field = p.reg.FieldIndex(t.text)
+		spec.field = t.text
 	}
 	if ok, err := p.acceptKeyword("SHARDS"); err != nil {
 		return nil, err
@@ -174,9 +276,9 @@ func (p *parser) parsePartition() (*pattern.PartitionSpec, error) {
 		}
 		n, err := strconv.Atoi(t.text)
 		if err != nil || n <= 0 {
-			return nil, errorf(t.line, "bad shard count %q", t.text)
+			return nil, p.errf(t, "bad shard count %q", t.text)
 		}
-		spec.Shards = n
+		spec.shards = n
 	}
 	return spec, nil
 }
@@ -191,11 +293,11 @@ func (p *parser) parsePattern() error {
 	}
 	p.names = make(map[string]int)
 	flat := 0
-	addName := func(n string, line int) error {
-		if _, dup := p.names[n]; dup {
-			return errorf(line, "duplicate pattern variable %q", n)
+	addName := func(t token) error {
+		if _, dup := p.names[t.text]; dup {
+			return p.errf(t, "duplicate pattern variable %q", t.text)
 		}
-		p.names[n] = flat
+		p.names[t.text] = flat
 		flat++
 		return nil
 	}
@@ -209,12 +311,12 @@ func (p *parser) parsePattern() error {
 			if err != nil {
 				return err
 			}
-			if err := addName(t.text, t.line); err != nil {
+			if err := addName(t); err != nil {
 				return err
 			}
-			p.elems = append(p.elems, rawElem{name: t.text, negated: true, line: t.line})
+			p.elems = append(p.elems, rawElem{name: t.text, negated: true})
 		case isKeyword(p.tok, "SET"):
-			line := p.tok.line
+			setTok := p.tok
 			if err := p.advance(); err != nil {
 				return err
 			}
@@ -227,7 +329,7 @@ func (p *parser) parsePattern() error {
 				if err != nil {
 					return err
 				}
-				if err := addName(t.text, t.line); err != nil {
+				if err := addName(t); err != nil {
 					return err
 				}
 				members = append(members, t.text)
@@ -241,27 +343,27 @@ func (p *parser) parsePattern() error {
 				return err
 			}
 			if len(members) == 0 {
-				return errorf(line, "empty SET element")
+				return p.errf(setTok, "empty SET element")
 			}
-			p.elems = append(p.elems, rawElem{set: members, line: line})
+			p.elems = append(p.elems, rawElem{set: members})
 		case p.tok.kind == tokIdent:
 			t := p.tok
 			if err := p.advance(); err != nil {
 				return err
 			}
-			el := rawElem{name: t.text, line: t.line}
+			el := rawElem{name: t.text}
 			if p.tok.kind == tokPlus {
 				el.kleene = true
 				if err := p.advance(); err != nil {
 					return err
 				}
 			}
-			if err := addName(t.text, t.line); err != nil {
+			if err := addName(t); err != nil {
 				return err
 			}
 			p.elems = append(p.elems, el)
 		default:
-			return errorf(p.tok.line, "expected pattern variable, got %q", p.tok.text)
+			return p.errf(p.tok, "expected pattern variable, got %q", p.tok.text)
 		}
 		if p.tok.kind == tokComma {
 			if err := p.advance(); err != nil {
@@ -273,14 +375,14 @@ func (p *parser) parsePattern() error {
 		return err
 	}
 	if len(p.elems) == 0 {
-		return errorf(p.tok.line, "empty PATTERN")
+		return p.errf(p.tok, "empty PATTERN")
 	}
 	return nil
 }
 
 // parseDefine parses the optional `DEFINE v AS expr (, v AS expr)*`.
 func (p *parser) parseDefine() error {
-	p.defs = make(map[string]expr)
+	p.defs = make(map[string]defEntry)
 	ok, err := p.acceptKeyword("DEFINE")
 	if err != nil || !ok {
 		return err
@@ -292,7 +394,7 @@ func (p *parser) parseDefine() error {
 		}
 		varName := t.text
 		if _, known := p.names[varName]; !known {
-			return errorf(t.line, "DEFINE references unknown pattern variable %q", varName)
+			return p.errf(t, "DEFINE references unknown pattern variable %q", varName)
 		}
 		if err := p.expectKeyword("AS"); err != nil {
 			return err
@@ -302,9 +404,9 @@ func (p *parser) parseDefine() error {
 			return err
 		}
 		if _, dup := p.defs[varName]; dup {
-			return errorf(t.line, "duplicate DEFINE for %q", varName)
+			return p.errf(t, "duplicate DEFINE for %q", varName)
 		}
-		p.defs[varName] = e
+		p.defs[varName] = defEntry{e: e, tok: t}
 		if p.tok.kind != tokComma {
 			return nil
 		}
@@ -315,7 +417,7 @@ func (p *parser) parseDefine() error {
 }
 
 // parseWithin parses `WITHIN (<n> EVENTS | <n> <unit>) [FROM ...]`.
-func (p *parser) parseWithin() (*pattern.WindowSpec, error) {
+func (p *parser) parseWithin() (*winClause, error) {
 	if err := p.expectKeyword("WITHIN"); err != nil {
 		return nil, err
 	}
@@ -323,30 +425,28 @@ func (p *parser) parseWithin() (*pattern.WindowSpec, error) {
 	if err != nil {
 		return nil, err
 	}
-	spec := &pattern.WindowSpec{}
+	win := &winClause{}
 	if ok, err := p.acceptKeyword("EVENTS"); err != nil {
 		return nil, err
 	} else if ok {
 		n, err := strconv.Atoi(num.text)
 		if err != nil || n <= 0 {
-			return nil, errorf(num.line, "bad window size %q", num.text)
+			return nil, p.errf(num, "bad window size %q", num.text)
 		}
-		spec.EndKind = pattern.EndCount
-		spec.Count = n
+		win.count = n
 	} else {
-		d, err := parseDuration(num, p.tok)
+		d, err := p.parseDuration(num, p.tok)
 		if err != nil {
 			return nil, err
 		}
 		if err := p.advance(); err != nil { // consume the unit
 			return nil, err
 		}
-		spec.EndKind = pattern.EndDuration
-		spec.Duration = d
+		win.isDur = true
+		win.dur = d
 	}
 
 	// FROM clause: default is a window from the first pattern variable.
-	fromVar := ""
 	if ok, err := p.acceptKeyword("FROM"); err != nil {
 		return nil, err
 	} else if ok {
@@ -362,37 +462,26 @@ func (p *parser) parseWithin() (*pattern.WindowSpec, error) {
 			}
 			s, err := strconv.Atoi(num.text)
 			if err != nil || s <= 0 {
-				return nil, errorf(num.line, "bad window slide %q", num.text)
+				return nil, p.errf(num, "bad window slide %q", num.text)
 			}
-			spec.StartKind = pattern.StartEvery
-			spec.Every = s
-			return spec, nil
+			win.every = s
+			return win, nil
 		}
 		t, err := p.expect(tokIdent)
 		if err != nil {
 			return nil, err
 		}
-		fromVar = t.text
-	} else {
-		fromVar = p.firstPositiveVar()
-	}
-	if fromVar == "" {
-		return nil, errorf(p.tok.line, "window FROM clause required")
-	}
-	if _, known := p.names[fromVar]; !known {
-		return nil, errorf(p.tok.line, "FROM references unknown pattern variable %q", fromVar)
-	}
-	spec.StartKind = pattern.StartOnMatch
-	// The start filter is the variable's DEFINE predicate evaluated
-	// without bindings (windows open before detection).
-	if def, okDef := p.defs[fromVar]; okDef {
-		compiled, err := p.compilePredicate(fromVar, def)
-		if err != nil {
-			return nil, err
+		if _, known := p.names[t.text]; !known {
+			return nil, p.errf(t, "FROM references unknown pattern variable %q", t.text)
 		}
-		spec.StartPred = func(ev *event.Event) bool { return compiled(ev, nil) }
+		win.fromVar = t.text
+		return win, nil
 	}
-	return spec, nil
+	win.fromVar = p.firstPositiveVar()
+	if win.fromVar == "" {
+		return nil, p.errf(p.tok, "window FROM clause required")
+	}
+	return win, nil
 }
 
 func (p *parser) firstPositiveVar() string {
@@ -404,13 +493,13 @@ func (p *parser) firstPositiveVar() string {
 	return ""
 }
 
-func parseDuration(num, unit token) (time.Duration, error) {
+func (p *parser) parseDuration(num, unit token) (time.Duration, error) {
 	v, err := strconv.ParseFloat(num.text, 64)
 	if err != nil || v <= 0 {
-		return 0, errorf(num.line, "bad duration value %q", num.text)
+		return 0, p.errf(num, "bad duration value %q", num.text)
 	}
 	if unit.kind != tokIdent {
-		return 0, errorf(unit.line, "expected duration unit, got %q", unit.text)
+		return 0, p.errf(unit, "expected duration unit, got %q", unit.text)
 	}
 	var base time.Duration
 	switch strings.ToLower(unit.text) {
@@ -423,7 +512,7 @@ func parseDuration(num, unit token) (time.Duration, error) {
 	case "h", "hour", "hours":
 		base = time.Hour
 	default:
-		return 0, errorf(unit.line, "unknown duration unit %q", unit.text)
+		return 0, p.errf(unit, "unknown duration unit %q", unit.text)
 	}
 	return time.Duration(v * float64(base)), nil
 }
@@ -444,7 +533,8 @@ func (p *parser) parseConsume() (names []string, all bool, err error) {
 	} else if ok {
 		return nil, false, nil
 	}
-	if _, err := p.expect(tokLParen); err != nil {
+	lparen, err := p.expect(tokLParen)
+	if err != nil {
 		return nil, false, err
 	}
 	for p.tok.kind != tokRParen {
@@ -453,7 +543,7 @@ func (p *parser) parseConsume() (names []string, all bool, err error) {
 			return nil, false, err
 		}
 		if _, known := p.names[t.text]; !known {
-			return nil, false, errorf(t.line, "CONSUME references unknown pattern variable %q", t.text)
+			return nil, false, p.errf(t, "CONSUME references unknown pattern variable %q", t.text)
 		}
 		names = append(names, t.text)
 		if p.tok.kind == tokComma {
@@ -466,23 +556,24 @@ func (p *parser) parseConsume() (names []string, all bool, err error) {
 		return nil, false, err
 	}
 	if len(names) == 0 {
-		return nil, false, errorf(p.tok.line, "empty CONSUME list")
+		return nil, false, p.errf(lparen, "empty CONSUME list")
 	}
 	return names, false, nil
 }
 
 // parseSelection parses the optional `ON MATCH ...` and `RUNS n` clauses.
-func (p *parser) parseSelection() (pattern.SelectionPolicy, error) {
-	sel := pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch}
+func (p *parser) parseSelection() (selClause, error) {
+	var sel selClause
 	if ok, err := p.acceptKeyword("ON"); err != nil {
 		return sel, err
 	} else if ok {
 		if err := p.expectKeyword("MATCH"); err != nil {
 			return sel, err
 		}
+		sel.onMatchSet = true
 		switch {
 		case isKeyword(p.tok, "STOP"):
-			sel.OnCompletion = pattern.StopAfterMatch
+			sel.onMatch = query.Stop
 			if err := p.advance(); err != nil {
 				return sel, err
 			}
@@ -490,14 +581,14 @@ func (p *parser) parseSelection() (pattern.SelectionPolicy, error) {
 			if err := p.advance(); err != nil {
 				return sel, err
 			}
-			sel.OnCompletion = pattern.RestartFresh
+			sel.onMatch = query.Restart
 			if ok, err := p.acceptKeyword("LEADER"); err != nil {
 				return sel, err
 			} else if ok {
-				sel.OnCompletion = pattern.RestartAfterLeader
+				sel.onMatch = query.RestartLeader
 			}
 		default:
-			return sel, errorf(p.tok.line, "expected STOP or RESTART after ON MATCH, got %q", p.tok.text)
+			return sel, p.errf(p.tok, "expected STOP or RESTART after ON MATCH, got %q", p.tok.text)
 		}
 	}
 	if ok, err := p.acceptKeyword("RUNS"); err != nil {
@@ -509,49 +600,10 @@ func (p *parser) parseSelection() (pattern.SelectionPolicy, error) {
 		}
 		n, err := strconv.Atoi(t.text)
 		if err != nil || n < 0 {
-			return sel, errorf(t.line, "bad RUNS count %q", t.text)
+			return sel, p.errf(t, "bad RUNS count %q", t.text)
 		}
-		sel.MaxConcurrentRuns = n
+		sel.runs = n
+		sel.runsSet = true
 	}
 	return sel, nil
-}
-
-// buildPattern assembles the pattern.Pattern from parsed pieces.
-func (p *parser) buildPattern(name string, sel pattern.SelectionPolicy) (*pattern.Pattern, error) {
-	pat := &pattern.Pattern{Name: name, Selection: sel}
-	mkStep := func(varName string, quant pattern.Quantifier, negated bool) (pattern.Step, error) {
-		st := pattern.Step{Name: varName, Quant: quant, Negated: negated}
-		if def, ok := p.defs[varName]; ok {
-			pred, err := p.compilePredicate(varName, def)
-			if err != nil {
-				return st, err
-			}
-			st.Pred = pred
-		}
-		return st, nil
-	}
-	for _, el := range p.elems {
-		if el.set != nil {
-			set := make([]pattern.Step, 0, len(el.set))
-			for _, m := range el.set {
-				st, err := mkStep(m, pattern.One, false)
-				if err != nil {
-					return nil, err
-				}
-				set = append(set, st)
-			}
-			pat.Elements = append(pat.Elements, pattern.Element{Kind: pattern.ElemSet, Set: set})
-			continue
-		}
-		quant := pattern.One
-		if el.kleene {
-			quant = pattern.OneOrMore
-		}
-		st, err := mkStep(el.name, quant, el.negated)
-		if err != nil {
-			return nil, err
-		}
-		pat.Elements = append(pat.Elements, pattern.Element{Kind: pattern.ElemStep, Step: st})
-	}
-	return pat, nil
 }

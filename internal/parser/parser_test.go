@@ -1,6 +1,7 @@
 package parser
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"github.com/spectrecep/spectre/internal/event"
 	"github.com/spectrecep/spectre/internal/pattern"
 	"github.com/spectrecep/spectre/internal/seqengine"
+	"github.com/spectrecep/spectre/query"
 )
 
 func mustParse(t *testing.T, src string) (*pattern.Query, *event.Registry) {
@@ -195,6 +197,87 @@ func TestParseErrors(t *testing.T) {
 			}
 			if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(tc.wantSub)) {
 				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestParseErrorPositions checks that parse errors are structured
+// *query.Error values carrying line AND column plus a caret excerpt of
+// the offending source line.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+		wantCol  int
+		wantStub string // substring of the issue message
+		caretAt  string // the excerpt's caret must sit under this text
+	}{
+		{
+			name:     "unknown consume variable",
+			src:      "PATTERN (A B)\nWITHIN 10 EVENTS FROM A\nCONSUME (Z)",
+			wantLine: 3, wantCol: 10,
+			wantStub: "unknown pattern variable",
+			caretAt:  "Z",
+		},
+		{
+			name:     "type mismatch in define",
+			src:      "PATTERN (A)\nDEFINE A AS A.symbol > 3\nWITHIN 10 EVENTS FROM A",
+			wantLine: 2, wantCol: 22,
+			wantStub: "cannot compare",
+			caretAt:  ">",
+		},
+		{
+			name:     "duplicate variable",
+			src:      "PATTERN (Alpha,\n         Alpha)\nWITHIN 10 EVENTS",
+			wantLine: 2, wantCol: 10,
+			wantStub: "duplicate pattern variable",
+			caretAt:  "Alpha",
+		},
+		{
+			name:     "unterminated string",
+			src:      "PATTERN (A)\nDEFINE A AS A.symbol = 'x",
+			wantLine: 2, wantCol: 24,
+			wantStub: "unterminated string",
+			caretAt:  "'x",
+		},
+		{
+			name:     "trailing input",
+			src:      "PATTERN (A) WITHIN 10 EVENTS FROM A garbage",
+			wantLine: 1, wantCol: 37,
+			wantStub: "trailing",
+			caretAt:  "garbage",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src, event.NewRegistry())
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded", tc.src)
+			}
+			var qe *query.Error
+			if !errors.As(err, &qe) {
+				t.Fatalf("error %T is not *query.Error: %v", err, err)
+			}
+			if len(qe.Issues) != 1 {
+				t.Fatalf("want 1 issue, got %d: %v", len(qe.Issues), err)
+			}
+			is := qe.Issues[0]
+			if is.Line != tc.wantLine || is.Col != tc.wantCol {
+				t.Errorf("position = %d:%d, want %d:%d (err: %v)", is.Line, is.Col, tc.wantLine, tc.wantCol, err)
+			}
+			if !strings.Contains(is.Msg, tc.wantStub) {
+				t.Errorf("message %q does not contain %q", is.Msg, tc.wantStub)
+			}
+			lines := strings.Split(is.Excerpt, "\n")
+			if len(lines) != 2 {
+				t.Fatalf("excerpt %q is not line+caret", is.Excerpt)
+			}
+			caret := strings.IndexByte(lines[1], '^')
+			if caret < 0 || caret+len(tc.caretAt) > len(lines[0]) ||
+				!strings.HasPrefix(lines[0][caret:], tc.caretAt) {
+				t.Errorf("caret not under %q:\n%s", tc.caretAt, is.Excerpt)
 			}
 		})
 	}

@@ -3,6 +3,11 @@
 // Q1–Q3 (§4.1, Figure 9). Each builder returns a pattern.Query ready for
 // any of the engines (SPECTRE runtime, sequential reference, T-REX-style
 // baseline).
+//
+// All four are written on the public query.Builder — the same compilation
+// path the textual DSL lowers through — and double as its reference
+// usage: typed field accessors, type filters, Kleene steps, sets and
+// per-variable consumption.
 package queries
 
 import (
@@ -12,6 +17,7 @@ import (
 	"github.com/spectrecep/spectre/internal/dataset"
 	"github.com/spectrecep/spectre/internal/event"
 	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/query"
 )
 
 // QEConsumption selects the consumption policy variant of Q_E.
@@ -34,40 +40,22 @@ const (
 // A window of scope 1 minute opens on every A event; the first A in a
 // window correlates with each B (selection policy "first A, each B").
 func QE(reg *event.Registry, cp QEConsumption) (*pattern.Query, error) {
-	typeA := reg.TypeID("A")
-	typeB := reg.TypeID("B")
-	p := pattern.Seq("QE",
-		pattern.Step{Name: "A", Types: []event.Type{typeA}},
-		pattern.Step{Name: "B", Types: []event.Type{typeB}},
-	)
-	p.Selection = pattern.SelectionPolicy{
-		MaxConcurrentRuns: 1,
-		OnCompletion:      pattern.RestartAfterLeader,
-	}
+	b := query.New(reg).Name("QE").
+		Pattern(
+			query.Step("A").Types("A"),
+			query.Step("B").Types("B"),
+		).
+		Within(query.Duration(time.Minute)).From("A").
+		OnMatch(query.RestartLeader)
 	switch cp {
 	case QEConsumeNone:
-		p.ConsumeNone()
+		b.ConsumeNone()
 	case QEConsumeSelectedB:
-		if err := p.ConsumeSteps("B"); err != nil {
-			return nil, err
-		}
+		b.Consume("B")
 	default:
 		return nil, fmt.Errorf("queries: unknown QE consumption variant %d", cp)
 	}
-	q := &pattern.Query{
-		Name:    "QE",
-		Pattern: *p,
-		Window: pattern.WindowSpec{
-			StartKind:  pattern.StartOnMatch,
-			StartTypes: []event.Type{typeA},
-			EndKind:    pattern.EndDuration,
-			Duration:   time.Minute,
-		},
-	}
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	return q, nil
+	return b.Build()
 }
 
 // Q1Config parameterizes Q1 (Figure 9, left).
@@ -99,47 +87,30 @@ func Q1(reg *event.Registry, cfg Q1Config) (*pattern.Query, error) {
 	if cfg.Leaders <= 0 {
 		cfg.Leaders = 16
 	}
-	openIdx, closeIdx := dataset.Fields(reg)
-	rising := func(ev *event.Event, _ pattern.Binder) bool {
-		return ev.Field(closeIdx) > ev.Field(openIdx)
+	b := query.New(reg).Name("Q1")
+	open, close := b.Float(dataset.FieldOpen), b.Float(dataset.FieldClose)
+	move := func(ev *query.Event, _ query.Binder) bool {
+		return close.Of(ev) > open.Of(ev)
 	}
-	falling := func(ev *event.Event, _ pattern.Binder) bool {
-		return ev.Field(closeIdx) < ev.Field(openIdx)
-	}
-	move := rising
 	if cfg.Falling {
-		move = falling
+		move = func(ev *query.Event, _ query.Binder) bool {
+			return close.Of(ev) < open.Of(ev)
+		}
 	}
 
-	leaderTypes := make([]event.Type, cfg.Leaders)
-	for i := 0; i < cfg.Leaders; i++ {
-		leaderTypes[i] = reg.TypeID(dataset.LeaderSymbol(i))
+	leaders := make([]string, cfg.Leaders)
+	for i := range leaders {
+		leaders[i] = dataset.LeaderSymbol(i)
 	}
 
-	steps := make([]pattern.Step, 0, cfg.Q+1)
-	steps = append(steps, pattern.Step{Name: "MLE", Types: leaderTypes, Pred: move})
+	b.Pattern(query.Step("MLE").Types(leaders...).Where(move))
 	for i := 1; i <= cfg.Q; i++ {
-		steps = append(steps, pattern.Step{Name: fmt.Sprintf("RE%d", i), Pred: move})
+		b.Pattern(query.Step(fmt.Sprintf("RE%d", i)).Where(move))
 	}
-	p := pattern.Seq("Q1", steps...)
-	p.Selection = pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch}
-	p.ConsumeAll()
-
-	q := &pattern.Query{
-		Name:    "Q1",
-		Pattern: *p,
-		Window: pattern.WindowSpec{
-			StartKind:  pattern.StartOnMatch,
-			StartTypes: leaderTypes,
-			StartPred:  func(ev *event.Event) bool { return move(ev, nil) },
-			EndKind:    pattern.EndCount,
-			Count:      cfg.WindowSize,
-		},
-	}
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	return q, nil
+	return b.
+		Within(query.Events(cfg.WindowSize)).From("MLE").
+		ConsumeAll().
+		Build()
 }
 
 // Q2Config parameterizes Q2 (Figure 9, right; query 9 of Balkesen and
@@ -170,48 +141,31 @@ func Q2(reg *event.Registry, cfg Q2Config) (*pattern.Query, error) {
 	if cfg.UpperLimit <= cfg.LowerLimit {
 		return nil, fmt.Errorf("queries: Q2 needs LowerLimit < UpperLimit, got %g ≥ %g", cfg.LowerLimit, cfg.UpperLimit)
 	}
-	_, closeIdx := dataset.Fields(reg)
+	b := query.New(reg).Name("Q2")
+	close := b.Float(dataset.FieldClose)
 	lo, hi := cfg.LowerLimit, cfg.UpperLimit
-	below := func(ev *event.Event, _ pattern.Binder) bool { return ev.Field(closeIdx) < lo }
-	within := func(ev *event.Event, _ pattern.Binder) bool {
-		c := ev.Field(closeIdx)
+	below := func(ev *query.Event, _ query.Binder) bool { return close.Of(ev) < lo }
+	within := func(ev *query.Event, _ query.Binder) bool {
+		c := close.Of(ev)
 		return c > lo && c < hi
 	}
-	above := func(ev *event.Event, _ pattern.Binder) bool { return ev.Field(closeIdx) > hi }
+	above := func(ev *query.Event, _ query.Binder) bool { return close.Of(ev) > hi }
 
 	names := []string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M"}
-	steps := make([]pattern.Step, 0, len(names))
 	for i, n := range names {
-		st := pattern.Step{Name: n}
 		switch {
 		case i%2 == 1: // B D F H J L — the band steps, Kleene-plus
-			st.Pred = within
-			st.Quant = pattern.OneOrMore
+			b.Pattern(query.Plus(n).Where(within))
 		case i%4 == 0: // A E I M — below the lower limit
-			st.Pred = below
+			b.Pattern(query.Step(n).Where(below))
 		default: // C G K — above the upper limit
-			st.Pred = above
+			b.Pattern(query.Step(n).Where(above))
 		}
-		steps = append(steps, st)
 	}
-	p := pattern.Seq("Q2", steps...)
-	p.Selection = pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch}
-	p.ConsumeAll()
-
-	q := &pattern.Query{
-		Name:    "Q2",
-		Pattern: *p,
-		Window: pattern.WindowSpec{
-			StartKind: pattern.StartEvery,
-			Every:     cfg.Slide,
-			EndKind:   pattern.EndCount,
-			Count:     cfg.WindowSize,
-		},
-	}
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	return q, nil
+	return b.
+		Within(query.Events(cfg.WindowSize)).FromEvery(cfg.Slide).
+		ConsumeAll().
+		Build()
 }
 
 // Q3Config parameterizes Q3 (Figure 9, middle).
@@ -248,34 +202,16 @@ func Q3(reg *event.Registry, cfg Q3Config) (*pattern.Query, error) {
 	if leader == "" {
 		leader = dataset.Symbol(0)
 	}
-	typeA := reg.TypeID(leader)
-	set := make([]pattern.Step, cfg.SetSize)
+	members := make([]*query.StepBuilder, cfg.SetSize)
 	for i := 0; i < cfg.SetSize; i++ {
-		sym := dataset.Symbol(i + 1)
-		set[i] = pattern.Step{Name: fmt.Sprintf("X%d", i+1), Types: []event.Type{reg.TypeID(sym)}}
+		members[i] = query.Step(fmt.Sprintf("X%d", i+1)).Types(dataset.Symbol(i + 1))
 	}
-	p := &pattern.Pattern{
-		Name: "Q3",
-		Elements: []pattern.Element{
-			{Kind: pattern.ElemStep, Step: pattern.Step{Name: "A", Types: []event.Type{typeA}}},
-			{Kind: pattern.ElemSet, Set: set},
-		},
-		Selection: pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: pattern.StopAfterMatch},
-	}
-	p.ConsumeAll()
-
-	q := &pattern.Query{
-		Name:    "Q3",
-		Pattern: *p,
-		Window: pattern.WindowSpec{
-			StartKind: pattern.StartEvery,
-			Every:     cfg.Slide,
-			EndKind:   pattern.EndCount,
-			Count:     cfg.WindowSize,
-		},
-	}
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	return q, nil
+	return query.New(reg).Name("Q3").
+		Pattern(
+			query.Step("A").Types(leader),
+			query.Set(members...),
+		).
+		Within(query.Events(cfg.WindowSize)).FromEvery(cfg.Slide).
+		ConsumeAll().
+		Build()
 }

@@ -1,0 +1,443 @@
+package query_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/seqengine"
+	"github.com/spectrecep/spectre/query"
+)
+
+// TestBuildValidation is the builder-validation table: each entry breaks
+// the query one way and must surface as a structured issue mentioning the
+// expected clause and message.
+func TestBuildValidation(t *testing.T) {
+	cases := []struct {
+		name       string
+		build      func(b *query.Builder) *query.Builder
+		wantClause string
+		wantSub    string
+	}{
+		{
+			name:       "empty pattern",
+			build:      func(b *query.Builder) *query.Builder { return b.Within(query.Events(10)) },
+			wantClause: "PATTERN",
+			wantSub:    "no elements",
+		},
+		{
+			name: "missing within",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A"))
+			},
+			wantClause: "WITHIN",
+			wantSub:    "window extent required",
+		},
+		{
+			name: "bad window size",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A")).Within(query.Events(0))
+			},
+			wantClause: "WITHIN",
+			wantSub:    "must be positive",
+		},
+		{
+			name: "bad window duration",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A")).Within(query.Duration(-time.Second))
+			},
+			wantClause: "WITHIN",
+			wantSub:    "must be positive",
+		},
+		{
+			name: "bad slide",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A")).Within(query.Events(10)).FromEvery(0)
+			},
+			wantClause: "FROM",
+			wantSub:    "slide must be positive",
+		},
+		{
+			name: "unknown consume variable",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A")).Within(query.Events(10)).Consume("Z")
+			},
+			wantClause: "CONSUME",
+			wantSub:    "unknown pattern variable",
+		},
+		{
+			name: "consume negated",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A"), query.Neg("C"), query.Step("B")).
+					Within(query.Events(10)).Consume("C")
+			},
+			wantClause: "CONSUME",
+			wantSub:    "negated",
+		},
+		{
+			name: "empty consume",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A")).Within(query.Events(10)).Consume()
+			},
+			wantClause: "CONSUME",
+			wantSub:    "at least one variable",
+		},
+		{
+			name: "duplicate step names",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A"), query.Step("A")).Within(query.Events(10))
+			},
+			wantClause: `step "A"`,
+			wantSub:    "duplicate pattern variable",
+		},
+		{
+			name: "duplicate across set",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A"), query.Set(query.Step("A"))).Within(query.Events(10))
+			},
+			wantClause: `step "A"`,
+			wantSub:    "duplicate pattern variable",
+		},
+		{
+			name: "from unknown variable",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A")).Within(query.Events(10)).From("Z")
+			},
+			wantClause: "FROM",
+			wantSub:    "unknown pattern variable",
+		},
+		{
+			name: "conflicting from clauses",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A")).Within(query.Events(10)).From("A").FromEvery(5)
+			},
+			wantClause: "FROM",
+			wantSub:    "conflicting",
+		},
+		{
+			name: "set with kleene member",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A"), query.Set(query.Plus("X"))).Within(query.Events(10))
+			},
+			wantClause: `step "X"`,
+			wantSub:    "plain steps",
+		},
+		{
+			name: "empty set",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A"), query.Set()).Within(query.Events(10))
+			},
+			wantClause: "PATTERN",
+			wantSub:    "empty SET",
+		},
+		{
+			name: "negative runs",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A")).Within(query.Events(10)).Runs(-1)
+			},
+			wantClause: "RUNS",
+			wantSub:    "non-negative",
+		},
+		{
+			name: "shards without partition",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A")).Within(query.Events(10)).Shards(4)
+			},
+			wantClause: "SHARDS",
+			wantSub:    "requires a PartitionBy",
+		},
+		{
+			name: "bad shard count",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A")).Within(query.Events(10)).PartitionByType().Shards(0)
+			},
+			wantClause: "SHARDS",
+			wantSub:    "must be positive",
+		},
+		{
+			name: "empty partition field",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A")).Within(query.Events(10)).PartitionBy("")
+			},
+			wantClause: "PARTITION BY",
+			wantSub:    "empty partition field",
+		},
+		{
+			name: "bad completion",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Step("A")).Within(query.Events(10)).OnMatch(query.Completion(42))
+			},
+			wantClause: "ON MATCH",
+			wantSub:    "unknown completion",
+		},
+		{
+			name: "leading negation",
+			build: func(b *query.Builder) *query.Builder {
+				return b.Pattern(query.Neg("A"), query.Step("B")).Within(query.Events(10))
+			},
+			wantSub: "negated",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := tc.build(query.New(event.NewRegistry())).Build()
+			if err == nil {
+				t.Fatalf("Build succeeded (%+v), want error containing %q", q, tc.wantSub)
+			}
+			var qe *query.Error
+			if !errors.As(err, &qe) {
+				t.Fatalf("error %T is not *query.Error", err)
+			}
+			if len(qe.Issues) == 0 {
+				t.Fatal("structured error has no issues")
+			}
+			found := false
+			for _, is := range qe.Issues {
+				if strings.Contains(is.Msg, tc.wantSub) && (tc.wantClause == "" || is.Clause == tc.wantClause) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no issue with clause %q and message %q in %v", tc.wantClause, tc.wantSub, err)
+			}
+		})
+	}
+}
+
+// TestBuildAccumulatesIssues checks that one Build reports every problem
+// at once.
+func TestBuildAccumulatesIssues(t *testing.T) {
+	_, err := query.New(event.NewRegistry()).
+		Pattern(query.Step("A"), query.Step("A")).
+		Consume("Z").
+		Shards(-1).
+		Build()
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var qe *query.Error
+	if !errors.As(err, &qe) {
+		t.Fatalf("error %T is not *query.Error", err)
+	}
+	// duplicate A, missing WITHIN, unknown CONSUME var, bad shard count.
+	if len(qe.Issues) < 4 {
+		t.Fatalf("want ≥ 4 issues, got %d: %v", len(qe.Issues), err)
+	}
+}
+
+// TestLastWinsOverridesInvalidCall checks the documented last-wins
+// semantics: an invalid clause value followed by a valid one must build
+// cleanly — clause methods record state, Build judges only the final
+// state.
+func TestLastWinsOverridesInvalidCall(t *testing.T) {
+	q, err := query.New(event.NewRegistry()).
+		Pattern(query.Step("A")).
+		Within(query.Events(0)).Within(query.Events(10)).
+		Runs(-1).Runs(2).
+		OnMatch(query.Completion(42)).OnMatch(query.Restart).
+		Consume().ConsumeAll().
+		PartitionByType().Shards(0).Shards(4).
+		Build()
+	if err != nil {
+		t.Fatalf("Build after corrections failed: %v", err)
+	}
+	if q.Pattern.Selection.MaxConcurrentRuns != 2 ||
+		q.Pattern.Selection.OnCompletion != query.Restart ||
+		!q.Pattern.HasConsumption() ||
+		q.Partition == nil || q.Partition.Shards != 4 ||
+		q.Window.Count != 10 {
+		t.Fatalf("final state not applied: %+v", q)
+	}
+}
+
+// TestTypedNilStep checks a typed-nil *StepBuilder is recorded as an
+// issue instead of panicking (it slips past Pattern's interface nil
+// check).
+func TestTypedNilStep(t *testing.T) {
+	var missing *query.StepBuilder
+	_, err := query.New(event.NewRegistry()).
+		Pattern(query.Step("A"), missing).
+		Within(query.Events(10)).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "nil pattern element") {
+		t.Fatalf("want nil-element issue, got %v", err)
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	_, err := query.New(nil).Pattern(query.Step("A")).Within(query.Events(10)).Build()
+	if err == nil || !strings.Contains(err.Error(), "registry") {
+		t.Fatalf("want registry error, got %v", err)
+	}
+}
+
+// TestAccessors checks the typed field and symbol accessors resolve once
+// and read correctly.
+func TestAccessors(t *testing.T) {
+	reg := event.NewRegistry()
+	b := query.New(reg)
+	price := b.Float("price")
+	qty := b.Float("qty")
+	acme := b.Symbol("ACME")
+	if price.Index() == qty.Index() {
+		t.Fatalf("distinct fields share index %d", price.Index())
+	}
+	if got, ok := reg.LookupField("price"); !ok || got != price.Index() {
+		t.Fatalf("price not interned: idx=%d ok=%v want %d", got, ok, price.Index())
+	}
+	if id, ok := reg.LookupType("ACME"); !ok || id != acme.ID() {
+		t.Fatalf("ACME not interned")
+	}
+	ev := &query.Event{Type: acme.ID(), Fields: make([]float64, qty.Index()+1)}
+	ev.Fields[price.Index()] = 42
+	if price.Of(ev) != 42 || qty.Of(ev) != 0 {
+		t.Fatalf("accessor reads: price=%g qty=%g", price.Of(ev), qty.Of(ev))
+	}
+	if !acme.Is(ev) {
+		t.Fatal("symbol accessor must match")
+	}
+	if price.Name() != "price" || acme.Name() != "ACME" {
+		t.Fatal("accessor names lost")
+	}
+}
+
+// TestBuilderQueryRuns drives a built query end to end through the
+// sequential reference engine, including a cross-variable predicate that
+// uses the Binder.
+func TestBuilderQueryRuns(t *testing.T) {
+	reg := event.NewRegistry()
+	b := query.New(reg)
+	x := b.Float("x")
+	// B matches only when its x exceeds the bound A's x (flat index 0).
+	gtA := func(ev *query.Event, bind query.Binder) bool {
+		if bind == nil {
+			return false
+		}
+		bound := bind.Bound(0)
+		return len(bound) > 0 && x.Of(ev) > x.Of(bound[0])
+	}
+	q, err := b.
+		Pattern(
+			query.Step("A").Types("A"),
+			query.Step("B").Types("B").Where(gtA),
+		).
+		Within(query.Events(100)).From("A").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := seqengine.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := reg.LookupType("A")
+	tb, _ := reg.LookupType("B")
+	mk := func(ty event.Type, v float64) event.Event {
+		f := make([]float64, x.Index()+1)
+		f[x.Index()] = v
+		return event.Event{Type: ty, Fields: f}
+	}
+	out, _, err := eng.Run([]event.Event{mk(ta, 5), mk(tb, 3), mk(tb, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Key() != "query@0:0,2" {
+		t.Fatalf("got %v, want [query@0:0,2]", out)
+	}
+}
+
+// TestBuilderReusable checks Build can be called repeatedly and the
+// consumption clauses override each other (the QE-variants pattern).
+func TestBuilderReusable(t *testing.T) {
+	reg := event.NewRegistry()
+	b := query.New(reg).
+		Pattern(query.Step("A").Types("A"), query.Step("B").Types("B")).
+		Within(query.Duration(time.Minute)).From("A").
+		OnMatch(query.RestartLeader)
+
+	qNone, err := b.ConsumeNone().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSel, err := b.Consume("B").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qNone.Pattern.HasConsumption() {
+		t.Fatal("first build must not consume")
+	}
+	if !qSel.Pattern.HasConsumption() || qSel.Pattern.Elements[0].Step.Consume {
+		t.Fatal("second build must consume exactly B")
+	}
+	// The first query must not have been mutated by the second Build.
+	if qNone.Pattern.HasConsumption() {
+		t.Fatal("builds must be independent")
+	}
+}
+
+func TestFromFilter(t *testing.T) {
+	reg := event.NewRegistry()
+	b := query.New(reg)
+	x := b.Float("x")
+	q, err := b.
+		Pattern(query.Step("A"), query.Step("B")).
+		Within(query.Events(50)).
+		FromFilter(func(ev *query.Event) bool { return x.Of(ev) > 10 }, "S").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Window.StartKind != pattern.StartOnMatch || len(q.Window.StartTypes) != 1 || q.Window.StartPred == nil {
+		t.Fatalf("window = %+v", q.Window)
+	}
+	ts, _ := reg.LookupType("S")
+	ev := &query.Event{Type: ts, Fields: []float64{0}}
+	ev.Fields[x.Index()] = 11
+	if !q.Window.StartMatches(ev) {
+		t.Fatal("filter should accept S with x=11")
+	}
+	ev.Fields[x.Index()] = 9
+	if q.Window.StartMatches(ev) {
+		t.Fatal("filter should reject x=9")
+	}
+}
+
+func TestPartitionResolution(t *testing.T) {
+	reg := event.NewRegistry()
+	q, err := query.New(reg).
+		Pattern(query.Step("A")).
+		Within(query.Events(10)).
+		PartitionBy("account").Shards(8).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := reg.LookupField("account")
+	if !ok {
+		t.Fatal("partition field not interned at Build")
+	}
+	if q.Partition == nil || q.Partition.Field != idx || q.Partition.Shards != 8 || q.Partition.ByType {
+		t.Fatalf("partition = %+v, want field %d, 8 shards", q.Partition, idx)
+	}
+}
+
+// TestErrorRendering pins the multi-issue error format.
+func TestErrorRendering(t *testing.T) {
+	e := &query.Error{Issues: []query.Issue{
+		{Clause: "WITHIN", Msg: "window extent required"},
+		{Line: 3, Col: 7, Msg: "unexpected input", Excerpt: "PATTERN (A B\n      ^"},
+	}}
+	s := e.Error()
+	for _, want := range []string{"2 errors", "WITHIN: window extent required", "line 3:7", "^"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("error %q does not contain %q", s, want)
+		}
+	}
+	one := &query.Error{Issues: e.Issues[:1]}
+	if got := one.Error(); got != "query: WITHIN: window extent required" {
+		t.Fatalf("single-issue rendering = %q", got)
+	}
+}

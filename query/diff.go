@@ -1,0 +1,131 @@
+package query
+
+import (
+	"fmt"
+
+	"github.com/spectrecep/spectre/internal/pattern"
+)
+
+// Diff reports the first structural difference between two compiled
+// queries, or "" when they are structurally equivalent. Predicates and
+// start filters are opaque functions, so Diff compares only their
+// presence; behavioural equivalence of the functions themselves is the
+// caller's concern (the golden tests probe it by running both queries
+// over the same stream).
+//
+// Diff is the round-trip check of the construction API: a DSL query and
+// its hand-written builder counterpart must diff empty.
+func Diff(a, b *Query) string {
+	switch {
+	case a == nil && b == nil:
+		return ""
+	case a == nil || b == nil:
+		return "one query is nil"
+	}
+	if a.Name != b.Name {
+		return fmt.Sprintf("name: %q vs %q", a.Name, b.Name)
+	}
+	if d := diffPattern(&a.Pattern, &b.Pattern); d != "" {
+		return d
+	}
+	if d := diffWindow(&a.Window, &b.Window); d != "" {
+		return d
+	}
+	return diffPartition(a.Partition, b.Partition)
+}
+
+func diffPattern(a, b *pattern.Pattern) string {
+	if a.Name != b.Name {
+		return fmt.Sprintf("pattern name: %q vs %q", a.Name, b.Name)
+	}
+	if a.Selection != b.Selection {
+		return fmt.Sprintf("selection: %+v vs %+v", a.Selection, b.Selection)
+	}
+	if len(a.Elements) != len(b.Elements) {
+		return fmt.Sprintf("element count: %d vs %d", len(a.Elements), len(b.Elements))
+	}
+	for i := range a.Elements {
+		ae, be := &a.Elements[i], &b.Elements[i]
+		if ae.Kind != be.Kind {
+			return fmt.Sprintf("element %d kind: %v vs %v", i, ae.Kind, be.Kind)
+		}
+		switch ae.Kind {
+		case pattern.ElemStep:
+			if d := diffStep(&ae.Step, &be.Step); d != "" {
+				return fmt.Sprintf("element %d: %s", i, d)
+			}
+		case pattern.ElemSet:
+			if len(ae.Set) != len(be.Set) {
+				return fmt.Sprintf("element %d set size: %d vs %d", i, len(ae.Set), len(be.Set))
+			}
+			for m := range ae.Set {
+				if d := diffStep(&ae.Set[m], &be.Set[m]); d != "" {
+					return fmt.Sprintf("element %d member %d: %s", i, m, d)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func diffStep(a, b *pattern.Step) string {
+	switch {
+	case a.Name != b.Name:
+		return fmt.Sprintf("step name: %q vs %q", a.Name, b.Name)
+	case !typesEqual(a.Types, b.Types):
+		return fmt.Sprintf("step %q types: %v vs %v", a.Name, a.Types, b.Types)
+	case (a.Pred == nil) != (b.Pred == nil):
+		return fmt.Sprintf("step %q predicate presence: %v vs %v", a.Name, a.Pred != nil, b.Pred != nil)
+	case a.Quant != b.Quant:
+		return fmt.Sprintf("step %q quantifier: %v vs %v", a.Name, a.Quant, b.Quant)
+	case a.Negated != b.Negated:
+		return fmt.Sprintf("step %q negated: %v vs %v", a.Name, a.Negated, b.Negated)
+	case a.Consume != b.Consume:
+		return fmt.Sprintf("step %q consume: %v vs %v", a.Name, a.Consume, b.Consume)
+	}
+	return ""
+}
+
+func diffWindow(a, b *pattern.WindowSpec) string {
+	switch {
+	case a.StartKind != b.StartKind:
+		return fmt.Sprintf("window start kind: %v vs %v", a.StartKind, b.StartKind)
+	case a.Every != b.Every:
+		return fmt.Sprintf("window slide: %d vs %d", a.Every, b.Every)
+	case !typesEqual(a.StartTypes, b.StartTypes):
+		return fmt.Sprintf("window start types: %v vs %v", a.StartTypes, b.StartTypes)
+	case (a.StartPred == nil) != (b.StartPred == nil):
+		return fmt.Sprintf("window start predicate presence: %v vs %v", a.StartPred != nil, b.StartPred != nil)
+	case a.EndKind != b.EndKind:
+		return fmt.Sprintf("window end kind: %v vs %v", a.EndKind, b.EndKind)
+	case a.Count != b.Count:
+		return fmt.Sprintf("window size: %d vs %d", a.Count, b.Count)
+	case a.Duration != b.Duration:
+		return fmt.Sprintf("window duration: %v vs %v", a.Duration, b.Duration)
+	}
+	return ""
+}
+
+func diffPartition(a, b *pattern.PartitionSpec) string {
+	switch {
+	case a == nil && b == nil:
+		return ""
+	case a == nil || b == nil:
+		return fmt.Sprintf("partition presence: %v vs %v", a != nil, b != nil)
+	case *a != *b:
+		return fmt.Sprintf("partition: %+v vs %+v", *a, *b)
+	}
+	return ""
+}
+
+func typesEqual(a, b []EventType) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

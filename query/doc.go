@@ -1,0 +1,86 @@
+// Package query is the first-class query-construction API: a typed,
+// fluent builder that the textual DSL (spectre.ParseQuery), the paper's
+// evaluation queries and user code all compile through. Whichever
+// frontend a query enters by, it lowers into the same Build step, so the
+// DSL and the Go API cannot drift apart.
+//
+// # Building a query
+//
+//	reg := spectre.NewRegistry()
+//	b := query.New(reg)
+//	open, close := b.Float("open"), b.Float("close")
+//	rising := func(ev *query.Event, _ query.Binder) bool {
+//		return close.Of(ev) > open.Of(ev)
+//	}
+//	q, err := b.Name("Q1").
+//		Pattern(
+//			query.Step("MLE").Types("BLUE00", "BLUE01").Where(rising),
+//			query.Step("RE1").Where(rising),
+//			query.Step("RE2").Where(rising),
+//		).
+//		Within(query.Events(8000)).From("MLE").
+//		ConsumeAll().
+//		Build()
+//
+// The result is a *spectre.Query (the package's Query alias), ready for
+// spectre.NewEngine or spectre.Runtime.Submit. Predicates are arbitrary
+// Go functions; Float and Symbol return accessors resolved against the
+// registry once, at construction, so the match path does no name lookups.
+// Build validates everything and reports every problem at once as a
+// structured *Error with per-issue clause and (for parsed queries)
+// line:column positions.
+//
+// # The query language
+//
+// spectre.ParseQuery compiles the same clauses from text — the extended
+// MATCH-RECOGNIZE notation of the paper's Figure 9 (keywords are
+// case-insensitive, `--` starts a line comment):
+//
+//	query    := [QUERY ident]
+//	            PATTERN '(' elem+ ')'
+//	            [DEFINE def (',' def)*]
+//	            WITHIN (int EVENTS | duration) [FROM (ident | EVERY int EVENTS)]
+//	            [CONSUME ('(' ident+ ')' | ALL | NONE)]
+//	            [ON MATCH (STOP | RESTART | RESTART LEADER)]
+//	            [RUNS int]
+//	            [PARTITION BY (TYPE | ident) [SHARDS int]]
+//	elem     := ident ['+'] | '!' ident | SET '(' ident+ ')'
+//	def      := ident AS expr
+//	expr     := disjunction of conjunctions of comparisons over
+//	            arithmetic on field refs (X.field), X.symbol, numbers,
+//	            strings, with NOT, parentheses and IN ('A','B',...)
+//	duration := int (MS | S | SEC | MIN | H)
+//
+// Example (the paper's Q1 for q = 2):
+//
+//	QUERY Q1
+//	PATTERN (MLE RE1 RE2)
+//	DEFINE MLE AS (MLE.symbol IN ('BLUE00','BLUE01') AND MLE.close > MLE.open),
+//	       RE1 AS RE1.close > RE1.open,
+//	       RE2 AS RE2.close > RE2.open
+//	WITHIN 8000 EVENTS FROM MLE
+//	CONSUME (MLE RE1 RE2)
+//
+// # Builder ↔ DSL correspondence
+//
+//	DSL clause                      builder call
+//	------------------------------  ------------------------------------
+//	QUERY name                      Name("name")
+//	PATTERN (A B+ !C SET(X Y))      Pattern(Step("A"), Plus("B"),
+//	                                        Neg("C"), Set(Step("X"), Step("Y")))
+//	DEFINE A AS <expr>              Step("A").Where(predicate)
+//	A.symbol IN ('S1','S2')         Step("A").Types("S1", "S2")
+//	WITHIN n EVENTS                 Within(Events(n))
+//	WITHIN 1 min                    Within(Duration(time.Minute))
+//	FROM A                          From("A")
+//	FROM EVERY n EVENTS             FromEvery(n)
+//	CONSUME (A B) | ALL | NONE      Consume("A", "B") | ConsumeAll() | ConsumeNone()
+//	ON MATCH STOP | RESTART [LEADER] OnMatch(Stop | Restart | RestartLeader)
+//	RUNS n                          Runs(n)
+//	PARTITION BY TYPE | field       PartitionByType() | PartitionBy("field")
+//	SHARDS n                        Shards(n)
+//
+// A DSL type-equality predicate (`A.symbol = 'S1'`) and Types("S1") are
+// behaviourally equivalent; Types additionally lets the engine use its
+// type filter fast path and the derived window-start filter.
+package query

@@ -1,0 +1,78 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Issue is one problem found while constructing or parsing a query. A
+// query can be wrong in several independent ways; Build reports all of
+// them at once instead of stopping at the first.
+type Issue struct {
+	// Clause names the builder call or query-text clause at fault, e.g.
+	// "PATTERN", "CONSUME", `step "B"`. Empty when the issue concerns the
+	// query as a whole.
+	Clause string
+	// Msg describes the problem.
+	Msg string
+	// Line and Col locate the problem in the query text (1-based; Col
+	// counts bytes). Both are 0 for programmatically built queries.
+	Line, Col int
+	// Excerpt is the offending source line with a caret under the
+	// position, "" when the query was not built from text.
+	Excerpt string
+}
+
+// String renders the issue as "line L:C: clause: msg" followed by the
+// caret excerpt when one is available.
+func (i Issue) String() string {
+	var b strings.Builder
+	if i.Line > 0 {
+		fmt.Fprintf(&b, "line %d", i.Line)
+		if i.Col > 0 {
+			fmt.Fprintf(&b, ":%d", i.Col)
+		}
+		b.WriteString(": ")
+	}
+	if i.Clause != "" {
+		b.WriteString(i.Clause)
+		b.WriteString(": ")
+	}
+	b.WriteString(i.Msg)
+	if i.Excerpt != "" {
+		b.WriteByte('\n')
+		b.WriteString(i.Excerpt)
+	}
+	return b.String()
+}
+
+// Error is the structured error of the query-construction API. Both the
+// fluent builder and the textual parser (spectre.ParseQuery) report
+// failures as *Error, so callers can errors.As once and inspect every
+// issue with its position.
+type Error struct {
+	// Issues holds at least one issue, in the order they were found.
+	Issues []Issue
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	switch len(e.Issues) {
+	case 0:
+		return "query: invalid query"
+	case 1:
+		return "query: " + e.Issues[0].String()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %d errors:", len(e.Issues))
+	for _, is := range e.Issues {
+		b.WriteString("\n  ")
+		b.WriteString(strings.ReplaceAll(is.String(), "\n", "\n  "))
+	}
+	return b.String()
+}
+
+// errOf wraps a single positionless issue into an *Error.
+func errOf(clause, format string, args ...any) *Error {
+	return &Error{Issues: []Issue{{Clause: clause, Msg: fmt.Sprintf(format, args...)}}}
+}

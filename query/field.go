@@ -1,0 +1,43 @@
+package query
+
+// Field is a typed accessor for a numeric payload field. It is resolved
+// against the registry once, when the builder hands it out — predicates
+// built on a Field read the payload by dense index with no per-event name
+// lookup:
+//
+//	b := query.New(reg)
+//	open, close := b.Float("open"), b.Float("close")
+//	rising := func(ev *query.Event, _ query.Binder) bool {
+//		return close.Of(ev) > open.Of(ev)
+//	}
+type Field struct {
+	name  string
+	index int
+}
+
+// Of reads the field from ev. Events that carry fewer fields read 0,
+// matching the DSL's total predicate semantics.
+func (f Field) Of(ev *Event) float64 { return ev.Field(f.index) }
+
+// Index returns the dense payload index the field resolved to.
+func (f Field) Index() int { return f.index }
+
+// Name returns the field name the accessor was built from.
+func (f Field) Name() string { return f.name }
+
+// Symbol is a typed accessor for an interned event type (e.g. a stock
+// symbol). Like Field, it is resolved once at construction; Is compares
+// interned ids, not strings.
+type Symbol struct {
+	name string
+	id   EventType
+}
+
+// Is reports whether ev carries this event type.
+func (s Symbol) Is(ev *Event) bool { return ev.Type == s.id }
+
+// ID returns the interned type id.
+func (s Symbol) ID() EventType { return s.id }
+
+// Name returns the type name the accessor was built from.
+func (s Symbol) Name() string { return s.name }

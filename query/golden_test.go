@@ -1,0 +1,491 @@
+package query_test
+
+// The golden equivalence suite: every DSL query used in the parser tests
+// has a hand-written builder counterpart here, and the two must compile
+// to structurally equal queries (query.Diff, predicates compared by
+// presence) AND behave identically on a probe stream through the
+// sequential reference engine. The paper queries Q1–Q3 and Q_E are
+// checked the other way round: the canonical builder constructions in
+// internal/queries must behave identically to their DSL renderings over
+// the synthetic datasets.
+//
+// Because the parser lowers through the same builder, any drift between
+// the DSL and the Go API shows up here as a Diff or an output mismatch.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/dataset"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/parser"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/queries"
+	"github.com/spectrecep/spectre/internal/seqengine"
+	"github.com/spectrecep/spectre/query"
+)
+
+// runSeq runs q over events with the sequential reference engine and
+// returns the ordered detection keys.
+func runSeq(t *testing.T, q *pattern.Query, events []event.Event) []string {
+	t.Helper()
+	eng, err := seqengine.New(q)
+	if err != nil {
+		t.Fatalf("seqengine.New: %v", err)
+	}
+	out, _, err := eng.Run(append([]event.Event(nil), events...))
+	if err != nil {
+		t.Fatalf("seqengine.Run: %v", err)
+	}
+	keys := make([]string, len(out))
+	for i := range out {
+		keys[i] = out[i].Key()
+	}
+	return keys
+}
+
+func sameOutput(t *testing.T, label string, a, b []string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d detections\n a=%v\n b=%v", label, len(a), len(b), a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: detection %d differs: %q vs %q", label, i, a[i], b[i])
+		}
+	}
+	// A probe stream that detects nothing proves nothing: every golden
+	// is constructed to produce matches.
+	if len(a) == 0 {
+		t.Fatalf("%s: probe stream produced no detections — equivalence is vacuous", label)
+	}
+	t.Logf("%s: %d identical detections", label, len(a))
+}
+
+// golden is one DSL query with its hand-written builder counterpart and a
+// probe stream. Both sides share one registry so interned ids agree.
+type golden struct {
+	name   string
+	dsl    string
+	build  func(b *query.Builder) (*query.Query, error)
+	events func(reg *event.Registry) []event.Event
+}
+
+func TestGoldenEquivalence(t *testing.T) {
+	cases := []golden{
+		{
+			name: "q1-shape",
+			dsl: `
+				QUERY Q1
+				PATTERN (MLE RE1 RE2)
+				DEFINE MLE AS (MLE.symbol IN ('BLUE00','BLUE01') AND MLE.close > MLE.open),
+				       RE1 AS RE1.close > RE1.open,
+				       RE2 AS RE2.close > RE2.open
+				WITHIN 8000 EVENTS FROM MLE
+				CONSUME (MLE RE1 RE2)
+			`,
+			build: func(b *query.Builder) (*query.Query, error) {
+				blue0, blue1 := b.Symbol("BLUE00"), b.Symbol("BLUE01")
+				close, open := b.Float("close"), b.Float("open")
+				rising := func(ev *query.Event, _ query.Binder) bool { return close.Of(ev) > open.Of(ev) }
+				mle := func(ev *query.Event, bind query.Binder) bool {
+					return (blue0.Is(ev) || blue1.Is(ev)) && rising(ev, bind)
+				}
+				return b.Name("Q1").
+					Pattern(
+						query.Step("MLE").Where(mle),
+						query.Step("RE1").Where(rising),
+						query.Step("RE2").Where(rising),
+					).
+					Within(query.Events(8000)).From("MLE").
+					Consume("MLE", "RE1", "RE2").
+					Build()
+			},
+			events: func(reg *event.Registry) []event.Event {
+				return dataset.NYSE(reg, dataset.NYSEConfig{Symbols: 30, Leaders: 4, Minutes: 60, Seed: 3})
+			},
+		},
+		{
+			name: "kleene-and-slide",
+			dsl: `
+				PATTERN (A B+ C)
+				DEFINE A AS A.close < 10,
+				       B AS (B.close > 10 AND B.close < 20),
+				       C AS C.close > 20
+				WITHIN 500 EVENTS FROM EVERY 100 EVENTS
+				CONSUME ALL
+			`,
+			build: func(b *query.Builder) (*query.Query, error) {
+				close := b.Float("close")
+				return b.
+					Pattern(
+						query.Step("A").Where(func(ev *query.Event, _ query.Binder) bool { return close.Of(ev) < 10 }),
+						query.Plus("B").Where(func(ev *query.Event, _ query.Binder) bool {
+							c := close.Of(ev)
+							return c > 10 && c < 20
+						}),
+						query.Step("C").Where(func(ev *query.Event, _ query.Binder) bool { return close.Of(ev) > 20 }),
+					).
+					Within(query.Events(500)).FromEvery(100).
+					ConsumeAll().
+					Build()
+			},
+			events: func(reg *event.Registry) []event.Event {
+				closeIdx := reg.FieldIndex("close")
+				ty := reg.TypeID("S")
+				vals := []float64{5, 12, 15, 25, 8, 11, 30, 2, 14, 14, 22, 9}
+				evs := make([]event.Event, 0, 600)
+				for i := 0; i < 600; i++ {
+					f := make([]float64, closeIdx+1)
+					f[closeIdx] = vals[i%len(vals)] + float64(i%7)
+					evs = append(evs, event.Event{Type: ty, Fields: f})
+				}
+				return evs
+			},
+		},
+		{
+			name: "set-and-duration",
+			dsl: `
+				PATTERN (A SET(X1 X2 X3))
+				DEFINE A AS A.symbol = 'S0000',
+				       X1 AS X1.symbol = 'S0001',
+				       X2 AS X2.symbol = 'S0002',
+				       X3 AS X3.symbol = 'S0003'
+				WITHIN 1 min FROM A
+				CONSUME (A X1 X2 X3)
+			`,
+			build: func(b *query.Builder) (*query.Query, error) {
+				symPred := func(s query.Symbol) query.Predicate {
+					return func(ev *query.Event, _ query.Binder) bool { return s.Is(ev) }
+				}
+				return b.
+					Pattern(
+						query.Step("A").Where(symPred(b.Symbol("S0000"))),
+						query.Set(
+							query.Step("X1").Where(symPred(b.Symbol("S0001"))),
+							query.Step("X2").Where(symPred(b.Symbol("S0002"))),
+							query.Step("X3").Where(symPred(b.Symbol("S0003"))),
+						),
+					).
+					Within(query.Duration(time.Minute)).From("A").
+					Consume("A", "X1", "X2", "X3").
+					Build()
+			},
+			events: func(reg *event.Registry) []event.Event {
+				evs := make([]event.Event, 0, 400)
+				for i := 0; i < 400; i++ {
+					sym := dataset.Symbol(i % 5)
+					evs = append(evs, event.Event{
+						TS:   int64(i) * int64(10*time.Second),
+						Type: reg.TypeID(sym),
+					})
+				}
+				return evs
+			},
+		},
+		{
+			name: "negation-and-policies",
+			dsl: `
+				PATTERN (A !C B)
+				DEFINE A AS A.symbol = 'A', B AS B.symbol = 'B', C AS C.symbol = 'C'
+				WITHIN 100 EVENTS FROM A
+				CONSUME (B)
+				ON MATCH RESTART LEADER
+				RUNS 2
+			`,
+			build: func(b *query.Builder) (*query.Query, error) {
+				symPred := func(s query.Symbol) query.Predicate {
+					return func(ev *query.Event, _ query.Binder) bool { return s.Is(ev) }
+				}
+				return b.
+					Pattern(
+						query.Step("A").Where(symPred(b.Symbol("A"))),
+						query.Neg("C").Where(symPred(b.Symbol("C"))),
+						query.Step("B").Where(symPred(b.Symbol("B"))),
+					).
+					Within(query.Events(100)).From("A").
+					Consume("B").
+					OnMatch(query.RestartLeader).
+					Runs(2).
+					Build()
+			},
+			events: func(reg *event.Registry) []event.Event {
+				names := []string{"A", "B", "B", "A", "C", "B", "A", "B", "C", "A", "B", "B"}
+				evs := make([]event.Event, 0, 360)
+				for i := 0; i < 360; i++ {
+					evs = append(evs, event.Event{Type: reg.TypeID(names[i%len(names)])})
+				}
+				return evs
+			},
+		},
+		{
+			name: "cross-variable-predicate",
+			dsl: `
+				PATTERN (A B)
+				DEFINE A AS A.symbol = 'A',
+				       B AS (B.symbol = 'B' AND B.x > A.x)
+				WITHIN 100 EVENTS FROM A
+			`,
+			build: func(b *query.Builder) (*query.Query, error) {
+				symA, symB := b.Symbol("A"), b.Symbol("B")
+				x := b.Float("x")
+				return b.
+					Pattern(
+						query.Step("A").Where(func(ev *query.Event, _ query.Binder) bool { return symA.Is(ev) }),
+						query.Step("B").Where(func(ev *query.Event, bind query.Binder) bool {
+							if !symB.Is(ev) || bind == nil {
+								return false
+							}
+							bound := bind.Bound(0)
+							return len(bound) > 0 && x.Of(ev) > x.Of(bound[0])
+						}),
+					).
+					Within(query.Events(100)).From("A").
+					Build()
+			},
+			events: func(reg *event.Registry) []event.Event {
+				xIdx := reg.FieldIndex("x")
+				ta, tb := reg.TypeID("A"), reg.TypeID("B")
+				evs := make([]event.Event, 0, 300)
+				for i := 0; i < 300; i++ {
+					ty := tb
+					if i%3 == 0 {
+						ty = ta
+					}
+					f := make([]float64, xIdx+1)
+					f[xIdx] = float64((i * 7) % 13)
+					evs = append(evs, event.Event{Type: ty, Fields: f})
+				}
+				return evs
+			},
+		},
+		{
+			name: "partition-by-type",
+			dsl: `
+				PATTERN (A B)
+				WITHIN 100 EVENTS FROM A
+				CONSUME ALL
+				PARTITION BY TYPE SHARDS 16
+			`,
+			build: func(b *query.Builder) (*query.Query, error) {
+				return b.
+					Pattern(query.Step("A"), query.Step("B")).
+					Within(query.Events(100)).From("A").
+					ConsumeAll().
+					PartitionByType().Shards(16).
+					Build()
+			},
+			events: func(reg *event.Registry) []event.Event {
+				evs := make([]event.Event, 120)
+				for i := range evs {
+					evs[i] = event.Event{Type: reg.TypeID(dataset.Symbol(i % 3))}
+				}
+				return evs
+			},
+		},
+		{
+			name: "partition-by-field",
+			dsl: `
+				PATTERN (A B)
+				WITHIN 100 EVENTS FROM A
+				PARTITION BY account
+			`,
+			build: func(b *query.Builder) (*query.Query, error) {
+				return b.
+					Pattern(query.Step("A"), query.Step("B")).
+					Within(query.Events(100)).From("A").
+					PartitionBy("account").
+					Build()
+			},
+			events: func(reg *event.Registry) []event.Event {
+				acct := reg.FieldIndex("account")
+				evs := make([]event.Event, 90)
+				for i := range evs {
+					f := make([]float64, acct+1)
+					f[acct] = float64(i % 4)
+					evs[i] = event.Event{Type: reg.TypeID("T"), Fields: f}
+				}
+				return evs
+			},
+		},
+		{
+			name: "default-from",
+			dsl: `
+				PATTERN (A B)
+				DEFINE A AS A.x > 1
+				WITHIN 20 EVENTS
+			`,
+			build: func(b *query.Builder) (*query.Query, error) {
+				x := b.Float("x")
+				return b.
+					Pattern(
+						query.Step("A").Where(func(ev *query.Event, _ query.Binder) bool { return x.Of(ev) > 1 }),
+						query.Step("B"),
+					).
+					Within(query.Events(20)).
+					Build()
+			},
+			events: func(reg *event.Registry) []event.Event {
+				xIdx := reg.FieldIndex("x")
+				evs := make([]event.Event, 100)
+				for i := range evs {
+					f := make([]float64, xIdx+1)
+					f[xIdx] = float64(i % 3)
+					evs[i] = event.Event{Type: reg.TypeID("T"), Fields: f}
+				}
+				return evs
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := event.NewRegistry()
+			parsed, err := parser.Parse(tc.dsl, reg)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			built, err := tc.build(query.New(reg))
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if d := query.Diff(parsed, built); d != "" {
+				t.Fatalf("DSL and builder queries differ structurally: %s", d)
+			}
+			evs := tc.events(reg)
+			sameOutput(t, tc.name, runSeq(t, parsed, evs), runSeq(t, built, evs))
+		})
+	}
+}
+
+// TestPaperQueriesEquivalence checks the canonical builder constructions
+// of Q_E and Q1–Q3 (internal/queries) against their DSL renderings: same
+// detections, in the same order, over the paper's synthetic datasets. The
+// two sides express type filters differently (Types vs DEFINE symbol
+// predicates), so the assertion is behavioural.
+func TestPaperQueriesEquivalence(t *testing.T) {
+	t.Run("QE", func(t *testing.T) {
+		for _, variant := range []struct {
+			name    string
+			cp      queries.QEConsumption
+			consume string
+		}{
+			{"none", queries.QEConsumeNone, "CONSUME NONE"},
+			{"selected-B", queries.QEConsumeSelectedB, "CONSUME (B)"},
+		} {
+			t.Run(variant.name, func(t *testing.T) {
+				reg := event.NewRegistry()
+				built, err := queries.QE(reg, variant.cp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dsl := fmt.Sprintf(`
+					QUERY QE
+					PATTERN (A B)
+					DEFINE A AS A.symbol = 'A', B AS B.symbol = 'B'
+					WITHIN 1 min FROM A
+					%s
+					ON MATCH RESTART LEADER
+				`, variant.consume)
+				parsed, err := parser.Parse(dsl, reg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ta, _ := reg.LookupType("A")
+				tb, _ := reg.LookupType("B")
+				evs := make([]event.Event, 0, 200)
+				for i := 0; i < 200; i++ {
+					ty := tb
+					if i%4 == 0 {
+						ty = ta
+					}
+					evs = append(evs, event.Event{TS: int64(i) * int64(7*time.Second), Type: ty})
+				}
+				sameOutput(t, "QE "+variant.name, runSeq(t, built, evs), runSeq(t, parsed, evs))
+			})
+		}
+	})
+
+	t.Run("Q1", func(t *testing.T) {
+		reg := event.NewRegistry()
+		built, err := queries.Q1(reg, queries.Q1Config{Q: 3, WindowSize: 200, Leaders: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dsl := `
+			QUERY Q1
+			PATTERN (MLE RE1 RE2 RE3)
+			DEFINE MLE AS (MLE.symbol IN ('BLUE00','BLUE01') AND MLE.close > MLE.open),
+			       RE1 AS RE1.close > RE1.open,
+			       RE2 AS RE2.close > RE2.open,
+			       RE3 AS RE3.close > RE3.open
+			WITHIN 200 EVENTS FROM MLE
+			CONSUME ALL
+		`
+		parsed, err := parser.Parse(dsl, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs := dataset.NYSE(reg, dataset.NYSEConfig{Symbols: 40, Leaders: 2, Minutes: 50, Seed: 11})
+		sameOutput(t, "Q1", runSeq(t, built, evs), runSeq(t, parsed, evs))
+	})
+
+	t.Run("Q2", func(t *testing.T) {
+		reg := event.NewRegistry()
+		built, err := queries.Q2(reg, queries.Q2Config{WindowSize: 400, Slide: 100, LowerLimit: 95, UpperLimit: 105})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dsl := strings.NewReplacer("$LO", "95", "$HI", "105").Replace(`
+			QUERY Q2
+			PATTERN (A B+ C D+ E F+ G H+ I J+ K L+ M)
+			DEFINE A AS A.close < $LO,
+			       B AS (B.close > $LO AND B.close < $HI),
+			       C AS C.close > $HI,
+			       D AS (D.close > $LO AND D.close < $HI),
+			       E AS E.close < $LO,
+			       F AS (F.close > $LO AND F.close < $HI),
+			       G AS G.close > $HI,
+			       H AS (H.close > $LO AND H.close < $HI),
+			       I AS I.close < $LO,
+			       J AS (J.close > $LO AND J.close < $HI),
+			       K AS K.close > $HI,
+			       L AS (L.close > $LO AND L.close < $HI),
+			       M AS M.close < $LO
+			WITHIN 400 EVENTS FROM EVERY 100 EVENTS
+			CONSUME ALL
+		`)
+		parsed, err := parser.Parse(dsl, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs := dataset.NYSE(reg, dataset.NYSEConfig{Symbols: 20, Leaders: 2, Minutes: 120, Seed: 5})
+		sameOutput(t, "Q2", runSeq(t, built, evs), runSeq(t, parsed, evs))
+	})
+
+	t.Run("Q3", func(t *testing.T) {
+		reg := event.NewRegistry()
+		built, err := queries.Q3(reg, queries.Q3Config{SetSize: 3, WindowSize: 200, Slide: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dsl := `
+			QUERY Q3
+			PATTERN (A SET(X1 X2 X3))
+			DEFINE A AS A.symbol = 'S0000',
+			       X1 AS X1.symbol = 'S0001',
+			       X2 AS X2.symbol = 'S0002',
+			       X3 AS X3.symbol = 'S0003'
+			WITHIN 200 EVENTS FROM EVERY 50 EVENTS
+			CONSUME ALL
+		`
+		parsed, err := parser.Parse(dsl, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs := dataset.Rand(reg, dataset.RandConfig{Symbols: 10, Events: 4000, Seed: 23})
+		sameOutput(t, "Q3", runSeq(t, built, evs), runSeq(t, parsed, evs))
+	})
+}

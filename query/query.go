@@ -1,0 +1,479 @@
+package query
+
+import (
+	"fmt"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+)
+
+// Aliases into the compiled query model. *Query values built here are the
+// same type the rest of the spectre API consumes (spectre.Query is the
+// same alias), so Build output feeds spectre.NewEngine / Runtime.Submit
+// directly.
+type (
+	// Query is a compiled query: pattern, window specification and
+	// optional partitioning. Identical to spectre.Query.
+	Query = pattern.Query
+	// Predicate is a step's payload predicate: an arbitrary Go function
+	// over the candidate event and the bindings accumulated so far.
+	Predicate = pattern.Predicate
+	// StartPredicate decides whether an event opens a new window. It sees
+	// no bindings because windows form before pattern detection.
+	StartPredicate = pattern.StartPredicate
+	// Binder exposes the events already bound by a partial match, indexed
+	// by flat step position (pattern order, set members in listed order).
+	Binder = pattern.Binder
+	// Event is a primitive input event. Identical to spectre.Event.
+	Event = event.Event
+	// EventType is an interned event type id.
+	EventType = event.Type
+	// Registry interns event-type and payload-field names. Identical to
+	// spectre.Registry; it is safe for concurrent use.
+	Registry = event.Registry
+)
+
+// elemEntry is one lowered pattern element: a step when set is nil,
+// otherwise an unordered set.
+type elemEntry struct {
+	step stepSpec
+	set  []stepSpec
+}
+
+// resolvedStep records a step together with its element position, in flat
+// (Binder) order.
+type resolvedStep struct {
+	spec   stepSpec
+	elem   int
+	member int // -1 for step elements
+}
+
+// Builder accumulates a query under construction. Obtain one from New,
+// chain clause methods in any order, then call Build. Methods never fail
+// midway: invalid input is recorded and Build reports every problem at
+// once as a structured *Error.
+//
+// Clause methods follow the DSL: Pattern ↔ PATTERN, Within ↔ WITHIN,
+// From/FromEvery ↔ FROM, Consume ↔ CONSUME, OnMatch ↔ ON MATCH, Runs ↔
+// RUNS, PartitionBy ↔ PARTITION BY. Repeated calls to the same
+// single-valued clause overwrite (last wins); Pattern appends.
+type Builder struct {
+	reg  *event.Registry
+	name string
+
+	elems []elemEntry
+	steps []resolvedStep
+
+	win    Window
+	winSet bool
+
+	from          string
+	fromSet       bool
+	fromEvery     int
+	fromEverySet  bool
+	fromFilter    StartPredicate
+	fromTypes     []string
+	fromFilterSet bool
+
+	consumeAll   bool
+	consumeEmpty bool
+	consumeList  []string
+
+	onMatch Completion
+	runs    int
+	runsSet bool
+
+	partSet    bool
+	partByType bool
+	partField  string
+	shards     int
+	shardsSet  bool
+
+	issues []Issue
+}
+
+// New returns a builder that interns type and field names through reg —
+// the same registry the event sources and engines share.
+func New(reg *Registry) *Builder {
+	b := &Builder{reg: reg, onMatch: Stop}
+	if reg == nil {
+		b.errf("", "registry must not be nil")
+	}
+	return b
+}
+
+// errf records an issue against a clause.
+func (b *Builder) errf(clause, format string, args ...any) {
+	b.issues = append(b.issues, Issue{Clause: clause, Msg: fmt.Sprintf(format, args...)})
+}
+
+func stepClause(name string) string { return fmt.Sprintf("step %q", name) }
+
+// Name sets the query name (the DSL's `QUERY name`). Detections carry it;
+// the default is "query".
+func (b *Builder) Name(name string) *Builder {
+	b.name = name
+	return b
+}
+
+// Pattern appends elements to the pattern sequence. Elements are built
+// with Step, Plus, Neg and Set.
+func (b *Builder) Pattern(elems ...Elem) *Builder {
+	for _, el := range elems {
+		if el == nil {
+			b.errf("PATTERN", "nil pattern element")
+			continue
+		}
+		el.appendTo(b)
+	}
+	return b
+}
+
+// Within sets the window extent (Events or Duration).
+func (b *Builder) Within(w Window) *Builder {
+	b.win = w
+	b.winSet = true
+	return b
+}
+
+// From opens a window whenever an event matches the named pattern
+// variable's type filter and predicate (`WITHIN ... FROM A`). Without any
+// From clause, windows open from the first positive non-set variable,
+// matching the DSL default.
+func (b *Builder) From(step string) *Builder {
+	b.from = step
+	b.fromSet = true
+	return b
+}
+
+// FromEvery opens a window every n events — a count-based slide
+// (`WITHIN ... FROM EVERY n EVENTS`).
+func (b *Builder) FromEvery(n int) *Builder {
+	b.fromEvery = n
+	b.fromEverySet = true
+	return b
+}
+
+// FromFilter opens a window on every event matching the given types and
+// predicate, independent of any pattern variable. Empty types match any
+// type; a nil predicate accepts every event that passes the type filter.
+// This is the programmatic superset of `FROM var` for start conditions no
+// variable expresses.
+func (b *Builder) FromFilter(pred StartPredicate, types ...string) *Builder {
+	b.fromFilter = pred
+	b.fromTypes = append([]string(nil), types...)
+	b.fromFilterSet = true
+	return b
+}
+
+// Consume lists the pattern variables whose events are removed from
+// further detection once a match completes (`CONSUME (A B)`). The default
+// is no consumption.
+func (b *Builder) Consume(names ...string) *Builder {
+	b.consumeAll = false
+	b.consumeEmpty = len(names) == 0
+	b.consumeList = append([]string(nil), names...)
+	return b
+}
+
+// ConsumeAll marks every non-negated variable as consumed (`CONSUME ALL`,
+// the policy of the paper's Q1–Q3).
+func (b *Builder) ConsumeAll() *Builder {
+	b.consumeAll = true
+	b.consumeEmpty = false
+	b.consumeList = nil
+	return b
+}
+
+// ConsumeNone clears the consumption policy (`CONSUME NONE`, the
+// default).
+func (b *Builder) ConsumeNone() *Builder {
+	b.consumeAll = false
+	b.consumeEmpty = false
+	b.consumeList = nil
+	return b
+}
+
+// OnMatch selects the post-match behaviour: Stop (default), Restart or
+// RestartLeader.
+func (b *Builder) OnMatch(c Completion) *Builder {
+	b.onMatch = c
+	return b
+}
+
+// Runs caps concurrently open partial matches per window version (`RUNS
+// n`); 0 means unlimited. The default is 1, the paper's single
+// consumption group per window version.
+func (b *Builder) Runs(n int) *Builder {
+	b.runs = n
+	b.runsSet = true
+	return b
+}
+
+// PartitionBy partitions the query's input stream by the named payload
+// field (`PARTITION BY field`): every key runs independent window
+// formation and detection. The field index is resolved through the
+// registry at Build time.
+func (b *Builder) PartitionBy(field string) *Builder {
+	b.partSet = true
+	b.partByType = false
+	b.partField = field
+	return b
+}
+
+// PartitionByType partitions the input stream by event type (`PARTITION
+// BY TYPE`), e.g. per stock symbol.
+func (b *Builder) PartitionByType() *Builder {
+	b.partSet = true
+	b.partByType = true
+	b.partField = ""
+	return b
+}
+
+// Shards sets the preferred shard count of a partitioned query (`SHARDS
+// n`); without it the runtime decides (typically GOMAXPROCS). Requires a
+// PartitionBy/PartitionByType clause.
+func (b *Builder) Shards(n int) *Builder {
+	b.shards = n
+	b.shardsSet = true
+	return b
+}
+
+// Float returns a typed accessor for the named numeric payload field,
+// resolved against the registry now — predicates built on it do no name
+// lookups at match time.
+func (b *Builder) Float(name string) Field {
+	if b.reg == nil {
+		return Field{name: name, index: -1}
+	}
+	return Field{name: name, index: b.reg.FieldIndex(name)}
+}
+
+// Symbol returns a typed accessor for the named event type, interned
+// through the registry now.
+func (b *Builder) Symbol(name string) Symbol {
+	if b.reg == nil {
+		return Symbol{name: name}
+	}
+	return Symbol{name: name, id: b.reg.TypeID(name)}
+}
+
+// resolveTypes interns type names; empty input resolves to nil (any
+// type).
+func (b *Builder) resolveTypes(names []string) []event.Type {
+	if len(names) == 0 || b.reg == nil {
+		return nil
+	}
+	out := make([]event.Type, len(names))
+	for i, n := range names {
+		out[i] = b.reg.TypeID(n)
+	}
+	return out
+}
+
+// findStep returns the step declared under name, in any element
+// (including set members).
+func (b *Builder) findStep(name string) (resolvedStep, bool) {
+	for _, rs := range b.steps {
+		if rs.spec.name == name {
+			return rs, true
+		}
+	}
+	return resolvedStep{}, false
+}
+
+// Build validates the accumulated clauses and compiles them into a
+// *Query ready for spectre.NewEngine or Runtime.Submit. It reports every
+// problem at once as a structured *Error; a successful Build leaves the
+// builder reusable (each call produces an independent query).
+func (b *Builder) Build() (*Query, error) {
+	issues := append([]Issue(nil), b.issues...)
+	addf := func(clause, format string, args ...any) {
+		issues = append(issues, Issue{Clause: clause, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	name := b.name
+	if name == "" {
+		name = "query"
+	}
+
+	// Step names must be unique across the whole pattern.
+	seen := make(map[string]struct{}, len(b.steps))
+	for _, rs := range b.steps {
+		if rs.spec.name == "" {
+			addf("PATTERN", "pattern variable with empty name")
+			continue
+		}
+		if _, dup := seen[rs.spec.name]; dup {
+			addf(stepClause(rs.spec.name), "duplicate pattern variable %q", rs.spec.name)
+			continue
+		}
+		seen[rs.spec.name] = struct{}{}
+	}
+
+	if len(b.elems) == 0 {
+		addf("PATTERN", "pattern has no elements (call Pattern)")
+	}
+
+	// Assemble the pattern.
+	mk := func(s stepSpec) pattern.Step {
+		return pattern.Step{
+			Name:    s.name,
+			Types:   b.resolveTypes(s.types),
+			Pred:    s.pred,
+			Quant:   s.quant,
+			Negated: s.negated,
+		}
+	}
+	switch b.onMatch {
+	case Stop, Restart, RestartLeader:
+	default:
+		addf("ON MATCH", "unknown completion behaviour %v", b.onMatch)
+	}
+	pat := pattern.Pattern{
+		Name:      name,
+		Selection: pattern.SelectionPolicy{MaxConcurrentRuns: 1, OnCompletion: b.onMatch},
+	}
+	if b.runsSet {
+		if b.runs < 0 {
+			addf("RUNS", "run cap must be non-negative, got %d", b.runs)
+		} else {
+			pat.Selection.MaxConcurrentRuns = b.runs
+		}
+	}
+	for _, entry := range b.elems {
+		if entry.set != nil {
+			set := make([]pattern.Step, len(entry.set))
+			for i, s := range entry.set {
+				set[i] = mk(s)
+			}
+			pat.Elements = append(pat.Elements, pattern.Element{Kind: pattern.ElemSet, Set: set})
+			continue
+		}
+		pat.Elements = append(pat.Elements, pattern.Element{Kind: pattern.ElemStep, Step: mk(entry.step)})
+	}
+
+	// Window extent.
+	win := pattern.WindowSpec{}
+	switch {
+	case !b.winSet:
+		addf("WITHIN", "window extent required (Within(query.Events(n)) or Within(query.Duration(d)))")
+	case b.win.kind == pattern.EndCount && b.win.count <= 0:
+		addf("WITHIN", "window size must be positive, got %d events", b.win.count)
+	case b.win.kind == pattern.EndDuration && b.win.dur <= 0:
+		addf("WITHIN", "window duration must be positive, got %v", b.win.dur)
+	default:
+		win.EndKind = b.win.kind
+		win.Count = b.win.count
+		win.Duration = b.win.dur
+	}
+
+	// Window start.
+	fromClauses := 0
+	for _, set := range []bool{b.fromSet, b.fromEverySet, b.fromFilterSet} {
+		if set {
+			fromClauses++
+		}
+	}
+	switch {
+	case fromClauses > 1:
+		addf("FROM", "conflicting window-start clauses (use exactly one of From, FromEvery, FromFilter)")
+	case b.fromEverySet:
+		if b.fromEvery <= 0 {
+			addf("FROM", "window slide must be positive, got %d events", b.fromEvery)
+			break
+		}
+		win.StartKind = pattern.StartEvery
+		win.Every = b.fromEvery
+	case b.fromFilterSet:
+		win.StartKind = pattern.StartOnMatch
+		win.StartTypes = b.resolveTypes(b.fromTypes)
+		win.StartPred = b.fromFilter
+	default:
+		fromName := b.from
+		if fromName == "" {
+			// DSL default: the first positive non-set variable.
+			for _, entry := range b.elems {
+				if entry.set == nil && !entry.step.negated {
+					fromName = entry.step.name
+					break
+				}
+			}
+			if fromName == "" && len(b.elems) > 0 {
+				addf("FROM", "window FROM clause required (no positive step to open windows from)")
+			}
+		}
+		if fromName != "" {
+			rs, ok := b.findStep(fromName)
+			if !ok {
+				addf("FROM", "FROM references unknown pattern variable %q", fromName)
+				break
+			}
+			win.StartKind = pattern.StartOnMatch
+			win.StartTypes = b.resolveTypes(rs.spec.types)
+			if pred := rs.spec.pred; pred != nil {
+				// Windows open before detection: the step's predicate is
+				// evaluated without bindings.
+				win.StartPred = func(ev *event.Event) bool { return pred(ev, nil) }
+			}
+		}
+	}
+
+	q := &pattern.Query{Name: name, Pattern: pat, Window: win}
+
+	// Consumption policy.
+	switch {
+	case b.consumeEmpty:
+		addf("CONSUME", "CONSUME requires at least one variable (use ConsumeNone for none)")
+	case b.consumeAll:
+		q.Pattern.ConsumeAll()
+	case len(b.consumeList) > 0:
+		ok := true
+		for _, n := range b.consumeList {
+			rs, found := b.findStep(n)
+			switch {
+			case !found:
+				addf("CONSUME", "CONSUME references unknown pattern variable %q", n)
+				ok = false
+			case rs.spec.negated:
+				addf("CONSUME", "cannot consume negated variable %q", n)
+				ok = false
+			}
+		}
+		if ok {
+			if err := q.Pattern.ConsumeSteps(b.consumeList...); err != nil {
+				addf("CONSUME", "%v", err)
+			}
+		}
+	}
+
+	// Partitioning.
+	if b.shardsSet && b.shards <= 0 {
+		addf("SHARDS", "shard count must be positive, got %d", b.shards)
+	}
+	switch {
+	case b.partSet:
+		ps := &pattern.PartitionSpec{Field: -1, Shards: max(b.shards, 0)}
+		if b.partByType {
+			ps.ByType = true
+		} else if b.partField == "" {
+			addf("PARTITION BY", "empty partition field name")
+		} else {
+			ps.FieldName = b.partField
+			if b.reg != nil {
+				ps.Field = b.reg.FieldIndex(b.partField)
+			}
+		}
+		q.Partition = ps
+	case b.shardsSet:
+		addf("SHARDS", "SHARDS requires a PartitionBy or PartitionByType clause")
+	}
+
+	if len(issues) > 0 {
+		return nil, &Error{Issues: issues}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, errOf("", "%v", err)
+	}
+	return q, nil
+}

@@ -1,0 +1,45 @@
+package query
+
+import (
+	"time"
+
+	"github.com/spectrecep/spectre/internal/pattern"
+)
+
+// Window is the extent of the WITHIN clause: how far a window reaches
+// from its start. Construct one with Events or Duration and pass it to
+// Builder.Within.
+type Window struct {
+	kind  pattern.EndKind
+	count int
+	dur   time.Duration
+}
+
+// Events sizes windows in events: a window closes after n events,
+// inclusive of the start event (`WITHIN n EVENTS`).
+func Events(n int) Window {
+	return Window{kind: pattern.EndCount, count: n}
+}
+
+// Duration sizes windows in event time: a window closes d after its start
+// event's timestamp (`WITHIN 1 min`).
+func Duration(d time.Duration) Window {
+	return Window{kind: pattern.EndDuration, dur: d}
+}
+
+// Completion selects what a detection run does after emitting a match;
+// pass one of Stop, Restart or RestartLeader to Builder.OnMatch.
+type Completion = pattern.CompletionBehavior
+
+const (
+	// Stop ends detection for the window after the first match (`ON MATCH
+	// STOP`, the default and the paper's Q1–Q3 behaviour).
+	Stop = pattern.StopAfterMatch
+	// Restart clears the whole run so a new leader can start a new match
+	// in the same window (`ON MATCH RESTART`).
+	Restart = pattern.RestartFresh
+	// RestartLeader keeps the first element's binding and resets the
+	// rest, so the same leader correlates with further events (`ON MATCH
+	// RESTART LEADER`, the "first A, each B" policy of the paper's Q_E).
+	RestartLeader = pattern.RestartAfterLeader
+)

@@ -33,6 +33,34 @@
 //	    fmt.Println(ce)
 //	}))
 //
+// # Constructing queries
+//
+// Queries enter the system through two equivalent frontends that compile
+// through one lowering path (the query package's Builder):
+//
+//   - ParseQuery compiles the textual DSL above — the extended
+//     MATCH-RECOGNIZE notation of the paper's Figure 9. The authoritative
+//     grammar lives in the query package docs.
+//   - The query package's fluent builder constructs the same queries in
+//     Go, with typed field accessors and arbitrary Go predicates — the
+//     natural fit for programmatic query generation.
+//
+// The builder form of the quick-start query:
+//
+//	b := query.New(reg)
+//	q, err := b.Name("influence").
+//	    Pattern(query.Step("A").Types("A"), query.Step("B").Types("B")).
+//	    Within(query.Duration(time.Minute)).From("A").
+//	    Consume("B").
+//	    OnMatch(query.RestartLeader).
+//	    Build()
+//
+// Both report failures as the query package's structured *Error (every
+// problem at once; parse errors carry line:column positions and a caret
+// excerpt). The deprecated Pattern/Step/WindowSpec aliases remain one
+// release for programs that assembled raw structs; new code should use
+// the builder.
+//
 // # The v2 streaming API
 //
 // Every streaming entry point takes a context.Context and a Sink:
@@ -87,14 +115,24 @@ type (
 	EventType = event.Type
 	// Registry interns event-type and payload-field names.
 	Registry = event.Registry
-	// Query is a compiled query: pattern + window specification.
+	// Query is a compiled query: pattern + window specification. Obtain
+	// one from ParseQuery or the query package's Builder.
 	Query = pattern.Query
-	// Pattern is the pattern part of a query (for programmatic
-	// construction; most users should prefer ParseQuery).
+	// Pattern is the pattern part of a query.
+	//
+	// Deprecated: assemble queries with the query package's Builder
+	// (query.New(reg).Pattern(query.Step("A"), ...)) instead of raw
+	// structs; the alias will be removed in the next release.
 	Pattern = pattern.Pattern
 	// Step is a single pattern variable.
+	//
+	// Deprecated: use query.Step / query.Plus / query.Neg with the query
+	// package's Builder; the alias will be removed in the next release.
 	Step = pattern.Step
 	// WindowSpec describes window formation.
+	//
+	// Deprecated: use Builder.Within/From/FromEvery/FromFilter in the
+	// query package; the alias will be removed in the next release.
 	WindowSpec = pattern.WindowSpec
 	// Source yields events in stream order.
 	Source = stream.Source
@@ -110,7 +148,11 @@ func NewRegistry() *Registry { return event.NewRegistry() }
 
 // ParseQuery compiles a textual query in the extended MATCH-RECOGNIZE
 // notation of the paper's Figure 9 (PATTERN / DEFINE / WITHIN ... FROM /
-// CONSUME, see internal/parser for the full grammar).
+// CONSUME; the full grammar is documented in the query package). The
+// parser lowers every clause through the query package's Builder, so
+// parsed queries and programmatically built ones are interchangeable.
+// Errors are the query package's structured *Error with line:column
+// positions and a caret excerpt of the offending line.
 func ParseQuery(src string, reg *Registry) (*Query, error) {
 	return parser.Parse(src, reg)
 }

@@ -1,0 +1,78 @@
+package spectre_test
+
+// Concurrency tests for the shared type/field registry. The interesting
+// assertions happen under the race detector (CI runs go test -race):
+// before the registry grew its lock, two Runtime.Submit calls resolving
+// partition fields — or two goroutines parsing queries — against a shared
+// registry raced on the intern maps.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	spectre "github.com/spectrecep/spectre"
+)
+
+func TestConcurrentSubmitSharedRegistry(t *testing.T) {
+	reg := spectre.NewRegistry()
+	rt, err := spectre.NewRuntime(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	const submitters = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters)
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct type and field names per goroutine force fresh
+			// interning on every path: ParseQuery (DEFINE symbol + field
+			// refs), Submit (partition-field resolution) and event
+			// construction all mutate the shared registry concurrently.
+			src := fmt.Sprintf(`
+				QUERY q%d
+				PATTERN (X Y)
+				DEFINE X AS X.symbol = 'T%d', Y AS (Y.symbol = 'T%d' AND Y.v%d >= 0)
+				WITHIN 10 EVENTS FROM X
+				CONSUME ALL
+			`, i, i, i, i)
+			q, err := spectre.ParseQuery(src, reg)
+			if err != nil {
+				errs <- fmt.Errorf("parse q%d: %w", i, err)
+				return
+			}
+			var matches atomic.Int64
+			sink := spectre.SinkFunc(func(spectre.ComplexEvent) { matches.Add(1) })
+			h, err := rt.Submit(context.Background(), q, sink,
+				spectre.WithPartitionBy(fmt.Sprintf("key%d", i)), spectre.WithShards(2))
+			if err != nil {
+				errs <- fmt.Errorf("submit q%d: %w", i, err)
+				return
+			}
+			ty, _ := reg.LookupType(fmt.Sprintf("T%d", i))
+			evs := make([]spectre.Event, 40)
+			for j := range evs {
+				evs[j] = spectre.Event{Type: ty}
+			}
+			if err := h.FeedBatch(context.Background(), evs); err != nil {
+				errs <- fmt.Errorf("feed q%d: %w", i, err)
+				return
+			}
+			h.Drain()
+			if matches.Load() == 0 {
+				errs <- fmt.Errorf("q%d detected nothing", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
