@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	spectre "github.com/spectrecep/spectre"
 )
@@ -321,6 +322,79 @@ func BenchmarkSpeculation(b *testing.B) {
 			opts := append([]spectre.Option{spectre.WithInstances(4)}, m.opts...)
 			runEngine(b, query, data.random, opts...)
 		})
+	}
+}
+
+// BenchmarkSched compares the scheduling policies end to end through
+// the public Runtime API: TopK (the paper's fixed top-k), FixedProb
+// (the Fig. 11 baseline) and Adaptive (slot pool and speculation budget
+// track observed load), each under steady and bursty arrival. On a box
+// with fewer cores than the provisioned k, adaptive should win by
+// parking the slots the machine cannot actually run.
+func BenchmarkSched(b *testing.B) {
+	data.init()
+	ctx := context.Background()
+	query := q1Query(b, 80, 1000)
+	const kmax = 8
+	schedulers := []struct {
+		label string
+		opts  []spectre.Option
+	}{
+		{"topk", []spectre.Option{spectre.WithScheduler(spectre.TopKScheduler())}},
+		{"fixedprob", []spectre.Option{spectre.WithScheduler(spectre.FixedProbScheduler(0.5))}},
+		{"adaptive", []spectre.Option{spectre.WithAdaptiveInstances(1, kmax)}},
+	}
+	const burst = 16 << 10
+	arrivals := []struct {
+		label string
+		feed  func(b *testing.B, h *spectre.Handle)
+	}{
+		{"steady", func(b *testing.B, h *spectre.Handle) {
+			for lo := 0; lo < len(data.nyse); lo += 1024 {
+				hi := min(lo+1024, len(data.nyse))
+				if err := h.FeedBatch(ctx, data.nyse[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"bursty", func(b *testing.B, h *spectre.Handle) {
+			for lo := 0; lo < len(data.nyse); lo += burst {
+				hi := min(lo+burst, len(data.nyse))
+				if err := h.FeedBatch(ctx, data.nyse[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+				if hi < len(data.nyse) {
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+		}},
+	}
+	for _, arr := range arrivals {
+		for _, sc := range schedulers {
+			b.Run(arr.label+"/"+sc.label, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					rt, err := spectre.NewRuntime(data.reg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					opts := append([]spectre.Option{
+						spectre.WithInstances(kmax),
+						spectre.WithQueueCap(8 << 10),
+					}, sc.opts...)
+					h, err := rt.Submit(ctx, query, nil, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					arr.feed(b, h)
+					h.Drain()
+					if err := rt.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(data.nyse))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+			})
+		}
 	}
 }
 

@@ -21,11 +21,22 @@
 // dying mid-write.
 //
 // -pprof serves net/http/pprof (live CPU/heap/goroutine profiles of the
-// running runtime) on a separate address, e.g. -pprof localhost:6060.
+// running runtime) on a separate address, e.g. -pprof localhost:6060,
+// plus /debug/spectre/metrics — a JSON snapshot of every live query's
+// runtime counters, including the scheduling control plane's signals
+// (current slot count, slot utilization, policy resizes, speculation
+// budget).
+//
+// -sched selects the scheduling policy for every hosted query: "topk"
+// (the paper's fixed top-k, default), "fixed=<p>" (the Fig. 11
+// constant-probability baseline) or "adaptive" (slot pool and
+// speculation budget track observed load). -adaptive-instances and
+// -adaptive-speculation bound the adaptation as "min:max" pairs.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,6 +45,8 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -54,6 +67,123 @@ type serverOpts struct {
 	shards    int
 	quiet     bool
 	fallback  string // query text for clients that send no query frame
+	schedOpts []spectre.Option
+}
+
+// parseSchedFlags converts the -sched / -adaptive-* flags into engine
+// options. schedExplicit reports whether -sched was given on the
+// command line: the -adaptive-* bounds imply the adaptive policy, so
+// combining them with an explicitly different -sched is a
+// contradiction rejected at startup.
+func parseSchedFlags(sched string, schedExplicit bool, instances, speculation string) ([]spectre.Option, error) {
+	if schedExplicit && sched != "adaptive" && (instances != "" || speculation != "") {
+		return nil, fmt.Errorf("-sched %q contradicts -adaptive-instances/-adaptive-speculation (they imply -sched adaptive)", sched)
+	}
+	var opts []spectre.Option
+	switch {
+	case sched == "" || sched == "topk":
+		opts = append(opts, spectre.WithScheduler(spectre.TopKScheduler()))
+	case sched == "adaptive":
+		opts = append(opts, spectre.WithScheduler(spectre.AdaptiveScheduler()))
+	case strings.HasPrefix(sched, "fixed="):
+		p, err := strconv.ParseFloat(strings.TrimPrefix(sched, "fixed="), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-sched %q: %w", sched, err)
+		}
+		if !(p >= 0 && p <= 1) { // rejects NaN too
+			return nil, fmt.Errorf("-sched %q: probability must be in [0, 1]", sched)
+		}
+		opts = append(opts, spectre.WithScheduler(spectre.FixedProbScheduler(p)))
+	default:
+		return nil, fmt.Errorf("-sched %q: want topk, fixed=<p> or adaptive", sched)
+	}
+	bounds := func(flag, v string, opt func(min, max int) spectre.Option) error {
+		if v == "" {
+			return nil
+		}
+		lo, hi, ok := strings.Cut(v, ":")
+		min, err1 := strconv.Atoi(lo)
+		max, err2 := strconv.Atoi(hi)
+		if !ok || err1 != nil || err2 != nil {
+			return fmt.Errorf("%s %q: want min:max", flag, v)
+		}
+		// Reject invalid bounds at startup, not per connection at
+		// Submit time.
+		if min <= 0 || max < min {
+			return fmt.Errorf("%s %q: bounds must satisfy 1 <= min <= max", flag, v)
+		}
+		opts = append(opts, opt(min, max))
+		return nil
+	}
+	if err := bounds("-adaptive-instances", instances, spectre.WithAdaptiveInstances); err != nil {
+		return nil, err
+	}
+	if err := bounds("-adaptive-speculation", speculation, spectre.WithAdaptiveSpeculation); err != nil {
+		return nil, err
+	}
+	return opts, nil
+}
+
+// liveQueries tracks the connections' handles for the metrics endpoint.
+type liveQueries struct {
+	mu sync.Mutex
+	m  map[int]*liveQuery
+}
+
+type liveQuery struct {
+	Conn  int    `json:"conn"`
+	Query string `json:"query"`
+	h     *spectre.Handle
+}
+
+func newLiveQueries() *liveQueries { return &liveQueries{m: make(map[int]*liveQuery)} }
+
+func (l *liveQueries) add(id int, name string, h *spectre.Handle) {
+	l.mu.Lock()
+	l.m[id] = &liveQuery{Conn: id, Query: name, h: h}
+	l.mu.Unlock()
+}
+
+func (l *liveQueries) remove(id int) {
+	l.mu.Lock()
+	delete(l.m, id)
+	l.mu.Unlock()
+}
+
+// queryMetrics is the JSON shape of one live query's counters: the full
+// Metrics struct plus the derived utilization and shard count.
+type queryMetrics struct {
+	Conn            int     `json:"conn"`
+	Query           string  `json:"query"`
+	Shards          int     `json:"shards"`
+	SlotUtilization float64 `json:"slotUtilization"`
+	spectre.Metrics
+}
+
+// serveMetrics writes the JSON snapshot of every live query. Registered
+// on the DefaultServeMux, which -pprof serves.
+func (l *liveQueries) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	l.mu.Lock()
+	live := make([]*liveQuery, 0, len(l.m))
+	for _, q := range l.m {
+		live = append(live, q)
+	}
+	l.mu.Unlock()
+	out := make([]queryMetrics, 0, len(live))
+	for _, q := range live {
+		m := q.h.Metrics()
+		out = append(out, queryMetrics{
+			Conn:            q.Conn,
+			Query:           q.Query,
+			Shards:          q.h.Shards(),
+			SlotUtilization: m.SlotUtilization(),
+			Metrics:         m,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
 }
 
 func run() error {
@@ -66,9 +196,25 @@ func run() error {
 		maxConns     = flag.Int("max-conns", 0, "exit after this many connections (0 = serve forever)")
 		quiet        = flag.Bool("quiet", false, "suppress per-event output (throughput measurements)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline after SIGINT/SIGTERM")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and /debug/spectre/metrics on this address (e.g. localhost:6060); empty disables")
+		schedFlag    = flag.String("sched", "topk", "scheduling policy: topk, fixed=<p> or adaptive")
+		adaptInst    = flag.String("adaptive-instances", "", "adaptive slot-pool bounds as min:max (implies -sched adaptive)")
+		adaptSpec    = flag.String("adaptive-speculation", "", "adaptive speculation-budget bounds as min:max (implies -sched adaptive)")
 	)
 	flag.Parse()
+
+	schedExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sched" {
+			schedExplicit = true
+		}
+	})
+	schedOpts, err := parseSchedFlags(*schedFlag, schedExplicit, *adaptInst, *adaptSpec)
+	if err != nil {
+		return err
+	}
+	live := newLiveQueries()
+	http.HandleFunc("/debug/spectre/metrics", live.serveMetrics)
 
 	if *pprofAddr != "" {
 		// DefaultServeMux carries the /debug/pprof handlers via the
@@ -87,7 +233,7 @@ func run() error {
 		}()
 	}
 
-	opts := serverOpts{instances: *instances, shards: *shards, quiet: *quiet}
+	opts := serverOpts{instances: *instances, shards: *shards, quiet: *quiet, schedOpts: schedOpts}
 	if *queryFile != "" {
 		src, err := os.ReadFile(*queryFile)
 		if err != nil {
@@ -144,7 +290,7 @@ func run() error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := serveConn(ctx, rt, conn, id, opts); err != nil {
+			if err := serveConn(ctx, rt, conn, id, opts, live); err != nil {
 				fmt.Fprintf(os.Stderr, "spectre-server: conn %d: %v\n", id, err)
 			}
 		}()
@@ -167,7 +313,7 @@ func run() error {
 // runtime, feed its event stream, drain and report. A done ctx unwedges
 // the connection read and drains what was admitted instead of dying
 // mid-stream.
-func serveConn(ctx context.Context, rt *spectre.Runtime, conn net.Conn, id int, opts serverOpts) error {
+func serveConn(ctx context.Context, rt *spectre.Runtime, conn net.Conn, id int, opts serverOpts, live *liveQueries) error {
 	defer conn.Close()
 	stopWatch := transport.AbortReadsOnDone(ctx, conn)
 	defer stopWatch()
@@ -194,6 +340,7 @@ func serveConn(ctx context.Context, rt *spectre.Runtime, conn net.Conn, id int, 
 	}
 
 	subOpts := []spectre.Option{spectre.WithInstances(opts.instances)}
+	subOpts = append(subOpts, opts.schedOpts...)
 	if opts.shards > 0 && query.Partition != nil {
 		subOpts = append(subOpts, spectre.WithShards(opts.shards))
 	}
@@ -209,6 +356,8 @@ func serveConn(ctx context.Context, rt *spectre.Runtime, conn net.Conn, id int, 
 	}
 	fmt.Fprintf(os.Stderr, "spectre-server: conn %d: query %s on %d shard(s)\n",
 		id, h.Name(), h.Shards())
+	live.add(id, h.Name(), h)
+	defer live.remove(id)
 
 	src, srcErr := transport.SourceFromReader(r)
 	start := time.Now()

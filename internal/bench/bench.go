@@ -518,6 +518,7 @@ func (o *Options) Experiments() map[string]func() ([]Row, error) {
 		"partition":   o.Partitioned,
 		"feedbatch":   o.FeedBatch,
 		"speculation": o.Speculation,
+		"sched":       o.Sched,
 	}
 }
 
@@ -525,6 +526,7 @@ func (o *Options) Experiments() map[string]func() ([]Row, error) {
 var ExperimentOrder = []string{
 	"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
 	"fig11a", "fig11b", "trex", "partition", "feedbatch", "speculation",
+	"sched",
 }
 
 // RunAll executes every experiment in order.

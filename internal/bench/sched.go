@@ -1,0 +1,139 @@
+// Scheduling-policy comparison: steady versus bursty arrival over the
+// Fig. 10(a) workload family under the three scheduling policies (TopK,
+// FixedProb, Adaptive). This experiment goes beyond the paper's figures:
+// it measures what the scheduling control plane buys when the arrival
+// process is not a benchmark's full-rate replay — the regime the
+// adaptive policy's signals (queue depth, slot utilization, rollback
+// rate) are designed for.
+package bench
+
+import (
+	"context"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/core"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/queries"
+	"github.com/spectrecep/spectre/internal/sched"
+	"github.com/spectrecep/spectre/internal/stats"
+)
+
+// schedQueueCap bounds the shard intake queue of the sched experiment:
+// small enough that a burst overflows it (the overload signal fires),
+// large enough that steady feeding stays smooth.
+const schedQueueCap = 8 << 10
+
+// schedBurstGap is the idle gap between bursts of the bursty arrival.
+const schedBurstGap = 15 * time.Millisecond
+
+// schedPolicies are the compared scheduling configurations; kmax is the
+// fixed instance count of the static policies and the adaptive ceiling.
+func schedPolicies(kmax int) []struct {
+	label string
+	cfg   sched.Config
+} {
+	return []struct {
+		label string
+		cfg   sched.Config
+	}{
+		{"topk", sched.Config{Kind: sched.TopK}},
+		{"fixedprob=0.5", sched.Config{Kind: sched.FixedProb, FixedP: 0.5}},
+		{"adaptive", sched.Config{Kind: sched.Adaptive, MinSlots: 1, MaxSlots: kmax}},
+	}
+}
+
+// Sched measures end-to-end throughput (feed start to drain) of the
+// Fig. 10(a) Q1 workload under each scheduling policy, for two arrival
+// processes: steady (batches fed back to back, backpressure-paced) and
+// bursty (queue-overflowing bursts separated by idle gaps). The
+// reported counters show what the control plane did: resizes applied,
+// final slot count and cycle-weighted slot utilization.
+func (o *Options) Sched() ([]Row, error) {
+	o.setDefaults()
+	reg := event.NewRegistry()
+	events := o.nyseData(reg)
+	qsize := int(0.08 * float64(o.WindowSize))
+	if qsize < 1 {
+		qsize = 1
+	}
+	q, err := queries.Q1(reg, queries.Q1Config{Q: qsize, WindowSize: o.WindowSize, Leaders: o.NYSELeaders})
+	if err != nil {
+		return nil, err
+	}
+	kmax := o.Instances[len(o.Instances)-1]
+	burst := schedQueueCap * 2
+
+	arrivals := []struct {
+		label string
+		feed  func(h *core.Handle) error
+	}{
+		{"steady", func(h *core.Handle) error {
+			for i := 0; i < len(events); i += 1024 {
+				end := i + 1024
+				if end > len(events) {
+					end = len(events)
+				}
+				if err := h.FeedBatch(context.Background(), events[i:end]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"bursty", func(h *core.Handle) error {
+			for i := 0; i < len(events); i += burst {
+				end := i + burst
+				if end > len(events) {
+					end = len(events)
+				}
+				if err := h.FeedBatch(context.Background(), events[i:end]); err != nil {
+					return err
+				}
+				if end < len(events) {
+					time.Sleep(schedBurstGap)
+				}
+			}
+			return nil
+		}},
+	}
+
+	o.printf("\n== Sched: steady vs bursty arrival under TopK / FixedProb / Adaptive (Q1 q=%d ws=%d, k=%d, queue=%d) ==\n",
+		qsize, o.WindowSize, kmax, schedQueueCap)
+	o.printf("%-24s %14s %9s %6s %7s\n", "arrival/policy", "med ev/s", "resizes", "slots", "util")
+	var rows []Row
+	for _, arr := range arrivals {
+		for _, pol := range schedPolicies(kmax) {
+			var series stats.Series
+			var last core.Metrics
+			for r := 0; r < o.Repeats; r++ {
+				cfg := core.Config{Instances: kmax, QueueCap: schedQueueCap, Sched: pol.cfg}
+				rt := core.NewRuntime(core.RuntimeConfig{})
+				h, err := rt.Submit(q, cfg, nil, 1, nil, nil)
+				if err != nil {
+					rt.Close()
+					return nil, err
+				}
+				start := time.Now()
+				err = arr.feed(h)
+				h.Drain()
+				elapsed := time.Since(start)
+				if err == nil {
+					series.Add(stats.Throughput(uint64(len(events)), elapsed))
+					last = h.Metrics()
+				}
+				rt.Close()
+				if err != nil {
+					return nil, err
+				}
+			}
+			c := series.Candles()
+			label := arr.label + "/" + pol.label
+			rows = append(rows, Row{
+				Figure: "sched", Label: label, K: kmax,
+				Value: c.Median, Metric: "events/sec", Candles: c,
+			})
+			o.printf("%-24s %14.0f %9d %6d %7.2f\n",
+				label, c.Median, last.PolicyResizes, last.CurSlots, last.SlotUtilization())
+		}
+	}
+	return rows, nil
+}

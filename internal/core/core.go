@@ -35,6 +35,7 @@ import (
 	"github.com/spectrecep/spectre/internal/deptree"
 	"github.com/spectrecep/spectre/internal/markov"
 	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/sched"
 )
 
 // ErrOverloaded is the sentinel matched (via errors.Is) by every
@@ -104,6 +105,17 @@ type Config struct {
 	// (correct, near-sequential) until the backlog drains — raise the
 	// cap for such window-heavy workloads.
 	MaxSpeculation int
+	// Sched selects the scheduling policy of every shard (which window
+	// versions get the operator slots and how the slot pool and
+	// speculation budget are sized at runtime). The zero value is the
+	// paper's static top-k policy with Instances slots. MaxSpeculation
+	// and Instances remain the hard ceilings of the adaptive policy.
+	Sched sched.Config
+	// SchedFactory overrides Sched with a custom per-shard policy
+	// (white-box tests and embedders). Each call must return a fresh
+	// instance: a policy is owned by one shard's splitter. The slot-pool
+	// ceiling still comes from Instances and Sched.MaxSlots.
+	SchedFactory func() sched.Policy
 	// Partition overrides the query's PARTITION BY specification. It is
 	// interpreted by the public Runtime layer (core itself never routes);
 	// a single Engine ignores it.
@@ -178,6 +190,23 @@ type Metrics struct {
 	VersionsSeeded  uint64 // fresh versions seeded from a checkpoint
 	SeededEvents    uint64 // window positions skipped through seeding
 	PartialRolls    uint64 // rollbacks restarted from a checkpoint
+
+	// Control-plane counters (the scheduling layer).
+	PolicyResizes    uint64 // slot-pool / speculation-budget resizes applied
+	SlotCyclesActive uint64 // Σ over cycles of the active (unparked) slot count
+	SlotCyclesBusy   uint64 // Σ over cycles of active slots holding an assignment
+	CurSlots         int    // current active slot count (gauge; Merge sums shards)
+	CurSpeculation   int    // current speculation budget (gauge; Merge sums shards)
+}
+
+// SlotUtilization reports the cycle-weighted fraction of active slots
+// that held an assignment — the load signal the adaptive policy resizes
+// on. 1.0 means every unparked slot was busy every cycle.
+func (m *Metrics) SlotUtilization() float64 {
+	if m.SlotCyclesActive == 0 {
+		return 0
+	}
+	return float64(m.SlotCyclesBusy) / float64(m.SlotCyclesActive)
 }
 
 // Merge folds o into m: counters add, high-water marks take the maximum.
@@ -205,6 +234,11 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.VersionsSeeded += o.VersionsSeeded
 	m.SeededEvents += o.SeededEvents
 	m.PartialRolls += o.PartialRolls
+	m.PolicyResizes += o.PolicyResizes
+	m.SlotCyclesActive += o.SlotCyclesActive
+	m.SlotCyclesBusy += o.SlotCyclesBusy
+	m.CurSlots += o.CurSlots
+	m.CurSpeculation += o.CurSpeculation
 }
 
 // metricsBox guards the metrics counters shared by the splitter and the

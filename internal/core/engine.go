@@ -15,6 +15,7 @@ import (
 	"github.com/spectrecep/spectre/internal/markov"
 	"github.com/spectrecep/spectre/internal/matcher"
 	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/sched"
 	"github.com/spectrecep/spectre/internal/stream"
 	"github.com/spectrecep/spectre/internal/window"
 )
@@ -70,10 +71,21 @@ func (p *program) newPredictor() (markov.Predictor, error) {
 // slot is one operator-instance scheduling slot of a shard. The splitter
 // publishes the assigned window version through wv; whichever worker
 // claims busy processes the next batch with the slot's scratch state.
+//
+// The slot pool is resizable: only the first activeSlots slots take
+// assignments. A dedicated slot goroutine whose index moves past the
+// active count parks on wake (zero wake-ups until the pool grows back);
+// pool workers simply skip parked slots.
 type slot struct {
 	wv   atomic.Pointer[deptree.WindowVersion]
 	busy atomic.Bool
 	w    *worker
+	// wake unparks the slot's dedicated goroutine after a pool grow
+	// (buffered so a grow that races the park is never lost).
+	wake chan struct{}
+	// loops counts scheduling-loop iterations while active. White-box
+	// tests assert a parked slot's counter freezes.
+	loops atomic.Uint64
 }
 
 // shardState is the complete per-(query, shard) run state of the SPECTRE
@@ -92,9 +104,22 @@ type shardState struct {
 	ckpts    *ckptStore
 
 	fq    feedbackQueue
-	slots []slot
+	slots []slot // capacity: the config's slot ceiling
 	// assigned mirrors the slots for the splitter's bookkeeping (Fig. 7).
 	assigned []*deptree.WindowVersion
+	// activeSlots is the effective slot-pool size k; slots beyond it are
+	// parked. Written by the splitter (policy decisions), read by slot
+	// goroutines and pool workers.
+	activeSlots atomic.Int32
+	// policy is the scheduling policy (splitter only).
+	policy sched.Policy
+	// rollbacks/partialRolls duplicate the metrics counters as cheap
+	// atomics for the per-cycle policy signals (instances write, the
+	// splitter reads).
+	rollbacks    atomic.Uint64
+	partialRolls atomic.Uint64
+	lastSelected int   // versions handed out by the previous Select (splitter only)
+	freeBuf      []int // schedule() scratch (splitter only)
 
 	cgSeq      atomic.Uint64
 	versionSeq uint64 // splitter only
@@ -122,6 +147,7 @@ func newShard(prog *program) (*shardState, error) {
 	if err != nil {
 		return nil, err
 	}
+	ceiling := prog.cfg.Sched.SlotCeiling(prog.cfg.Instances)
 	s := &shardState{
 		prog:     prog,
 		ar:       arena.New(),
@@ -129,13 +155,25 @@ func newShard(prog *program) (*shardState, error) {
 		winMgr:   window.NewManager(prog.query.Window),
 		pred:     pred,
 		ckpts:    newCkptStore(),
-		slots:    make([]slot, prog.cfg.Instances),
-		assigned: make([]*deptree.WindowVersion, prog.cfg.Instances),
+		slots:    make([]slot, ceiling),
+		assigned: make([]*deptree.WindowVersion, ceiling),
 		done:     make(chan struct{}),
 	}
 	for i := range s.slots {
 		s.slots[i].w = newWorker(s)
+		s.slots[i].wake = make(chan struct{}, 1)
 	}
+	if prog.cfg.SchedFactory != nil {
+		s.policy = prog.cfg.SchedFactory()
+	} else {
+		s.policy = prog.cfg.Sched.New(prog.cfg.Instances, prog.cfg.MaxSpeculation)
+	}
+	s.activeSlots.Store(int32(prog.cfg.Sched.InitialSlots(prog.cfg.Instances)))
+	cur, spec := int(s.activeSlots.Load()), prog.cfg.MaxSpeculation
+	s.metrics.add(func(m *Metrics) {
+		m.CurSlots = cur
+		m.CurSpeculation = spec
+	})
 	s.tree = deptree.NewTree(s.newVersion)
 	s.tree.CapSize = prog.cfg.MaxSpeculation
 	s.tree.OnDrop = func(wv *deptree.WindowVersion) {
@@ -253,7 +291,6 @@ func (s *shardState) splitCycle() bool {
 	}
 
 	s.schedule()
-	s.metrics.add(func(m *Metrics) { m.Cycles++ })
 	return worked
 }
 
@@ -485,10 +522,38 @@ func (s *shardState) drainOutputs(wv *deptree.WindowVersion) bool {
 	return true
 }
 
-// schedule selects the top-k window versions and assigns the difference
-// to free slots (paper Fig. 7: already-scheduled versions stay put).
+// schedule is one control-plane round: feed the cycle's signals to the
+// policy, apply its sizing decision (resizing the slot pool and the
+// speculation budget), then let the policy pick the window versions for
+// the active slots and assign the difference (paper Fig. 7:
+// already-scheduled versions stay put).
 func (s *shardState) schedule() {
-	k := len(s.slots)
+	active := int(s.activeSlots.Load())
+	busy := 0
+	for i := 0; i < active; i++ {
+		if s.assigned[i] != nil {
+			busy++
+		}
+	}
+	dec := s.policy.Tune(sched.Signals{
+		SlotsActive:  active,
+		SlotsBusy:    busy,
+		Selected:     s.lastSelected,
+		QueueDepth:   s.feed.depth(),
+		QueueCap:     s.prog.cfg.QueueCap,
+		TreeSize:     s.tree.Size(),
+		SpecBudget:   s.tree.CapSize,
+		Rollbacks:    s.rollbacks.Load(),
+		PartialRolls: s.partialRolls.Load(),
+		InputDone:    s.inputDone.Load(),
+	})
+	s.applyDecision(dec)
+	// busy was measured against the pre-resize pool; keep the
+	// utilization counters on that same instant so busy/active stays a
+	// true fraction even on resize cycles.
+	sigActive := active
+	active = int(s.activeSlots.Load())
+
 	arenaLen := s.ar.Len()
 	avgSize := s.winMgr.AvgSize()
 	inputDone := s.inputDone.Load()
@@ -509,11 +574,22 @@ func (s *shardState) schedule() {
 			return false
 		}
 		pos := wv.Pos()
+		end := wv.Win.EndSeq()
 		limit := arenaLen
-		if end := wv.Win.EndSeq(); end < limit {
+		if end < limit {
 			limit = end
 		}
 		if pos < limit {
+			return true
+		}
+		// A version parked exactly at its resolved window end has all
+		// its input but still needs one scheduling round to run its
+		// window-end logic. Normally processSpan finishes such a version
+		// in the same batch that reaches the boundary, but a version
+		// released by a slot-pool shrink (its slot withdrawn before the
+		// next batch ran) can be stranded there; without this clause the
+		// root chain would deadlock.
+		if end != window.UnknownEnd && pos >= end {
 			return true
 		}
 		// A version that consumed all available input still needs one
@@ -522,16 +598,29 @@ func (s *shardState) schedule() {
 		return inputDone && pos >= arenaLen
 	}
 
-	s.topkBuf = s.tree.TopK(k, probOf, eligible, s.topkBuf[:0])
+	s.topkBuf = s.policy.Select(
+		sched.Env{Tree: s.tree, Prob: probOf, Eligible: eligible},
+		active, s.topkBuf[:0])
+	s.lastSelected = len(s.topkBuf)
 	s.schedMark++
 
 	for _, wv := range s.topkBuf {
 		wv.SchedMark = s.schedMark
 	}
-	// First pass: free slots whose assignment fell out of the top-k
-	// (or was dropped/finished).
-	var free []int
+	// First pass: free slots whose assignment fell out of the top-k (or
+	// was dropped/finished), and strip assignments from slots a shrink
+	// parked — their versions must be free for re-assignment to an
+	// active slot.
+	free := s.freeBuf[:0]
 	for i, cur := range s.assigned {
+		if i >= active {
+			if cur != nil {
+				cur.SetScheduledOn(-1)
+				s.slots[i].wv.Store(nil)
+				s.assigned[i] = nil
+			}
+			continue
+		}
 		if cur == nil {
 			free = append(free, i)
 			continue
@@ -549,18 +638,65 @@ func (s *shardState) schedule() {
 		if wv.ScheduledOn() >= 0 {
 			continue
 		}
-		if len(free) == 0 {
+		if scheduled == len(free) {
 			break
 		}
-		i := free[0]
-		free = free[1:]
+		i := free[scheduled]
 		s.assigned[i] = wv
 		wv.SetScheduledOn(i)
 		s.slots[i].wv.Store(wv)
 		scheduled++
 	}
-	if scheduled > 0 {
-		s.metrics.add(func(m *Metrics) { m.SchedulesIssued += uint64(scheduled) })
+	s.freeBuf = free[:0]
+	// One metrics acquisition per cycle: the cycle counter rides along
+	// with the control-plane counters.
+	s.metrics.add(func(m *Metrics) {
+		m.Cycles++
+		m.SchedulesIssued += uint64(scheduled)
+		m.SlotCyclesActive += uint64(sigActive)
+		m.SlotCyclesBusy += uint64(busy)
+	})
+}
+
+// applyDecision resizes the slot pool and the speculation budget to the
+// policy's decision. Splitter only.
+func (s *shardState) applyDecision(dec sched.Decision) {
+	resized := false
+	// Decisions are clamped, not rejected: a policy asking for more
+	// slots than the pool ceiling gets the ceiling.
+	n := dec.Slots
+	if n < 1 {
+		n = 1
+	} else if n > len(s.slots) {
+		n = len(s.slots)
+	}
+	if n != int(s.activeSlots.Load()) {
+		s.setActiveSlots(n)
+		resized = true
+	}
+	if b := dec.Spec; b >= 1 && b != s.tree.CapSize {
+		s.tree.CapSize = b
+		resized = true
+	}
+	if resized {
+		cur, spec := int(s.activeSlots.Load()), s.tree.CapSize
+		s.metrics.add(func(m *Metrics) {
+			m.PolicyResizes++
+			m.CurSlots = cur
+			m.CurSpeculation = spec
+		})
+	}
+}
+
+// setActiveSlots publishes the new effective pool size and unparks the
+// dedicated goroutines of newly activated slots. Splitter only.
+func (s *shardState) setActiveSlots(n int) {
+	old := int(s.activeSlots.Swap(int32(n)))
+	for i := old; i < n; i++ {
+		select {
+		case s.slots[i].wake <- struct{}{}:
+		default: // a wake token is already pending
+		}
 	}
 }
 
@@ -608,17 +744,19 @@ func (e *Engine) Run(ctx context.Context, src stream.Source, emit func(event.Com
 	s := e.shard
 	s.begin(&sourceFeeder{ctx: ctx, src: src}, emit)
 
-	var stop atomic.Bool
+	// One goroutine per slot up to the pool ceiling; slots beyond the
+	// current active count park until a policy decision grows the pool.
+	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for i := range s.slots {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			s.slotLoop(i, &stop)
+			s.slotLoop(i, stop)
 		}(i)
 	}
 	s.splitLoop(ctx)
-	stop.Store(true)
+	close(stop)
 	wg.Wait()
 	if s.cancelled.Load() {
 		return ctx.Err()

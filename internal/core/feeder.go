@@ -18,6 +18,9 @@ type feeder interface {
 	// ended for good. A source-backed feeder may block in next, exactly
 	// like the historical splitter blocked in Source.Next.
 	next() (ev event.Event, ok bool, done bool)
+	// depth reports the pending backlog — the queue-pressure signal of
+	// the scheduling control plane. Pull-based feeders report 0.
+	depth() int
 }
 
 // sourceFeeder adapts a blocking stream.Source, honouring the run's
@@ -52,6 +55,9 @@ func (f *sourceFeeder) next() (event.Event, bool, bool) {
 	}
 	return ev, true, false
 }
+
+// depth implements feeder: a pull-based source has no backlog.
+func (f *sourceFeeder) depth() int { return 0 }
 
 // defaultQueueCap bounds the pending backlog of one shard queue. A full
 // queue blocks push, so backpressure propagates from a slow shard to
@@ -181,6 +187,13 @@ func (q *shardQueue) discard() {
 	q.closed = true
 	q.space.Broadcast()
 	q.mu.Unlock()
+}
+
+// depth implements feeder: the pending backlog.
+func (q *shardQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf) - q.head
 }
 
 // next implements feeder. It never blocks.

@@ -3,7 +3,6 @@ package core
 import (
 	"runtime"
 	"sort"
-	"sync/atomic"
 	"time"
 
 	"github.com/spectrecep/spectre/internal/deptree"
@@ -16,9 +15,29 @@ import (
 // stop: pick up the scheduled version, process a batch, push feedback.
 // Used by the dedicated Engine.Run path (paper Fig. 8's k operator
 // instances); the Pool drives the same slots cooperatively via slotStep.
-func (s *shardState) slotLoop(i int, stop *atomic.Bool) {
+//
+// A slot whose index is at or past the active pool size is parked: the
+// goroutine blocks on its wake channel — zero wake-ups, zero CPU — until
+// a policy decision grows the pool back over it (or the run ends).
+func (s *shardState) slotLoop(i int, stop chan struct{}) {
+	sl := &s.slots[i]
 	idle := 0
-	for !stop.Load() {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if int(s.activeSlots.Load()) <= i {
+			select {
+			case <-sl.wake:
+			case <-stop:
+				return
+			}
+			idle = 0
+			continue
+		}
+		sl.loops.Add(1)
 		if s.slotStep(i) {
 			idle = 0
 			continue
@@ -419,6 +438,10 @@ func (w *worker) rollback(wv *deptree.WindowVersion) {
 	clear(w.stats)
 	w.statsSet = 0
 	w.msgs = append(w.msgs, msg{kind: msgRolledBack, wv: wv})
+	s.rollbacks.Add(1)
+	if partial {
+		s.partialRolls.Add(1)
+	}
 	s.metrics.add(func(m *Metrics) {
 		m.Rollbacks++
 		if partial {

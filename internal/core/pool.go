@@ -107,7 +107,9 @@ func (p *Pool) worker(id int) {
 			if s.splitterStep() {
 				worked = true
 			}
-			for i := range s.slots {
+			// Only the active prefix of the slot pool takes assignments;
+			// parked slots are skipped entirely (zero wake-ups).
+			for i, n := 0, int(s.activeSlots.Load()); i < n; i++ {
 				if s.slotStep(i) {
 					worked = true
 				}

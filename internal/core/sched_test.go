@@ -1,0 +1,389 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/dataset"
+	"github.com/spectrecep/spectre/internal/deptree"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/queries"
+	"github.com/spectrecep/spectre/internal/sched"
+)
+
+// oscPolicy is a scripted control plane for tests: top-k selection, but
+// the slot pool and speculation budget oscillate between two sizes on a
+// fixed cycle period — the hardest resize schedule (shrink and grow
+// mid-run, over and over).
+type oscPolicy struct {
+	inner          sched.Policy
+	cycle, period  int
+	loK, hiK       int
+	loSpec, hiSpec int
+}
+
+func (p *oscPolicy) Select(env sched.Env, k int, out []*deptree.WindowVersion) []*deptree.WindowVersion {
+	return p.inner.Select(env, k, out)
+}
+
+func (p *oscPolicy) Tune(sched.Signals) sched.Decision {
+	p.cycle++
+	if (p.cycle/p.period)%2 == 0 {
+		return sched.Decision{Slots: p.hiK, Spec: p.hiSpec}
+	}
+	return sched.Decision{Slots: p.loK, Spec: p.loSpec}
+}
+
+// schedPolicies enumerates the scheduling configurations the equivalence
+// suite sweeps: the paper's static top-k, the Fig. 11 fixed-probability
+// baseline at both extremes and the midpoint, the adaptive policy on an
+// aggressive cadence, and a scripted mid-run resize schedule.
+func schedPolicies(k int) []struct {
+	label string
+	apply func(*Config)
+} {
+	return []struct {
+		label string
+		apply func(*Config)
+	}{
+		{"topk", func(*Config) {}},
+		{"fixedprob=0", func(c *Config) { c.Sched = sched.Config{Kind: sched.FixedProb, FixedP: 0} }},
+		{"fixedprob=0.5", func(c *Config) { c.Sched = sched.Config{Kind: sched.FixedProb, FixedP: 0.5} }},
+		{"fixedprob=1", func(c *Config) { c.Sched = sched.Config{Kind: sched.FixedProb, FixedP: 1} }},
+		{"adaptive", func(c *Config) {
+			c.Sched = sched.Config{
+				Kind: sched.Adaptive, MinSlots: 1, MaxSlots: k + 2,
+				MinSpec: 16, AdjustEvery: 4, Procs: k + 2,
+			}
+		}},
+		{"oscillating", func(c *Config) {
+			c.Sched = sched.Config{MaxSlots: k + 2} // raises the pool ceiling
+			c.SchedFactory = func() sched.Policy {
+				return &oscPolicy{
+					inner:  sched.Config{}.New(k, 256),
+					period: 16,
+					loK:    1, hiK: k + 2,
+					loSpec: 16, hiSpec: 256,
+				}
+			}
+		}},
+	}
+}
+
+// TestPolicyEquivalence is the cross-policy flagship: the delivered
+// output must be byte-identical to the sequential reference under every
+// scheduling policy — including mid-run shrinks and grows of the slot
+// pool and the speculation budget. The scheduling layer sits above the
+// §4.2 validation gate, so it may only change performance, never output.
+func TestPolicyEquivalence(t *testing.T) {
+	reg := event.NewRegistry()
+	nyse := dataset.NYSE(reg, dataset.NYSEConfig{Symbols: 40, Leaders: 4, Minutes: 120, Seed: 11})
+	q1, err := queries.Q1(reg, queries.Q1Config{Q: 8, WindowSize: 300, Leaders: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regR := event.NewRegistry()
+	random := dataset.Rand(regR, dataset.RandConfig{Symbols: 8, Events: 6000, Seed: 7})
+	q3, err := queries.Q3(regR, queries.Q3Config{SetSize: 3, WindowSize: 150, Slide: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workloads := []struct {
+		label  string
+		q      *pattern.Query
+		events []event.Event
+	}{
+		{"q1", q1, nyse},
+		{"q3-consume-all", q3, random},
+	}
+	const k = 4
+	for _, wl := range workloads {
+		want := runSequential(t, wl.q, wl.events)
+		if len(want) == 0 {
+			t.Fatalf("%s produced no matches; test is vacuous", wl.label)
+		}
+		for _, pol := range schedPolicies(k) {
+			t.Run(wl.label+"/"+pol.label, func(t *testing.T) {
+				cfg := Config{Instances: k, BatchSize: 32, ConsistencyCheckEvery: 8}
+				pol.apply(&cfg)
+				got, eng := runSpectre(t, wl.q, wl.events, cfg)
+				assertSameOutput(t, pol.label, got, want)
+				m := eng.MetricsSnapshot()
+				if m.SlotCyclesActive == 0 {
+					t.Fatal("slot-utilization counters must be populated")
+				}
+				if u := m.SlotUtilization(); u < 0 || u > 1 {
+					t.Fatalf("slot utilization %f out of [0, 1] (busy/active skewed across a resize?)", u)
+				}
+				if pol.label == "oscillating" && m.PolicyResizes == 0 {
+					t.Fatal("the oscillating policy must have resized the pool")
+				}
+			})
+		}
+	}
+}
+
+// TestPolicyEquivalencePool runs the same cross-policy check through the
+// pool-driven Runtime path (cooperative splitter + slot steps instead of
+// dedicated goroutines).
+func TestPolicyEquivalencePool(t *testing.T) {
+	reg := event.NewRegistry()
+	events := dataset.NYSE(reg, dataset.NYSEConfig{Symbols: 30, Leaders: 3, Minutes: 100, Seed: 19})
+	q, err := queries.Q1(reg, queries.Q1Config{Q: 6, WindowSize: 250, Leaders: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runSequential(t, q, events)
+	if len(want) == 0 {
+		t.Fatal("workload produced no matches; test is vacuous")
+	}
+	const k = 3
+	for _, pol := range schedPolicies(k) {
+		t.Run(pol.label, func(t *testing.T) {
+			cfg := Config{Instances: k, BatchSize: 32}
+			pol.apply(&cfg)
+			rt := NewRuntime(RuntimeConfig{Workers: 2})
+			defer rt.Close()
+			var got []event.Complex
+			h, err := rt.Submit(q, cfg, nil, 1, func(ce event.Complex) {
+				got = append(got, ce)
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range events {
+				if err := h.Feed(t.Context(), ev); err != nil {
+					t.Fatal(err)
+				}
+			}
+			h.Drain()
+			assertSameOutput(t, pol.label, got, want)
+		})
+	}
+}
+
+// stuckShard builds a shard over two count windows with the stream
+// ended, whose first window's root version is stranded exactly at the
+// window end boundary (pos == EndSeq) without having run its window-end
+// logic — the state a slot-pool shrink can leave behind when it
+// withdraws a slot between batches.
+func stuckShard(t *testing.T, factory func() sched.Policy) *shardState {
+	t.Helper()
+	reg := event.NewRegistry()
+	ta, tb := reg.TypeID("A"), reg.TypeID("B")
+	p := pattern.Seq("stuck",
+		pattern.Step{Name: "A", Types: []event.Type{ta}, Consume: true},
+		pattern.Step{Name: "B", Types: []event.Type{tb}, Consume: true},
+	)
+	q := &pattern.Query{
+		Name:    "stuck",
+		Pattern: *p,
+		Window: pattern.WindowSpec{
+			StartKind: pattern.StartEvery, Every: 64,
+			EndKind: pattern.EndCount, Count: 64,
+		},
+	}
+	cfg := Config{Instances: 4}
+	cfg.Sched = sched.Config{MaxSlots: 4}
+	cfg.SchedFactory = factory
+	prog, err := compile(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newShard(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 80 events: window [0,64) resolves its end inside the stream,
+	// window [64,128) is cut short by stream end.
+	queue := newShardQueue(1024)
+	s.begin(queue, nil)
+	for i := 0; i < 80; i++ {
+		ty := ta
+		if i%2 == 1 {
+			ty = tb
+		}
+		if err := queue.push(t.Context(), event.Event{TS: int64(i), Type: ty}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queue.close()
+	// Ingest everything (one splitter cycle ingests up to IngestBatch,
+	// default 1024) so both windows exist and input is done.
+	s.splitCycle()
+	if !s.inputDone.Load() {
+		t.Fatal("input must be done after ingesting the closed queue")
+	}
+	root := s.tree.Root()
+	if root == nil {
+		t.Fatal("no root window")
+	}
+	wv := root.WV
+	end := wv.Win.EndSeq()
+	if end != 64 {
+		t.Fatalf("first window end = %d, want 64", end)
+	}
+	// Strand the root version at the boundary: all input processed, the
+	// window-end logic not yet run, no slot assignment.
+	wv.Mu.Lock()
+	wv.State = s.prog.compiled.NewState()
+	wv.SetPos(end)
+	wv.Mu.Unlock()
+	if on := wv.ScheduledOn(); on >= 0 {
+		s.assigned[on] = nil
+		s.slots[on].wv.Store(nil)
+		wv.SetScheduledOn(-1)
+	}
+	return s
+}
+
+// TestEndBoundaryEligibleAfterShrink reproduces the pos == end strand
+// under a shrunken slot pool and asserts the end-of-stream eligibility
+// extension still offers the version one final scheduling round — the
+// run must drain instead of deadlocking the root chain.
+func TestEndBoundaryEligibleAfterShrink(t *testing.T) {
+	// The policy pins the pool to a single slot: the shrunken regime.
+	s := stuckShard(t, func() sched.Policy {
+		return &oscPolicy{inner: sched.Config{}.New(1, 256), period: 1 << 30, loK: 1, hiK: 1, loSpec: 256, hiSpec: 256}
+	})
+	for i := 0; i < 10000 && !s.runComplete(); i++ {
+		s.splitCycle()
+		for j, n := 0, int(s.activeSlots.Load()); j < n; j++ {
+			s.slotStep(j)
+		}
+	}
+	if !s.runComplete() {
+		root := s.tree.Root()
+		t.Fatalf("run deadlocked; root version pos=%d end=%d finished=%v",
+			root.WV.Pos(), root.WV.Win.EndSeq(), root.WV.Finished())
+	}
+}
+
+// TestSlotPoolParksIdleSlots is the white-box park check: when the
+// adaptive policy shrinks the pool, the dedicated goroutines of the
+// withdrawn slots must block on their wake channels — zero loop
+// iterations, zero wake-ups — until the pool grows back.
+func TestSlotPoolParksIdleSlots(t *testing.T) {
+	var grow atomic.Bool
+	factory := func() sched.Policy {
+		return policyFunc(func() sched.Decision {
+			if grow.Load() {
+				return sched.Decision{Slots: 4, Spec: 256}
+			}
+			return sched.Decision{Slots: 1, Spec: 256}
+		})
+	}
+	reg := event.NewRegistry()
+	ta := reg.TypeID("A")
+	p := pattern.Seq("park", pattern.Step{Name: "A", Types: []event.Type{ta}})
+	q := &pattern.Query{
+		Name:    "park",
+		Pattern: *p,
+		Window: pattern.WindowSpec{
+			StartKind: pattern.StartEvery, Every: 8,
+			EndKind: pattern.EndCount, Count: 8,
+		},
+	}
+	cfg := Config{Instances: 4}
+	cfg.SchedFactory = factory
+	prog, err := compile(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newShard(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queue := newShardQueue(1024)
+	s.begin(queue, nil)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := range s.slots {
+			go s.slotLoop(i, stop)
+		}
+	}()
+	<-done
+	defer close(stop)
+
+	// One scheduling cycle applies the shrink to 1 slot.
+	s.splitCycle()
+	if got := int(s.activeSlots.Load()); got != 1 {
+		t.Fatalf("active slots = %d, want 1", got)
+	}
+	// Give the withdrawn goroutines time to observe the shrink and park.
+	time.Sleep(20 * time.Millisecond)
+	var parked [4]uint64
+	for i := 1; i < 4; i++ {
+		parked[i] = s.slots[i].loops.Load()
+	}
+	active0 := s.slots[0].loops.Load()
+	time.Sleep(50 * time.Millisecond)
+	for i := 1; i < 4; i++ {
+		if now := s.slots[i].loops.Load(); now != parked[i] {
+			t.Fatalf("parked slot %d iterated (%d -> %d); wake-ups must be zero", i, parked[i], now)
+		}
+	}
+	if now := s.slots[0].loops.Load(); now == active0 {
+		t.Fatal("the active slot must keep iterating while parked slots freeze")
+	}
+
+	// Grow back: the parked goroutines must wake and iterate again.
+	grow.Store(true)
+	s.splitCycle()
+	if got := int(s.activeSlots.Load()); got != 4 {
+		t.Fatalf("active slots after grow = %d, want 4", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for i := 1; i < 4; i++ {
+		for s.slots[i].loops.Load() == parked[i] {
+			if time.Now().After(deadline) {
+				t.Fatalf("slot %d did not wake after the pool grew", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestAdaptiveEngineShrinksOnThisMachine runs the adaptive policy on a
+// real workload and checks the control plane actually acts: with the
+// useful-parallelism cap pinned to 1, the pool must shrink from its
+// initial 4 slots and record the resize.
+func TestAdaptiveEngineShrinksOnThisMachine(t *testing.T) {
+	reg := event.NewRegistry()
+	events := dataset.NYSE(reg, dataset.NYSEConfig{Symbols: 30, Leaders: 3, Minutes: 80, Seed: 29})
+	q, err := queries.Q1(reg, queries.Q1Config{Q: 5, WindowSize: 200, Leaders: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runSequential(t, q, events)
+	cfg := Config{Instances: 4}
+	cfg.Sched = sched.Config{Kind: sched.Adaptive, MinSlots: 1, MaxSlots: 4, AdjustEvery: 8, Procs: 1}
+	got, eng := runSpectre(t, q, events, cfg)
+	assertSameOutput(t, "adaptive", got, want)
+	m := eng.MetricsSnapshot()
+	if m.PolicyResizes == 0 {
+		t.Fatal("adaptive policy capped at 1 proc must have shrunk the 4-slot pool")
+	}
+	if m.CurSlots != 1 {
+		t.Fatalf("final slot count = %d, want 1", m.CurSlots)
+	}
+	if u := m.SlotUtilization(); u <= 0 || u > 1 {
+		t.Fatalf("slot utilization %f out of range", u)
+	}
+}
+
+// policyFunc adapts a decision function into a sched.Policy with top-k
+// selection.
+type policyFunc func() sched.Decision
+
+func (f policyFunc) Select(env sched.Env, k int, out []*deptree.WindowVersion) []*deptree.WindowVersion {
+	return env.Tree.TopK(k, env.Prob, env.Eligible, out)
+}
+
+func (f policyFunc) Tune(sched.Signals) sched.Decision { return f() }

@@ -1,0 +1,112 @@
+package spectre
+
+import (
+	"fmt"
+
+	"github.com/spectrecep/spectre/internal/core"
+	"github.com/spectrecep/spectre/internal/sched"
+)
+
+// Scheduler selects the scheduling policy of an engine or a submitted
+// query: which window versions occupy the k operator-instance slots each
+// maintenance cycle, and how the slot pool and the speculation budget
+// are sized at runtime. Obtain one from TopKScheduler,
+// FixedProbScheduler or AdaptiveScheduler and install it with
+// WithScheduler.
+//
+// Every policy sits above the engine's final validation gate: the
+// delivered output is byte-identical to sequential processing under each
+// of them. Policies change throughput, latency and resource usage —
+// never results.
+type Scheduler struct {
+	cfg sched.Config
+	err error
+}
+
+// String names the scheduler.
+func (s Scheduler) String() string { return s.cfg.Kind.String() }
+
+// TopKScheduler is the paper's scheduling policy (Fig. 7) and the
+// default: a fixed pool of k slots (WithInstances) assigned to the k
+// window versions with the highest survival probability under the
+// learned completion model.
+func TopKScheduler() Scheduler {
+	return Scheduler{cfg: sched.Config{Kind: sched.TopK}}
+}
+
+// FixedProbScheduler is the baseline of the paper's Figure 11: top-k
+// scheduling under a constant completion probability p in [0, 1] for
+// every open consumption group, instead of the learned Markov model.
+// Resolved groups keep their certain outcome. Use it to reproduce the
+// figure or as a model-free reference point.
+func FixedProbScheduler(p float64) Scheduler {
+	if !(p >= 0 && p <= 1) { // negated form rejects NaN too
+		return Scheduler{err: fmt.Errorf("spectre: FixedProbScheduler(%g): probability must be in [0, 1]", p)}
+	}
+	return Scheduler{cfg: sched.Config{Kind: sched.FixedProb, FixedP: p}}
+}
+
+// AdaptiveScheduler selects versions like TopKScheduler but resizes the
+// effective slot count and the speculation budget at runtime from
+// observed load: slot utilization, queue depth and the rollback rate.
+// Idle slots are parked (their goroutines block; pool workers skip
+// them); under overload or rollback storms the speculation budget is cut
+// so the root chain gets the cycles, and it recovers once the shard is
+// healthy. Bound the adaptation with WithAdaptiveInstances and
+// WithAdaptiveSpeculation; without explicit bounds the slot pool adapts
+// within [1, WithInstances] and the budget within
+// [max(16, WithMaxSpeculation/8), WithMaxSpeculation].
+func AdaptiveScheduler() Scheduler {
+	return Scheduler{cfg: sched.Config{Kind: sched.Adaptive}}
+}
+
+// WithScheduler installs the scheduling policy on an Engine or a Runtime
+// submission (default: TopKScheduler). Later scheduling options win:
+// WithScheduler overrides the policy kind chosen by an earlier
+// WithAdaptiveInstances/WithAdaptiveSpeculation while keeping their
+// bounds, and vice versa.
+func WithScheduler(s Scheduler) Option {
+	return func(c *core.Config) {
+		if s.err != nil {
+			c.SetError(s.err)
+			return
+		}
+		c.Sched.Kind = s.cfg.Kind
+		c.Sched.FixedP = s.cfg.FixedP
+	}
+}
+
+// WithAdaptiveInstances selects the adaptive scheduler and bounds its
+// slot pool: the effective instance count k tracks observed load within
+// [min, max], starting from WithInstances (clamped into the bounds).
+// max is the hard ceiling — the pool never grows past it (nor past the
+// machine's useful parallelism); idle slots park down to min.
+func WithAdaptiveInstances(min, max int) Option {
+	return func(c *core.Config) {
+		if min <= 0 || max < min || max > maxOptionValue {
+			c.SetError(fmt.Errorf("spectre: WithAdaptiveInstances(%d, %d): bounds must satisfy 1 <= min <= max <= %d", min, max, maxOptionValue))
+			return
+		}
+		c.Sched.Kind = sched.Adaptive
+		c.Sched.MinSlots, c.Sched.MaxSlots = min, max
+	}
+}
+
+// WithAdaptiveSpeculation selects the adaptive scheduler and bounds its
+// speculation budget: the dependency tree's version cap is cut toward
+// min under overload and rollback storms and recovers toward max while
+// the shard is healthy. max doubles as WithMaxSpeculation(max) — the
+// absolute ceiling on speculative growth. Options apply in order: a
+// later WithMaxSpeculation lowers (or raises) the hard ceiling and the
+// adaptive budget never exceeds it.
+func WithAdaptiveSpeculation(min, max int) Option {
+	return func(c *core.Config) {
+		if min <= 0 || max < min || max > maxOptionValue {
+			c.SetError(fmt.Errorf("spectre: WithAdaptiveSpeculation(%d, %d): bounds must satisfy 1 <= min <= max <= %d", min, max, maxOptionValue))
+			return
+		}
+		c.Sched.Kind = sched.Adaptive
+		c.Sched.MinSpec, c.Sched.MaxSpec = min, max
+		c.MaxSpeculation = max
+	}
+}

@@ -1,0 +1,89 @@
+package spectre_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	spectre "github.com/spectrecep/spectre"
+)
+
+// TestSchedulerOptions verifies the public scheduling options: invalid
+// arguments are reported by the constructor, valid configurations run
+// and produce identical output across policies.
+func TestSchedulerOptions(t *testing.T) {
+	reg := spectre.NewRegistry()
+	events := spectre.GenerateNYSE(reg, spectre.NYSEConfig{Symbols: 20, Leaders: 4, Minutes: 60, Seed: 3})
+	q, err := buildQ1(reg, 5, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("invalid", func(t *testing.T) {
+		if _, err := spectre.NewEngine(q, spectre.WithScheduler(spectre.FixedProbScheduler(1.5))); err == nil {
+			t.Fatal("FixedProbScheduler(1.5) must fail validation")
+		}
+		if _, err := spectre.NewEngine(q, spectre.WithAdaptiveInstances(0, 4)); err == nil {
+			t.Fatal("WithAdaptiveInstances(0, 4) must fail validation")
+		}
+		if _, err := spectre.NewEngine(q, spectre.WithAdaptiveSpeculation(64, 8)); err == nil {
+			t.Fatal("WithAdaptiveSpeculation(64, 8) must fail validation")
+		}
+		var qe *spectre.QueryError
+		_, err := spectre.NewEngine(q, spectre.WithAdaptiveInstances(4, 2))
+		if !errors.As(err, &qe) {
+			t.Fatalf("option error %v is not a *QueryError", err)
+		}
+	})
+
+	want, _, err := spectre.RunSequential(q, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("workload produced no matches; test is vacuous")
+	}
+	schedulers := []struct {
+		label string
+		opts  []spectre.Option
+	}{
+		{"topk", []spectre.Option{spectre.WithScheduler(spectre.TopKScheduler())}},
+		{"fixedprob", []spectre.Option{spectre.WithScheduler(spectre.FixedProbScheduler(0.5))}},
+		{"adaptive", []spectre.Option{
+			spectre.WithScheduler(spectre.AdaptiveScheduler()),
+			spectre.WithAdaptiveInstances(1, 6),
+			spectre.WithAdaptiveSpeculation(32, 512),
+		}},
+	}
+	for _, sc := range schedulers {
+		t.Run(sc.label, func(t *testing.T) {
+			opts := append([]spectre.Option{spectre.WithInstances(4)}, sc.opts...)
+			eng, err := spectre.NewEngine(q, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []spectre.ComplexEvent
+			err = eng.Run(context.Background(), spectre.FromSlice(events), spectre.SinkFunc(func(ce spectre.ComplexEvent) {
+				got = append(got, ce)
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s emitted %d complex events, sequential %d", sc.label, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Key() != want[i].Key() {
+					t.Fatalf("%s: event %d differs: %s vs %s", sc.label, i, got[i].Key(), want[i].Key())
+				}
+			}
+			m := eng.Metrics()
+			if m.SlotCyclesActive == 0 {
+				t.Fatal("per-engine metrics must expose the control-plane counters")
+			}
+			if u := m.SlotUtilization(); u < 0 || u > 1 {
+				t.Fatalf("slot utilization %f out of range", u)
+			}
+		})
+	}
+}

@@ -57,9 +57,9 @@
 //
 // Both report failures as the query package's structured *Error (every
 // problem at once; parse errors carry line:column positions and a caret
-// excerpt). The deprecated Pattern/Step/WindowSpec aliases remain one
-// release for programs that assembled raw structs; new code should use
-// the builder.
+// excerpt). The Pattern/Step/WindowSpec aliases deprecated in the
+// previous release have been removed: the builder is the single way to
+// assemble queries programmatically.
 //
 // # The v2 streaming API
 //
@@ -86,6 +86,18 @@
 // query text, or WithPartitionBy/WithPartitionByType) and multiplexes
 // every (query, shard) SPECTRE pipeline onto one shared worker pool —
 // see Runtime, Handle and examples/partitioned.
+//
+// # Scheduling
+//
+// Which window versions get the k operator slots — and how large k and
+// the speculation budget are — is a pluggable policy (see Scheduler):
+// TopKScheduler is the paper's fixed top-k default, FixedProbScheduler
+// the Figure 11 constant-probability baseline, and AdaptiveScheduler
+// resizes the slot pool and the speculation budget at runtime from
+// observed load (WithAdaptiveInstances / WithAdaptiveSpeculation bound
+// it). Policies never change the delivered output, only performance;
+// Metrics exposes their signals (SlotUtilization, PolicyResizes,
+// CurSlots, CurSpeculation).
 //
 // See examples/ for complete programs and DESIGN.md for the architecture.
 package spectre
@@ -118,22 +130,6 @@ type (
 	// Query is a compiled query: pattern + window specification. Obtain
 	// one from ParseQuery or the query package's Builder.
 	Query = pattern.Query
-	// Pattern is the pattern part of a query.
-	//
-	// Deprecated: assemble queries with the query package's Builder
-	// (query.New(reg).Pattern(query.Step("A"), ...)) instead of raw
-	// structs; the alias will be removed in the next release.
-	Pattern = pattern.Pattern
-	// Step is a single pattern variable.
-	//
-	// Deprecated: use query.Step / query.Plus / query.Neg with the query
-	// package's Builder; the alias will be removed in the next release.
-	Step = pattern.Step
-	// WindowSpec describes window formation.
-	//
-	// Deprecated: use Builder.Within/From/FromEvery/FromFilter in the
-	// query package; the alias will be removed in the next release.
-	WindowSpec = pattern.WindowSpec
 	// Source yields events in stream order.
 	Source = stream.Source
 	// Metrics are the runtime counters of an Engine run.
