@@ -15,6 +15,7 @@ import (
 	"time"
 
 	spectre "github.com/spectrecep/spectre"
+	"github.com/spectrecep/spectre/query"
 )
 
 // benchData lazily generates and caches the datasets shared by the
@@ -395,6 +396,44 @@ func BenchmarkSched(b *testing.B) {
 				b.ReportMetric(float64(len(data.nyse))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 			})
 		}
+	}
+}
+
+// BenchmarkPlanner measures the cost-based planner on a mixed-type
+// workload where 4 of 10 event types are relevant to the query: the
+// type-indexed intake prefilter drops the rest before they reach the
+// splitter. planned should beat unplanned; the full sweep lives in
+// cmd/spectre-bench -exp planner.
+func BenchmarkPlanner(b *testing.B) {
+	reg := spectre.NewRegistry()
+	events := spectre.GenerateRand(reg, spectre.RandConfig{Symbols: 10, Events: 30000, Seed: 42})
+	qb := query.New(reg).Name("planner")
+	open, closeF := qb.Float("open"), qb.Float("close")
+	strongRise := func(ev *query.Event) bool { return closeF.Of(ev) > open.Of(ev)*1.0045 }
+	rising := func(ev *query.Event) bool { return closeF.Of(ev) > open.Of(ev) }
+	q, err := qb.
+		Pattern(
+			query.Step("A").Types(spectre.Symbol(0), spectre.Symbol(1)).WhereEvent(strongRise),
+			query.Step("B").Types(spectre.Symbol(1), spectre.Symbol(2)).WhereEvent(rising),
+			query.Step("C").Types(spectre.Symbol(3)),
+		).
+		Within(query.Events(2000)).From("A").
+		ConsumeAll().
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		label string
+		opt   spectre.Option
+	}{
+		{"planned", spectre.WithPlanner()},
+		{"unplanned", spectre.WithoutPlanner()},
+	}
+	for _, m := range modes {
+		b.Run(m.label, func(b *testing.B) {
+			runEngine(b, q, events, spectre.WithInstances(4), m.opt)
+		})
 	}
 }
 

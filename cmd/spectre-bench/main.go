@@ -10,13 +10,19 @@
 //
 // Measured medians go to stdout; record them in EXPERIMENTS.md alongside
 // the paper's reference shapes. -cpuprofile/-memprofile write pprof
-// profiles covering the selected experiments.
+// profiles covering the selected experiments. -json-dir additionally
+// writes one machine-readable BENCH_<experiment>.json per experiment
+// (rows with ev/s and allocs/op, the full configuration, the git SHA),
+// for diffing runs across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -24,6 +30,68 @@ import (
 
 	"github.com/spectrecep/spectre/internal/bench"
 )
+
+// report is the schema of BENCH_<experiment>.json.
+type report struct {
+	Experiment string        `json:"experiment"`
+	GitSHA     string        `json:"git_sha"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Config     bench.Options `json:"config"`
+	Rows       []reportRow   `json:"rows"`
+}
+
+type reportRow struct {
+	Figure      string  `json:"figure"`
+	Label       string  `json:"label"`
+	K           int     `json:"k,omitempty"`
+	Value       float64 `json:"value"`
+	Metric      string  `json:"metric"`
+	Min         float64 `json:"min"`
+	Median      float64 `json:"median"`
+	Max         float64 `json:"max"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	GroundTruth float64 `json:"ground_truth,omitempty"`
+}
+
+// gitSHA resolves HEAD for provenance; bench results are meaningless
+// without the code revision that produced them.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func writeJSON(dir, id string, opt *bench.Options, rows []bench.Row) error {
+	rep := report{
+		Experiment: id,
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Config:     *opt,
+	}
+	rep.Config.Out = nil // not serializable, not configuration
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, reportRow{
+			Figure: r.Figure, Label: r.Label, K: r.K,
+			Value: r.Value, Metric: r.Metric,
+			Min: r.Candles.Min, Median: r.Candles.Median, Max: r.Candles.Max,
+			AllocsPerOp: r.AllocsPerOp, GroundTruth: r.GroundTruth,
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+id+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "spectre-bench: wrote", path)
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -46,6 +114,7 @@ func run() error {
 		shards    = flag.String("shards", "1,2,4,8", "comma-separated shard counts for the partition experiment")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+		jsonDir   = flag.String("json-dir", "", "write machine-readable BENCH_<experiment>.json files to this directory")
 	)
 	flag.Parse()
 
@@ -96,19 +165,25 @@ func run() error {
 		Out:         os.Stdout,
 	}
 
+	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		_, err := opt.RunAll()
-		return err
+		ids = bench.ExperimentOrder
 	}
 	exps := opt.Experiments()
-	for _, id := range strings.Split(*exp, ",") {
+	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		runner, ok := exps[id]
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(bench.ExperimentOrder, ", "))
 		}
-		if _, err := runner(); err != nil {
+		rows, err := runner()
+		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, id, opt, rows); err != nil {
+				return fmt.Errorf("%s: json: %w", id, err)
+			}
 		}
 	}
 	return nil

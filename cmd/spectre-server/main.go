@@ -151,12 +151,14 @@ func (l *liveQueries) remove(id int) {
 }
 
 // queryMetrics is the JSON shape of one live query's counters: the full
-// Metrics struct plus the derived utilization and shard count.
+// Metrics struct plus the derived utilization, shard count and the
+// planner's evaluation plan (type filter, predicate order, deployment).
 type queryMetrics struct {
-	Conn            int     `json:"conn"`
-	Query           string  `json:"query"`
-	Shards          int     `json:"shards"`
-	SlotUtilization float64 `json:"slotUtilization"`
+	Conn            int               `json:"conn"`
+	Query           string            `json:"query"`
+	Shards          int               `json:"shards"`
+	SlotUtilization float64           `json:"slotUtilization"`
+	Plan            *spectre.PlanInfo `json:"plan,omitempty"`
 	spectre.Metrics
 }
 
@@ -172,11 +174,17 @@ func (l *liveQueries) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	out := make([]queryMetrics, 0, len(live))
 	for _, q := range live {
 		m := q.h.Metrics()
+		var pi *spectre.PlanInfo
+		if p := q.h.Plan(); p != nil {
+			info := p.Info()
+			pi = &info
+		}
 		out = append(out, queryMetrics{
 			Conn:            q.Conn,
 			Query:           q.Query,
 			Shards:          q.h.Shards(),
 			SlotUtilization: m.SlotUtilization(),
+			Plan:            pi,
 			Metrics:         m,
 		})
 	}

@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	spectre "github.com/spectrecep/spectre"
@@ -85,6 +86,16 @@ func runVariant(consumeB bool) error {
 	eng, err := spectre.NewEngine(q, spectre.WithInstances(4))
 	if err != nil {
 		return err
+	}
+	// The engine plans every query it accepts (see DESIGN.md §9): here
+	// both steps are typed, so irrelevant event types would be dropped at
+	// intake before touching the match pipeline. Explain shows the chosen
+	// plan; WithoutPlanner() would pin planning off.
+	if !consumeB {
+		fmt.Printf("  plan:\n")
+		for _, line := range strings.Split(strings.TrimRight(eng.Plan().Explain(), "\n"), "\n") {
+			fmt.Printf("    %s\n", line)
+		}
 	}
 	count := 0
 	err = eng.Run(context.Background(), spectre.FromSlice(events), spectre.SinkFunc(func(ce spectre.ComplexEvent) {

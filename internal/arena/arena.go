@@ -26,14 +26,30 @@ type chunk struct {
 	events [chunkSize]event.Event
 }
 
-// Arena is the append-only shared event store. Append may be called by a
-// single goroutine only; Get/Len are safe from any goroutine and observe a
-// consistent prefix.
+// maxFree caps the recycled-chunk freelist: enough for steady-state
+// reuse after root pops without pinning a long burst's worth of memory.
+const maxFree = 4
+
+// zeroEvent backs Get for sequence positions whose chunk was never
+// materialized (gaps left by AppendAt) or was recycled by ReleaseBefore.
+// Shared and immutable: callers never write through Get's result.
+var zeroEvent = &event.Event{}
+
+// Arena is the append-only shared event store. Append/AppendAt/
+// ReleaseBefore may be called by a single goroutine only; Get/Len are
+// safe from any goroutine and observe a consistent prefix.
 type Arena struct {
-	// chunks is published atomically whenever the directory grows; the
-	// chunks themselves are stable once allocated.
+	// chunks is published atomically whenever the directory changes; the
+	// chunks themselves are stable while reachable.
 	chunks atomic.Pointer[[]*chunk]
 	length atomic.Uint64 // number of appended events; published last
+
+	// free holds recycled chunks for reuse (single-writer, like Append).
+	free []*chunk
+	// allocs/reuses count fresh chunk allocations and freelist reuses;
+	// atomics so metrics and regression tests can read them mid-run.
+	allocs atomic.Uint64
+	reuses atomic.Uint64
 }
 
 // New returns an empty arena.
@@ -44,37 +60,121 @@ func New() *Arena {
 	return a
 }
 
+// newChunk pops the freelist or allocates. Recycled chunks are zeroed
+// here, before the directory publishes them, so readers never observe
+// stale events.
+func (a *Arena) newChunk() *chunk {
+	if n := len(a.free); n > 0 {
+		c := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		clear(c.events[:])
+		a.reuses.Add(1)
+		return c
+	}
+	a.allocs.Add(1)
+	return &chunk{}
+}
+
+// put stores ev at position seq, materializing its chunk if needed. The
+// directory grows (and backfills nil entries) copy-on-write so readers
+// never observe a partially updated slice.
+func (a *Arena) put(seq uint64, ev event.Event) {
+	ci := int(seq >> chunkBits)
+	dir := *a.chunks.Load()
+	if ci >= len(dir) || dir[ci] == nil {
+		size := len(dir)
+		if ci >= size {
+			size = ci + 1
+		}
+		grown := make([]*chunk, size, max(cap(dir)*2+1, size))
+		copy(grown, dir)
+		grown[ci] = a.newChunk()
+		a.chunks.Store(&grown)
+		dir = grown
+	}
+	dir[ci].events[seq&chunkMask] = ev
+}
+
 // Append stores ev at the next sequence position and returns its assigned
 // sequence number (equal to the previous Len). The caller must be the
 // arena's single writer. The event's Seq field is set to the assigned
 // number.
 func (a *Arena) Append(ev event.Event) uint64 {
 	seq := a.length.Load()
-	ci := int(seq >> chunkBits)
-	dir := *a.chunks.Load()
-	if ci >= len(dir) {
-		// Grow the directory. Copy-on-write so readers never observe a
-		// partially updated slice.
-		grown := make([]*chunk, len(dir)+1, cap(dir)*2+1)
-		copy(grown, dir)
-		grown[len(dir)] = &chunk{}
-		a.chunks.Store(&grown)
-		dir = grown
-	}
 	ev.Seq = seq
-	dir[ci].events[seq&chunkMask] = ev
+	a.put(seq, ev)
 	// Publish after the write so readers that observe the new length also
 	// observe the event contents.
 	a.length.Store(seq + 1)
 	return seq
 }
 
-// Get returns a pointer to the event with the given sequence number. The
-// pointer stays valid for the arena's lifetime. Get must only be called
-// with seq < Len().
+// AppendAt stores ev at its pre-stamped position ev.Seq, which must be
+// at least Len() (the single writer only moves forward). Positions
+// skipped over — events dropped upstream by the planner's intake
+// prefilter — read back as zero events; detection code recognizes them
+// by Seq mismatch and treats them as no-ops.
+func (a *Arena) AppendAt(ev event.Event) uint64 {
+	seq := ev.Seq
+	a.put(seq, ev)
+	a.length.Store(seq + 1)
+	return seq
+}
+
+// Get returns a pointer to the event with the given sequence number,
+// or a shared zero event when the position's chunk was skipped or
+// recycled. The pointer stays valid while the chunk is reachable (for
+// recycled ranges see ReleaseBefore's contract). Get must only be
+// called with seq < Len().
 func (a *Arena) Get(seq uint64) *event.Event {
 	dir := *a.chunks.Load()
-	return &dir[seq>>chunkBits].events[seq&chunkMask]
+	c := dir[seq>>chunkBits]
+	if c == nil {
+		return zeroEvent
+	}
+	return &c.events[seq&chunkMask]
+}
+
+// ReleaseBefore recycles every chunk wholly below boundary onto the
+// freelist (beyond maxFree they are dropped for the GC). The caller —
+// the arena's single writer — must guarantee that no reader holds, or
+// will ever again request, a pointer to any event below boundary: the
+// engine calls this after a root window version is popped, when every
+// remaining window starts at or after the new root's start sequence.
+func (a *Arena) ReleaseBefore(boundary uint64) {
+	limit := int(boundary >> chunkBits) // first chunk that may still be live
+	dir := *a.chunks.Load()
+	if limit > len(dir) {
+		limit = len(dir)
+	}
+	any := false
+	for ci := 0; ci < limit; ci++ {
+		if dir[ci] != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	grown := append([]*chunk(nil), dir...)
+	for ci := 0; ci < limit; ci++ {
+		if grown[ci] == nil {
+			continue
+		}
+		if len(a.free) < maxFree {
+			a.free = append(a.free, grown[ci])
+		}
+		grown[ci] = nil
+	}
+	a.chunks.Store(&grown)
+}
+
+// AllocStats reports how many chunks were freshly allocated and how
+// many were reused from the freelist.
+func (a *Arena) AllocStats() (allocs, reuses uint64) {
+	return a.allocs.Load(), a.reuses.Load()
 }
 
 // Len reports the number of appended events. All events with Seq < Len()

@@ -150,3 +150,100 @@ func TestConsumedSetConcurrentReaders(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+func TestAppendAtGapsReadAsZero(t *testing.T) {
+	a := New()
+	// Stamped substream 0,3,4 with gaps at 1,2 (dropped upstream).
+	for _, seq := range []uint64{0, 3, 4} {
+		a.AppendAt(event.Event{Seq: seq, Type: 7, TS: int64(seq)})
+	}
+	if got := a.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+	for _, seq := range []uint64{0, 3, 4} {
+		ev := a.Get(seq)
+		if ev.Seq != seq || ev.Type != 7 {
+			t.Fatalf("Get(%d) = %+v, want stamped event", seq, ev)
+		}
+	}
+	for _, seq := range []uint64{1, 2} {
+		ev := a.Get(seq)
+		if ev.Seq != 0 || ev.Type != 0 {
+			t.Fatalf("gap Get(%d) = %+v, want zero event", seq, ev)
+		}
+	}
+}
+
+func TestAppendAtAcrossChunkGap(t *testing.T) {
+	a := New()
+	a.AppendAt(event.Event{Seq: 0, Type: 1})
+	// Jump several whole chunks: skipped chunks stay nil.
+	far := uint64(3*chunkSize + 5)
+	a.AppendAt(event.Event{Seq: far, Type: 2})
+	if ev := a.Get(far); ev.Type != 2 || ev.Seq != far {
+		t.Fatalf("Get(%d) = %+v", far, ev)
+	}
+	if ev := a.Get(uint64(chunkSize + 1)); ev != zeroEvent {
+		t.Fatalf("skipped chunk should read the shared zero event")
+	}
+	allocs, _ := a.AllocStats()
+	if allocs != 2 {
+		t.Fatalf("allocs = %d, want 2 (skipped chunks must not materialize)", allocs)
+	}
+}
+
+func TestReleaseBeforeRecyclesChunks(t *testing.T) {
+	a := New()
+	total := uint64(3 * chunkSize)
+	for i := uint64(0); i < total; i++ {
+		a.Append(event.Event{Type: event.Type(i%5 + 1)})
+	}
+	// Boundary inside chunk 2: chunks 0 and 1 are wholly below it.
+	a.ReleaseBefore(2*chunkSize + 10)
+	for _, seq := range []uint64{0, chunkSize, 2*chunkSize - 1} {
+		if a.Get(seq) != zeroEvent {
+			t.Fatalf("Get(%d) should be released", seq)
+		}
+	}
+	if ev := a.Get(2 * chunkSize); ev.Seq != 2*chunkSize {
+		t.Fatalf("live chunk lost: %+v", ev)
+	}
+	// New appends must reuse the freed chunks, zeroed.
+	before, _ := a.AllocStats()
+	for i := uint64(0); i < 2*chunkSize; i++ {
+		a.Append(event.Event{Type: 9})
+	}
+	allocs, reuses := a.AllocStats()
+	if allocs != before {
+		t.Fatalf("allocs grew %d -> %d; want freelist reuse", before, allocs)
+	}
+	if reuses != 2 {
+		t.Fatalf("reuses = %d, want 2", reuses)
+	}
+	if ev := a.Get(total); ev.Type != 9 || ev.Seq != total {
+		t.Fatalf("recycled chunk returned stale data: %+v", ev)
+	}
+}
+
+// TestReleaseBeforeBoundsAllocations is the alloc-count regression test
+// for the recycling satellite: a long run with a sliding release
+// boundary must allocate a bounded number of chunks, not O(stream).
+func TestReleaseBeforeBoundsAllocations(t *testing.T) {
+	a := New()
+	const chunks = 64
+	for c := uint64(0); c < chunks; c++ {
+		for i := 0; i < chunkSize; i++ {
+			a.Append(event.Event{Type: 1})
+		}
+		if c >= 1 {
+			a.ReleaseBefore(c * chunkSize) // keep only the current chunk
+		}
+	}
+	allocs, reuses := a.AllocStats()
+	if allocs > maxFree+2 {
+		t.Fatalf("allocs = %d for %d chunks; recycling should bound this at %d", allocs, chunks, maxFree+2)
+	}
+	if reuses == 0 {
+		t.Fatalf("no freelist reuse in a %d-chunk run", chunks)
+	}
+}

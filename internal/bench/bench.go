@@ -127,6 +127,7 @@ type Row struct {
 	Metric      string  // e.g. "events/sec"
 	Candles     stats.Candles
 	GroundTruth float64 // completion probability where applicable
+	AllocsPerOp float64 // heap allocations per fed event (0 when not measured)
 }
 
 // nyseData caches the generated NYSE stream.
@@ -519,6 +520,7 @@ func (o *Options) Experiments() map[string]func() ([]Row, error) {
 		"feedbatch":   o.FeedBatch,
 		"speculation": o.Speculation,
 		"sched":       o.Sched,
+		"planner":     o.Planner,
 	}
 }
 
@@ -526,7 +528,7 @@ func (o *Options) Experiments() map[string]func() ([]Row, error) {
 var ExperimentOrder = []string{
 	"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
 	"fig11a", "fig11b", "trex", "partition", "feedbatch", "speculation",
-	"sched",
+	"sched", "planner",
 }
 
 // RunAll executes every experiment in order.

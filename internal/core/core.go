@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"github.com/spectrecep/spectre/internal/deptree"
+	"github.com/spectrecep/spectre/internal/event"
 	"github.com/spectrecep/spectre/internal/markov"
 	"github.com/spectrecep/spectre/internal/pattern"
 	"github.com/spectrecep/spectre/internal/sched"
@@ -127,6 +128,18 @@ type Config struct {
 	// (default 1<<16 events). A full queue blocks Feed and rejects
 	// TryFeed with an *OverloadError.
 	QueueCap int
+	// PlanDisabled skips the cost-based planner (internal/plan): the
+	// query executes verbatim as lowered by the builder. The planner is
+	// on by default; its rewrites are output-invariant.
+	PlanDisabled bool
+	// SchedSet records that the submitter pinned the scheduling policy
+	// explicitly (WithScheduler and friends). When false, the public
+	// runtime lets the planner pick Sched.Kind from the estimated
+	// per-event cost.
+	SchedSet bool
+	// Reg optionally resolves event-type names in plan explanations
+	// (plan.Explain / the metrics endpoint). Never read on the hot path.
+	Reg *event.Registry
 	// Err carries the first invalid-option error; constructors check it
 	// before using any other field. Options record violations here (the
 	// option-function signature has no error return).
@@ -171,7 +184,12 @@ func (c *Config) setDefaults() {
 // Metrics exposes runtime counters. All fields are monotone totals
 // gathered during Run; read them with Engine.MetricsSnapshot.
 type Metrics struct {
-	EventsIngested  uint64
+	EventsIngested uint64
+	// FilteredEvents counts events dropped by the planner's type-indexed
+	// intake prefilter before touching the shard queue or the arena.
+	// Kept strictly separate from EventsIngested: fed = ingested +
+	// filtered on the intake-filtered path.
+	FilteredEvents  uint64
 	EventsProcessed uint64 // per-version processing, including speculation
 	Cycles          uint64 // splitter maintenance+scheduling cycles (Fig. 10(c))
 	WindowsOpened   uint64
@@ -214,6 +232,7 @@ func (m *Metrics) SlotUtilization() float64 {
 // totals.
 func (m *Metrics) Merge(o *Metrics) {
 	m.EventsIngested += o.EventsIngested
+	m.FilteredEvents += o.FilteredEvents
 	m.EventsProcessed += o.EventsProcessed
 	m.Cycles += o.Cycles
 	m.WindowsOpened += o.WindowsOpened

@@ -15,6 +15,7 @@ import (
 	"github.com/spectrecep/spectre/internal/markov"
 	"github.com/spectrecep/spectre/internal/matcher"
 	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/plan"
 	"github.com/spectrecep/spectre/internal/sched"
 	"github.com/spectrecep/spectre/internal/stream"
 	"github.com/spectrecep/spectre/internal/window"
@@ -30,9 +31,22 @@ type program struct {
 	query     *pattern.Query
 	compiled  *matcher.Compiled
 	durWindow bool
+	// plan is the cost-based evaluation plan (nil with PlanDisabled).
+	// query above is the plan's rewritten deep copy when non-nil.
+	plan *plan.Plan
+	// stamped: events arrive pre-stamped with their raw-substream
+	// sequence number and the intake prefilter may have dropped
+	// positions in between (the arena is populated with AppendAt and
+	// gaps are skipped as no-ops).
+	stamped bool
+	// typeFilter: every step is typed, so the matcher-level type skip is
+	// legal (plan.RelevantType).
+	typeFilter bool
 }
 
-// compile validates and compiles q under cfg.
+// compile validates, plans and compiles q under cfg. The planner runs
+// after validation (it relies on the normalized form) and rewrites a
+// deep copy, so the caller's query value is never mutated by planning.
 func compile(q *pattern.Query, cfg Config) (*program, error) {
 	if cfg.Err != nil {
 		return nil, cfg.Err
@@ -41,15 +55,23 @@ func compile(q *pattern.Query, cfg Config) (*program, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	cfg.setDefaults()
+	var pl *plan.Plan
+	if !cfg.PlanDisabled {
+		pl = plan.New(q, plan.Options{Reg: cfg.Reg})
+		q = pl.Query()
+	}
 	compiled, err := matcher.Compile(&q.Pattern)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return &program{
-		cfg:       cfg,
-		query:     q,
-		compiled:  compiled,
-		durWindow: q.Window.EndKind == pattern.EndDuration,
+		cfg:        cfg,
+		query:      q,
+		compiled:   compiled,
+		durWindow:  q.Window.EndKind == pattern.EndDuration,
+		plan:       pl,
+		stamped:    pl != nil && pl.IntakeActive(),
+		typeFilter: pl != nil && pl.MatcherFilterActive(),
 	}, nil
 }
 
@@ -124,6 +146,15 @@ type shardState struct {
 	cgSeq      atomic.Uint64
 	versionSeq uint64 // splitter only
 	schedMark  uint64 // splitter only; per-cycle token
+
+	// filteredIn counts events the intake prefilter dropped for this
+	// shard (incremented by the feeding side, folded into snapshots).
+	filteredIn atomic.Uint64
+	// seq0 records that raw position 0 was actually appended in stamped
+	// mode. The zero Event at a gap position has Seq == 0, so position 0
+	// is the one slot where a Seq match cannot distinguish a real event
+	// from a dropped one.
+	seq0 atomic.Bool
 
 	inputDone atomic.Bool
 	cancelled atomic.Bool // abort requested; the next splitter cycle finishes
@@ -354,7 +385,17 @@ func (s *shardState) ingest() int {
 			}
 			break
 		}
-		seq := s.ar.Append(ev)
+		var seq uint64
+		if s.prog.stamped {
+			// The feed layer stamped ev.Seq with its raw-substream
+			// position; dropped positions in between stay as gaps.
+			if ev.Seq == 0 {
+				s.seq0.Store(true)
+			}
+			seq = s.ar.AppendAt(ev)
+		} else {
+			seq = s.ar.Append(ev)
+		}
 		stored := s.ar.Get(seq)
 		opened, _ := s.winMgr.Observe(stored)
 		for _, w := range opened {
@@ -427,8 +468,26 @@ func (s *shardState) advanceRoots() bool {
 		// The window is fully resolved: no further versions of it can be
 		// created, so its checkpoints are dead weight.
 		s.ckpts.drop(wv.Win.ID)
+		s.releaseArena()
 		changed = true
 	}
+}
+
+// releaseArena recycles arena chunks no run state can reference anymore.
+// After a root pop, every live window version starts at or after the new
+// root's start sequence (windows open — and therefore pop — in stream
+// order), so chunks wholly below that boundary are unreachable: workers
+// only read positions inside their version's window span, checkpoints of
+// the popped window were just dropped, and emitted complex events carry
+// sequence numbers, not arena pointers. With an empty tree everything
+// appended so far is released; windows opened later start at future
+// positions.
+func (s *shardState) releaseArena() {
+	boundary := s.ar.Len()
+	if root := s.tree.Root(); root != nil {
+		boundary = root.WV.Win.StartSeq
+	}
+	s.ar.ReleaseBefore(boundary)
 }
 
 // validate is the final gate (DESIGN.md §4.2): when a version becomes
@@ -742,7 +801,13 @@ func (e *Engine) Run(ctx context.Context, src stream.Source, emit func(event.Com
 	}
 	e.ran = true
 	s := e.shard
-	s.begin(&sourceFeeder{ctx: ctx, src: src}, emit)
+	var feed feeder = &sourceFeeder{ctx: ctx, src: src}
+	if s.prog.stamped {
+		// Intake prefilter: stamp raw positions, drop irrelevant events
+		// before they reach the arena.
+		feed = &filterFeeder{inner: feed, pl: s.prog.plan, shard: s}
+	}
+	s.begin(feed, emit)
 
 	// One goroutine per slot up to the pool ceiling; slots beyond the
 	// current active count park until a policy decision grows the pool.
@@ -765,4 +830,16 @@ func (e *Engine) Run(ctx context.Context, src stream.Source, emit func(event.Com
 }
 
 // MetricsSnapshot returns a copy of the runtime counters.
-func (e *Engine) MetricsSnapshot() Metrics { return e.shard.metrics.snapshot() }
+func (e *Engine) MetricsSnapshot() Metrics { return e.shard.metricsSnapshot() }
+
+// Plan returns the engine's evaluation plan, or nil when planning is
+// disabled.
+func (e *Engine) Plan() *plan.Plan { return e.prog.plan }
+
+// metricsSnapshot folds the shard-level atomic counters into the boxed
+// metrics copy.
+func (s *shardState) metricsSnapshot() Metrics {
+	m := s.metrics.snapshot()
+	m.FilteredEvents = s.filteredIn.Load()
+	return m
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/plan"
 	"github.com/spectrecep/spectre/internal/stream"
 )
 
@@ -58,6 +59,37 @@ func (f *sourceFeeder) next() (event.Event, bool, bool) {
 
 // depth implements feeder: a pull-based source has no backlog.
 func (f *sourceFeeder) depth() int { return 0 }
+
+// filterFeeder applies the planner's intake prefilter to a dedicated
+// engine run. Every raw event consumes a sequence position; admitted
+// events are stamped with theirs (AppendAt preserves it), rejected ones
+// leave a gap and are counted as filtered. Runs on the splitter
+// goroutine only, like the feeder it wraps.
+type filterFeeder struct {
+	inner feeder
+	pl    *plan.Plan
+	shard *shardState
+	seq   uint64
+}
+
+func (f *filterFeeder) next() (event.Event, bool, bool) {
+	for {
+		ev, ok, done := f.inner.next()
+		if !ok {
+			return ev, ok, done
+		}
+		seq := f.seq
+		f.seq++
+		if f.pl.Admit(&ev) {
+			ev.Seq = seq
+			return ev, true, false
+		}
+		f.pl.CountFiltered(1)
+		f.shard.filteredIn.Add(1)
+	}
+}
+
+func (f *filterFeeder) depth() int { return f.inner.depth() }
 
 // defaultQueueCap bounds the pending backlog of one shard queue. A full
 // queue blocks push, so backpressure propagates from a slow shard to

@@ -168,9 +168,22 @@ func (w *worker) processSpan(wv *deptree.WindowVersion, max int) bool {
 	if ce := s.prog.cfg.CheckpointEvery; ce > 0 {
 		ckptEvery = uint64(ce)
 	}
+	stamped := s.prog.stamped
+	seq0 := stamped && s.seq0.Load()
+	typeFilter := s.prog.typeFilter
 	for pos < limit && processed < max {
 		seq := pos
 		ev := s.ar.Get(seq)
+		if stamped && (ev.Seq != seq || (seq == 0 && !seq0)) {
+			// Gap left by the intake prefilter: the raw-stream position was
+			// dropped before ingest and reads back as a zero event. Skip it
+			// entirely — it must not reach the duration check (its TS is
+			// zero) nor the matcher.
+			processed++
+			pos++
+			wv.SetPos(pos)
+			continue
+		}
 		// Window extents are raw-stream ranges: the duration boundary is
 		// checked before any consumption filtering.
 		if s.prog.durWindow && end == window.UnknownEnd && ev.TS-win.StartTS >= dur {
@@ -187,6 +200,15 @@ func (w *worker) processSpan(wv *deptree.WindowVersion, max int) bool {
 				wv.SetPos(pos)
 				break
 			}
+			pos++
+			wv.SetPos(pos)
+			continue
+		}
+		if typeFilter && !s.prog.plan.RelevantType(ev.Type) {
+			// Every step is typed and no step accepts this event's type: it
+			// can never bind, be consumed, or join a group. Skipping it only
+			// forgoes the matcher's self-loop statistics, which influence
+			// scheduling but never output.
 			pos++
 			wv.SetPos(pos)
 			continue

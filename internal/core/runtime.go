@@ -9,6 +9,7 @@ import (
 
 	"github.com/spectrecep/spectre/internal/event"
 	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/plan"
 	"github.com/spectrecep/spectre/internal/stream"
 )
 
@@ -67,6 +68,19 @@ type Handle struct {
 	closed  atomic.Bool
 	drained sync.Once
 	onDrain func()
+
+	// Intake prefilter state (planner). All raw events — admitted or not —
+	// are routed, so every shard sees the same raw substream positions it
+	// would without the filter; admitted events carry their position in
+	// ev.Seq and dropped positions become arena gaps. stamp[i] is shard
+	// i's next raw position; like scatter it assumes the single-producer
+	// feed discipline. A counter only advances once its event is safely
+	// queued (or dropped), so a rejected TryFeed re-stamps the same seq.
+	plan         *plan.Plan
+	intake       bool
+	stamp        []uint64
+	stampScratch []uint64 // FeedBatch provisional counters
+	dropScratch  []uint64 // FeedBatch per-shard drop counts
 }
 
 // Submit compiles q and starts nShards independent shard states on the
@@ -91,6 +105,12 @@ func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event)
 		return nil, err
 	}
 	h := &Handle{rt: rt, name: q.Name, route: route, onDrain: onDrain}
+	h.plan = prog.plan
+	if h.intake = prog.stamped; h.intake {
+		h.stamp = make([]uint64, nShards)
+		h.stampScratch = make([]uint64, nShards)
+		h.dropScratch = make([]uint64, nShards)
+	}
 	if emit == nil {
 		emit = func(event.Complex) {}
 	}
@@ -241,14 +261,33 @@ func (h *Handle) TryFeed(ev event.Event) error {
 		return ErrHandleClosed
 	}
 	i := h.shardOf(&ev)
+	if h.intake {
+		if !h.plan.Admit(&ev) {
+			h.drop(i, 1)
+			return nil
+		}
+		ev.Seq = h.stamp[i]
+	}
 	pending, ok := h.queues[i].tryPush(ev)
 	if ok {
+		if h.intake {
+			h.stamp[i]++
+		}
 		return nil
 	}
 	if pending < 0 {
 		return ErrHandleClosed
 	}
 	return &OverloadError{Shard: i, Pending: pending, Cap: h.queues[i].cap}
+}
+
+// drop records n filtered events on shard i: their raw positions are
+// spent (logical admission — the arena will read them back as gaps) and
+// the filter counters advance.
+func (h *Handle) drop(i int, n uint64) {
+	h.stamp[i] += n
+	h.plan.CountFiltered(n)
+	h.shards[i].filteredIn.Add(n)
 }
 
 // FeedBatch routes a batch of in-order events, enqueueing one slice per
@@ -262,19 +301,53 @@ func (h *Handle) FeedBatch(ctx context.Context, evs []event.Event) error {
 	if h.closed.Load() {
 		return ErrHandleClosed
 	}
-	if len(h.queues) == 1 {
-		return h.queues[0].pushBatch(ctx, evs)
+	if !h.intake {
+		if len(h.queues) == 1 {
+			return h.queues[0].pushBatch(ctx, evs)
+		}
+		for i := range h.scatter {
+			h.scatter[i] = h.scatter[i][:0]
+		}
+		for i := range evs {
+			shard := h.shardOf(&evs[i])
+			h.scatter[shard] = append(h.scatter[shard], evs[i])
+		}
+		for i, chunk := range h.scatter {
+			if err := h.queues[i].pushBatch(ctx, chunk); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
+	// Intake-filtered path: stamp against provisional per-shard counters
+	// and commit each shard's counter (and drop tally) only after its
+	// chunk is safely queued, preserving the per-shard prefix property on
+	// a mid-batch error.
 	for i := range h.scatter {
 		h.scatter[i] = h.scatter[i][:0]
+		h.stampScratch[i] = h.stamp[i]
+		h.dropScratch[i] = 0
 	}
 	for i := range evs {
 		shard := h.shardOf(&evs[i])
-		h.scatter[shard] = append(h.scatter[shard], evs[i])
+		seq := h.stampScratch[shard]
+		h.stampScratch[shard]++
+		if !h.plan.Admit(&evs[i]) {
+			h.dropScratch[shard]++
+			continue
+		}
+		ev := evs[i]
+		ev.Seq = seq
+		h.scatter[shard] = append(h.scatter[shard], ev)
 	}
 	for i, chunk := range h.scatter {
 		if err := h.queues[i].pushBatch(ctx, chunk); err != nil {
 			return err
+		}
+		h.stamp[i] = h.stampScratch[i]
+		if n := h.dropScratch[i]; n > 0 {
+			h.plan.CountFiltered(n)
+			h.shards[i].filteredIn.Add(n)
 		}
 	}
 	return nil
@@ -292,7 +365,20 @@ func (h *Handle) shardOf(ev *event.Event) int {
 }
 
 func (h *Handle) feed(ctx context.Context, ev event.Event) error {
-	return h.queues[h.shardOf(&ev)].push(ctx, ev)
+	i := h.shardOf(&ev)
+	if h.intake {
+		if !h.plan.Admit(&ev) {
+			h.drop(i, 1)
+			return nil
+		}
+		ev.Seq = h.stamp[i]
+		if err := h.queues[i].push(ctx, ev); err != nil {
+			return err
+		}
+		h.stamp[i]++
+		return nil
+	}
+	return h.queues[i].push(ctx, ev)
 }
 
 // Close marks end of stream for every shard. Pending events are still
@@ -358,7 +444,7 @@ func (h *Handle) Drain() {
 func (h *Handle) Metrics() Metrics {
 	var total Metrics
 	for _, s := range h.shards {
-		m := s.metrics.snapshot()
+		m := s.metricsSnapshot()
 		total.Merge(&m)
 	}
 	return total
@@ -368,7 +454,11 @@ func (h *Handle) Metrics() Metrics {
 func (h *Handle) ShardMetrics() []Metrics {
 	out := make([]Metrics, len(h.shards))
 	for i, s := range h.shards {
-		out[i] = s.metrics.snapshot()
+		out[i] = s.metricsSnapshot()
 	}
 	return out
 }
+
+// Plan returns the handle's evaluation plan, or nil when planning is
+// disabled.
+func (h *Handle) Plan() *plan.Plan { return h.shards[0].prog.plan }

@@ -531,16 +531,55 @@ func (p *parser) parsePrimary(self string) (expr, error) {
 	return nil, p.errf(p.tok, "unexpected %q in expression", p.tok.text)
 }
 
-// compilePredicate converts the AST of varName's DEFINE into a
-// pattern.Predicate.
-func (p *parser) compilePredicate(varName string, def defEntry) (pattern.Predicate, error) {
-	e := def.e
-	if e.kind() != vBool {
-		return nil, p.errf(def.tok, "DEFINE of %q must be a boolean expression, got %s", varName, e.kind())
+// selfOnly reports whether e reads only the candidate event — no
+// references to earlier bindings — so it can be evaluated with a nil
+// binder. Such conjuncts are binding-free for the planner: they may be
+// evaluated before binding-dependent conjuncts and hoisted into the
+// intake prefilter.
+func selfOnly(e expr) bool {
+	switch n := e.(type) {
+	case numLit, symLit:
+		return true
+	case fieldRef:
+		return n.self
+	case symRef:
+		return n.self
+	case arith:
+		return selfOnly(n.l) && selfOnly(n.r)
+	case neg:
+		return selfOnly(n.e)
+	case cmp:
+		return selfOnly(n.l) && selfOnly(n.r)
+	case inList:
+		return selfOnly(n.e)
+	case logical:
+		return selfOnly(n.l) && selfOnly(n.r)
+	case notExpr:
+		return selfOnly(n.e)
+	default:
+		return false
 	}
+}
+
+// flattenAnd splits a top-level AND chain into its operands in source
+// order. OR and NOT subtrees are kept whole — only conjunction is safe
+// to decompose and reorder.
+func flattenAnd(e expr, out []expr) []expr {
+	if lg, ok := e.(logical); ok && lg.and {
+		out = flattenAnd(lg.l, out)
+		return flattenAnd(lg.r, out)
+	}
+	return append(out, e)
+}
+
+// compileConjunct converts one boolean AST node into a
+// pattern.Predicate. Every boolean node converts unresolved-binding
+// operands to false internally, so eval's ok is always true here; the
+// check is kept for defense.
+func compileConjunct(e expr) pattern.Predicate {
 	return func(ev *event.Event, b pattern.Binder) bool {
 		ctx := evalCtx{ev: ev, b: b}
 		v, ok := e.eval(&ctx)
 		return ok && v.b
-	}, nil
+	}
 }

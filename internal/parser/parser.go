@@ -1,6 +1,7 @@
 package parser
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"time"
@@ -227,17 +228,22 @@ func (p *parser) lower(name string, win *winClause, consume []string, consumeAll
 }
 
 // attachPred compiles varName's DEFINE body (when present) and attaches
-// it to the step.
+// it to the step. Top-level AND operands become separate conjuncts —
+// the planner reorders those by observed selectivity and hoists the
+// self-only ones into the intake prefilter; unplanned execution still
+// sees the single AND-folded predicate the builder maintains.
 func (p *parser) attachPred(sb *query.StepBuilder, varName string) error {
 	def, ok := p.defs[varName]
 	if !ok {
 		return nil
 	}
-	pred, err := p.compilePredicate(varName, def)
-	if err != nil {
-		return err
+	if def.e.kind() != vBool {
+		return p.errf(def.tok, "DEFINE of %q must be a boolean expression, got %s", varName, def.e.kind())
 	}
-	sb.Where(pred)
+	for i, c := range flattenAnd(def.e, nil) {
+		label := fmt.Sprintf("%s.define[%d]", varName, i)
+		sb.WhereConjunct(compileConjunct(c), selfOnly(c), label)
+	}
 	return nil
 }
 

@@ -60,6 +60,22 @@ func (q Quantifier) String() string {
 	}
 }
 
+// Conjunct is one AND-operand of a step's payload predicate. The query
+// builder records the conjunctive structure alongside the folded Pred so
+// the planner (internal/plan) can evaluate binding-free conjuncts first
+// and reorder the rest by observed selectivity. Conjunct predicates must
+// be pure: the matcher may re-evaluate them on rollback and reprocessing.
+type Conjunct struct {
+	// Pred is the conjunct's predicate.
+	Pred Predicate
+	// BindingFree marks conjuncts that read only the candidate event —
+	// they are always called with a nil Binder and may be hoisted into the
+	// intake prefilter.
+	BindingFree bool
+	// Label describes the conjunct for plan explanations.
+	Label string
+}
+
 // Step is a single pattern variable: a type filter, an optional payload
 // predicate, a quantifier, and flags for negation (the event must NOT
 // occur) and consumption (the CONSUME clause lists this variable).
@@ -72,6 +88,10 @@ type Step struct {
 	// Pred is the payload predicate; nil accepts every event that passes
 	// the type filter.
 	Pred Predicate
+	// Conjuncts is the conjunctive decomposition of Pred, populated by the
+	// query builder (Pred is their AND-fold). Execution uses Pred; the
+	// planner reads Conjuncts. Empty for predicates constructed directly.
+	Conjuncts []Conjunct
 	// Quant is the step quantifier; the zero value is treated as One.
 	Quant Quantifier
 	// Negated marks a negation: if a matching event occurs while the

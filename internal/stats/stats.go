@@ -112,3 +112,33 @@ func (s *Series) Candles() Candles { return Candlesticks(s.Samples) }
 
 // Median returns the median of the series.
 func (s *Series) Median() float64 { return s.Candles().Median }
+
+// EWMA is an exponentially weighted moving average with the same
+// fixed-alpha update idiom as the scheduler's adaptive controller
+// (internal/sched). The zero value is unseeded: the first observation
+// becomes the average directly, so estimates are unbiased at startup.
+type EWMA struct {
+	Alpha  float64 // per-observation smoothing weight, (0, 1]
+	val    float64
+	seeded bool
+}
+
+// Observe folds one sample into the average.
+func (e *EWMA) Observe(v float64) {
+	if !e.seeded {
+		e.val = v
+		e.seeded = true
+		return
+	}
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.05
+	}
+	e.val += a * (v - e.val)
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.val }
+
+// Seeded reports whether at least one sample has been observed.
+func (e *EWMA) Seeded() bool { return e.seeded }

@@ -10,12 +10,23 @@ type Elem interface {
 	appendTo(b *Builder)
 }
 
+// conjSpec is one recorded AND-operand of a step's predicate; Build
+// lowers the list into pattern.Conjunct values for the planner.
+type conjSpec struct {
+	pred        Predicate
+	bindingFree bool
+	label       string
+}
+
 // stepSpec is the unresolved form of a pattern step: type names are kept
-// as strings until Build interns them through the registry.
+// as strings until Build interns them through the registry. pred is the
+// AND-fold of conjs, maintained incrementally so unplanned execution pays
+// one closure call per step.
 type stepSpec struct {
 	name    string
 	types   []string
 	pred    Predicate
+	conjs   []conjSpec
 	quant   pattern.Quantifier
 	negated bool
 }
@@ -55,8 +66,36 @@ func (sb *StepBuilder) Types(names ...string) *StepBuilder {
 
 // Where attaches a payload predicate — an arbitrary Go function over the
 // candidate event and the bindings accumulated so far. Repeated calls
-// AND: the step matches only when every predicate accepts.
+// AND: the step matches only when every predicate accepts. Predicates
+// that read earlier bindings must use Where; ones that only inspect the
+// candidate event should prefer WhereEvent, which the planner can hoist
+// into the intake prefilter and evaluate first.
 func (sb *StepBuilder) Where(p Predicate) *StepBuilder {
+	return sb.where(p, false, "where")
+}
+
+// WhereEvent attaches a binding-free payload predicate: a function of the
+// candidate event alone. Semantically identical to Where with the binder
+// ignored, but the declaration lets the planner (see internal/plan and
+// spectre.WithPlanner) evaluate it before binding-dependent conjuncts and
+// hoist it into the type-indexed intake prefilter where legal. The
+// predicate must be pure — it may be re-evaluated during rollbacks.
+func (sb *StepBuilder) WhereEvent(p func(*Event) bool) *StepBuilder {
+	if p == nil {
+		return sb
+	}
+	return sb.where(func(ev *Event, _ Binder) bool { return p(ev) }, true, "where-event")
+}
+
+// WhereConjunct records one predicate conjunct with an explicit
+// binding-free classification and label. It is the lowering target of the
+// parser's DEFINE clause (each top-level AND operand arrives separately);
+// programmatic callers normally use Where/WhereEvent.
+func (sb *StepBuilder) WhereConjunct(p Predicate, bindingFree bool, label string) *StepBuilder {
+	return sb.where(p, bindingFree, label)
+}
+
+func (sb *StepBuilder) where(p Predicate, bindingFree bool, label string) *StepBuilder {
 	if p == nil {
 		return sb
 	}
@@ -65,6 +104,7 @@ func (sb *StepBuilder) Where(p Predicate) *StepBuilder {
 	} else {
 		sb.s.pred = p
 	}
+	sb.s.conjs = append(sb.s.conjs, conjSpec{pred: p, bindingFree: bindingFree, label: label})
 	return sb
 }
 

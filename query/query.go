@@ -315,14 +315,24 @@ func (b *Builder) Build() (*Query, error) {
 		addf("PATTERN", "pattern has no elements (call Pattern)")
 	}
 
-	// Assemble the pattern.
+	// Assemble the pattern. The folded Pred drives unplanned execution;
+	// Conjuncts carry the same predicate in decomposed form for the
+	// planner (internal/plan).
 	mk := func(s stepSpec) pattern.Step {
+		var conjs []pattern.Conjunct
+		if len(s.conjs) > 0 {
+			conjs = make([]pattern.Conjunct, len(s.conjs))
+			for i, c := range s.conjs {
+				conjs[i] = pattern.Conjunct{Pred: c.pred, BindingFree: c.bindingFree, Label: c.label}
+			}
+		}
 		return pattern.Step{
-			Name:    s.name,
-			Types:   b.resolveTypes(s.types),
-			Pred:    s.pred,
-			Quant:   s.quant,
-			Negated: s.negated,
+			Name:      s.name,
+			Types:     b.resolveTypes(s.types),
+			Pred:      s.pred,
+			Conjuncts: conjs,
+			Quant:     s.quant,
+			Negated:   s.negated,
 		}
 	}
 	switch b.onMatch {

@@ -10,6 +10,7 @@ import (
 	"github.com/spectrecep/spectre/internal/core"
 	"github.com/spectrecep/spectre/internal/event"
 	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/plan"
 	"github.com/spectrecep/spectre/internal/shard"
 )
 
@@ -128,6 +129,20 @@ func (rt *Runtime) Submit(ctx context.Context, q *Query, sink Sink, opts ...Opti
 	if cfg.Err != nil {
 		return nil, queryErr(q, cfg.Err)
 	}
+	cfg.Reg = rt.reg
+
+	// Plan-driven deployment: unless pinned by explicit options, the shard
+	// count and scheduling policy follow the query's estimated per-event
+	// cost.
+	var est plan.Estimate
+	autoSched, autoShards := false, false
+	if !cfg.PlanDisabled {
+		est = plan.EstimateQuery(q)
+		if !cfg.SchedSet {
+			cfg.Sched.Kind = est.RecommendedSched
+			autoSched = true
+		}
+	}
 
 	spec := cfg.Partition
 	if spec == nil {
@@ -148,7 +163,14 @@ func (rt *Runtime) Submit(ctx context.Context, q *Query, sink Sink, opts ...Opti
 			nShards = resolved.Shards
 		}
 		if nShards <= 0 {
-			nShards = runtime.GOMAXPROCS(0)
+			// Neither WithShards nor the query pinned a count: planner's
+			// recommendation when available, GOMAXPROCS otherwise.
+			if !cfg.PlanDisabled {
+				nShards = est.RecommendedShards
+				autoShards = true
+			} else {
+				nShards = runtime.GOMAXPROCS(0)
+			}
 		}
 		key, err := shard.FromSpec(&resolved)
 		if err != nil {
@@ -176,6 +198,9 @@ func (rt *Runtime) Submit(ctx context.Context, q *Query, sink Sink, opts ...Opti
 		return nil, queryErr(q, err)
 	}
 	h.h = ch
+	if p := ch.Plan(); p != nil {
+		p.SetDeployment(nShards, cfg.Sched.Kind, autoShards, autoSched)
+	}
 	if ctx.Done() != nil {
 		h.mu.Lock()
 		alreadyDrained := h.drained
@@ -281,6 +306,10 @@ func (h *Handle) Drain() {
 	h.Close()
 	h.Wait()
 }
+
+// Plan returns the submitted query's evaluation plan, or nil when the
+// planner is disabled (WithoutPlanner).
+func (h *Handle) Plan() *QueryPlan { return h.h.Plan() }
 
 // Metrics aggregates the runtime counters across the query's shards.
 func (h *Handle) Metrics() Metrics { return h.h.Metrics() }

@@ -73,6 +73,7 @@ func WithScheduler(s Scheduler) Option {
 		}
 		c.Sched.Kind = s.cfg.Kind
 		c.Sched.FixedP = s.cfg.FixedP
+		c.SchedSet = true
 	}
 }
 
@@ -89,6 +90,7 @@ func WithAdaptiveInstances(min, max int) Option {
 		}
 		c.Sched.Kind = sched.Adaptive
 		c.Sched.MinSlots, c.Sched.MaxSlots = min, max
+		c.SchedSet = true
 	}
 }
 
@@ -108,5 +110,6 @@ func WithAdaptiveSpeculation(min, max int) Option {
 		c.Sched.Kind = sched.Adaptive
 		c.Sched.MinSpec, c.Sched.MaxSpec = min, max
 		c.MaxSpeculation = max
+		c.SchedSet = true
 	}
 }

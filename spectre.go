@@ -112,6 +112,7 @@ import (
 	"github.com/spectrecep/spectre/internal/markov"
 	"github.com/spectrecep/spectre/internal/parser"
 	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/plan"
 	"github.com/spectrecep/spectre/internal/seqengine"
 	"github.com/spectrecep/spectre/internal/stream"
 	"github.com/spectrecep/spectre/internal/trex"
@@ -136,6 +137,13 @@ type (
 	Metrics = core.Metrics
 	// Predictor predicts consumption-group completion probabilities.
 	Predictor = markov.Predictor
+	// QueryPlan is the cost-based evaluation plan of a compiled query:
+	// the intake type filter, the selectivity-ordered predicate programs
+	// and the planner-chosen deployment. Obtain one from Engine.Plan or
+	// Handle.Plan; render it with Explain (text) or Info (JSON).
+	QueryPlan = plan.Plan
+	// PlanInfo is the JSON-serializable snapshot of a QueryPlan.
+	PlanInfo = plan.Info
 )
 
 // NewRegistry returns an empty type/field registry. Use one registry per
@@ -277,6 +285,31 @@ func WithQueueCap(n int) Option {
 	}
 }
 
+// WithPlanner enables the cost-based query planner (the default). The
+// planner derives, per query, a closed set of acceptable event types and
+// hoists purely type- and field-based guards into an intake prefilter
+// that drops irrelevant events before they are sharded or buffered;
+// splits each step's conjunctive predicate into binding-free and
+// binding-dependent parts and reorders them by observed selectivity; and,
+// when the deployment is not pinned by explicit options, picks the shard
+// count and scheduling policy from the query's estimated per-event cost.
+// Plans never change the delivered output — only where work is avoided.
+// Inspect the chosen plan with Engine.Plan/Handle.Plan (QueryPlan.Explain
+// renders it; spectre-server serves it as JSON per query at
+// /debug/spectre/metrics). DESIGN.md §9 documents the legality rules.
+func WithPlanner() Option {
+	return func(c *core.Config) { c.PlanDisabled = false }
+}
+
+// WithoutPlanner disables the cost-based query planner: every event
+// reaches every shard's splitter, predicates run in declaration order
+// and the deployment uses only the explicit options and their static
+// defaults. The delivered output is identical either way; use this to
+// benchmark the planner or to rule it out while debugging.
+func WithoutPlanner() Option {
+	return func(c *core.Config) { c.PlanDisabled = true }
+}
+
 // Engine is the parallel SPECTRE runtime for one query. An Engine runs a
 // single stream; construct a new one per run.
 type Engine struct {
@@ -290,12 +323,27 @@ func NewEngine(q *Query, opts ...Option) (*Engine, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	// Plan-driven scheduling: unless a policy was pinned with a scheduling
+	// option, let the cost estimate choose it (an engine has one shard, so
+	// only the policy is plannable here).
+	autoSched := false
+	if !cfg.PlanDisabled && !cfg.SchedSet && cfg.Err == nil {
+		cfg.Sched.Kind = plan.EstimateQuery(q).RecommendedSched
+		autoSched = true
+	}
 	inner, err := core.New(q, cfg)
 	if err != nil {
 		return nil, queryErr(q, err)
 	}
+	if p := inner.Plan(); p != nil {
+		p.SetDeployment(1, cfg.Sched.Kind, false, autoSched)
+	}
 	return &Engine{inner: inner}, nil
 }
+
+// Plan returns the engine's evaluation plan, or nil when the planner is
+// disabled (WithoutPlanner).
+func (e *Engine) Plan() *QueryPlan { return e.inner.Plan() }
 
 // Run processes the source and calls sink.OnMatch for every detected
 // complex event, in canonical order (window order; detection order within
