@@ -437,6 +437,87 @@ func BenchmarkPlanner(b *testing.B) {
 	}
 }
 
+// BenchmarkShed measures ingestion under overload with and without
+// utility-driven load shedding: a slow matcher predicate pins the shard
+// behind the producer, so the no-shedding mode is paced by backpressure
+// while WithShedding keeps the producer at full speed by dropping
+// low-utility events at the intake. The match-retention comparison
+// against random drop lives in cmd/spectre-bench -exp shed.
+func BenchmarkShed(b *testing.B) {
+	ctx := context.Background()
+	reg := spectre.NewRegistry()
+	ta, tb := reg.TypeID("A"), reg.TypeID("B")
+	var burnSink float64
+	burn := func(*query.Event, query.Binder) bool {
+		s := 0.0
+		for i := 1; i < 100; i++ {
+			s += 1.0 / float64(i)
+		}
+		burnSink = s
+		return s > 0
+	}
+	q, err := query.New(reg).Name("shed").
+		Pattern(
+			query.Step("A").Types("A").Where(burn),
+			query.Step("B").Types("B"),
+		).
+		Within(query.Events(32)).From("A").
+		Consume("B").
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 8_192
+	events := make([]spectre.Event, n)
+	for i := range events {
+		tp := ta
+		if i%8 == 7 {
+			tp = tb
+		}
+		events[i] = spectre.Event{TS: int64(i) * int64(time.Millisecond), Type: tp}
+	}
+	modes := []struct {
+		label string
+		opts  []spectre.Option
+	}{
+		{"noshed", nil},
+		{"shed", []spectre.Option{spectre.WithShedding()}},
+	}
+	for _, m := range modes {
+		b.Run(m.label, func(b *testing.B) {
+			b.ReportAllocs()
+			var matches, shed uint64
+			for i := 0; i < b.N; i++ {
+				rt, err := spectre.NewRuntime(reg, spectre.WithWorkers(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := append([]spectre.Option{spectre.WithQueueCap(2048)}, m.opts...)
+				h, err := rt.Submit(ctx, q, nil, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for lo := 0; lo < len(events); lo += 1024 {
+					hi := min(lo+1024, len(events))
+					if err := h.FeedBatch(ctx, events[lo:hi]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				h.Drain()
+				mt := h.Metrics()
+				matches, shed = mt.Matches, mt.ShedEvents
+				if err := rt.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+			b.ReportMetric(float64(matches), "matches")
+			b.ReportMetric(float64(shed), "shed-events")
+		})
+	}
+	_ = burnSink
+}
+
 // BenchmarkSequential measures the reference engine (context for the
 // parallel numbers).
 func BenchmarkSequential(b *testing.B) {

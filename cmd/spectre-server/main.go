@@ -32,6 +32,13 @@
 // constant-probability baseline) or "adaptive" (slot pool and
 // speculation budget track observed load). -adaptive-instances and
 // -adaptive-speculation bound the adaptation as "min:max" pairs.
+//
+// -shed enables utility-driven load shedding at every hosted query's
+// intake queues (bounded latency instead of blocked producers under
+// overload); -weight and -latency-target enroll the queries in the
+// cross-query admission arbiter, which splits the worker pool among
+// co-located queries by weight and boosts queries missing their
+// latency SLO.
 package main
 
 import (
@@ -68,6 +75,9 @@ type serverOpts struct {
 	quiet     bool
 	fallback  string // query text for clients that send no query frame
 	schedOpts []spectre.Option
+	shed      bool          // -shed: utility-driven load shedding
+	weight    float64       // -weight: admission-arbiter share (0 = unarbitrated)
+	latency   time.Duration // -latency-target: root-emission SLO (0 = none)
 }
 
 // parseSchedFlags converts the -sched / -adaptive-* flags into engine
@@ -154,11 +164,15 @@ func (l *liveQueries) remove(id int) {
 // Metrics struct plus the derived utilization, shard count and the
 // planner's evaluation plan (type filter, predicate order, deployment).
 type queryMetrics struct {
-	Conn            int               `json:"conn"`
-	Query           string            `json:"query"`
-	Shards          int               `json:"shards"`
-	SlotUtilization float64           `json:"slotUtilization"`
-	Plan            *spectre.PlanInfo `json:"plan,omitempty"`
+	Conn            int     `json:"conn"`
+	Query           string  `json:"query"`
+	Shards          int     `json:"shards"`
+	SlotUtilization float64 `json:"slotUtilization"`
+	// Root-emission latency gauges in milliseconds (the raw Metrics
+	// fields are seconds; milliseconds read better on dashboards).
+	EmitLagP50Millis float64           `json:"emitLagP50Millis"`
+	EmitLagP99Millis float64           `json:"emitLagP99Millis"`
+	Plan             *spectre.PlanInfo `json:"plan,omitempty"`
 	spectre.Metrics
 }
 
@@ -180,12 +194,14 @@ func (l *liveQueries) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 			pi = &info
 		}
 		out = append(out, queryMetrics{
-			Conn:            q.Conn,
-			Query:           q.Query,
-			Shards:          q.h.Shards(),
-			SlotUtilization: m.SlotUtilization(),
-			Plan:            pi,
-			Metrics:         m,
+			Conn:             q.Conn,
+			Query:            q.Query,
+			Shards:           q.h.Shards(),
+			SlotUtilization:  m.SlotUtilization(),
+			EmitLagP50Millis: m.EmitLagP50 * 1000,
+			EmitLagP99Millis: m.EmitLagP99 * 1000,
+			Plan:             pi,
+			Metrics:          m,
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -208,6 +224,9 @@ func run() error {
 		schedFlag    = flag.String("sched", "topk", "scheduling policy: topk, fixed=<p> or adaptive")
 		adaptInst    = flag.String("adaptive-instances", "", "adaptive slot-pool bounds as min:max (implies -sched adaptive)")
 		adaptSpec    = flag.String("adaptive-speculation", "", "adaptive speculation-budget bounds as min:max (implies -sched adaptive)")
+		shedFlag     = flag.Bool("shed", false, "shed lowest-utility events when a shard queue crosses its watermark instead of blocking")
+		weightFlag   = flag.Float64("weight", 0, "admission-arbiter weight for every hosted query (0 = unarbitrated)")
+		latencyFlag  = flag.Duration("latency-target", 0, "root-emission p99 latency SLO per query (0 = none; implies arbitration)")
 	)
 	flag.Parse()
 
@@ -241,7 +260,10 @@ func run() error {
 		}()
 	}
 
-	opts := serverOpts{instances: *instances, shards: *shards, quiet: *quiet, schedOpts: schedOpts}
+	opts := serverOpts{
+		instances: *instances, shards: *shards, quiet: *quiet, schedOpts: schedOpts,
+		shed: *shedFlag, weight: *weightFlag, latency: *latencyFlag,
+	}
 	if *queryFile != "" {
 		src, err := os.ReadFile(*queryFile)
 		if err != nil {
@@ -352,6 +374,15 @@ func serveConn(ctx context.Context, rt *spectre.Runtime, conn net.Conn, id int, 
 	if opts.shards > 0 && query.Partition != nil {
 		subOpts = append(subOpts, spectre.WithShards(opts.shards))
 	}
+	if opts.shed {
+		subOpts = append(subOpts, spectre.WithShedding())
+	}
+	if opts.weight > 0 {
+		subOpts = append(subOpts, spectre.WithWeight(opts.weight))
+	}
+	if opts.latency > 0 {
+		subOpts = append(subOpts, spectre.WithLatencyTarget(opts.latency))
+	}
 	matches := 0
 	h, err := rt.Submit(context.Background(), query, spectre.SinkFunc(func(ce spectre.ComplexEvent) {
 		matches++
@@ -391,10 +422,11 @@ func serveConn(ctx context.Context, rt *spectre.Runtime, conn net.Conn, id int, 
 	m := h.Metrics()
 	fmt.Fprintf(os.Stderr,
 		"spectre-server: conn %d: %d events, %d matches in %v (%.0f events/sec)\n"+
-			"  shards=%d windows=%d versions=%d dropped=%d rollbacks=%d gate-reprocessed=%d max-tree=%d\n",
+			"  shards=%d windows=%d versions=%d dropped=%d rollbacks=%d gate-reprocessed=%d max-tree=%d shed=%d emit-lag-p99=%.1fms\n",
 		id, m.EventsIngested, matches, elapsed.Round(time.Millisecond),
 		float64(m.EventsIngested)/elapsed.Seconds(), h.Shards(),
 		m.WindowsOpened, m.VersionsCreated, m.VersionsDropped,
-		m.Rollbacks, m.GateReprocessed, m.MaxTreeSize)
+		m.Rollbacks, m.GateReprocessed, m.MaxTreeSize,
+		m.ShedEvents, m.EmitLagP99*1000)
 	return nil
 }

@@ -26,8 +26,10 @@ var (
 
 // OverloadError is TryFeed's admission rejection: the target shard's
 // intake queue was at capacity. It matches ErrOverloaded with errors.Is
-// and carries the shard index and queue occupancy, the inputs a
-// load-shedding policy needs.
+// and carries the query name, the shard index and the queue occupancy
+// at rejection time — the inputs a load-shedding policy needs. Queries
+// submitted with WithShedding shed at the intake instead and return
+// nil, so they only produce this error on the rare closed-handle race.
 type OverloadError = core.OverloadError
 
 // QueryError wraps a per-query failure — compilation, validation or

@@ -521,6 +521,7 @@ func (o *Options) Experiments() map[string]func() ([]Row, error) {
 		"speculation": o.Speculation,
 		"sched":       o.Sched,
 		"planner":     o.Planner,
+		"shed":        o.Shed,
 	}
 }
 
@@ -528,7 +529,7 @@ func (o *Options) Experiments() map[string]func() ([]Row, error) {
 var ExperimentOrder = []string{
 	"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
 	"fig11a", "fig11b", "trex", "partition", "feedbatch", "speculation",
-	"sched", "planner",
+	"sched", "planner", "shed",
 }
 
 // RunAll executes every experiment in order.

@@ -1,0 +1,155 @@
+// Load-shedding comparison: overload survival under a producer that
+// outruns the shard. Event types arrive at a 7:1 ratio — frequent A
+// quotes that mostly idle in windows, rare B quotes that complete every
+// match — and the consumer is artificially slowed so the intake queue
+// crosses its shedding watermarks. Three admission policies compete:
+// no shedding (backpressure pacing, the reference match count), random
+// drop (a constant utility score, eSPICE's baseline) and utility-driven
+// shedding (plan priors + observed match contribution). Utility shedding
+// should retain close to the full match count by spending its drops on
+// the abundant, low-contribution type.
+package bench
+
+import (
+	"context"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/core"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/stats"
+	"github.com/spectrecep/spectre/query"
+)
+
+// shedQueueCap bounds the shard intake queue of the shed experiment:
+// watermarks sit at 50% / 90% of it.
+const shedQueueCap = 4096
+
+// shedBRatio is the arrival ratio: one B per shedBRatio events.
+const shedBRatio = 8
+
+// shedBurnSink defeats dead-code elimination of the consumer slowdown.
+var shedBurnSink float64
+
+// shedBurn wastes a bounded amount of matcher time per candidate event,
+// guaranteeing the producer outruns the shard so the queue actually
+// crosses the shedding watermarks on any machine.
+func shedBurn() bool {
+	s := 0.0
+	for i := 1; i < 400; i++ {
+		s += 1.0 / float64(i)
+	}
+	shedBurnSink = s
+	return s > 0
+}
+
+// ShedQuery builds the experiment's pattern: every rare B completes a
+// match with a preceding A, so per-type match contribution is ~8x higher
+// for B than for A. The burn predicate is binding-dependent on purpose —
+// the planner must not hoist it into the intake prefilter, where the
+// producer would pay it instead of the shard.
+func ShedQuery(reg *event.Registry, windowSize int) (*pattern.Query, error) {
+	return query.New(reg).Name("shed").
+		Pattern(
+			query.Step("A").Types("A").Where(func(*query.Event, query.Binder) bool { return shedBurn() }),
+			query.Step("B").Types("B"),
+		).
+		Within(query.Events(windowSize)).From("A").
+		Consume("B").
+		Build()
+}
+
+// shedData interleaves the two types deterministically at the 7:1 ratio.
+func shedData(reg *event.Registry, n int) []event.Event {
+	ta := reg.TypeID("A")
+	tb := reg.TypeID("B")
+	evs := make([]event.Event, n)
+	for i := range evs {
+		tp := ta
+		if i%shedBRatio == shedBRatio-1 {
+			tp = tb
+		}
+		evs[i] = event.Event{TS: int64(i) * int64(time.Millisecond), Type: tp}
+	}
+	return evs
+}
+
+// Shed measures match retention and emission lag under overload for the
+// three admission policies. The no-shedding run is paced by backpressure
+// and retains every match (the reference); the shedding runs are offered
+// the stream faster than the shard drains it and differ only in the
+// utility score. The figure of merit is matches retained: utility
+// shedding must beat random drop by spending its shed budget on A's.
+func (o *Options) Shed() ([]Row, error) {
+	o.setDefaults()
+	n := o.RandEvents / 2
+	if n < 4*shedQueueCap {
+		n = 4 * shedQueueCap
+	}
+
+	modes := []struct {
+		label string
+		conf  func(*core.Config)
+	}{
+		{"noshed", func(*core.Config) {}},
+		{"shed=random", func(c *core.Config) {
+			c.Shed = true
+			c.ShedScorer = func(event.Type) float64 { return 0.5 }
+		}},
+		{"shed=utility", func(c *core.Config) { c.Shed = true }},
+	}
+
+	o.printf("\n== Shed: utility-driven load shedding vs random drop vs backpressure (A:B = %d:1, n=%d, queue=%d) ==\n",
+		shedBRatio-1, n, shedQueueCap)
+	o.printf("%-14s %14s %10s %10s %12s\n", "mode", "med ev/s", "matches", "shed", "lag p99 ms")
+	var rows []Row
+	for _, mode := range modes {
+		var series stats.Series
+		var last core.Metrics
+		for r := 0; r < o.Repeats; r++ {
+			reg := event.NewRegistry()
+			events := shedData(reg, n)
+			q, err := ShedQuery(reg, 4*shedBRatio)
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.Config{Instances: 2, QueueCap: shedQueueCap}
+			mode.conf(&cfg)
+			rt := core.NewRuntime(core.RuntimeConfig{Workers: 1})
+			h, err := rt.Submit(q, cfg, nil, 1, nil, nil)
+			if err != nil {
+				rt.Close()
+				return nil, err
+			}
+			start := time.Now()
+			feedErr := func() error {
+				for lo := 0; lo < len(events); lo += 1024 {
+					hi := lo + 1024
+					if hi > len(events) {
+						hi = len(events)
+					}
+					if err := h.FeedBatch(context.Background(), events[lo:hi]); err != nil {
+						return err
+					}
+				}
+				return nil
+			}()
+			h.Drain()
+			elapsed := time.Since(start)
+			rt.Close()
+			if feedErr != nil {
+				return nil, feedErr
+			}
+			series.Add(stats.Throughput(uint64(n), elapsed))
+			last = h.Metrics()
+		}
+		c := series.Candles()
+		rows = append(rows, Row{
+			Figure: "shed", Label: mode.label, K: 2,
+			Value: float64(last.Matches), Metric: "matches", Candles: c,
+		})
+		o.printf("%-14s %14.0f %10d %10d %12.2f\n",
+			mode.label, c.Median, last.Matches, last.ShedEvents, last.EmitLagP99*1000)
+	}
+	return rows, nil
+}

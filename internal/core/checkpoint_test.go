@@ -37,7 +37,7 @@ func rollShard(t *testing.T) (*shardState, *deptree.WindowVersion, *deptree.CG) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := newShard(prog)
+	s, err := newShard(prog, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,12 +48,16 @@ var ErrOverloaded = errors.New("core: shard queue is full")
 // target shard's intake queue was at capacity. It matches ErrOverloaded
 // with errors.Is, so load-shedding callers need not depend on the struct.
 type OverloadError struct {
-	Shard   int // shard index the event routed to
-	Pending int // events queued on that shard at rejection time
-	Cap     int // the shard queue's capacity
+	Query   string // query name, when the handle is named ("" otherwise)
+	Shard   int    // shard index the event routed to
+	Pending int    // events queued on that shard at rejection time
+	Cap     int    // the shard queue's capacity
 }
 
 func (e *OverloadError) Error() string {
+	if e.Query != "" {
+		return fmt.Sprintf("core: query %q shard %d queue is full (%d/%d events pending)", e.Query, e.Shard, e.Pending, e.Cap)
+	}
 	return fmt.Sprintf("core: shard %d queue is full (%d/%d events pending)", e.Shard, e.Pending, e.Cap)
 }
 
@@ -126,8 +130,23 @@ type Config struct {
 	Shards int
 	// QueueCap bounds the pending backlog of each shard intake queue
 	// (default 1<<16 events). A full queue blocks Feed and rejects
-	// TryFeed with an *OverloadError.
+	// TryFeed with an *OverloadError — unless Shed is on, in which case
+	// low-utility events are dropped before the queue ever fills.
 	QueueCap int
+	// Shed enables utility-driven load shedding at the intake queue
+	// (internal/shed, DESIGN.md §10): when a shard queue's depth crosses
+	// a watermark, the lowest-utility events are dropped instead of
+	// blocking Feed or failing TryFeed. Off by default — shedding trades
+	// completeness for bounded latency, which only the caller may decide.
+	Shed bool
+	// ShedScorer overrides the shedder's utility estimator with a fixed
+	// per-type score (benchmarks: a constant scorer is the uniform
+	// random-drop baseline). Only read when Shed is set.
+	ShedScorer func(event.Type) float64
+	// Weight is the query's share of a shared runtime's processors under
+	// the admission arbiter (WithWeight). 0 means the query does not
+	// opt into arbitration unless it sets a latency target.
+	Weight float64
 	// PlanDisabled skips the cost-based planner (internal/plan): the
 	// query executes verbatim as lowered by the builder. The planner is
 	// on by default; its rewrites are output-invariant.
@@ -189,7 +208,11 @@ type Metrics struct {
 	// intake prefilter before touching the shard queue or the arena.
 	// Kept strictly separate from EventsIngested: fed = ingested +
 	// filtered on the intake-filtered path.
-	FilteredEvents  uint64
+	FilteredEvents uint64
+	// ShedEvents counts events dropped by the load shedder (WithShedding)
+	// because the shard queue crossed its watermark. Disjoint from
+	// FilteredEvents: fed = ingested + filtered + shed.
+	ShedEvents      uint64
 	EventsProcessed uint64 // per-version processing, including speculation
 	Cycles          uint64 // splitter maintenance+scheduling cycles (Fig. 10(c))
 	WindowsOpened   uint64
@@ -215,6 +238,14 @@ type Metrics struct {
 	SlotCyclesBusy   uint64 // Σ over cycles of active slots holding an assignment
 	CurSlots         int    // current active slot count (gauge; Merge sums shards)
 	CurSpeculation   int    // current speculation budget (gauge; Merge sums shards)
+
+	// Root-emission latency gauges: streaming quantile estimates of the
+	// time from an event's ingestion to the root window version covering
+	// it being finalized, in seconds. Zero until the first root pops;
+	// Merge takes the worst shard (a per-query SLO is only as good as
+	// its slowest shard).
+	EmitLagP50 float64
+	EmitLagP99 float64
 }
 
 // SlotUtilization reports the cycle-weighted fraction of active slots
@@ -233,6 +264,7 @@ func (m *Metrics) SlotUtilization() float64 {
 func (m *Metrics) Merge(o *Metrics) {
 	m.EventsIngested += o.EventsIngested
 	m.FilteredEvents += o.FilteredEvents
+	m.ShedEvents += o.ShedEvents
 	m.EventsProcessed += o.EventsProcessed
 	m.Cycles += o.Cycles
 	m.WindowsOpened += o.WindowsOpened
@@ -258,6 +290,12 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.SlotCyclesBusy += o.SlotCyclesBusy
 	m.CurSlots += o.CurSlots
 	m.CurSpeculation += o.CurSpeculation
+	if o.EmitLagP50 > m.EmitLagP50 {
+		m.EmitLagP50 = o.EmitLagP50
+	}
+	if o.EmitLagP99 > m.EmitLagP99 {
+		m.EmitLagP99 = o.EmitLagP99
+	}
 }
 
 // metricsBox guards the metrics counters shared by the splitter and the

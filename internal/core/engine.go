@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -17,9 +18,24 @@ import (
 	"github.com/spectrecep/spectre/internal/pattern"
 	"github.com/spectrecep/spectre/internal/plan"
 	"github.com/spectrecep/spectre/internal/sched"
+	"github.com/spectrecep/spectre/internal/shed"
+	"github.com/spectrecep/spectre/internal/stats"
 	"github.com/spectrecep/spectre/internal/stream"
 	"github.com/spectrecep/spectre/internal/window"
 )
+
+// lagMark is one root-emission latency probe: when the arena reaches
+// boundary seq as part of a root pop, the events of the mark's ingest
+// batch have been fully validated and emitted.
+type lagMark struct {
+	seq uint64
+	at  time.Time
+}
+
+// lagMarkCap bounds the pending lag probes per shard; a backlog beyond
+// it drops the newest marks (the oldest ones measure the worst lag,
+// which is the signal that matters).
+const lagMarkCap = 256
 
 // ErrAlreadyRan is returned when Run is called twice on one engine.
 var ErrAlreadyRan = errors.New("core: an Engine can only Run once")
@@ -150,6 +166,22 @@ type shardState struct {
 	// filteredIn counts events the intake prefilter dropped for this
 	// shard (incremented by the feeding side, folded into snapshots).
 	filteredIn atomic.Uint64
+	// shedIn counts events the load shedder dropped for this shard
+	// (incremented by the feeding side, folded into snapshots).
+	shedIn atomic.Uint64
+	// shed is the shard's load shedder (nil unless Config.Shed). The
+	// feeding side calls Offer; the splitter feeds match contributions
+	// back through NoteMatch when roots drain.
+	shed *shed.Shedder
+
+	// Root-emission lag tracking (splitter only, except the published
+	// bits): ingest timestamps one mark per batch; when a root pops,
+	// marks at or below the new root boundary become lag samples.
+	lagMarks   []lagMark
+	lagP50     stats.QuantileEWMA
+	lagP99     stats.QuantileEWMA
+	lagP50Bits atomic.Uint64 // Float64bits for snapshots off the splitter
+	lagP99Bits atomic.Uint64
 	// seq0 records that raw position 0 was actually appended in stamped
 	// mode. The zero Event at a gap position has Seq == 0, so position 0
 	// is the one slot where a Seq match cannot distinguish a real event
@@ -172,8 +204,10 @@ type shardState struct {
 	split   *worker // splitter-side worker for inline reprocessing
 }
 
-// newShard builds one shard of prog.
-func newShard(prog *program) (*shardState, error) {
+// newShard builds one shard of prog. ctl is the shard's admission-
+// arbiter handle on a shared runtime (nil for dedicated engines and
+// unarbitrated queries).
+func newShard(prog *program, ctl *sched.ShardCtl) (*shardState, error) {
 	pred, err := prog.newPredictor()
 	if err != nil {
 		return nil, err
@@ -190,6 +224,8 @@ func newShard(prog *program) (*shardState, error) {
 		assigned: make([]*deptree.WindowVersion, ceiling),
 		done:     make(chan struct{}),
 	}
+	s.lagP50.Q = 0.5
+	s.lagP99.Q = 0.99
 	for i := range s.slots {
 		s.slots[i].w = newWorker(s)
 		s.slots[i].wake = make(chan struct{}, 1)
@@ -197,7 +233,11 @@ func newShard(prog *program) (*shardState, error) {
 	if prog.cfg.SchedFactory != nil {
 		s.policy = prog.cfg.SchedFactory()
 	} else {
-		s.policy = prog.cfg.Sched.New(prog.cfg.Instances, prog.cfg.MaxSpeculation)
+		// The shard's own Config copy carries its arbiter handle; prog is
+		// shared across shards and stays immutable.
+		sc := prog.cfg.Sched
+		sc.Ctl = ctl
+		s.policy = sc.New(prog.cfg.Instances, prog.cfg.MaxSpeculation)
 	}
 	s.activeSlots.Store(int32(prog.cfg.Sched.InitialSlots(prog.cfg.Instances)))
 	cur, spec := int(s.activeSlots.Load()), prog.cfg.MaxSpeculation
@@ -404,6 +444,12 @@ func (s *shardState) ingest() int {
 		}
 	}
 	if n > 0 {
+		// One latency probe per ingest batch: when the arena boundary of a
+		// future root pop reaches this batch, its events have been fully
+		// validated and emitted.
+		if len(s.lagMarks) < lagMarkCap {
+			s.lagMarks = append(s.lagMarks, lagMark{seq: s.ar.Len(), at: time.Now()})
+		}
 		s.metrics.add(func(m *Metrics) { m.EventsIngested += uint64(n) })
 	}
 	return n
@@ -487,7 +533,31 @@ func (s *shardState) releaseArena() {
 	if root := s.tree.Root(); root != nil {
 		boundary = root.WV.Win.StartSeq
 	}
+	s.observeLag(boundary)
 	s.ar.ReleaseBefore(boundary)
+}
+
+// observeLag resolves the pending latency probes at or below boundary:
+// everything ingested before that position has now cleared validation
+// and emission, so now-minus-ingest is a root-emission lag sample.
+// Splitter only.
+func (s *shardState) observeLag(boundary uint64) {
+	n := 0
+	for n < len(s.lagMarks) && s.lagMarks[n].seq <= boundary {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		lag := now.Sub(s.lagMarks[i].at).Seconds()
+		s.lagP50.Observe(lag)
+		s.lagP99.Observe(lag)
+	}
+	s.lagMarks = s.lagMarks[:copy(s.lagMarks, s.lagMarks[n:])]
+	s.lagP50Bits.Store(math.Float64bits(s.lagP50.Value()))
+	s.lagP99Bits.Store(math.Float64bits(s.lagP99.Value()))
 }
 
 // validate is the final gate (DESIGN.md §4.2): when a version becomes
@@ -575,6 +645,16 @@ func (s *shardState) drainOutputs(wv *deptree.WindowVersion) bool {
 		m.Matches += uint64(len(out))
 		m.EventsConsumed += uint64(consumedCount)
 	})
+	if s.shed != nil {
+		// Feed the match back to the utility estimator: constituents are
+		// arena sequence numbers, and the arena still holds them — release
+		// happens only after the root pops.
+		for i := range out {
+			for _, seq := range out[i].Constituents {
+				s.shed.NoteMatch(s.ar.Get(seq).Type)
+			}
+		}
+	}
 	for i := range out {
 		s.emit(out[i])
 	}
@@ -604,6 +684,8 @@ func (s *shardState) schedule() {
 		SpecBudget:   s.tree.CapSize,
 		Rollbacks:    s.rollbacks.Load(),
 		PartialRolls: s.partialRolls.Load(),
+		EmitLagP50:   s.lagP50.Value(),
+		EmitLagP99:   s.lagP99.Value(),
 		InputDone:    s.inputDone.Load(),
 	})
 	s.applyDecision(dec)
@@ -776,7 +858,7 @@ func New(q *pattern.Query, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := newShard(prog)
+	s, err := newShard(prog, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -841,5 +923,8 @@ func (e *Engine) Plan() *plan.Plan { return e.prog.plan }
 func (s *shardState) metricsSnapshot() Metrics {
 	m := s.metrics.snapshot()
 	m.FilteredEvents = s.filteredIn.Load()
+	m.ShedEvents = s.shedIn.Load()
+	m.EmitLagP50 = math.Float64frombits(s.lagP50Bits.Load())
+	m.EmitLagP99 = math.Float64frombits(s.lagP99Bits.Load())
 	return m
 }

@@ -10,6 +10,8 @@ import (
 	"github.com/spectrecep/spectre/internal/event"
 	"github.com/spectrecep/spectre/internal/pattern"
 	"github.com/spectrecep/spectre/internal/plan"
+	"github.com/spectrecep/spectre/internal/sched"
+	"github.com/spectrecep/spectre/internal/shed"
 	"github.com/spectrecep/spectre/internal/stream"
 )
 
@@ -44,6 +46,7 @@ func (c *RuntimeConfig) SetError(err error) {
 // instead of k goroutines per engine.
 type Runtime struct {
 	pool    *Pool
+	arb     *sched.Arbiter
 	mu      sync.Mutex
 	closed  bool
 	handles []*Handle
@@ -51,7 +54,8 @@ type Runtime struct {
 
 // NewRuntime starts a runtime with its own worker pool.
 func NewRuntime(cfg RuntimeConfig) *Runtime {
-	return &Runtime{pool: NewPool(cfg.Workers)}
+	pool := NewPool(cfg.Workers)
+	return &Runtime{pool: pool, arb: sched.NewArbiter(pool.Workers())}
 }
 
 // Handle is one submitted query: the routing function, its shards and the
@@ -81,6 +85,17 @@ type Handle struct {
 	stamp        []uint64
 	stampScratch []uint64 // FeedBatch provisional counters
 	dropScratch  []uint64 // FeedBatch per-shard drop counts
+
+	// Load shedding (Config.Shed): sheds reports whether the shards carry
+	// shedders; the scratch slices serve FeedBatch's per-shard shed
+	// bookkeeping under the same single-producer discipline as scatter.
+	sheds       bool
+	shedScratch []uint64 // FeedBatch per-shard shed counts
+	depthBase   []int    // FeedBatch per-shard queue-depth snapshot
+
+	// qc is the query's admission-arbiter registration (nil unless the
+	// submitter set a weight or latency target); released on drain.
+	qc *sched.QueryCtl
 }
 
 // Submit compiles q and starts nShards independent shard states on the
@@ -114,10 +129,31 @@ func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event)
 	if emit == nil {
 		emit = func(event.Complex) {}
 	}
+	// A weight or latency target opts the query into the cross-query
+	// admission arbiter; unarbitrated queries keep the historical
+	// whole-machine Procs ceiling.
+	if prog.cfg.Weight > 0 || prog.cfg.Sched.LatencyTarget > 0 {
+		h.qc = rt.arb.Register(q.Name, prog.cfg.Weight, prog.cfg.Sched.LatencyTarget, nShards)
+	}
 	for i := 0; i < nShards; i++ {
-		s, err := newShard(prog)
+		var ctl *sched.ShardCtl
+		if h.qc != nil {
+			ctl = h.qc.Shard(i)
+		}
+		s, err := newShard(prog, ctl)
 		if err != nil {
+			if h.qc != nil {
+				h.qc.Release()
+			}
 			return nil, err
+		}
+		if prog.cfg.Shed {
+			scfg := shed.Config{QueueCap: prog.cfg.QueueCap, Scorer: prog.cfg.ShedScorer}
+			if prog.plan != nil {
+				scfg.Prior = prog.plan.UtilityPrior
+			}
+			s.shed = shed.New(scfg)
+			h.sheds = true
 		}
 		queue := newShardQueue(prog.cfg.QueueCap)
 		s.begin(queue, func(ce event.Complex) {
@@ -129,10 +165,17 @@ func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event)
 		h.queues = append(h.queues, queue)
 	}
 	h.scatter = make([][]event.Event, nShards)
+	if h.sheds {
+		h.shedScratch = make([]uint64, nShards)
+		h.depthBase = make([]int, nShards)
+	}
 
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
+		if h.qc != nil {
+			h.qc.Release()
+		}
 		return nil, ErrRuntimeClosed
 	}
 	rt.handles = append(rt.handles, h)
@@ -266,6 +309,12 @@ func (h *Handle) TryFeed(ev event.Event) error {
 			h.drop(i, 1)
 			return nil
 		}
+	}
+	if s := h.shards[i].shed; s != nil && !s.Offer(ev.Type, h.queues[i].depth()) {
+		h.shedDrop(i, 1)
+		return nil
+	}
+	if h.intake {
 		ev.Seq = h.stamp[i]
 	}
 	pending, ok := h.queues[i].tryPush(ev)
@@ -278,7 +327,7 @@ func (h *Handle) TryFeed(ev event.Event) error {
 	if pending < 0 {
 		return ErrHandleClosed
 	}
-	return &OverloadError{Shard: i, Pending: pending, Cap: h.queues[i].cap}
+	return &OverloadError{Query: h.name, Shard: i, Pending: pending, Cap: h.queues[i].cap}
 }
 
 // drop records n filtered events on shard i: their raw positions are
@@ -288,6 +337,17 @@ func (h *Handle) drop(i int, n uint64) {
 	h.stamp[i] += n
 	h.plan.CountFiltered(n)
 	h.shards[i].filteredIn.Add(n)
+}
+
+// shedDrop records n shed events on shard i. In stamped mode their raw
+// positions are spent exactly like filtered ones (arena gaps); in
+// unstamped mode a shed event simply never existed as far as the shard
+// is concerned.
+func (h *Handle) shedDrop(i int, n uint64) {
+	if h.intake {
+		h.stamp[i] += n
+	}
+	h.shards[i].shedIn.Add(n)
 }
 
 // FeedBatch routes a batch of in-order events, enqueueing one slice per
@@ -301,7 +361,7 @@ func (h *Handle) FeedBatch(ctx context.Context, evs []event.Event) error {
 	if h.closed.Load() {
 		return ErrHandleClosed
 	}
-	if !h.intake {
+	if !h.intake && !h.sheds {
 		if len(h.queues) == 1 {
 			return h.queues[0].pushBatch(ctx, evs)
 		}
@@ -319,35 +379,62 @@ func (h *Handle) FeedBatch(ctx context.Context, evs []event.Event) error {
 		}
 		return nil
 	}
-	// Intake-filtered path: stamp against provisional per-shard counters
-	// and commit each shard's counter (and drop tally) only after its
-	// chunk is safely queued, preserving the per-shard prefix property on
-	// a mid-batch error.
+	// Intake-filtered / shedding path: stamp against provisional per-shard
+	// counters and commit each shard's counters (stamp, drop and shed
+	// tallies) only after its chunk is safely queued, preserving the
+	// per-shard prefix property on a mid-batch error. Shed decisions use
+	// the shard's queue depth at batch start plus what this batch has
+	// already scattered to it.
 	for i := range h.scatter {
 		h.scatter[i] = h.scatter[i][:0]
-		h.stampScratch[i] = h.stamp[i]
-		h.dropScratch[i] = 0
+		if h.intake {
+			h.stampScratch[i] = h.stamp[i]
+			h.dropScratch[i] = 0
+		}
+		if h.sheds {
+			h.shedScratch[i] = 0
+			h.depthBase[i] = h.queues[i].depth()
+		}
 	}
 	for i := range evs {
 		shard := h.shardOf(&evs[i])
-		seq := h.stampScratch[shard]
-		h.stampScratch[shard]++
-		if !h.plan.Admit(&evs[i]) {
-			h.dropScratch[shard]++
-			continue
+		var seq uint64
+		if h.intake {
+			seq = h.stampScratch[shard]
+			h.stampScratch[shard]++
+			if !h.plan.Admit(&evs[i]) {
+				h.dropScratch[shard]++
+				continue
+			}
+		}
+		if s := h.shards[shard].shed; s != nil {
+			depth := h.depthBase[shard] + len(h.scatter[shard])
+			if !s.Offer(evs[i].Type, depth) {
+				h.shedScratch[shard]++
+				continue
+			}
 		}
 		ev := evs[i]
-		ev.Seq = seq
+		if h.intake {
+			ev.Seq = seq
+		}
 		h.scatter[shard] = append(h.scatter[shard], ev)
 	}
 	for i, chunk := range h.scatter {
 		if err := h.queues[i].pushBatch(ctx, chunk); err != nil {
 			return err
 		}
-		h.stamp[i] = h.stampScratch[i]
-		if n := h.dropScratch[i]; n > 0 {
-			h.plan.CountFiltered(n)
-			h.shards[i].filteredIn.Add(n)
+		if h.intake {
+			h.stamp[i] = h.stampScratch[i]
+			if n := h.dropScratch[i]; n > 0 {
+				h.plan.CountFiltered(n)
+				h.shards[i].filteredIn.Add(n)
+			}
+		}
+		if h.sheds {
+			if n := h.shedScratch[i]; n > 0 {
+				h.shards[i].shedIn.Add(n)
+			}
 		}
 	}
 	return nil
@@ -371,6 +458,14 @@ func (h *Handle) feed(ctx context.Context, ev event.Event) error {
 			h.drop(i, 1)
 			return nil
 		}
+	}
+	// Shedding keeps the queue depth strictly below the high watermark
+	// (everything above it is dropped), so a shedding Feed never blocks.
+	if s := h.shards[i].shed; s != nil && !s.Offer(ev.Type, h.queues[i].depth()) {
+		h.shedDrop(i, 1)
+		return nil
+	}
+	if h.intake {
 		ev.Seq = h.stamp[i]
 		if err := h.queues[i].push(ctx, ev); err != nil {
 			return err
@@ -424,6 +519,9 @@ func (h *Handle) Wait() {
 // forget drops a fully drained handle from the runtime's bookkeeping so
 // long-lived servers do not accumulate dead queries.
 func (rt *Runtime) forget(h *Handle) {
+	if h.qc != nil {
+		h.qc.Release()
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for i, cur := range rt.handles {

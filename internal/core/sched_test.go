@@ -193,7 +193,7 @@ func stuckShard(t *testing.T, factory func() sched.Policy) *shardState {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := newShard(prog)
+	s, err := newShard(prog, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +293,7 @@ func TestSlotPoolParksIdleSlots(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := newShard(prog)
+	s, err := newShard(prog, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -249,6 +249,62 @@ func (p *Plan) Admit(ev *event.Event) bool {
 // the consumed-set checks and the suppression checks.
 func (p *Plan) MatcherFilterActive() bool { return p.matcherOK }
 
+// UtilityPrior scores the static match-participation likelihood of type
+// t in [0, 1] for load shedding (internal/shed): the maximum, over the
+// steps whose type filter accepts t, of the product of the step's
+// observed conjunct pass rates — how likely an event of that type is to
+// clear the most permissive step that could bind it. Types no step
+// accepts score near zero; types that only open windows score the
+// neutral 0.5. Pass rates are the same live EWMAs that drive conjunct
+// reordering, so the prior tracks the traffic. Safe for concurrent use.
+func (p *Plan) UtilityPrior(t event.Type) float64 {
+	best := 0.0
+	accepted := false
+	for i, fs := range p.query.Pattern.FlatSteps() {
+		st := fs.Step
+		if !typeAccepted(st.Types, t) {
+			continue
+		}
+		accepted = true
+		pp := 1.0
+		if st.Pred != nil {
+			pp = 0.5 // single conjunct: no sampled program, assume even odds
+			if i < len(p.steps) && p.steps[i] != nil {
+				pp = p.steps[i].passProduct()
+			}
+		}
+		if pp > best {
+			best = pp
+		}
+	}
+	if !accepted {
+		for _, st := range p.query.Window.StartTypes {
+			if st == t {
+				return 0.5
+			}
+		}
+		return 0.05
+	}
+	if best < 0.02 {
+		return 0.02 // floor: selective types stay sheddable, not dead
+	}
+	return best
+}
+
+// typeAccepted reports whether a step type filter (empty = any type)
+// accepts t.
+func typeAccepted(types []event.Type, t event.Type) bool {
+	if len(types) == 0 {
+		return true
+	}
+	for _, st := range types {
+		if st == t {
+			return true
+		}
+	}
+	return false
+}
+
 // RelevantType reports whether some step's type filter accepts t. Call
 // only when MatcherFilterActive.
 func (p *Plan) RelevantType(t event.Type) bool {
@@ -534,6 +590,23 @@ func sortedByRate(class []int, rate []float64) []int {
 	out := append([]int(nil), class...)
 	sort.SliceStable(out, func(a, b int) bool { return rate[out[a]] < rate[out[b]] })
 	return out
+}
+
+// passProduct returns the product of the step's conjunct pass-rate
+// EWMAs (0.5 for unseeded conjuncts): the estimated likelihood that an
+// event of an accepted type clears the step's whole predicate.
+func (sp *stepPlan) passProduct() float64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	prod := 1.0
+	for i := range sp.rates {
+		if sp.rates[i].Seeded() {
+			prod *= sp.rates[i].Value()
+		} else {
+			prod *= 0.5
+		}
+	}
+	return prod
 }
 
 func (sp *stepPlan) info() (conjs []ConjunctInfo, order []string, replans uint64) {

@@ -360,3 +360,78 @@ func TestExplainAndInfo(t *testing.T) {
 		}
 	}
 }
+
+func TestUtilityPrior(t *testing.T) {
+	reg := event.NewRegistry()
+	reg.TypeID("X") // distractor: accepted by no step
+	// Two binding-free guards on B so the planner installs a sampled
+	// predicate program (stepPlans exist only for >= 2 conjuncts).
+	b := query.New(reg).Name("prior")
+	open := b.Float("open")
+	q, err := b.
+		Pattern(
+			query.Step("A").Types("A"),
+			query.Step("B").Types("B").
+				WhereEvent(func(ev *query.Event) bool { return open.Of(ev) > 0 }).
+				WhereEvent(func(ev *query.Event) bool { return open.Of(ev) < 100 }),
+		).
+		Within(query.Events(100)).From("A").
+		ConsumeNone().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(q, Options{Reg: reg})
+	ta, _ := reg.LookupType("A")
+	tb, _ := reg.LookupType("B")
+	tx, _ := reg.LookupType("X")
+
+	// Step A has no predicate: an A event always clears its step.
+	if got := p.UtilityPrior(ta); got != 1.0 {
+		t.Fatalf("prior(A) = %.3f, want 1.0 for a predicate-free step", got)
+	}
+	// Step B carries two unseeded conjuncts: 0.5 * 0.5 even odds each.
+	if got := p.UtilityPrior(tb); got != 0.25 {
+		t.Fatalf("prior(B) = %.3f, want 0.25 before any samples", got)
+	}
+	// X is accepted by no step and opens no window.
+	if got := p.UtilityPrior(tx); got != 0.05 {
+		t.Fatalf("prior(X) = %.3f, want near-zero for an irrelevant type", got)
+	}
+	if got := p.UtilityPrior(event.Type(10_000)); got != 0.05 {
+		t.Fatalf("prior(unknown) = %.3f, want near-zero", got)
+	}
+
+	// Seed B's conjunct pass rate to ~0: the prior must follow the live
+	// EWMA down, stopping at the floor so B stays sheddable but not dead.
+	var sp *stepPlan
+	for _, cand := range p.steps {
+		if cand != nil {
+			sp = cand
+		}
+	}
+	if sp == nil {
+		t.Fatal("expected a stepPlan for B's predicate")
+	}
+	sp.mu.Lock()
+	for i := range sp.rates {
+		for k := 0; k < 64; k++ {
+			sp.rates[i].Observe(0)
+		}
+	}
+	sp.mu.Unlock()
+	if got := p.UtilityPrior(tb); got != 0.02 {
+		t.Fatalf("prior(B) = %.3f after an all-fail pass rate, want the 0.02 floor", got)
+	}
+	// And back up when the conjunct starts passing.
+	sp.mu.Lock()
+	for i := range sp.rates {
+		for k := 0; k < 256; k++ {
+			sp.rates[i].Observe(1)
+		}
+	}
+	sp.mu.Unlock()
+	if got := p.UtilityPrior(tb); got < 0.9 {
+		t.Fatalf("prior(B) = %.3f after an all-pass rate, want it tracking toward 1", got)
+	}
+}

@@ -32,9 +32,10 @@ const (
 // multiplicatively on rollback storms and queue overload and recovers
 // multiplicatively while the tree presses against it.
 type adaptive struct {
-	cfg   Config
-	slots int
-	spec  int
+	cfg       Config
+	slots     int
+	spec      int
+	lagTarget float64 // latency SLO in seconds; 0 = none
 
 	cycle         int
 	utilEWMA      float64
@@ -48,6 +49,7 @@ func newAdaptive(cfg Config, k, spec int) *adaptive {
 		cfg:        cfg,
 		slots:      slots,
 		spec:       clamp(spec, cfg.MinSpec, cfg.MaxSpec),
+		lagTarget:  cfg.LatencyTarget.Seconds(),
 		utilEWMA:   1,
 		demandEWMA: float64(slots),
 	}
@@ -80,10 +82,18 @@ func (a *adaptive) observe(sig Signals) {
 
 func (a *adaptive) adjust(sig Signals) {
 	// Degree of parallelism: more slots only help while there are both
-	// eligible versions to fill them and CPUs to run them.
+	// eligible versions to fill them and CPUs to run them. On a shared
+	// runtime the arbiter's per-shard grant replaces the whole-machine
+	// Procs ceiling, so co-located queries split the processors.
+	procs := a.cfg.Procs
+	if a.cfg.Ctl != nil {
+		if granted := a.cfg.Ctl.Procs(); granted > 0 {
+			procs = granted
+		}
+	}
 	hi := a.cfg.MaxSlots
-	if a.cfg.Procs < hi {
-		hi = a.cfg.Procs
+	if procs < hi {
+		hi = procs
 	}
 	if hi < a.cfg.MinSlots {
 		hi = a.cfg.MinSlots
@@ -119,10 +129,17 @@ func (a *adaptive) adjust(sig Signals) {
 	a.lastRollbacks = sig.Rollbacks
 	overloaded := sig.QueueCap > 0 && sig.QueueDepth*overloadDen > sig.QueueCap*overloadNum
 	storm := int(rolls)*rollStormDen > a.cfg.AdjustEvery
+	// A missed latency SLO is the same disease as queue overload: the
+	// root chain is starved, so speculation must yield.
+	lagOver := a.lagTarget > 0 && sig.EmitLagP99 > a.lagTarget
 	switch {
-	case storm || overloaded:
+	case storm || overloaded || lagOver:
 		a.spec = clamp(a.spec/2, a.cfg.MinSpec, a.cfg.MaxSpec)
 	case sig.TreeSize*4 >= a.spec*3:
 		a.spec = clamp(a.spec*2, a.cfg.MinSpec, a.cfg.MaxSpec)
+	}
+
+	if a.cfg.Ctl != nil {
+		a.cfg.Ctl.Report(a.demandEWMA, sig.EmitLagP99)
 	}
 }

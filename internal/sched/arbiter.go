@@ -1,0 +1,210 @@
+package sched
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Arbiter is the cross-query admission side of the control plane: on a
+// shared Runtime, each query registers with a weight and an optional
+// latency SLO, and the arbiter divides the machine's processors among
+// the registered queries in proportion to weight — boosted for queries
+// missing their SLO — then among each query's shards in proportion to
+// their observed demand. The per-shard grant feeds back into the
+// adaptive policy as the parallelism ceiling (replacing Config.Procs),
+// so co-located adaptive queries split the machine instead of each
+// assuming all of GOMAXPROCS.
+//
+// Grants are hints, not hard caps: every shard is guaranteed a floor of
+// one proc so no query can be starved outright, which means the grants
+// can sum above the total when queries outnumber processors.
+type Arbiter struct {
+	mu      sync.Mutex
+	total   int
+	queries []*QueryCtl
+}
+
+// NewArbiter builds an arbiter over total processors (<= 0 defaults to
+// GOMAXPROCS).
+func NewArbiter(total int) *Arbiter {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	return &Arbiter{total: total}
+}
+
+// Register adds a query with the given weight (<= 0 defaults to 1),
+// latency target (0 = no SLO) and shard count, and returns its control
+// handle. Call Release on the handle when the query is forgotten.
+func (a *Arbiter) Register(name string, weight float64, target time.Duration, shards int) *QueryCtl {
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		weight = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	qc := &QueryCtl{arb: a, name: name, weight: weight, target: target.Seconds()}
+	qc.shards = make([]*ShardCtl, shards)
+	for i := range qc.shards {
+		sc := &ShardCtl{q: qc}
+		sc.procs.Store(int64(a.total))
+		sc.demand.Store(math.Float64bits(1))
+		qc.shards[i] = sc
+	}
+	a.mu.Lock()
+	a.queries = append(a.queries, qc)
+	a.recomputeLocked()
+	a.mu.Unlock()
+	return qc
+}
+
+// Queries returns the number of registered queries (tests/diagnostics).
+func (a *Arbiter) Queries() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queries)
+}
+
+// recomputeLocked redistributes the processor budget. Caller holds a.mu.
+func (a *Arbiter) recomputeLocked() {
+	if len(a.queries) == 0 {
+		return
+	}
+	type scored struct {
+		q     *QueryCtl
+		score float64
+	}
+	scores := make([]scored, 0, len(a.queries))
+	sum := 0.0
+	for _, q := range a.queries {
+		s := q.weight * q.sloBoost()
+		scores = append(scores, scored{q, s})
+		sum += s
+	}
+	for _, sc := range scores {
+		grant := float64(a.total) * sc.score / sum
+		sc.q.distribute(grant)
+	}
+}
+
+// QueryCtl is one query's registration with the arbiter.
+type QueryCtl struct {
+	arb      *Arbiter
+	name     string
+	weight   float64
+	target   float64 // latency SLO in seconds; 0 = none
+	shards   []*ShardCtl
+	released bool
+}
+
+// Shard returns the control handle of shard i (nil when out of range).
+func (q *QueryCtl) Shard(i int) *ShardCtl {
+	if i < 0 || i >= len(q.shards) {
+		return nil
+	}
+	return q.shards[i]
+}
+
+// Release removes the query from the arbiter and redistributes its
+// grant. Idempotent.
+func (q *QueryCtl) Release() {
+	a := q.arb
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if q.released {
+		return
+	}
+	q.released = true
+	for i, cur := range a.queries {
+		if cur == q {
+			a.queries = append(a.queries[:i], a.queries[i+1:]...)
+			break
+		}
+	}
+	a.recomputeLocked()
+}
+
+// sloBoost scales the query's score by how far it is past its latency
+// target, clamped to [1, 4]: a query missing its SLO pulls processors
+// from queries that are meeting theirs, but can never monopolize.
+func (q *QueryCtl) sloBoost() float64 {
+	if q.target <= 0 {
+		return 1
+	}
+	worst := 0.0
+	for _, s := range q.shards {
+		if lag := math.Float64frombits(s.lag.Load()); lag > worst {
+			worst = lag
+		}
+	}
+	boost := worst / q.target
+	if boost < 1 || math.IsNaN(boost) {
+		return 1
+	}
+	if boost > 4 {
+		return 4
+	}
+	return boost
+}
+
+// distribute splits grant processors among the query's shards in
+// proportion to their demand EWMAs, with a floor of one per shard.
+func (q *QueryCtl) distribute(grant float64) {
+	sum := 0.0
+	for _, s := range q.shards {
+		sum += math.Float64frombits(s.demand.Load())
+	}
+	for _, s := range q.shards {
+		share := grant / float64(len(q.shards))
+		if sum > 0 {
+			share = grant * math.Float64frombits(s.demand.Load()) / sum
+		}
+		procs := int64(math.Round(share))
+		if procs < 1 {
+			procs = 1
+		}
+		s.procs.Store(procs)
+	}
+}
+
+// ShardCtl is the per-shard side of the arbiter: the splitter's adaptive
+// policy reads its processor budget each adaptation period and reports
+// its observed demand and emission lag back.
+type ShardCtl struct {
+	q       *QueryCtl
+	procs   atomic.Int64
+	demand  atomic.Uint64 // Float64bits of the shard's demand EWMA
+	lag     atomic.Uint64 // Float64bits of the shard's p99 emission lag, seconds
+	reports atomic.Uint64
+}
+
+// reportsPerRecompute throttles full redistribution: Report is called
+// once per adaptation period per shard, and one recompute every 8
+// reports tracks load shifts while keeping the shared lock cold.
+const reportsPerRecompute = 8
+
+// Procs returns the shard's current processor budget (>= 1).
+func (s *ShardCtl) Procs() int { return int(s.procs.Load()) }
+
+// Report publishes the shard's demand EWMA (versions per cycle wanting
+// a slot) and p99 root-emission lag in seconds, and occasionally
+// triggers a redistribution.
+func (s *ShardCtl) Report(demand, lagSeconds float64) {
+	if demand < 0 || math.IsNaN(demand) {
+		demand = 0
+	}
+	if lagSeconds < 0 || math.IsNaN(lagSeconds) {
+		lagSeconds = 0
+	}
+	s.demand.Store(math.Float64bits(demand))
+	s.lag.Store(math.Float64bits(lagSeconds))
+	if s.reports.Add(1)%reportsPerRecompute == 0 {
+		a := s.q.arb
+		a.mu.Lock()
+		a.recomputeLocked()
+		a.mu.Unlock()
+	}
+}

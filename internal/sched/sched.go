@@ -20,6 +20,7 @@ package sched
 
 import (
 	"runtime"
+	"time"
 
 	"github.com/spectrecep/spectre/internal/deptree"
 )
@@ -61,6 +62,12 @@ type Signals struct {
 	// counters.
 	Rollbacks    uint64
 	PartialRolls uint64
+	// EmitLagP50 and EmitLagP99 are the shard's root-emission latency
+	// quantile estimates in seconds: the time from an event's ingestion
+	// to the root window version that covers it being finalized. Zero
+	// until the first root pops.
+	EmitLagP50 float64
+	EmitLagP99 float64
 	// InputDone reports end of stream.
 	InputDone bool
 }
@@ -140,6 +147,16 @@ type Config struct {
 	// (default GOMAXPROCS): slots beyond runnable CPUs only add
 	// scheduling overhead. Tests pin it for determinism.
 	Procs int
+	// LatencyTarget is the query's root-emission latency SLO (0 = none).
+	// Adaptive treats a p99 emission lag beyond the target like queue
+	// overload (cut speculation), and the admission arbiter boosts the
+	// query's processor share while the SLO is missed.
+	LatencyTarget time.Duration
+	// Ctl is the shard's admission-arbiter handle on a shared runtime
+	// (nil when the query is not arbitrated). When set, Adaptive uses
+	// the granted processor budget instead of Procs as the parallelism
+	// ceiling and reports demand and emission lag back each period.
+	Ctl *ShardCtl
 }
 
 // normalized fills Config defaults given the configured fixed instance

@@ -99,6 +99,20 @@
 // Metrics exposes their signals (SlotUtilization, PolicyResizes,
 // CurSlots, CurSpeculation).
 //
+// # Overload survival
+//
+// A Runtime submission can opt into graceful degradation under
+// sustained overload (DESIGN.md §10): WithShedding drops the
+// lowest-utility events at the intake queue once it crosses a watermark
+// — bounding queue latency without ever blocking Feed — with the
+// utility learned from the query plan's predicate pass rates and each
+// type's contribution to emitted matches (Metrics.ShedEvents counts the
+// drops). WithWeight and WithLatencyTarget enroll the query in the
+// cross-query admission arbiter, which splits the machine's processors
+// among co-located queries by weight and boosts queries missing their
+// latency SLO; Metrics.EmitLagP50/P99 expose the root-emission lag the
+// SLO is measured against.
+//
 // See examples/ for complete programs and DESIGN.md for the architecture.
 package spectre
 
@@ -106,6 +120,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"github.com/spectrecep/spectre/internal/core"
 	"github.com/spectrecep/spectre/internal/event"
@@ -282,6 +298,62 @@ func WithQueueCap(n int) Option {
 			return
 		}
 		c.QueueCap = n
+	}
+}
+
+// WithShedding enables utility-driven load shedding at the intake queue
+// of a Runtime submission (DESIGN.md §10). When a shard queue's depth
+// crosses a watermark (half the queue cap), the events least likely to
+// contribute to a match are dropped first — probabilistically, by a
+// utility estimate combining the query plan's predicate pass rates with
+// each type's observed contribution to emitted matches — instead of
+// blocking Feed/FeedBatch or failing TryFeed. Above the high watermark
+// (90% of the cap) everything is dropped, so the queue depth, and with
+// it the queueing latency, stays bounded and no Feed caller ever blocks
+// indefinitely. Kept events are never reordered: output equals the
+// sequential processing of exactly the admitted subsequence. Metrics
+// gains ShedEvents; the default is off (shedding trades completeness
+// for bounded latency, which only the caller may decide). A standalone
+// Engine ignores it.
+func WithShedding() Option {
+	return func(c *core.Config) { c.Shed = true }
+}
+
+// WithWeight sets the query's share of a shared Runtime's processors
+// under the cross-query admission arbiter: co-submitted queries with
+// weights w1, w2, ... receive processor budgets proportional to their
+// weights (each shard always keeps a floor of one), and the adaptive
+// scheduler grows a shard's slot pool only up to its granted budget
+// instead of assuming the whole machine. Queries that set neither a
+// weight nor a latency target are not arbitrated and keep the historical
+// whole-machine ceiling. w must be positive and finite; the default
+// weight of an arbitrated query is 1.
+func WithWeight(w float64) Option {
+	return func(c *core.Config) {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			c.SetError(fmt.Errorf("spectre: WithWeight(%v): weight must be positive and finite", w))
+			return
+		}
+		c.Weight = w
+	}
+}
+
+// WithLatencyTarget declares a root-emission latency SLO for a Runtime
+// submission: the time from an event's admission to the emission of the
+// matches it participates in. It is acted on twice. The adaptive
+// scheduler treats a p99 emission lag beyond the target like queue
+// overload and cuts the speculation budget so the root chain gets the
+// cycles; and on a shared runtime the admission arbiter boosts the
+// query's processor share (up to 4x its weight) while the SLO is
+// missed. Setting a target opts the query into arbitration even without
+// WithWeight. Observe the lag itself via Metrics.EmitLagP50/P99.
+func WithLatencyTarget(d time.Duration) Option {
+	return func(c *core.Config) {
+		if d <= 0 {
+			c.SetError(fmt.Errorf("spectre: WithLatencyTarget(%v): target must be positive", d))
+			return
+		}
+		c.Sched.LatencyTarget = d
 	}
 }
 

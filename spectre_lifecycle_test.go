@@ -513,6 +513,13 @@ func TestOverloadErrorTaxonomy(t *testing.T) {
 	if !strings.Contains(oe.Error(), "shard 3") {
 		t.Fatalf("OverloadError message %q does not name the shard", oe.Error())
 	}
+	named := &spectre.OverloadError{Query: "rise", Shard: 1, Pending: 8, Cap: 8}
+	if msg := named.Error(); !strings.Contains(msg, `"rise"`) || !strings.Contains(msg, "8/8") {
+		t.Fatalf("OverloadError message %q does not carry the query name and occupancy", msg)
+	}
+	if !errors.Is(named, spectre.ErrOverloaded) {
+		t.Fatal("named OverloadError must still match ErrOverloaded")
+	}
 	qe := &spectre.QueryError{Query: "q", Err: spectre.ErrRuntimeClosed}
 	if !errors.Is(qe, spectre.ErrRuntimeClosed) {
 		t.Fatal("QueryError must unwrap to its cause")
