@@ -518,6 +518,108 @@ func BenchmarkShed(b *testing.B) {
 	_ = burnSink
 }
 
+// BenchmarkRecovery measures WAL-backed durability (DESIGN.md §11):
+// ingest/* compares end-to-end throughput without durability and with
+// the file-backed WAL (the durable run journals events, checkpoints and
+// cuts off the hot path and group-commits watermarks, so it should stay
+// within a few percent), and recover times Submit+Recover over the
+// journal a parked run leaves behind. Smoke-friendly at -benchtime=1x;
+// the full sweep lives in cmd/spectre-bench -exp recovery.
+func BenchmarkRecovery(b *testing.B) {
+	data.init()
+	ctx := context.Background()
+	query := q1Query(b, 20, 2000)
+	feed := func(b *testing.B, h *spectre.Handle) {
+		for lo := 0; lo < len(data.nyse); lo += 1024 {
+			hi := min(lo+1024, len(data.nyse))
+			if err := h.FeedBatch(ctx, data.nyse[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, durableMode := range []string{"off", "wal"} {
+		b.Run("ingest/durable="+durableMode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var ropts []spectre.RuntimeOption
+				if durableMode == "wal" {
+					b.StopTimer()
+					dir := b.TempDir()
+					b.StartTimer()
+					ropts = append(ropts, spectre.WithDurability(dir))
+				}
+				rt, err := spectre.NewRuntime(data.reg, ropts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				h, err := rt.Submit(ctx, query, nil, spectre.WithInstances(2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				feed(b, h)
+				h.Drain()
+				if err := rt.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(data.nyse))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+	b.Run("recover", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Life 1 (untimed): journal the stream durably and park.
+			// FeedBatch is asynchronous and parking discards queued input,
+			// so wait for the splitter to actually consume everything.
+			b.StopTimer()
+			dir := b.TempDir()
+			rt, err := spectre.NewRuntime(data.reg, spectre.WithDurability(dir))
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := rt.Submit(ctx, query, nil, spectre.WithInstances(2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			feed(b, h)
+			deadline := time.Now().Add(30 * time.Second)
+			for h.Metrics().EventsIngested < uint64(len(data.nyse)) {
+				if time.Now().After(deadline) {
+					b.Fatal("ingestion stalled before park")
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+			h.Park()
+			if err := rt.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+
+			// Life 2 (timed): reopen the directory, re-submit, recover.
+			rt2, err := spectre.NewRuntime(data.reg, spectre.WithDurability(dir))
+			if err != nil {
+				b.Fatal(err)
+			}
+			h2, err := rt2.Submit(ctx, query, nil, spectre.WithInstances(2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rt2.Recover(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if pos := h2.Recovered(); len(pos) != 1 || pos[0] == 0 {
+				b.Fatalf("recovery replayed nothing (Recovered=%v)", pos)
+			}
+			h2.Park()
+			if err := rt2.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+}
+
 // BenchmarkSequential measures the reference engine (context for the
 // parallel numbers).
 func BenchmarkSequential(b *testing.B) {

@@ -39,6 +39,15 @@
 // cross-query admission arbiter, which splits the worker pool among
 // co-located queries by weight and boosts queries missing their
 // latency SLO.
+//
+// -state-dir makes every hosted query durable (DESIGN.md §11): matcher
+// checkpoints, the ingest journal and emission watermarks persist to
+// per-shard WALs under the directory. A restarted server recovers each
+// query's state when its client reconnects and re-submits (same query
+// name, spectre-client -reconnect), answers the client's resume
+// handshake with the journalled position, and suppresses matches that
+// were already delivered before the crash. Broken connections park their
+// queries (in-flight windows stay in the WAL) instead of ending them.
 package main
 
 import (
@@ -78,6 +87,7 @@ type serverOpts struct {
 	shed      bool          // -shed: utility-driven load shedding
 	weight    float64       // -weight: admission-arbiter share (0 = unarbitrated)
 	latency   time.Duration // -latency-target: root-emission SLO (0 = none)
+	durable   bool          // -state-dir: WAL-backed query state + resume handshakes
 }
 
 // parseSchedFlags converts the -sched / -adaptive-* flags into engine
@@ -225,6 +235,7 @@ func run() error {
 		adaptInst    = flag.String("adaptive-instances", "", "adaptive slot-pool bounds as min:max (implies -sched adaptive)")
 		adaptSpec    = flag.String("adaptive-speculation", "", "adaptive speculation-budget bounds as min:max (implies -sched adaptive)")
 		shedFlag     = flag.Bool("shed", false, "shed lowest-utility events when a shard queue crosses its watermark instead of blocking")
+		stateDir     = flag.String("state-dir", "", "durable query state: per-shard WALs under this directory; restarted servers recover submitted queries and answer client resume handshakes")
 		weightFlag   = flag.Float64("weight", 0, "admission-arbiter weight for every hosted query (0 = unarbitrated)")
 		latencyFlag  = flag.Duration("latency-target", 0, "root-emission p99 latency SLO per query (0 = none; implies arbitration)")
 	)
@@ -263,6 +274,7 @@ func run() error {
 	opts := serverOpts{
 		instances: *instances, shards: *shards, quiet: *quiet, schedOpts: schedOpts,
 		shed: *shedFlag, weight: *weightFlag, latency: *latencyFlag,
+		durable: *stateDir != "",
 	}
 	if *queryFile != "" {
 		src, err := os.ReadFile(*queryFile)
@@ -283,6 +295,9 @@ func run() error {
 	var rtOpts []spectre.RuntimeOption
 	if *workers > 0 {
 		rtOpts = append(rtOpts, spectre.WithWorkers(*workers))
+	}
+	if *stateDir != "" {
+		rtOpts = append(rtOpts, spectre.WithDurability(*stateDir))
 	}
 	rt, err := spectre.NewRuntime(spectre.NewRegistry(), rtOpts...)
 	if err != nil {
@@ -351,14 +366,14 @@ func serveConn(ctx context.Context, rt *spectre.Runtime, conn net.Conn, id int, 
 	reg := spectre.NewRegistry()
 	r := transport.NewReader(conn, reg)
 
-	queryText, ok, err := r.ReadQuery()
+	queryText, wantResume, ok, err := r.ReadQuery()
 	if err != nil {
 		if transport.IsClosedOrCanceled(err) && ctx.Err() != nil {
 			return nil
 		}
 		return err
 	}
-	if !ok {
+	if !ok || queryText == "" {
 		if opts.fallback == "" {
 			return fmt.Errorf("client sent no query frame and no -query fallback is configured")
 		}
@@ -370,6 +385,12 @@ func serveConn(ctx context.Context, rt *spectre.Runtime, conn net.Conn, id int, 
 	}
 
 	subOpts := []spectre.Option{spectre.WithInstances(opts.instances)}
+	if opts.durable {
+		// The WAL's name tables must be this connection's private
+		// registry — the one the query was parsed against and events
+		// intern into — not the runtime's.
+		subOpts = append(subOpts, spectre.WithRegistry(reg))
+	}
 	subOpts = append(subOpts, opts.schedOpts...)
 	if opts.shards > 0 && query.Partition != nil {
 		subOpts = append(subOpts, spectre.WithShards(opts.shards))
@@ -398,6 +419,35 @@ func serveConn(ctx context.Context, rt *spectre.Runtime, conn net.Conn, id int, 
 	live.add(id, h.Name(), h)
 	defer live.remove(id)
 
+	if opts.durable {
+		// Block until the query's WAL replay caught up, so the resume
+		// offset below reflects everything already journalled.
+		if err := rt.Recover(ctx); err != nil && ctx.Err() == nil {
+			h.Park()
+			return err
+		}
+	}
+	if wantResume {
+		pos := uint64(0)
+		if rec := h.Recovered(); len(rec) == 1 {
+			pos = rec[0]
+		} else if len(rec) > 1 {
+			// Shard-local offsets cannot be folded into one stream
+			// position; a partitioned durable query has no single resume
+			// point for a global producer.
+			h.Park()
+			return fmt.Errorf("resume handshake: query %s runs on %d shards; resume needs a single shard", h.Name(), len(rec))
+		}
+		rw := transport.NewWriter(conn, reg)
+		if err := rw.WriteResume(pos); err == nil {
+			err = rw.Flush()
+		}
+		if err != nil {
+			h.Park()
+			return fmt.Errorf("resume handshake: %w", err)
+		}
+	}
+
 	src, srcErr := transport.SourceFromReader(r)
 	start := time.Now()
 	feedErr := func() error {
@@ -411,7 +461,15 @@ func serveConn(ctx context.Context, rt *spectre.Runtime, conn net.Conn, id int, 
 			}
 		}
 	}()
-	h.Drain()
+	if opts.durable && (feedErr != nil || srcErr() != nil || ctx.Err() != nil) {
+		// The stream broke (client died, server shutting down) rather
+		// than ended: park the durable query so its in-flight windows
+		// stay in the WAL and a reconnect resumes them. A clean client
+		// EOF is a genuine end of stream and drains below.
+		h.Park()
+	} else {
+		h.Drain()
+	}
 	elapsed := time.Since(start)
 	if feedErr != nil && !errors.Is(feedErr, context.Canceled) {
 		return fmt.Errorf("feed error: %w", feedErr)

@@ -22,6 +22,11 @@ var (
 	// ErrOverloaded is matched (errors.Is) by the *OverloadError that
 	// Handle.TryFeed returns when the target shard's queue is full.
 	ErrOverloaded = core.ErrOverloaded
+	// ErrShuttingDown is returned by Submit when it loses the race with a
+	// concurrent Runtime.Close/Shutdown: the query was compiled but never
+	// attached, and no resources leak. It matches ErrRuntimeClosed with
+	// errors.Is.
+	ErrShuttingDown = core.ErrShuttingDown
 )
 
 // OverloadError is TryFeed's admission rejection: the target shard's

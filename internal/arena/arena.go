@@ -231,3 +231,78 @@ func (s *ConsumedSet) Contains(seq uint64) bool {
 
 // Count returns the number of consumed events so far.
 func (s *ConsumedSet) Count() uint64 { return s.count.Load() }
+
+// AppendRange appends every marked sequence number in [lo, hi) to dst,
+// ascending, and returns it. Used by the durability layer to snapshot
+// the live consumption marks into a cut record.
+func (s *ConsumedSet) AppendRange(lo, hi uint64, dst []uint64) []uint64 {
+	words := *s.words.Load()
+	if max := uint64(len(words)) << 6; hi > max {
+		hi = max
+	}
+	for seq := lo; seq < hi; {
+		w := words[seq>>6].v.Load() >> (seq & 63)
+		if w == 0 {
+			seq = (seq | 63) + 1
+			continue
+		}
+		for ; w != 0 && seq < hi; seq++ {
+			if w&1 != 0 {
+				dst = append(dst, seq)
+			}
+			w >>= 1
+		}
+		if w == 0 && seq&63 != 0 {
+			// Skip the rest of the exhausted word — but only when seq is
+			// still inside it: when the word's top bit was set, the inner
+			// loop already advanced seq to the next word's first bit, and
+			// rounding up again would skip that word entirely.
+			seq = (seq | 63) + 1
+		}
+	}
+	return dst
+}
+
+// AppendRuns appends every marked sequence number in [lo, hi) to dst as
+// run-length pairs — start, count, start, count, … in ascending order —
+// and returns it. Consumption marks are dense once windows complete
+// (CONSUME ALL marks every constituent), so runs shrink a cut record's
+// consumed snapshot by orders of magnitude versus the explicit list
+// AppendRange produces.
+func (s *ConsumedSet) AppendRuns(lo, hi uint64, dst []uint64) []uint64 {
+	words := *s.words.Load()
+	if max := uint64(len(words)) << 6; hi > max {
+		hi = max
+	}
+	var runStart, runLen uint64
+	for seq := lo; seq < hi; {
+		w := words[seq>>6].v.Load() >> (seq & 63)
+		if w == 0 {
+			seq = (seq | 63) + 1
+			continue
+		}
+		for ; w != 0 && seq < hi; seq++ {
+			if w&1 != 0 {
+				switch {
+				case runLen > 0 && runStart+runLen == seq:
+					runLen++
+				default:
+					if runLen > 0 {
+						dst = append(dst, runStart, runLen)
+					}
+					runStart, runLen = seq, 1
+				}
+			}
+			w >>= 1
+		}
+		if w == 0 && seq&63 != 0 {
+			// Same word-boundary guard as AppendRange: when the top bit
+			// was set, seq already sits on the next word's first bit.
+			seq = (seq | 63) + 1
+		}
+	}
+	if runLen > 0 {
+		dst = append(dst, runStart, runLen)
+	}
+	return dst
+}

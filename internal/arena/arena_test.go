@@ -247,3 +247,61 @@ func TestReleaseBeforeBoundsAllocations(t *testing.T) {
 		t.Fatalf("no freelist reuse in a %d-chunk run", chunks)
 	}
 }
+
+// TestConsumedSetAppendRangeWordBoundary is the regression test for the
+// skipped-word bug: when a word's top bit (seq 63 mod 64) is marked, the
+// scan used to round seq past the *following* word, silently dropping up
+// to 64 marks from cut-record snapshots — which surfaced as duplicate
+// deliveries after crash recovery.
+func TestConsumedSetAppendRangeWordBoundary(t *testing.T) {
+	s := NewConsumedSet()
+	marks := []uint64{119, 127, 128, 130, 144, 191, 192, 200}
+	for _, m := range marks {
+		s.Mark(m)
+	}
+	got := s.AppendRange(0, 256, nil)
+	if len(got) != len(marks) {
+		t.Fatalf("AppendRange = %v, want %v", got, marks)
+	}
+	for i, m := range marks {
+		if got[i] != m {
+			t.Fatalf("AppendRange[%d] = %d, want %d (full: %v)", i, got[i], m, got)
+		}
+	}
+	// Sub-ranges around the boundary behave too.
+	if got := s.AppendRange(128, 192, nil); len(got) != 4 || got[0] != 128 || got[3] != 191 {
+		t.Fatalf("AppendRange(128,192) = %v, want [128 130 144 191]", got)
+	}
+	if got := s.AppendRange(120, 128, nil); len(got) != 1 || got[0] != 127 {
+		t.Fatalf("AppendRange(120,128) = %v, want [127]", got)
+	}
+}
+
+func TestConsumedSetAppendRuns(t *testing.T) {
+	s := NewConsumedSet()
+	marks := []uint64{3, 4, 5, 119, 127, 128, 129, 200}
+	for _, seq := range marks {
+		s.Mark(seq)
+	}
+	got := s.AppendRuns(0, 256, nil)
+	want := []uint64{3, 3, 119, 1, 127, 3, 200, 1}
+	if len(got) != len(want) {
+		t.Fatalf("AppendRuns(0,256) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendRuns(0,256) = %v, want %v", got, want)
+		}
+	}
+	// Sub-range splits a run at lo and drops marks past hi.
+	got = s.AppendRuns(4, 128, nil)
+	want = []uint64{4, 2, 119, 1, 127, 1}
+	if len(got) != len(want) {
+		t.Fatalf("AppendRuns(4,128) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendRuns(4,128) = %v, want %v", got, want)
+		}
+	}
+}

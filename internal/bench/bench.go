@@ -522,6 +522,7 @@ func (o *Options) Experiments() map[string]func() ([]Row, error) {
 		"sched":       o.Sched,
 		"planner":     o.Planner,
 		"shed":        o.Shed,
+		"recovery":    o.Recovery,
 	}
 }
 
@@ -529,7 +530,7 @@ func (o *Options) Experiments() map[string]func() ([]Row, error) {
 var ExperimentOrder = []string{
 	"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
 	"fig11a", "fig11b", "trex", "partition", "feedbatch", "speculation",
-	"sched", "planner", "shed",
+	"sched", "planner", "shed", "recovery",
 }
 
 // RunAll executes every experiment in order.

@@ -1,0 +1,288 @@
+// Durability cost and recovery time: the two numbers that decide whether
+// WAL-backed checkpoints (DESIGN.md §11) are deployable. (a) Ingest
+// throughput with durability off, with an in-memory store (isolates the
+// record-encoding cost) and with the file-backed WAL (adds fsync) — the
+// persister runs off the hot path, so the durable modes should stay
+// within a few percent of the baseline. (b) Recovery wall time (open +
+// checkpoint load + journal replay) as the WAL grows: checkpoints bound
+// the replay suffix, so recovery should scale with the checkpoint
+// interval, not with the total stream length.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/core"
+	"github.com/spectrecep/spectre/internal/durable"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/queries"
+	"github.com/spectrecep/spectre/internal/stats"
+)
+
+// recoveryQuery is the Q1 instance both halves of the experiment run: a
+// small pattern over the NYSE stream, matching the speculation bench's
+// regime so the durable-overhead number is comparable.
+func (o *Options) recoveryQuery(reg *event.Registry) (*pattern.Query, error) {
+	qsize := o.WindowSize / 100
+	if qsize < 2 {
+		qsize = 2
+	}
+	return queries.Q1(reg, queries.Q1Config{Q: qsize, WindowSize: o.WindowSize, Leaders: o.NYSELeaders})
+}
+
+// specFeed pushes events through a single durable (or not) shard with k
+// operator instances and returns the wall time from first feed to drain.
+func specFeed(q *pattern.Query, reg *event.Registry, events []event.Event, k int, store durable.Store) (time.Duration, core.Metrics, error) {
+	rt := core.NewRuntime(core.RuntimeConfig{})
+	defer rt.Close()
+	h, err := rt.Submit(q, core.Config{Instances: k, Reg: reg, Durable: store}, nil, 1, nil, nil)
+	if err != nil {
+		return 0, core.Metrics{}, err
+	}
+	start := time.Now()
+	for lo := 0; lo < len(events); lo += 1024 {
+		hi := lo + 1024
+		if hi > len(events) {
+			hi = len(events)
+		}
+		if err := h.FeedBatch(context.Background(), events[lo:hi]); err != nil {
+			return 0, core.Metrics{}, err
+		}
+	}
+	h.Drain()
+	return time.Since(start), h.Metrics(), nil
+}
+
+// awaitIngested blocks until the shard has ingested n events — FeedBatch
+// is asynchronous, and parking discards whatever is still queued, so the
+// WAL only reflects what the splitter actually consumed.
+func awaitIngested(h *core.Handle, n int) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for h.Metrics().EventsIngested < uint64(n) {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ingestion stalled at %d/%d events", h.Metrics().EventsIngested, n)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+
+// dirBytes sums the on-disk WAL footprint.
+func dirBytes(dir string) int64 {
+	var total int64
+	filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// Recovery measures (a) the throughput cost of durable checkpointing on
+// the speculation workload (Q3, consume-heavy RAND — the workload the
+// acceptance bound of ≤5% is stated against) and (b) recovery time after
+// a park as a function of how much of the stream the WAL has journalled.
+// The (a) repeats interleave the three modes round-robin so that drift
+// on a shared machine hits every mode equally — with sequential repeats
+// the mode measured during a noisy phase loses by more than the WAL
+// actually costs.
+func (o *Options) Recovery() ([]Row, error) {
+	o.setDefaults()
+	reg := event.NewRegistry()
+	events := o.randData(reg)
+	qcfg := o.speculationQuery()
+	q, err := queries.Q3(reg, qcfg)
+	if err != nil {
+		return nil, err
+	}
+	k := o.Instances[len(o.Instances)-1]
+
+	o.printf("\n== Recovery: durable-checkpoint cost (speculation workload) and restart latency (n=%d, ws=%d, k=%d) ==\n",
+		len(events), qcfg.WindowSize, k)
+	o.printf("%-14s %14s %10s %8s   %s\n", "mode", "med ev/s", "appends", "syncs", "candles (min/p25/med/p75/max)")
+
+	// Mode order matters: off and wal run back to back inside each round
+	// so the paired ratio spans the shortest possible wall-clock gap; mem
+	// (the encoding-cost control) closes the round.
+	modes := []struct {
+		label string
+		store func() (durable.Store, func(), error)
+	}{
+		{"durable=off", func() (durable.Store, func(), error) { return nil, func() {}, nil }},
+		{"durable=wal", func() (durable.Store, func(), error) {
+			dir, err := os.MkdirTemp("", "spectre-bench-wal")
+			if err != nil {
+				return nil, nil, err
+			}
+			fsStore, err := durable.NewFileStore(dir)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, nil, err
+			}
+			return fsStore, func() { fsStore.Close(); os.RemoveAll(dir) }, nil
+		}},
+		{"durable=mem", func() (durable.Store, func(), error) {
+			return durable.NewMemStore(), func() {}, nil
+		}},
+	}
+
+	repeats := o.Repeats
+	if repeats < 5 {
+		repeats = 5 // paired comparison needs a few samples per mode
+	}
+	series := make([]stats.Series, len(modes))
+	perRound := make([][]float64, len(modes))
+	lastM := make([]core.Metrics, len(modes))
+	for r := 0; r < repeats; r++ {
+		for i, mode := range modes {
+			store, cleanup, err := mode.store()
+			if err != nil {
+				return nil, err
+			}
+			elapsed, m, err := specFeed(q, reg, events, k, store)
+			cleanup()
+			if err != nil {
+				return nil, err
+			}
+			tp := stats.Throughput(uint64(len(events)), elapsed)
+			series[i].Add(tp)
+			perRound[i] = append(perRound[i], tp)
+			lastM[i] = m
+			// Settle the heap between runs: without this each run pays the
+			// GC debt of the previous mode's garbage (the in-memory store
+			// retains the whole journal), which biases the comparison by
+			// more than the WAL costs.
+			runtime.GC()
+		}
+	}
+	var rows []Row
+	for i, mode := range modes {
+		c := series[i].Candles()
+		rows = append(rows, Row{
+			Figure: "recovery", Label: mode.label, K: k,
+			Value: c.Median, Metric: "events/sec", Candles: c,
+		})
+		o.printf("%-14s %14.0f %10d %8d   %s\n", mode.label, c.Median, lastM[i].DurableAppends, lastM[i].DurableSyncs, c)
+	}
+	// The overhead statistic pairs each round's wal run with the off run
+	// right next to it and takes the median of the per-round ratios:
+	// machine-load drift between rounds cancels inside a pair, where the
+	// ratio of unpaired medians would absorb it as phantom overhead.
+	var ratios stats.Series
+	for r := range perRound[0] {
+		if off := perRound[0][r]; off > 0 {
+			ratios.Add(100 * (1 - perRound[1][r]/off))
+		}
+	}
+	overhead := ratios.Candles().Median
+	rows = append(rows, Row{
+		Figure: "recovery", Label: "wal-overhead", K: k,
+		Value: overhead, Metric: "percent",
+	})
+	o.printf("%-14s %13.1f%%   (acceptance bound: <= 5%%; median of per-round paired ratios)\n", "wal-overhead", overhead)
+
+	// (b) Recovery time vs WAL size: journal a prefix durably, park (the
+	// restart-survivable detach), then time Submit+Recover on a fresh
+	// runtime over the same directory.
+	o.printf("%-14s %14s %12s   %s\n", "wal size", "med ms", "bytes", "candles")
+	for _, frac := range []int{8, 4, 2, 1} {
+		n := len(events) / frac
+		var series stats.Series
+		var walBytes int64
+		for r := 0; r < o.Repeats; r++ {
+			ms, bytes, err := o.measureRecovery(q, reg, events[:n])
+			if err != nil {
+				return nil, err
+			}
+			series.Add(ms)
+			walBytes = bytes
+		}
+		c := series.Candles()
+		label := fmt.Sprintf("recover@%d", n)
+		rows = append(rows, Row{
+			Figure: "recovery", Label: label, K: 2,
+			Value: c.Median, Metric: "ms", Candles: c,
+		})
+		o.printf("%-14s %14.2f %12d   %s\n", label, c.Median, walBytes, c)
+	}
+	return rows, nil
+}
+
+// measureRecovery runs one park/recover cycle: life 1 journals the prefix
+// and parks, life 2 recovers against the same WAL directory. It returns
+// the recovery wall time in milliseconds and the WAL's on-disk size.
+func (o *Options) measureRecovery(q *pattern.Query, reg *event.Registry, events []event.Event) (float64, int64, error) {
+	dir, err := os.MkdirTemp("", "spectre-bench-recover")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+
+	store, err := durable.NewFileStore(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	rt := core.NewRuntime(core.RuntimeConfig{Workers: 1})
+	h, err := rt.Submit(q, core.Config{Instances: 2, Reg: reg, Durable: store}, nil, 1, nil, nil)
+	if err != nil {
+		rt.Close()
+		store.Close()
+		return 0, 0, err
+	}
+	feedErr := func() error {
+		for lo := 0; lo < len(events); lo += 1024 {
+			hi := lo + 1024
+			if hi > len(events) {
+				hi = len(events)
+			}
+			if err := h.FeedBatch(context.Background(), events[lo:hi]); err != nil {
+				return err
+			}
+		}
+		return awaitIngested(h, len(events))
+	}()
+	h.Park()
+	rt.Close()
+	store.Close()
+	if feedErr != nil {
+		return 0, 0, feedErr
+	}
+	walBytes := dirBytes(dir)
+
+	store2, err := durable.NewFileStore(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	rt2 := core.NewRuntime(core.RuntimeConfig{Workers: 1})
+	start := time.Now()
+	h2, err := rt2.Submit(q, core.Config{Instances: 2, Reg: reg, Durable: store2}, nil, 1, nil, nil)
+	if err == nil {
+		err = rt2.Recover(context.Background())
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		rt2.Close()
+		store2.Close()
+		return 0, 0, err
+	}
+	if pos := h2.Recovered(); len(pos) != 1 || pos[0] == 0 {
+		rt2.Close()
+		store2.Close()
+		return 0, 0, fmt.Errorf("recovery replayed nothing (Recovered=%v); WAL was empty", pos)
+	}
+	h2.Park()
+	rt2.Close()
+	store2.Close()
+	return float64(elapsed.Nanoseconds()) / 1e6, walBytes, nil
+}

@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"github.com/spectrecep/spectre/internal/deptree"
+	"github.com/spectrecep/spectre/internal/durable"
 	"github.com/spectrecep/spectre/internal/event"
 	"github.com/spectrecep/spectre/internal/markov"
 	"github.com/spectrecep/spectre/internal/pattern"
@@ -159,6 +160,14 @@ type Config struct {
 	// Reg optionally resolves event-type names in plan explanations
 	// (plan.Explain / the metrics endpoint). Never read on the hot path.
 	Reg *event.Registry
+	// Durable persists per-shard query state (ingest journal, matcher
+	// checkpoints, root-pop cuts, emission watermarks) through a
+	// write-ahead log so the query survives a crash (DESIGN.md §11).
+	// Persistence runs on a per-shard persister goroutine off the hot
+	// path; only the pre-delivery watermark commit synchronizes with the
+	// splitter. Requires Reg (records carry the type/field name tables)
+	// and the Runtime Submit path. Nil disables durability.
+	Durable durable.Store
 	// Err carries the first invalid-option error; constructors check it
 	// before using any other field. Options record violations here (the
 	// option-function signature has no error return).
@@ -239,6 +248,15 @@ type Metrics struct {
 	CurSlots         int    // current active slot count (gauge; Merge sums shards)
 	CurSpeculation   int    // current speculation budget (gauge; Merge sums shards)
 
+	// Durability counters (WithDurability, DESIGN.md §11). All zero when
+	// no durable store is configured.
+	DurableAppends     uint64 // WAL records handed to the store
+	DurableSyncs       uint64 // explicit WAL fsyncs (watermark commits)
+	DurableCkptDropped uint64 // checkpoint persists skipped: persister behind
+	DurableErrors      uint64 // WAL write errors; first one breaks durability
+	ReplayedEvents     uint64 // journal events replayed on recovery
+	SuppressedMatches  uint64 // already-delivered matches suppressed on recovery
+
 	// Root-emission latency gauges: streaming quantile estimates of the
 	// time from an event's ingestion to the root window version covering
 	// it being finalized, in seconds. Zero until the first root pops;
@@ -290,6 +308,12 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.SlotCyclesBusy += o.SlotCyclesBusy
 	m.CurSlots += o.CurSlots
 	m.CurSpeculation += o.CurSpeculation
+	m.DurableAppends += o.DurableAppends
+	m.DurableSyncs += o.DurableSyncs
+	m.DurableCkptDropped += o.DurableCkptDropped
+	m.DurableErrors += o.DurableErrors
+	m.ReplayedEvents += o.ReplayedEvents
+	m.SuppressedMatches += o.SuppressedMatches
 	if o.EmitLagP50 > m.EmitLagP50 {
 		m.EmitLagP50 = o.EmitLagP50
 	}

@@ -12,7 +12,9 @@ import (
 
 	"github.com/spectrecep/spectre/internal/arena"
 	"github.com/spectrecep/spectre/internal/deptree"
+	"github.com/spectrecep/spectre/internal/durable"
 	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/faultinject"
 	"github.com/spectrecep/spectre/internal/markov"
 	"github.com/spectrecep/spectre/internal/matcher"
 	"github.com/spectrecep/spectre/internal/pattern"
@@ -190,9 +192,38 @@ type shardState struct {
 
 	inputDone atomic.Bool
 	cancelled atomic.Bool // abort requested; the next splitter cycle finishes
+	parked    atomic.Bool // durable pause requested; stop without stream-end semantics
 	finished  atomic.Bool // run fully processed; done is closed
 	splitBusy atomic.Bool // cooperative-splitter claim (Pool mode)
 	done      chan struct{}
+
+	// Durability state (Config.Durable; DESIGN.md §11). persist is nil
+	// without a durable store. emitted, suppressRemaining,
+	// replayRemaining, resumeFloor and journalBuf are splitter-only;
+	// replayTarget and recoveredNextSeq are written while priming (before
+	// the shard is attached) and read-only afterwards (Recover barrier,
+	// Handle.Recovered).
+	persist *persister
+	// emitted is the cumulative delivered-match count — the emission
+	// watermark committed before each delivery.
+	emitted uint64
+	// suppressRemaining counts regenerated matches the previous process
+	// already delivered; replay skips delivering exactly that many.
+	suppressRemaining uint64
+	// replayRemaining counts journal events still pending in the intake
+	// queue; while positive, ingest appends at the stamped position and
+	// does not re-journal.
+	replayRemaining int
+	// resumeFloor is the recovered cut boundary: the first post-recovery
+	// append of an unstamped shard with an empty journal lands here.
+	resumeFloor uint64
+	// replayTarget is the arena length at which the journal suffix is
+	// fully replayed (0 when there is nothing to replay).
+	replayTarget uint64
+	// recoveredNextSeq is the raw-substream position producers should
+	// re-feed from after recovery.
+	recoveredNextSeq uint64
+	journalBuf       []event.Event
 
 	feed feeder
 	emit func(event.Complex)
@@ -368,7 +399,7 @@ func (s *shardState) splitCycle() bool {
 // runComplete reports whether the shard has fully processed its stream —
 // or was cancelled, in which case the remaining tree state is abandoned.
 func (s *shardState) runComplete() bool {
-	if s.cancelled.Load() {
+	if s.cancelled.Load() || s.parked.Load() {
 		return true
 	}
 	return s.inputDone.Load() && s.tree.Empty() && s.fq.empty()
@@ -386,6 +417,23 @@ func (s *shardState) cancel() {
 	}
 }
 
+// park pauses a durable shard without stream-end semantics: unlike a
+// closed handle (end of stream — in-flight windows are driven to
+// completion at the current stream length and truncated there), parking
+// stops the splitter after its current cycle and leaves the in-flight
+// windows to the WAL. Recovery replays the journal and re-forms them, so
+// a shutdown/restart pair is invisible in the delivered stream. Events
+// still queued but not yet journaled are dropped — the producer re-feeds
+// them from the recovered position. Idempotent.
+func (s *shardState) park() {
+	if s.parked.CompareAndSwap(false, true) {
+		if q, ok := s.feed.(*shardQueue); ok {
+			q.discard()
+		}
+		s.inputDone.Store(true)
+	}
+}
+
 // finishRun finalizes metrics, clears the scheduling slots and publishes
 // completion. Called exactly once, by whoever drives the final splitter
 // cycle.
@@ -395,6 +443,12 @@ func (s *shardState) finishRun() {
 		s.slots[i].wv.Store(nil)
 	}
 	s.ckpts.clear()
+	if s.persist != nil {
+		// Drain, final-sync and close the WAL before publishing
+		// completion: <-done then implies the durable state is final and
+		// the shard log is reopenable.
+		s.persist.shutdown()
+	}
 	s.finished.Store(true)
 	close(s.done)
 }
@@ -426,17 +480,38 @@ func (s *shardState) ingest() int {
 			break
 		}
 		var seq uint64
-		if s.prog.stamped {
+		replaying := s.replayRemaining > 0
+		switch {
+		case replaying:
+			// Journal replay: recovered events carry their original
+			// position (stamped or not) and are already in the WAL.
+			s.replayRemaining--
+			if ev.Seq == 0 {
+				s.seq0.Store(true)
+			}
+			seq = s.ar.AppendAt(ev)
+		case s.prog.stamped:
 			// The feed layer stamped ev.Seq with its raw-substream
 			// position; dropped positions in between stay as gaps.
 			if ev.Seq == 0 {
 				s.seq0.Store(true)
 			}
 			seq = s.ar.AppendAt(ev)
-		} else {
-			seq = s.ar.Append(ev)
+		default:
+			if fl := s.resumeFloor; fl > s.ar.Len() {
+				// Recovered shard whose journal suffix was empty (or
+				// lost): resume appending at the cut boundary so new
+				// events continue the recovered numbering.
+				ev.Seq = fl
+				seq = s.ar.AppendAt(ev)
+			} else {
+				seq = s.ar.Append(ev)
+			}
 		}
 		stored := s.ar.Get(seq)
+		if s.persist != nil && !replaying {
+			s.journalBuf = append(s.journalBuf, *stored)
+		}
 		opened, _ := s.winMgr.Observe(stored)
 		for _, w := range opened {
 			s.tree.NewWindow(w)
@@ -451,6 +526,12 @@ func (s *shardState) ingest() int {
 			s.lagMarks = append(s.lagMarks, lagMark{seq: s.ar.Len(), at: time.Now()})
 		}
 		s.metrics.add(func(m *Metrics) { m.EventsIngested += uint64(n) })
+	}
+	if s.persist != nil && len(s.journalBuf) > 0 {
+		// One WAL batch per ingest batch, after the arena writes: the
+		// persister copies the buffer, so it is reusable next cycle.
+		s.persist.appendEvents(s.journalBuf)
+		s.journalBuf = s.journalBuf[:0]
 	}
 	return n
 }
@@ -514,9 +595,33 @@ func (s *shardState) advanceRoots() bool {
 		// The window is fully resolved: no further versions of it can be
 		// created, so its checkpoints are dead weight.
 		s.ckpts.drop(wv.Win.ID)
+		if s.persist != nil {
+			s.persistCut()
+		}
 		s.releaseArena()
 		changed = true
 	}
+}
+
+// persistCut records the post-pop recovery cut (splitter only): the new
+// root boundary (everything below it is final and will never be
+// reprocessed), the next window id, the emission watermark at the pop,
+// and the still-relevant consumption marks at or past the boundary. On
+// recovery the journal below the boundary is compacted away and replay
+// starts at the cut.
+func (s *shardState) persistCut() {
+	boundary := s.ar.Len()
+	nextWin := s.winMgr.Opened()
+	if root := s.tree.Root(); root != nil {
+		boundary = root.WV.Win.StartSeq
+		nextWin = root.WV.Win.ID
+	}
+	s.persist.appendCut(&durable.CutRecord{
+		Boundary:     boundary,
+		NextWindowID: nextWin,
+		Watermark:    s.emitted,
+		Consumed:     s.consumed.AppendRuns(boundary, s.ar.Len(), nil),
+	})
 }
 
 // releaseArena recycles arena chunks no run state can reference anymore.
@@ -654,6 +759,38 @@ func (s *shardState) drainOutputs(wv *deptree.WindowVersion) bool {
 				s.shed.NoteMatch(s.ar.Get(seq).Type)
 			}
 		}
+	}
+	// Commit-before-deliver (exactly-once, DESIGN.md §11): advance the
+	// emission watermark over this batch and make it durable before any
+	// match of the batch reaches the sink. A crash after the commit but
+	// before (or during) delivery re-delivers nothing: recovery
+	// regenerates the batch and suppresses the first Watermark−CutWatermark
+	// matches. The commit (and the delivery it gates) runs on the
+	// persister goroutine — the splitter never waits for the fsync.
+	if p := s.persist; p != nil {
+		s.emitted += uint64(len(out))
+		deliver := out
+		suppressed := 0
+		for len(deliver) > 0 && s.suppressRemaining > 0 {
+			// Replay regenerated a match the previous process already
+			// delivered; consumption above still counts, delivery does
+			// not.
+			s.suppressRemaining--
+			suppressed++
+			deliver = deliver[1:]
+		}
+		if suppressed > 0 {
+			s.metrics.add(func(m *Metrics) { m.SuppressedMatches += uint64(suppressed) })
+		}
+		p.commitAndDeliver(s.emitted, deliver, s.emit)
+		return true
+	}
+	if faultinject.Killed() {
+		// Fault-injection builds only (constant false otherwise): the
+		// simulated process died, so this batch's sink callbacks never
+		// run. The durable path samples the flag on the persister
+		// goroutine instead, between commit and delivery.
+		return true
 	}
 	for i := range out {
 		s.emit(out[i])
@@ -854,6 +991,9 @@ type Engine struct {
 
 // New builds an engine for the query.
 func New(q *pattern.Query, cfg Config) (*Engine, error) {
+	if cfg.Durable != nil {
+		return nil, errors.New("core: durability requires the Runtime path (Submit)")
+	}
 	prog, err := compile(q, cfg)
 	if err != nil {
 		return nil, err
@@ -926,5 +1066,11 @@ func (s *shardState) metricsSnapshot() Metrics {
 	m.ShedEvents = s.shedIn.Load()
 	m.EmitLagP50 = math.Float64frombits(s.lagP50Bits.Load())
 	m.EmitLagP99 = math.Float64frombits(s.lagP99Bits.Load())
+	if p := s.persist; p != nil {
+		m.DurableAppends = p.appends.Load()
+		m.DurableSyncs = p.syncs.Load()
+		m.DurableCkptDropped = p.ckptDropped.Load()
+		m.DurableErrors = p.errs.Load()
+	}
 	return m
 }

@@ -185,6 +185,16 @@ func (q *shardQueue) pushBatch(ctx context.Context, evs []event.Event) error {
 	return nil
 }
 
+// load preloads evs ahead of any live input, bypassing the capacity
+// check: crash recovery seeds the queue with the persisted journal
+// suffix before the shard is attached to the pool, and the replay
+// backlog may legitimately exceed the live-intake cap.
+func (q *shardQueue) load(evs []event.Event) {
+	q.mu.Lock()
+	q.buf = append(q.buf, evs...)
+	q.mu.Unlock()
+}
+
 // tryPush appends ev without blocking. A full queue returns pending (the
 // current backlog) and false; the caller wraps it into an *OverloadError.
 // A closed queue returns ErrHandleClosed via ok=false, pending=-1.

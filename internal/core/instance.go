@@ -426,11 +426,18 @@ func (w *worker) consistencyCheck(wv *deptree.WindowVersion) bool {
 }
 
 // checkpoint records a snapshot of wv's current processing prefix in the
-// shard's checkpoint store. The caller must hold wv.Mu.
+// shard's checkpoint store. The caller must hold wv.Mu. Suppression-free
+// checkpoints are additionally offered to the durability layer (deep
+// copies, so the persister never reads arena memory that a later root
+// pop may recycle).
 func (w *worker) checkpoint(wv *deptree.WindowVersion) {
 	wv.LastCkpt = wv.Pos()
-	w.s.ckpts.record(wv.Capture())
+	ck := wv.Capture()
+	w.s.ckpts.record(ck)
 	w.s.metrics.add(func(m *Metrics) { m.Checkpoints++ })
+	if p := w.s.persist; p != nil && len(ck.Sup) == 0 {
+		p.offerCheckpoint(ck)
+	}
 }
 
 // rollback resets the version (paper: "the state of the window version

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/spectrecep/spectre/internal/dataset"
+	"github.com/spectrecep/spectre/internal/durable"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/pattern"
+	"github.com/spectrecep/spectre/internal/queries"
+)
+
+// recoveryFixture builds a deterministic Q1-over-NYSE workload small
+// enough for restart loops but busy enough to exercise checkpoints,
+// cuts and watermarks.
+func recoveryFixture(t *testing.T) (*event.Registry, *pattern.Query, []event.Event) {
+	t.Helper()
+	reg := event.NewRegistry()
+	q, err := queries.Q1(reg, queries.Q1Config{Q: 2, WindowSize: 100, Leaders: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := dataset.NYSE(reg, dataset.NYSEConfig{Symbols: 20, Leaders: 2, Minutes: 40, Seed: 11})
+	return reg, q, events
+}
+
+// runLife runs one process lifetime against store: submit, recover,
+// feed events[from:stopAfter], then stop. stopAfter >= 0 marks an
+// intermediate life — the runtime shuts down mid-stream (durable shards
+// park, in-flight windows go to the WAL); stopAfter < 0 marks the final
+// life, which declares genuine end of stream (Drain) first. It returns
+// the keys delivered during this lifetime and the position recovery said
+// to resume from.
+func runLife(t *testing.T, store durable.Store, reg *event.Registry, q *pattern.Query,
+	cfg Config, events []event.Event, stopAfter int) (delivered []string, resumed uint64) {
+	t.Helper()
+	ctx := context.Background()
+	rt := NewRuntime(RuntimeConfig{Workers: 2, Durable: store})
+	cfg.Reg = reg
+	h, err := rt.Submit(q, cfg, nil, 1, func(ce event.Complex) {
+		delivered = append(delivered, ce.Key())
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if pos := h.Recovered(); pos != nil {
+		resumed = pos[0]
+	}
+	end := len(events)
+	final := stopAfter < 0 || stopAfter >= end
+	if !final {
+		end = stopAfter
+	}
+	if int(resumed) < end {
+		if err := h.FeedBatch(ctx, events[resumed:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if final {
+		h.Drain()
+	}
+	if err := rt.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return delivered, resumed
+}
+
+// referenceRun is the uninterrupted, non-durable run the recovered
+// output must be byte-identical to.
+func referenceRun(t *testing.T, reg *event.Registry, q *pattern.Query, cfg Config, events []event.Event) []string {
+	t.Helper()
+	delivered, _ := runLife(t, nil, reg, q, cfg, events, -1)
+	return delivered
+}
+
+func assertKeysEqual(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, want %d\n got: %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: match %d = %s, want %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestRecoverCleanRestart stops the process cleanly mid-stream, restarts
+// it against the same store and resumes: the concatenated delivered
+// stream must equal the uninterrupted run exactly — windows spanning the
+// restart re-form from the journal, matches delivered before the restart
+// are suppressed on replay.
+func TestRecoverCleanRestart(t *testing.T) {
+	reg, q, events := recoveryFixture(t)
+	cfg := Config{Instances: 2}
+	want := referenceRun(t, reg, q, cfg, events)
+	if len(want) == 0 {
+		t.Fatal("fixture produced no matches")
+	}
+
+	for _, split := range []int{1, len(events) / 3, len(events) / 2, len(events) - 1} {
+		t.Run(fmt.Sprintf("split=%d", split), func(t *testing.T) {
+			store := durable.NewMemStore()
+			part1, resumed := runLife(t, store, reg, q, cfg, events, split)
+			if resumed != 0 {
+				t.Fatalf("fresh store resumed at %d, want 0", resumed)
+			}
+			part2, resumed := runLife(t, store, reg, q, cfg, events, -1)
+			if resumed > uint64(split) {
+				t.Fatalf("recovery resumed at %d, past the %d events ever fed", resumed, split)
+			}
+			assertKeysEqual(t, "clean restart", append(part1, part2...), want)
+		})
+	}
+}
+
+// TestRecoverAcrossManyRestarts chains several restarts; every life
+// resumes where the last one stopped and the concatenation stays exact.
+func TestRecoverAcrossManyRestarts(t *testing.T) {
+	reg, q, events := recoveryFixture(t)
+	cfg := Config{Instances: 2}
+	want := referenceRun(t, reg, q, cfg, events)
+
+	store := durable.NewMemStore()
+	var all []string
+	n := len(events)
+	for _, stop := range []int{n / 4, n / 2, 3 * n / 4, -1} {
+		part, _ := runLife(t, store, reg, q, cfg, events, stop)
+		all = append(all, part...)
+	}
+	assertKeysEqual(t, "chained restarts", all, want)
+}
+
+// TestRecoverCheckpointIntervals re-runs the clean-restart equivalence
+// at the extreme checkpoint intervals: every event (maximal persisted
+// checkpoints) and effectively never (pure journal replay).
+func TestRecoverCheckpointIntervals(t *testing.T) {
+	reg, q, events := recoveryFixture(t)
+	for _, every := range []int{1, 4096} {
+		t.Run(fmt.Sprintf("every=%d", every), func(t *testing.T) {
+			cfg := Config{Instances: 2, CheckpointEvery: every}
+			want := referenceRun(t, reg, q, cfg, events)
+			store := durable.NewMemStore()
+			part1, _ := runLife(t, store, reg, q, cfg, events, len(events)/2)
+			part2, _ := runLife(t, store, reg, q, cfg, events, -1)
+			assertKeysEqual(t, "checkpoint interval", append(part1, part2...), want)
+		})
+	}
+}
+
+// TestRecoverFileStore runs the clean-restart equivalence against the
+// real segmented WAL with a tiny segment limit, forcing rotation and
+// compaction mid-run.
+func TestRecoverFileStore(t *testing.T) {
+	reg, q, events := recoveryFixture(t)
+	cfg := Config{Instances: 2}
+	want := referenceRun(t, reg, q, cfg, events)
+
+	store, err := durable.NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SegmentBytes = 8 * 1024
+	part1, _ := runLife(t, store, reg, q, cfg, events, len(events)/2)
+	part2, _ := runLife(t, store, reg, q, cfg, events, -1)
+	assertKeysEqual(t, "file store restart", append(part1, part2...), want)
+}
+
+// TestRecoverEmptyStore: durability on a fresh store changes nothing
+// about the delivered stream, and Recover returns immediately.
+func TestRecoverEmptyStore(t *testing.T) {
+	reg, q, events := recoveryFixture(t)
+	cfg := Config{Instances: 2}
+	want := referenceRun(t, reg, q, cfg, events)
+	got, resumed := runLife(t, durable.NewMemStore(), reg, q, cfg, events, -1)
+	if resumed != 0 {
+		t.Fatalf("resumed = %d, want 0", resumed)
+	}
+	assertKeysEqual(t, "durable-on fresh store", got, want)
+}
+
+// TestDurableRequiresName: the WAL shard is keyed by query name, so an
+// anonymous query must be refused at submit.
+func TestDurableRequiresName(t *testing.T) {
+	reg, q, _ := recoveryFixture(t)
+	anon := *q
+	anon.Name = ""
+	anon.Pattern.Name = "" // Validate backfills Query.Name from the pattern
+	rt := NewRuntime(RuntimeConfig{Workers: 1, Durable: durable.NewMemStore()})
+	defer rt.Close()
+	if _, err := rt.Submit(&anon, Config{Instances: 1, Reg: reg}, nil, 1, nil, nil); err == nil {
+		t.Fatal("Submit of unnamed durable query must fail")
+	}
+	if _, err := rt.Submit(q, Config{Instances: 1}, nil, 1, nil, nil); err == nil {
+		t.Fatal("Submit of durable query without Reg must fail")
+	}
+}
+
+// TestDurableMetrics: the persister's counters surface in Metrics.
+func TestDurableMetrics(t *testing.T) {
+	reg, q, events := recoveryFixture(t)
+	ctx := context.Background()
+	rt := NewRuntime(RuntimeConfig{Workers: 2, Durable: durable.NewMemStore()})
+	h, err := rt.Submit(q, Config{Instances: 2, Reg: reg}, nil, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.FeedBatch(ctx, events); err != nil {
+		t.Fatal(err)
+	}
+	h.Drain()
+	m := h.Metrics()
+	if m.DurableAppends == 0 {
+		t.Fatal("DurableAppends = 0 after a durable run")
+	}
+	if m.DurableSyncs == 0 {
+		t.Fatal("DurableSyncs = 0 after a durable run that emitted matches")
+	}
+	if m.DurableErrors != 0 {
+		t.Fatalf("DurableErrors = %d, want 0", m.DurableErrors)
+	}
+	if err := rt.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"github.com/spectrecep/spectre/internal/durable"
 	"github.com/spectrecep/spectre/internal/event"
 	"github.com/spectrecep/spectre/internal/pattern"
 	"github.com/spectrecep/spectre/internal/plan"
@@ -21,12 +23,20 @@ var (
 	ErrRuntimeClosed = errors.New("core: runtime is closed")
 	// ErrHandleClosed is returned by Feed after the handle closed.
 	ErrHandleClosed = errors.New("core: query handle is closed")
+	// ErrShuttingDown is returned by a Submit that raced Shutdown/Close:
+	// the runtime is tearing down and will never drive the new shards.
+	// It matches ErrRuntimeClosed via errors.Is.
+	ErrShuttingDown = fmt.Errorf("core: runtime is shutting down: %w", ErrRuntimeClosed)
 )
 
 // RuntimeConfig parameterizes a Runtime.
 type RuntimeConfig struct {
 	// Workers sizes the shared worker pool; <= 0 selects GOMAXPROCS.
 	Workers int
+	// Durable is the runtime's default durable store: every submission
+	// whose Config.Durable is nil inherits it. The runtime never closes
+	// the store — ownership stays with whoever created it.
+	Durable durable.Store
 	// Err carries the first invalid-option error; NewRuntime callers
 	// check it before starting the pool.
 	Err error
@@ -47,6 +57,7 @@ func (c *RuntimeConfig) SetError(err error) {
 type Runtime struct {
 	pool    *Pool
 	arb     *sched.Arbiter
+	durable durable.Store // default store inherited by submissions
 	mu      sync.Mutex
 	closed  bool
 	handles []*Handle
@@ -55,7 +66,7 @@ type Runtime struct {
 // NewRuntime starts a runtime with its own worker pool.
 func NewRuntime(cfg RuntimeConfig) *Runtime {
 	pool := NewPool(cfg.Workers)
-	return &Runtime{pool: pool, arb: sched.NewArbiter(pool.Workers())}
+	return &Runtime{pool: pool, arb: sched.NewArbiter(pool.Workers()), durable: cfg.Durable}
 }
 
 // Handle is one submitted query: the routing function, its shards and the
@@ -115,9 +126,20 @@ func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event)
 	if nShards > 1 && route == nil {
 		return nil, fmt.Errorf("core: %d shards need a routing function", nShards)
 	}
+	if cfg.Durable == nil {
+		cfg.Durable = rt.durable
+	}
 	prog, err := compile(q, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if prog.cfg.Durable != nil {
+		if q.Name == "" {
+			return nil, errors.New("core: durable queries must be named (the name keys the WAL shard)")
+		}
+		if prog.cfg.Reg == nil {
+			return nil, errors.New("core: durability requires Config.Reg (WAL records carry the registry's name tables)")
+		}
 	}
 	h := &Handle{rt: rt, name: q.Name, route: route, onDrain: onDrain}
 	h.plan = prog.plan
@@ -135,6 +157,19 @@ func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event)
 	if prog.cfg.Weight > 0 || prog.cfg.Sched.LatencyTarget > 0 {
 		h.qc = rt.arb.Register(q.Name, prog.cfg.Weight, prog.cfg.Sched.LatencyTarget, nShards)
 	}
+	// release undoes a partially built handle: the arbiter registration
+	// and any persisters already running (their WAL shard locks must be
+	// freed for a retry).
+	release := func() {
+		if h.qc != nil {
+			h.qc.Release()
+		}
+		for _, s := range h.shards {
+			if s.persist != nil {
+				s.persist.shutdown()
+			}
+		}
+	}
 	for i := 0; i < nShards; i++ {
 		var ctl *sched.ShardCtl
 		if h.qc != nil {
@@ -142,9 +177,7 @@ func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event)
 		}
 		s, err := newShard(prog, ctl)
 		if err != nil {
-			if h.qc != nil {
-				h.qc.Release()
-			}
+			release()
 			return nil, err
 		}
 		if prog.cfg.Shed {
@@ -155,7 +188,23 @@ func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event)
 			s.shed = shed.New(scfg)
 			h.sheds = true
 		}
+		var rec *durable.ShardState
+		if prog.cfg.Durable != nil {
+			// Open (and recover) the shard's WAL before it runs; the
+			// recovered journal suffix is preloaded ahead of live input.
+			rec, err = attachDurability(s, q.Name, i)
+			if err != nil {
+				release()
+				return nil, err
+			}
+			if h.intake && rec != nil {
+				h.stamp[i] = rec.NextSeq
+			}
+		}
 		queue := newShardQueue(prog.cfg.QueueCap)
+		if rec != nil && len(rec.Events) > 0 {
+			queue.load(rec.Events)
+		}
 		s.begin(queue, func(ce event.Complex) {
 			h.emitMu.Lock()
 			emit(ce)
@@ -173,15 +222,45 @@ func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event)
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
-		if h.qc != nil {
-			h.qc.Release()
-		}
-		return nil, ErrRuntimeClosed
+		release()
+		return nil, ErrShuttingDown
 	}
 	rt.handles = append(rt.handles, h)
-	rt.mu.Unlock()
+	// Attach under rt.mu: a concurrent Shutdown either sees the handle
+	// (and drains it) or closed the runtime before this point (and the
+	// submission was rejected above). Attaching after the unlock would
+	// let Shutdown slip between the two — the shards would never be
+	// driven and Wait would hang on an orphaned handle.
 	rt.pool.Attach(h.shards...)
+	rt.mu.Unlock()
 	return h, nil
+}
+
+// Recover blocks until every recovering shard of every submitted handle
+// has replayed its persisted journal suffix — the point where each
+// query's in-memory state has caught back up with the WAL and producers
+// may resume feeding live input (from the positions Handle.Recovered
+// reports). Queries submitted against an empty store return immediately.
+// Replay proceeds regardless of whether Recover is called; the barrier
+// only exists so callers can sequence "recovered" side effects (resume
+// frames, producer rewind) after the replay.
+func (rt *Runtime) Recover(ctx context.Context) error {
+	rt.mu.Lock()
+	handles := append([]*Handle(nil), rt.handles...)
+	rt.mu.Unlock()
+	for _, h := range handles {
+		for _, s := range h.shards {
+			for s.replayTarget > 0 && s.ar.Len() < s.replayTarget &&
+				!s.finished.Load() && !s.cancelled.Load() {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(200 * time.Microsecond):
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // Run feeds src to every currently submitted handle (each handle routes
@@ -249,7 +328,16 @@ func (rt *Runtime) Shutdown(ctx context.Context) error {
 	rt.mu.Unlock()
 
 	for _, h := range handles {
-		h.Close()
+		if h.durable() {
+			// A durable query is parked, not ended: shutdown is an
+			// operational event, not the end of its stream. In-flight
+			// windows stay in the WAL and recovery resumes them; closing
+			// instead would truncate them at today's stream length. An
+			// explicit Handle.Close/Drain remains genuine end of stream.
+			h.park()
+		} else {
+			h.Close()
+		}
 	}
 	err := ctx.Err()
 	if err == nil {
@@ -282,6 +370,20 @@ func (rt *Runtime) Shutdown(ctx context.Context) error {
 
 // Name returns the submitted query's name.
 func (h *Handle) Name() string { return h.name }
+
+// Recovered reports, per shard, the raw-substream position a producer
+// should re-feed from after crash recovery (0 for a fresh shard). It
+// returns nil when the handle was not submitted against a durable store.
+func (h *Handle) Recovered() []uint64 {
+	if h.shards[0].persist == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.shards))
+	for i, s := range h.shards {
+		out[i] = s.recoveredNextSeq
+	}
+	return out
+}
 
 // Shards returns the number of shards the query runs on.
 func (h *Handle) Shards() int { return len(h.shards) }
@@ -484,6 +586,34 @@ func (h *Handle) Close() {
 	}
 	for _, q := range h.queues {
 		q.close()
+	}
+}
+
+// durable reports whether the handle persists through a WAL.
+func (h *Handle) durable() bool { return h.shards[0].persist != nil }
+
+// Park detaches a durable query without ending its stream: feeds are
+// refused, queued-but-uningested events are discarded (the producer
+// re-feeds them from Recovered after the next submit), in-flight windows
+// stay in the WAL, and the shard's persister releases its WAL lock once
+// drained — so the same query name can be resubmitted against the same
+// store and resume exactly where it parked. Use Wait to block until the
+// detach completes. On a non-durable handle Park degrades to Close:
+// there is no state to resume, ending the stream is the only detach.
+func (h *Handle) Park() {
+	if !h.durable() {
+		h.Close()
+		return
+	}
+	h.park()
+}
+
+// park pauses every durable shard without stream-end semantics (see
+// shardState.park) and refuses further feeds.
+func (h *Handle) park() {
+	h.closed.Store(true)
+	for _, s := range h.shards {
+		s.park()
 	}
 }
 

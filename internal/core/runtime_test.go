@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -205,5 +206,68 @@ func TestShardQueueTryPushAndBatch(t *testing.T) {
 	}
 	if _, ok, done := q.next(); ok || !done {
 		t.Fatal("discarded queue must be empty and done")
+	}
+}
+
+// TestSubmitShutdownRace guards the Submit/Shutdown serialization: a
+// Submit racing a concurrent Shutdown either lands fully (its handle is
+// part of the drain) or is refused with ErrShuttingDown — never a third
+// state where the handle exists but the shutdown already passed it by,
+// leaving it orphaned past the drain. Run with -race.
+func TestSubmitShutdownRace(t *testing.T) {
+	for round := 0; round < 30; round++ {
+		reg := event.NewRegistry()
+		rt := NewRuntime(RuntimeConfig{Workers: 2})
+
+		const submitters = 4
+		type result struct {
+			h   *Handle
+			err error
+		}
+		results := make(chan result, submitters)
+		start := make(chan struct{})
+		for i := 0; i < submitters; i++ {
+			go func() {
+				<-start
+				h, err := rt.Submit(testQuery(t, reg), Config{Instances: 1}, nil, 1, nil, nil)
+				results <- result{h, err}
+			}()
+		}
+		done := make(chan error, 1)
+		go func() {
+			<-start
+			done <- rt.Shutdown(context.Background())
+		}()
+		close(start)
+
+		if err := <-done; err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+		for i := 0; i < submitters; i++ {
+			r := <-results
+			switch {
+			case r.err == nil:
+				// Admitted before the close: the shutdown must have
+				// drained it — Wait returns immediately, no hang.
+				r.h.Wait()
+			case errors.Is(r.err, ErrRuntimeClosed):
+				// Refused: nothing to clean up.
+			default:
+				t.Fatalf("Submit = %v, want nil or ErrShuttingDown", r.err)
+			}
+		}
+	}
+}
+
+// TestSubmitAfterShutdownRefused: the non-racy half of the contract.
+func TestSubmitAfterShutdownRefused(t *testing.T) {
+	reg := event.NewRegistry()
+	rt := NewRuntime(RuntimeConfig{Workers: 1})
+	if err := rt.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := rt.Submit(testQuery(t, reg), Config{Instances: 1}, nil, 1, nil, nil)
+	if !errors.Is(err, ErrShuttingDown) || !errors.Is(err, ErrRuntimeClosed) {
+		t.Fatalf("Submit after Shutdown = %v, want ErrShuttingDown (matching ErrRuntimeClosed)", err)
 	}
 }

@@ -1,0 +1,337 @@
+// Package durable persists per-shard query state so a SPECTRE runtime
+// survives process death: a write-ahead log of admitted events (the
+// replay journal), matcher checkpoints, root-pop cut records and an
+// emission watermark. The log is segmented, each record CRC-framed, and
+// appends reach disk through an explicit Sync — the engine batches and
+// syncs off the hot path (internal/core's persister goroutine).
+//
+// Recovery contract (consumed by core's recover path):
+//
+//   - The cut record is the durable floor: everything below its Boundary
+//     is released — popped windows, released arena prefix, already-final
+//     consumption marks folded into Consumed.
+//   - Events at or above the boundary form the replay journal; feeding
+//     them back through the engine re-forms windows and matches
+//     deterministically (window formation depends only on Seq/TS).
+//   - Checkpoints are a pure optimisation: replay seeds window versions
+//     from the deepest consistent one instead of the window start.
+//   - The watermark counts matches delivered to the sink, cumulatively
+//     per shard. It is synced before delivery, so on recovery the first
+//     (Watermark − Cut.Watermark) regenerated matches are suppressed —
+//     exactly-once on the journaled substream.
+//
+// Type and field ids are registry-assignment-dependent, so the log
+// carries the full name tables (KindTypes/KindFields); Load re-interns
+// them and remaps every persisted event, making the log portable across
+// restarts that intern names in a different order.
+package durable
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/matcher"
+)
+
+// Kind discriminates WAL record types.
+type Kind uint8
+
+const (
+	// KindTypes carries the registry's type-name table (ids 1..n in
+	// order). Written at shard open and re-written when the table grows
+	// and at segment rotation, so every segment is self-describing.
+	KindTypes Kind = iota + 1
+	// KindFields carries the registry's field-name table (indices 0..n).
+	KindFields
+	// KindEvents is a batch of admitted events, in ingest order.
+	KindEvents
+	// KindCheckpoint is a serialized matcher checkpoint for one window.
+	KindCheckpoint
+	// KindCut is a root-pop cut: the durable floor advances.
+	KindCut
+	// KindWatermark advances the cumulative delivered-match count.
+	KindWatermark
+)
+
+// Record is the sum type appended to a shard log. Exactly the fields for
+// its Kind are set.
+type Record struct {
+	Kind       Kind
+	Types      []string
+	Fields     []string
+	Events     []event.Event
+	Checkpoint *CheckpointRecord
+	Cut        *CutRecord
+	Watermark  uint64
+}
+
+// CheckpointRecord is the durable form of a deptree checkpoint: window
+// identity plus the version bookkeeping and a self-contained matcher
+// snapshot (bound events by value — no arena references). Only
+// suppression-free (mainline) checkpoints are persisted, so Skipped is
+// empty by construction and no Sup set is recorded.
+type CheckpointRecord struct {
+	WindowID      uint64
+	WindowStart   uint64
+	WindowStartTS int64
+	Pos           uint64
+	Used          []uint64
+	Skipped       []uint64
+	LocalConsumed []uint64
+	Buffered      []event.Complex
+	Matcher       matcher.Snapshot
+}
+
+// CutRecord marks a root pop. Everything below Boundary is durably
+// final: the arena prefix is released, windows below NextWindowID are
+// resolved, and Watermark matches have been delivered.
+type CutRecord struct {
+	// Boundary is the new arena floor (the new root window's start, or
+	// the stream length when the tree emptied).
+	Boundary uint64
+	// NextWindowID is the id the window manager will assign next (the
+	// new root's id, or the opened count when the tree emptied).
+	NextWindowID uint64
+	// Watermark is the cumulative delivered-match count at the cut.
+	Watermark uint64
+	// Consumed holds the finally consumed event seqs at or above Boundary
+	// as run-length pairs — start, count, start, count, … ascending —
+	// (marks below the boundary can never be observed again). Consumption
+	// is dense where windows completed, so runs keep per-cut snapshots
+	// small on consume-heavy workloads.
+	Consumed []uint64
+}
+
+// ShardState is the folded result of loading a shard log.
+type ShardState struct {
+	// Cut is the latest cut record, or nil when none was written.
+	Cut *CutRecord
+	// Events is the replay journal: admitted events at or above the cut
+	// boundary, in ingest order, remapped to the loading registry.
+	Events []event.Event
+	// Checkpoints are the retained checkpoints for windows at or above
+	// the boundary, remapped, in append order.
+	Checkpoints []*CheckpointRecord
+	// Watermark is the highest cumulative delivered-match count seen.
+	Watermark uint64
+	// NextSeq is one past the last journaled event's sequence number
+	// (the position a producer should resume feeding from).
+	NextSeq uint64
+}
+
+// Store hands out per-(query, shard) logs. Implementations must allow
+// concurrent OpenShard calls for distinct shards; a shard already open
+// returns an error until its log is closed.
+type Store interface {
+	OpenShard(query string, shard int) (ShardLog, error)
+	Close() error
+}
+
+// ShardLog is one shard's WAL. Load must be called once, before the
+// first Append: it repairs a torn tail, folds the retained records into
+// a ShardState (nil when the log is empty) and readies the log for
+// appending. Append buffers; Sync makes everything appended so far
+// durable. Append takes ownership of the record and its slices.
+type ShardLog interface {
+	Load(reg *event.Registry) (*ShardState, error)
+	Append(rec *Record) error
+	Sync() error
+	Close() error
+}
+
+// ErrShardOpen is returned by OpenShard while another log handle for the
+// same shard is still open.
+var ErrShardOpen = errors.New("durable: shard log already open")
+
+// ErrNotLoaded is returned by Append/Sync before Load was called.
+var ErrNotLoaded = errors.New("durable: shard log not loaded")
+
+// Corrupt wraps unrecoverable log damage: a CRC-valid frame whose body
+// does not decode, or a broken frame before the final segment's tail.
+type Corrupt struct {
+	Path string
+	Off  int64
+	Err  error
+}
+
+// Error implements error.
+func (c *Corrupt) Error() string {
+	return fmt.Sprintf("durable: corrupt record in %s at offset %d: %v", c.Path, c.Off, c.Err)
+}
+
+// Unwrap implements errors.Unwrap.
+func (c *Corrupt) Unwrap() error { return c.Err }
+
+// folder accumulates a shard state from a record sequence. Registry
+// remapping is applied as the name tables stream by.
+type folder struct {
+	reg      *event.Registry
+	typeMap  []event.Type // old id -> new id; nil means identity so far
+	fieldMap []int        // old index -> new index
+	identity bool
+
+	st  ShardState
+	any bool
+}
+
+func newFolder(reg *event.Registry) *folder {
+	return &folder{reg: reg, identity: true}
+}
+
+// remapEvent rewrites ev's type id and field layout in place into the
+// loading registry's assignment.
+func (f *folder) remapEvent(ev *event.Event) {
+	if f.identity {
+		return
+	}
+	if int(ev.Type) < len(f.typeMap) {
+		ev.Type = f.typeMap[ev.Type]
+	}
+	if len(ev.Fields) == 0 {
+		return
+	}
+	width := 0
+	for i := range ev.Fields {
+		ni := i
+		if i < len(f.fieldMap) {
+			ni = f.fieldMap[i]
+		}
+		if ni+1 > width {
+			width = ni + 1
+		}
+	}
+	out := make([]float64, width)
+	for i, v := range ev.Fields {
+		ni := i
+		if i < len(f.fieldMap) {
+			ni = f.fieldMap[i]
+		}
+		out[ni] = v
+	}
+	ev.Fields = out
+}
+
+func (f *folder) add(rec *Record) error {
+	f.any = true
+	switch rec.Kind {
+	case KindTypes:
+		f.typeMap = make([]event.Type, len(rec.Types)+1)
+		same := true
+		for i, name := range rec.Types {
+			id := f.reg.TypeID(name)
+			f.typeMap[i+1] = id
+			if id != event.Type(i+1) {
+				same = false
+			}
+		}
+		f.identity = same && fieldMapIdentity(f.fieldMap)
+	case KindFields:
+		f.fieldMap = make([]int, len(rec.Fields))
+		same := true
+		for i, name := range rec.Fields {
+			idx := f.reg.FieldIndex(name)
+			f.fieldMap[i] = idx
+			if idx != i {
+				same = false
+			}
+		}
+		f.identity = same && typeMapIdentity(f.typeMap)
+	case KindEvents:
+		for i := range rec.Events {
+			f.remapEvent(&rec.Events[i])
+			if rec.Events[i].Seq+1 > f.st.NextSeq {
+				f.st.NextSeq = rec.Events[i].Seq + 1
+			}
+		}
+		f.st.Events = append(f.st.Events, rec.Events...)
+	case KindCheckpoint:
+		ck := rec.Checkpoint
+		for ri := range ck.Matcher.Runs {
+			evs := ck.Matcher.Runs[ri].Events
+			for i := range evs {
+				f.remapEvent(&evs[i])
+			}
+		}
+		f.st.Checkpoints = append(f.st.Checkpoints, ck)
+	case KindCut:
+		f.st.Cut = rec.Cut
+		if rec.Cut.Watermark > f.st.Watermark {
+			f.st.Watermark = rec.Cut.Watermark
+		}
+	case KindWatermark:
+		if rec.Watermark > f.st.Watermark {
+			f.st.Watermark = rec.Watermark
+		}
+	default:
+		return fmt.Errorf("durable: unknown record kind %d", rec.Kind)
+	}
+	return nil
+}
+
+func typeMapIdentity(m []event.Type) bool {
+	for i, id := range m {
+		if i > 0 && id != event.Type(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func fieldMapIdentity(m []int) bool {
+	for i, idx := range m {
+		if idx != i {
+			return false
+		}
+	}
+	return true
+}
+
+// finish applies the final cut filter and returns the state (nil when
+// the log held no records).
+func (f *folder) finish() *ShardState {
+	if !f.any {
+		return nil
+	}
+	st := f.st
+	if cut := st.Cut; cut != nil {
+		kept := st.Events[:0]
+		for i := range st.Events {
+			if st.Events[i].Seq >= cut.Boundary {
+				kept = append(kept, st.Events[i])
+			}
+		}
+		st.Events = kept
+		cks := st.Checkpoints[:0]
+		for _, ck := range st.Checkpoints {
+			if ck.WindowStart >= cut.Boundary {
+				cks = append(cks, ck)
+			}
+		}
+		st.Checkpoints = cks
+		if st.NextSeq < cut.Boundary {
+			st.NextSeq = cut.Boundary
+		}
+	}
+	return &st
+}
+
+// TypesRecord builds a KindTypes record from reg's current table.
+func TypesRecord(reg *event.Registry) *Record {
+	n := reg.NumTypes()
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = reg.TypeName(event.Type(i + 1))
+	}
+	return &Record{Kind: KindTypes, Types: names}
+}
+
+// FieldsRecord builds a KindFields record from reg's current table.
+func FieldsRecord(reg *event.Registry) *Record {
+	n := reg.NumFields()
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = reg.FieldName(i)
+	}
+	return &Record{Kind: KindFields, Fields: names}
+}

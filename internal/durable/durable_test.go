@@ -1,0 +1,409 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/spectrecep/spectre/internal/event"
+)
+
+// testEvents builds n events of alternating types A/B with one payload
+// field, seqs starting at base.
+func testEvents(reg *event.Registry, base uint64, n int) []event.Event {
+	a, b := reg.TypeID("A"), reg.TypeID("B")
+	price := reg.FieldIndex("price")
+	evs := make([]event.Event, n)
+	for i := range evs {
+		t := a
+		if i%2 == 1 {
+			t = b
+		}
+		fields := make([]float64, price+1)
+		fields[price] = float64(base) + float64(i)
+		evs[i] = event.Event{Seq: base + uint64(i), TS: int64(base) + int64(i), Type: t, Fields: fields}
+	}
+	return evs
+}
+
+func openShard(t *testing.T, s Store, reg *event.Registry) (ShardLog, *ShardState) {
+	t.Helper()
+	log, err := s.OpenShard("q", 0)
+	if err != nil {
+		t.Fatalf("OpenShard: %v", err)
+	}
+	st, err := log.Load(reg)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return log, st
+}
+
+func appendAll(t *testing.T, log ShardLog, recs ...*Record) {
+	t.Helper()
+	for _, rec := range recs {
+		if err := log.Append(rec); err != nil {
+			t.Fatalf("Append kind %d: %v", rec.Kind, err)
+		}
+	}
+	if err := log.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+}
+
+// writeJournal appends tables + events + a watermark and closes the log.
+func writeJournal(t *testing.T, s Store, reg *event.Registry, base uint64, n int, watermark uint64) {
+	t.Helper()
+	log, _ := openShard(t, s, reg)
+	appendAll(t, log,
+		TypesRecord(reg),
+		FieldsRecord(reg),
+		&Record{Kind: KindEvents, Events: testEvents(reg, base, n)},
+		&Record{Kind: KindWatermark, Watermark: watermark},
+	)
+	if err := log.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func stores(t *testing.T) map[string]Store {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	return map[string]Store{"file": fs, "mem": NewMemStore()}
+}
+
+func TestRoundtrip(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			reg := event.NewRegistry()
+			writeJournal(t, s, reg, 0, 10, 3)
+
+			log, st := openShard(t, s, reg)
+			defer log.Close()
+			if st == nil {
+				t.Fatal("empty state after writes")
+			}
+			if len(st.Events) != 10 {
+				t.Fatalf("journal length = %d, want 10", len(st.Events))
+			}
+			for i, ev := range st.Events {
+				if ev.Seq != uint64(i) {
+					t.Fatalf("event %d has seq %d", i, ev.Seq)
+				}
+				if got := ev.Field(reg.FieldIndex("price")); got != float64(i) {
+					t.Fatalf("event %d price = %v, want %v", i, got, float64(i))
+				}
+			}
+			if st.NextSeq != 10 {
+				t.Fatalf("NextSeq = %d, want 10", st.NextSeq)
+			}
+			if st.Watermark != 3 {
+				t.Fatalf("Watermark = %d, want 3", st.Watermark)
+			}
+		})
+	}
+}
+
+func TestCutFoldsState(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			reg := event.NewRegistry()
+			log, _ := openShard(t, s, reg)
+			appendAll(t, log,
+				TypesRecord(reg),
+				FieldsRecord(reg),
+				&Record{Kind: KindEvents, Events: testEvents(reg, 0, 20)},
+				&Record{Kind: KindCheckpoint, Checkpoint: &CheckpointRecord{WindowID: 1, WindowStart: 2, Pos: 6}},
+				&Record{Kind: KindCheckpoint, Checkpoint: &CheckpointRecord{WindowID: 4, WindowStart: 12, Pos: 15}},
+				&Record{Kind: KindWatermark, Watermark: 5},
+				&Record{Kind: KindCut, Cut: &CutRecord{Boundary: 10, NextWindowID: 4, Watermark: 5, Consumed: []uint64{11, 13}}},
+			)
+			log.Close()
+
+			log, st := openShard(t, s, reg)
+			defer log.Close()
+			if st.Cut == nil || st.Cut.Boundary != 10 {
+				t.Fatalf("cut = %+v, want boundary 10", st.Cut)
+			}
+			if len(st.Events) != 10 || st.Events[0].Seq != 10 {
+				t.Fatalf("journal after cut: %d events, first seq %d; want 10 starting at 10",
+					len(st.Events), st.Events[0].Seq)
+			}
+			if len(st.Checkpoints) != 1 || st.Checkpoints[0].WindowID != 4 {
+				t.Fatalf("checkpoints after cut = %d entries, want only window 4", len(st.Checkpoints))
+			}
+			if got := st.Cut.Consumed; len(got) != 2 || got[0] != 11 || got[1] != 13 {
+				t.Fatalf("consumed = %v, want [11 13]", got)
+			}
+		})
+	}
+}
+
+// TestRegistryRemap loads a log with a registry that interned the same
+// names in a different order: type ids and field indices must be
+// rewritten, not trusted.
+func TestRegistryRemap(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			reg := event.NewRegistry()
+			reg.TypeID("A")          // 1
+			reg.TypeID("B")          // 2
+			reg.FieldIndex("price")  // 0
+			reg.FieldIndex("volume") // 1
+			log, _ := openShard(t, s, reg)
+			ev := event.Event{Seq: 0, Type: reg.TypeID("B"), Fields: []float64{7, 9}}
+			appendAll(t, log, TypesRecord(reg), FieldsRecord(reg),
+				&Record{Kind: KindEvents, Events: []event.Event{ev}})
+			log.Close()
+
+			reg2 := event.NewRegistry()
+			reg2.TypeID("B")          // 1 — swapped vs reg
+			reg2.TypeID("A")          // 2
+			reg2.FieldIndex("volume") // 0 — swapped vs reg
+			reg2.FieldIndex("price")  // 1
+			log, st := openShard(t, s, reg2)
+			defer log.Close()
+			got := st.Events[0]
+			if got.Type != reg2.TypeID("B") {
+				t.Fatalf("type = %d, want %d (B in the loading registry)", got.Type, reg2.TypeID("B"))
+			}
+			if p := got.Field(reg2.FieldIndex("price")); p != 7 {
+				t.Fatalf("price = %v, want 7", p)
+			}
+			if v := got.Field(reg2.FieldIndex("volume")); v != 9 {
+				t.Fatalf("volume = %v, want 9", v)
+			}
+		})
+	}
+}
+
+func TestDoubleOpenRefused(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			log, err := s.OpenShard("q", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.OpenShard("q", 0); !errors.Is(err, ErrShardOpen) {
+				t.Fatalf("second open: %v, want ErrShardOpen", err)
+			}
+			log.Close()
+			log2, err := s.OpenShard("q", 0)
+			if err != nil {
+				t.Fatalf("reopen after close: %v", err)
+			}
+			log2.Close()
+		})
+	}
+}
+
+// segFiles lists the shard's segment files, oldest first.
+func segFiles(t *testing.T, fs *FileStore) []string {
+	t.Helper()
+	var segs []string
+	err := filepath.WalkDir(fs.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".seg") {
+			segs = append(segs, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return segs
+}
+
+// TestTornTailTruncated simulates a crash mid-append: garbage after the
+// last full frame must be truncated on open, keeping the intact prefix.
+func TestTornTailTruncated(t *testing.T) {
+	cases := map[string]func([]byte) []byte{
+		"short-header":  func(b []byte) []byte { return append(b, 0x03, 0x00) },
+		"short-payload": func(b []byte) []byte { return append(b, 0xff, 0x00, 0x00, 0x00, 0x12, 0x34, 0x56, 0x78, 0x01) },
+		"crc-mismatch": func(b []byte) []byte {
+			frame := make([]byte, 12)
+			binary.LittleEndian.PutUint32(frame, 4)
+			binary.LittleEndian.PutUint32(frame[4:], 0xdeadbeef)
+			return append(b, frame...)
+		},
+		"zero-length": func(b []byte) []byte { return append(b, 0, 0, 0, 0, 0, 0, 0, 0) },
+	}
+	for name, mangle := range cases {
+		t.Run(name, func(t *testing.T) {
+			fs, err := NewFileStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := event.NewRegistry()
+			writeJournal(t, fs, reg, 0, 5, 1)
+
+			segs := segFiles(t, fs)
+			if len(segs) != 1 {
+				t.Fatalf("segments = %d, want 1", len(segs))
+			}
+			data, err := os.ReadFile(segs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			intact := len(data)
+			if err := os.WriteFile(segs[0], mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			log, st := openShard(t, fs, reg)
+			if len(st.Events) != 5 || st.Watermark != 1 {
+				t.Fatalf("recovered %d events, watermark %d; want 5, 1", len(st.Events), st.Watermark)
+			}
+			// The tail must be physically gone, and the log writable again.
+			if fi, _ := os.Stat(segs[0]); fi.Size() != int64(intact) {
+				t.Fatalf("segment size %d after repair, want %d", fi.Size(), intact)
+			}
+			appendAll(t, log, &Record{Kind: KindEvents, Events: testEvents(reg, 5, 1)})
+			log.Close()
+
+			log, st = openShard(t, fs, reg)
+			defer log.Close()
+			if len(st.Events) != 6 {
+				t.Fatalf("after repair+append: %d events, want 6", len(st.Events))
+			}
+		})
+	}
+}
+
+// TestCorruptionMidFileFatal flips a payload byte in a frame that is NOT
+// the tail: that is real damage, not a torn write, and Load must refuse.
+func TestCorruptionMidFileFatal(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := event.NewRegistry()
+	writeJournal(t, fs, reg, 0, 5, 1)
+
+	seg := segFiles(t, fs)[0]
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the first frame's payload AND fix up its CRC so
+	// the frame passes framing but fails decoding (CRC-valid garbage).
+	n := binary.LittleEndian.Uint32(data)
+	payload := data[frameHeader : frameHeader+int(n)]
+	payload[0] ^= 0xff // record kind becomes implausible
+	binary.LittleEndian.PutUint32(data[4:], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := fs.OpenShard("q", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	_, err = log.Load(reg)
+	var c *Corrupt
+	if !errors.As(err, &c) {
+		t.Fatalf("Load = %v, want *Corrupt", err)
+	}
+}
+
+// TestRotationAndCompaction drives the segment limit low, writes
+// journal+cut cycles and verifies (a) rotation produces new segments,
+// (b) fully-released segments are deleted, (c) the folded state after
+// reopen matches the logical state.
+func TestRotationAndCompaction(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SegmentBytes = 512
+	reg := event.NewRegistry()
+	log, _ := openShard(t, fs, reg)
+	appendAll(t, log, TypesRecord(reg), FieldsRecord(reg))
+	var seq uint64
+	for round := 0; round < 8; round++ {
+		appendAll(t, log, &Record{Kind: KindEvents, Events: testEvents(reg, seq, 16)})
+		seq += 16
+		appendAll(t, log, &Record{Kind: KindCut, Cut: &CutRecord{Boundary: seq - 4, NextWindowID: uint64(round + 1), Watermark: uint64(round)}})
+	}
+	log.Close()
+
+	segs := segFiles(t, fs)
+	if len(segs) < 2 {
+		t.Fatalf("segments after 8 rotations-worth of cuts = %d, want rotation to have occurred", len(segs))
+	}
+	// The oldest segment on disk must still cover the final boundary's
+	// journal suffix: everything wholly below it was compacted away.
+	if !strings.HasSuffix(segs[0], "wal-00000001.seg") {
+		// good: segment 1 was deleted by compaction
+	} else {
+		t.Fatalf("segment 1 survived compaction: %v", segs)
+	}
+
+	log, st := openShard(t, fs, reg)
+	defer log.Close()
+	if st.Cut == nil || st.Cut.Boundary != seq-4 {
+		t.Fatalf("cut boundary = %+v, want %d", st.Cut, seq-4)
+	}
+	if len(st.Events) != 4 || st.Events[0].Seq != seq-4 {
+		t.Fatalf("journal = %d events starting at %d, want 4 starting at %d",
+			len(st.Events), st.Events[0].Seq, seq-4)
+	}
+	if st.NextSeq != seq {
+		t.Fatalf("NextSeq = %d, want %d", st.NextSeq, seq)
+	}
+	if st.Watermark != 7 {
+		t.Fatalf("watermark = %d, want 7", st.Watermark)
+	}
+}
+
+// TestMemCrashDropsUnsynced is the MemStore volatile/durable contract:
+// unsynced appends vanish at Crash, synced ones survive, and handles
+// from before the crash are inert.
+func TestMemCrashDropsUnsynced(t *testing.T) {
+	ms := NewMemStore()
+	reg := event.NewRegistry()
+	log, _ := openShard(t, ms, reg)
+	appendAll(t, log, TypesRecord(reg), FieldsRecord(reg),
+		&Record{Kind: KindEvents, Events: testEvents(reg, 0, 4)})
+	// Unsynced tail: must not survive the crash.
+	if err := log.Append(&Record{Kind: KindEvents, Events: testEvents(reg, 4, 4)}); err != nil {
+		t.Fatal(err)
+	}
+
+	ms.Crash()
+
+	if err := log.Append(&Record{Kind: KindWatermark, Watermark: 9}); !errors.Is(err, ErrNotLoaded) {
+		t.Fatalf("stale handle Append = %v, want ErrNotLoaded", err)
+	}
+	if err := log.Sync(); !errors.Is(err, ErrNotLoaded) {
+		t.Fatalf("stale handle Sync = %v, want ErrNotLoaded", err)
+	}
+
+	log2, st := openShard(t, ms, reg)
+	defer log2.Close()
+	if len(st.Events) != 4 || st.NextSeq != 4 {
+		t.Fatalf("recovered %d events, NextSeq %d; want the 4 synced ones", len(st.Events), st.NextSeq)
+	}
+}
+
+// TestAppendBeforeLoad: the Load-first contract is enforced.
+func TestAppendBeforeLoad(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			log, err := s.OpenShard("q", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer log.Close()
+			if err := log.Append(&Record{Kind: KindWatermark, Watermark: 1}); !errors.Is(err, ErrNotLoaded) {
+				t.Fatalf("Append before Load = %v, want ErrNotLoaded", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !faultinject
+
+// Package faultinject is the crash-testing harness; without the
+// `faultinject` build tag this no-op twin is compiled instead, so the
+// engine's crash-point instrumentation folds into dead branches and
+// production binaries carry no harness code.
+package faultinject
+
+// Enabled reports whether the harness is compiled in.
+func Enabled() bool { return false }
+
+// Hit is a no-op without the faultinject tag.
+func Hit(string) {}
+
+// Killed reports false without the faultinject tag.
+func Killed() bool { return false }

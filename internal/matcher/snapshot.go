@@ -1,0 +1,106 @@
+package matcher
+
+import (
+	"fmt"
+
+	"github.com/spectrecep/spectre/internal/event"
+)
+
+// Snapshot is a self-contained, serializable image of a matcher State.
+// Unlike Clone — which shares *event.Event pointers with the arena — a
+// Snapshot copies every bound event by value, so it survives process
+// death: restoring it needs no arena and no pointer fix-up. The durable
+// checkpoint WAL (internal/durable) persists these.
+type Snapshot struct {
+	NextID  int
+	Stopped bool
+	Runs    []RunSnapshot
+}
+
+// RunSnapshot images one open partial match. Events are the run's bound
+// events in bind order, by value; Spans mirror the run's per-flat-index
+// binding spans into Events.
+type RunSnapshot struct {
+	ID       int
+	Elem     int
+	KCount   int
+	SetMask  uint64
+	LastFlat int32
+	Events   []event.Event
+	Spans    []Span
+}
+
+// Span locates one flat step's bindings inside RunSnapshot.Events.
+type Span struct {
+	Start, N int32
+}
+
+// Snapshot captures the state's open runs by value. The state is not
+// mutated; the caller must have exclusive access (the same ownership
+// Clone requires).
+func (s *State) Snapshot() *Snapshot {
+	sn := &Snapshot{NextID: s.nextID, Stopped: s.stopped}
+	if len(s.runs) > 0 {
+		sn.Runs = make([]RunSnapshot, len(s.runs))
+	}
+	for i, r := range s.runs {
+		rs := RunSnapshot{
+			ID: r.id, Elem: r.elem, KCount: r.kcount,
+			SetMask: r.setMask, LastFlat: r.lastFlat,
+		}
+		if len(r.events) > 0 {
+			rs.Events = make([]event.Event, len(r.events))
+			for j, ev := range r.events {
+				rs.Events[j] = *ev
+				rs.Events[j].Fields = append([]float64(nil), ev.Fields...)
+			}
+		}
+		rs.Spans = make([]Span, len(r.spans))
+		for j, sp := range r.spans {
+			rs.Spans[j] = Span{Start: sp.start, N: sp.n}
+		}
+		sn.Runs[i] = rs
+	}
+	return sn
+}
+
+// StateFromSnapshot rebuilds a State from a snapshot taken against the
+// same compiled pattern. The snapshot's event copies become the run's
+// backing storage — pointer identity within a run (leader retention,
+// consumed-leader checks) is preserved because every binding points into
+// one freshly allocated slice, exactly like a live run's layout.
+func (c *Compiled) StateFromSnapshot(sn *Snapshot) (*State, error) {
+	s := &State{c: c, nextID: sn.NextID, stopped: sn.Stopped}
+	if len(sn.Runs) > 0 {
+		s.runs = make([]*run, len(sn.Runs))
+	}
+	for i := range sn.Runs {
+		rs := &sn.Runs[i]
+		if len(rs.Spans) != c.numFlat {
+			return nil, fmt.Errorf("matcher: snapshot run %d has %d spans, pattern %q has %d flat steps",
+				rs.ID, len(rs.Spans), c.name, c.numFlat)
+		}
+		evs := make([]event.Event, len(rs.Events))
+		copy(evs, rs.Events)
+		r := &run{
+			id: rs.ID, elem: rs.Elem, kcount: rs.KCount,
+			setMask: rs.SetMask, lastFlat: rs.LastFlat,
+			spans: make([]span, len(rs.Spans)),
+		}
+		if len(evs) > 0 {
+			r.events = make([]*event.Event, len(evs))
+			for j := range evs {
+				r.events[j] = &evs[j]
+			}
+		}
+		for j, sp := range rs.Spans {
+			if int(sp.Start)+int(sp.N) > len(evs) || sp.Start < 0 || sp.N < 0 {
+				return nil, fmt.Errorf("matcher: snapshot run %d span %d [%d,+%d) exceeds %d bound events",
+					rs.ID, j, sp.Start, sp.N, len(evs))
+			}
+			r.spans[j] = span{start: sp.Start, n: sp.N}
+		}
+		s.runs[i] = r
+	}
+	return s, nil
+}

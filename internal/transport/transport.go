@@ -14,12 +14,21 @@
 //
 //	ctrl    := (ctrlFlag|length):uint32 kind:uint8 body:[length-1]byte
 //	kind 1  := query submission; body is the query text
+//	kind 2  := heartbeat (empty body); readers skip it silently
+//	kind 3  := query submission requesting a resume offset (reconnect)
+//	kind 4  := resume offset reply; body is a uint64 stream position
 //
 // Clients may send one query control frame before their event stream
 // (spectre-client -query); event-only streams remain valid (the legacy
 // single-query deployment). Event types travel as names and are interned
 // into the receiver's registry, so client and server need not share id
 // assignments.
+//
+// Reconnect handshake (durable servers, spectre-server -state-dir): the
+// client opens with kind 3 instead of kind 1; the server recovers the
+// query's WAL state and answers with kind 4 carrying the position the
+// client must re-send events from. Heartbeats (kind 2) keep otherwise
+// idle connections failing fast when the peer dies.
 package transport
 
 import (
@@ -30,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"os"
 	"time"
@@ -52,6 +62,17 @@ const (
 	ctrlFlag = uint32(1) << 31
 	// ctrlQuery is the query-submission control kind.
 	ctrlQuery = byte(1)
+	// ctrlHeartbeat is an application-level keepalive. Readers skip it
+	// silently; its only job is to make a dead peer surface as a write
+	// error at the sender within one heartbeat interval.
+	ctrlHeartbeat = byte(2)
+	// ctrlQueryResume is a query submission that additionally asks the
+	// server for a resume offset (a ctrlResume reply) before events flow —
+	// the reconnect handshake of a durable deployment (-state-dir).
+	ctrlQueryResume = byte(3)
+	// ctrlResume carries the server's answer: the stream position
+	// (uint64) the client must re-send events from.
+	ctrlResume = byte(4)
 )
 
 // ErrFrameTooLarge is returned for frames exceeding the limits.
@@ -95,14 +116,46 @@ func (w *Writer) Flush() error { return w.w.Flush() }
 // WriteQuery encodes a query-submission control frame. Clients send it
 // once, before the first event frame.
 func (w *Writer) WriteQuery(query string) error {
+	return w.writeQueryKind(ctrlQuery, query)
+}
+
+// WriteQueryResume encodes a query-submission frame that requests a
+// resume offset: the server answers with a ctrlResume frame (ReadResume)
+// once its durable state is recovered. An empty query selects the
+// server's fallback query, like sending no query frame at all.
+func (w *Writer) WriteQueryResume(query string) error {
+	return w.writeQueryKind(ctrlQueryResume, query)
+}
+
+func (w *Writer) writeQueryKind(kind byte, query string) error {
 	need := 1 + len(query)
 	if need > maxFrame {
 		return ErrFrameTooLarge
 	}
 	w.buf = w.buf[:0]
 	w.buf = binary.LittleEndian.AppendUint32(w.buf, ctrlFlag|uint32(need))
-	w.buf = append(w.buf, ctrlQuery)
+	w.buf = append(w.buf, kind)
 	w.buf = append(w.buf, query...)
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// WriteHeartbeat encodes a keepalive control frame.
+func (w *Writer) WriteHeartbeat() error {
+	w.buf = w.buf[:0]
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, ctrlFlag|1)
+	w.buf = append(w.buf, ctrlHeartbeat)
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// WriteResume encodes the server's resume-offset reply to a
+// WriteQueryResume handshake.
+func (w *Writer) WriteResume(pos uint64) error {
+	w.buf = w.buf[:0]
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, ctrlFlag|9)
+	w.buf = append(w.buf, ctrlResume)
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, pos)
 	_, err := w.w.Write(w.buf)
 	return err
 }
@@ -122,48 +175,124 @@ func NewReader(r io.Reader, reg *event.Registry) *Reader {
 // ReadQuery consumes the query control frame when the stream starts with
 // one. ok is false — and nothing is consumed — when the next frame is an
 // event frame (a legacy event-only client) or the stream is empty.
-func (r *Reader) ReadQuery() (query string, ok bool, err error) {
+// resume reports whether the client asked for a resume offset
+// (WriteQueryResume); the server must answer with WriteResume before
+// reading events.
+func (r *Reader) ReadQuery() (query string, resume bool, ok bool, err error) {
 	head, err := r.r.Peek(4)
 	if err != nil {
 		if errors.Is(err, io.EOF) {
-			return "", false, nil
+			return "", false, false, nil
 		}
-		return "", false, err
+		return "", false, false, err
 	}
 	n := binary.LittleEndian.Uint32(head)
 	if n&ctrlFlag == 0 {
-		return "", false, nil
+		return "", false, false, nil
 	}
+	if err := r.readCtrl(n); err != nil {
+		return "", false, false, err
+	}
+	switch r.buf[0] {
+	case ctrlQuery:
+		return string(r.buf[1:]), false, true, nil
+	case ctrlQueryResume:
+		return string(r.buf[1:]), true, true, nil
+	default:
+		return "", false, false, fmt.Errorf("transport: unknown control kind %d", r.buf[0])
+	}
+}
+
+// ReadResume consumes the server's resume-offset reply. Heartbeats
+// arriving first are skipped.
+func (r *Reader) ReadResume() (uint64, error) {
+	for {
+		head, err := r.r.Peek(4)
+		if err != nil {
+			return 0, err
+		}
+		n := binary.LittleEndian.Uint32(head)
+		if n&ctrlFlag == 0 {
+			return 0, fmt.Errorf("transport: expected resume frame, got an event frame")
+		}
+		if err := r.readCtrl(n); err != nil {
+			return 0, err
+		}
+		switch r.buf[0] {
+		case ctrlHeartbeat:
+			continue
+		case ctrlResume:
+			if len(r.buf) != 9 {
+				return 0, fmt.Errorf("transport: resume frame has %d body bytes, want 8", len(r.buf)-1)
+			}
+			return binary.LittleEndian.Uint64(r.buf[1:]), nil
+		default:
+			return 0, fmt.Errorf("transport: expected resume frame, got control kind %d", r.buf[0])
+		}
+	}
+}
+
+// readCtrl consumes one control frame (whose length word n was peeked)
+// into r.buf.
+func (r *Reader) readCtrl(n uint32) error {
 	n &^= ctrlFlag
 	if n > maxFrame || n < 1 {
-		return "", false, fmt.Errorf("transport: bad control frame length %d", n)
+		return fmt.Errorf("transport: bad control frame length %d", n)
 	}
 	if _, err := r.r.Discard(4); err != nil {
-		return "", false, err
+		return err
 	}
 	if cap(r.buf) < int(n) {
 		r.buf = make([]byte, n)
 	}
 	r.buf = r.buf[:n]
 	if _, err := io.ReadFull(r.r, r.buf); err != nil {
-		return "", false, fmt.Errorf("transport: short control frame: %w", err)
+		return fmt.Errorf("transport: short control frame: %w", err)
 	}
-	if r.buf[0] != ctrlQuery {
-		return "", false, fmt.Errorf("transport: unknown control kind %d", r.buf[0])
-	}
-	return string(r.buf[1:]), true, nil
+	return nil
 }
 
-// ReadEvent decodes one event; io.EOF signals a clean end of stream.
-func (r *Reader) ReadEvent() (event.Event, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r.r, lenBuf[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return event.Event{}, io.ErrUnexpectedEOF
-		}
-		return event.Event{}, err
+// skipCtrl consumes the body of a control frame whose length word was
+// already read off the stream; only heartbeats are legal mid-stream.
+func (r *Reader) skipCtrl(n uint32) error {
+	n &^= ctrlFlag
+	if n > maxFrame || n < 1 {
+		return fmt.Errorf("transport: bad control frame length %d", n)
 	}
-	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return fmt.Errorf("transport: short control frame: %w", err)
+	}
+	if r.buf[0] != ctrlHeartbeat {
+		return fmt.Errorf("transport: unexpected control kind %d mid-stream", r.buf[0])
+	}
+	return nil
+}
+
+// ReadEvent decodes one event, silently skipping heartbeat control
+// frames; io.EOF signals a clean end of stream.
+func (r *Reader) ReadEvent() (event.Event, error) {
+	var n uint32
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r.r, lenBuf[:]); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return event.Event{}, io.ErrUnexpectedEOF
+			}
+			return event.Event{}, err
+		}
+		n = binary.LittleEndian.Uint32(lenBuf[:])
+		if n&ctrlFlag != 0 {
+			if err := r.skipCtrl(n); err != nil {
+				return event.Event{}, err
+			}
+			continue
+		}
+		break
+	}
 	if n > maxFrame {
 		return event.Event{}, ErrFrameTooLarge
 	}
@@ -288,4 +417,38 @@ func SourceFromConn(conn io.Reader, reg *event.Registry) (stream.Source, func() 
 func SourceFromReader(r *Reader) (stream.Source, func() error) {
 	s := &connSource{r: r}
 	return s, func() error { return s.err }
+}
+
+// Backoff computes capped exponential reconnect delays with jitter:
+// attempt 0 waits about Min, each further attempt doubles, clamped to
+// Max, and every delay is scattered uniformly over ±25% so a fleet of
+// clients does not reconnect in lockstep after a server restart.
+type Backoff struct {
+	Min time.Duration
+	Max time.Duration
+}
+
+// Next returns the delay before reconnect attempt (0-based).
+func (b Backoff) Next(attempt int) time.Duration {
+	min, max := b.Min, b.Max
+	if min <= 0 {
+		min = 100 * time.Millisecond
+	}
+	if max < min {
+		max = 30 * time.Second
+	}
+	d := min
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Jitter in [0.75, 1.25), floored at Min so the first retry is never
+	// immediate.
+	d = time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
+	if d < min {
+		d = min
+	}
+	return d
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"testing"
+	"time"
 
 	"github.com/spectrecep/spectre/internal/event"
 	"github.com/spectrecep/spectre/internal/stream"
@@ -67,9 +68,27 @@ func TestRoundTrip(t *testing.T) {
 func TestCorruptFrames(t *testing.T) {
 	reg := event.NewRegistry()
 	// Oversized frame length.
-	r := NewReader(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff}), reg)
+	r := NewReader(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0x7f}), reg)
 	if _, err := r.ReadEvent(); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// Oversized control frame mid-stream.
+	r = NewReader(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff}), reg)
+	if _, err := r.ReadEvent(); err == nil {
+		t.Fatal("oversized control frame must fail")
+	}
+	// Non-heartbeat control frame mid-stream.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, reg)
+	if err := w.WriteResume(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r = NewReader(&buf, reg)
+	if _, err := r.ReadEvent(); err == nil {
+		t.Fatal("resume frame mid event stream must fail")
 	}
 	// Truncated frame.
 	r = NewReader(bytes.NewReader([]byte{10, 0, 0, 0, 1, 2}), reg)
@@ -157,7 +176,7 @@ func TestQueryFrameRoundTrip(t *testing.T) {
 
 	recvReg := event.NewRegistry()
 	r := NewReader(&buf, recvReg)
-	got, ok, err := r.ReadQuery()
+	got, _, ok, err := r.ReadQuery()
 	if err != nil || !ok {
 		t.Fatalf("ReadQuery = (%q, %v, %v)", got, ok, err)
 	}
@@ -192,7 +211,7 @@ func TestReadQueryLegacyStream(t *testing.T) {
 	}
 
 	r := NewReader(&buf, event.NewRegistry())
-	if q, ok, err := r.ReadQuery(); err != nil || ok || q != "" {
+	if q, _, ok, err := r.ReadQuery(); err != nil || ok || q != "" {
 		t.Fatalf("ReadQuery on event stream = (%q, %v, %v), want not-a-query", q, ok, err)
 	}
 	got, err := r.ReadEvent()
@@ -205,7 +224,7 @@ func TestReadQueryLegacyStream(t *testing.T) {
 
 	// Empty stream: no query, no error.
 	r = NewReader(bytes.NewReader(nil), event.NewRegistry())
-	if q, ok, err := r.ReadQuery(); err != nil || ok || q != "" {
+	if q, _, ok, err := r.ReadQuery(); err != nil || ok || q != "" {
 		t.Fatalf("ReadQuery on empty stream = (%q, %v, %v)", q, ok, err)
 	}
 }
@@ -218,7 +237,7 @@ func TestReadQueryCorruptControl(t *testing.T) {
 	frame = append(frame, 0xEE, 0x00)
 	buf.Write(frame)
 	r := NewReader(&buf, event.NewRegistry())
-	if _, _, err := r.ReadQuery(); err == nil {
+	if _, _, _, err := r.ReadQuery(); err == nil {
 		t.Fatal("unknown control kind must error")
 	}
 
@@ -226,7 +245,7 @@ func TestReadQueryCorruptControl(t *testing.T) {
 	buf.Reset()
 	buf.Write(binary.LittleEndian.AppendUint32(nil, (uint32(1)<<31)|(2<<20)))
 	r = NewReader(&buf, event.NewRegistry())
-	if _, _, err := r.ReadQuery(); err == nil {
+	if _, _, _, err := r.ReadQuery(); err == nil {
 		t.Fatal("oversized control frame must error")
 	}
 
@@ -235,7 +254,136 @@ func TestReadQueryCorruptControl(t *testing.T) {
 	buf.Write(binary.LittleEndian.AppendUint32(nil, (uint32(1)<<31)|100))
 	buf.WriteByte(1)
 	r = NewReader(&buf, event.NewRegistry())
-	if _, _, err := r.ReadQuery(); err == nil {
+	if _, _, _, err := r.ReadQuery(); err == nil {
 		t.Fatal("truncated control frame must error")
+	}
+}
+
+// TestHeartbeatSkipped checks that heartbeat frames interleaved with
+// events are invisible to ReadEvent.
+func TestHeartbeatSkipped(t *testing.T) {
+	reg := event.NewRegistry()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, reg)
+	if err := w.WriteHeartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	ev := event.Event{TS: 42, Type: reg.TypeID("X")}
+	if err := w.WriteEvent(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf, event.NewRegistry())
+	got, err := r.ReadEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TS != 42 {
+		t.Fatalf("event corrupted across heartbeats: %+v", got)
+	}
+	if _, err := r.ReadEvent(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want clean EOF after trailing heartbeat, got %v", err)
+	}
+}
+
+// TestResumeHandshake covers the reconnect handshake: a kind-3 query
+// frame, the kind-4 resume reply (possibly preceded by a heartbeat), and
+// the event stream continuing on the same readers.
+func TestResumeHandshake(t *testing.T) {
+	reg := event.NewRegistry()
+
+	// Client -> server: query + resume request.
+	var c2s bytes.Buffer
+	cw := NewWriter(&c2s, reg)
+	if err := cw.WriteQueryResume("PATTERN (A B)\nWITHIN 10 EVENTS FROM A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sr := NewReader(&c2s, event.NewRegistry())
+	q, resume, ok, err := sr.ReadQuery()
+	if err != nil || !ok || !resume {
+		t.Fatalf("ReadQuery = (%q, resume=%v, ok=%v, %v)", q, resume, ok, err)
+	}
+
+	// Plain kind-1 queries must not request resume.
+	c2s.Reset()
+	if err := cw.WriteQuery("PATTERN (A B)\nWITHIN 10 EVENTS FROM A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, resume, ok, err := NewReader(&c2s, event.NewRegistry()).ReadQuery(); err != nil || !ok || resume {
+		t.Fatalf("plain query: resume=%v ok=%v err=%v", resume, ok, err)
+	}
+
+	// Server -> client: heartbeat then the resume offset.
+	var s2c bytes.Buffer
+	sw := NewWriter(&s2c, reg)
+	if err := sw.WriteHeartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteResume(12345); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := NewReader(&s2c, event.NewRegistry()).ReadResume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 12345 {
+		t.Fatalf("resume pos = %d, want 12345", pos)
+	}
+
+	// An event frame where the resume reply belongs is a protocol error.
+	s2c.Reset()
+	ev := event.Event{TS: 1, Type: reg.TypeID("A")}
+	if err := sw.WriteEvent(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(&s2c, event.NewRegistry()).ReadResume(); err == nil {
+		t.Fatal("event frame in place of resume reply must error")
+	}
+}
+
+// TestBackoff checks the reconnect delay schedule: bounded by [Min, Max]
+// with exponential growth and jitter.
+func TestBackoff(t *testing.T) {
+	b := Backoff{Min: 100 * time.Millisecond, Max: time.Second}
+	prevMax := time.Duration(0)
+	for attempt := 0; attempt < 10; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := b.Next(attempt)
+			if d < b.Min {
+				t.Fatalf("attempt %d: delay %v below Min", attempt, d)
+			}
+			if d > b.Max+b.Max/4 {
+				t.Fatalf("attempt %d: delay %v beyond jittered Max", attempt, d)
+			}
+			if d > prevMax {
+				prevMax = d
+			}
+		}
+	}
+	if prevMax < b.Max/2 {
+		t.Fatalf("backoff never grew near Max: peak %v", prevMax)
+	}
+	// Zero-valued config still yields sane delays.
+	var zero Backoff
+	if d := zero.Next(3); d <= 0 || d > time.Minute {
+		t.Fatalf("zero-config delay %v", d)
 	}
 }

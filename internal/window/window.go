@@ -182,3 +182,15 @@ func (m *Manager) AvgSize() float64 {
 
 // Opened reports how many windows have been opened so far.
 func (m *Manager) Opened() uint64 { return m.nextID }
+
+// ResumeAt fast-forwards the id assignment to nextID without opening
+// windows. Crash recovery primes a fresh manager with the persisted cut's
+// next-window id before replaying the journal suffix: windows below the
+// cut already popped and must never be re-assigned, while the replayed
+// events re-open the live windows under their original ids (window
+// formation depends only on Seq/TS, so replay re-forms them identically).
+func (m *Manager) ResumeAt(nextID uint64) {
+	if nextID > m.nextID {
+		m.nextID = nextID
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/spectrecep/spectre/internal/core"
+	"github.com/spectrecep/spectre/internal/durable"
 	"github.com/spectrecep/spectre/internal/event"
 	"github.com/spectrecep/spectre/internal/pattern"
 	"github.com/spectrecep/spectre/internal/plan"
@@ -30,6 +31,30 @@ func WithWorkers(n int) RuntimeOption {
 			return
 		}
 		c.Workers = n
+	}
+}
+
+// WithDurability makes every query submitted to the runtime durable: a
+// per-shard write-ahead log under dir persists the ingest journal,
+// matcher checkpoints and emission watermarks, off the hot path. After a
+// crash, re-submitting the same (named) queries against the same
+// directory rebuilds their state; Runtime.Recover then blocks until the
+// replay completes, and Handle.Recovered reports the positions producers
+// should re-feed from. Matches delivered before the crash are suppressed
+// on replay — the delivered stream stays exactly-once on the kept
+// substream (DESIGN.md §11).
+func WithDurability(dir string) RuntimeOption {
+	return func(c *core.RuntimeConfig) {
+		if dir == "" {
+			c.SetError(fmt.Errorf("spectre: WithDurability: state directory must not be empty"))
+			return
+		}
+		st, err := durable.NewFileStore(dir)
+		if err != nil {
+			c.SetError(fmt.Errorf("spectre: WithDurability(%q): %w", dir, err))
+			return
+		}
+		c.Durable = st
 	}
 }
 
@@ -79,8 +104,9 @@ func WithPartitionByType() Option {
 //	h.Drain()
 //	rt.Shutdown(ctx)
 type Runtime struct {
-	rt  *core.Runtime
-	reg *Registry
+	rt    *core.Runtime
+	reg   *Registry
+	store durable.Store // owned by this Runtime when WithDurability built it; nil otherwise
 }
 
 // NewRuntime starts a runtime. The registry must be the one shared by the
@@ -92,9 +118,12 @@ func NewRuntime(reg *Registry, opts ...RuntimeOption) (*Runtime, error) {
 		opt(&cfg)
 	}
 	if cfg.Err != nil {
+		if cfg.Durable != nil {
+			_ = cfg.Durable.Close()
+		}
 		return nil, cfg.Err
 	}
-	return &Runtime{rt: core.NewRuntime(cfg), reg: reg}, nil
+	return &Runtime{rt: core.NewRuntime(cfg), reg: reg, store: cfg.Durable}, nil
 }
 
 // Handle is one query submitted to a Runtime. Feed/TryFeed/FeedBatch are
@@ -129,7 +158,9 @@ func (rt *Runtime) Submit(ctx context.Context, q *Query, sink Sink, opts ...Opti
 	if cfg.Err != nil {
 		return nil, queryErr(q, cfg.Err)
 	}
-	cfg.Reg = rt.reg
+	if cfg.Reg == nil {
+		cfg.Reg = rt.reg
+	}
 
 	// Plan-driven deployment: unless pinned by explicit options, the shard
 	// count and scheduling policy follow the query's estimated per-event
@@ -258,7 +289,7 @@ func (rt *Runtime) Run(ctx context.Context, src Source) error {
 // Close drains every handle gracefully and stops the worker pool, with no
 // deadline. The runtime is unusable afterwards. Equivalent to
 // Shutdown(context.Background()).
-func (rt *Runtime) Close() error { return rt.rt.Close() }
+func (rt *Runtime) Close() error { return rt.closeStore(rt.rt.Close()) }
 
 // Shutdown closes every handle (end of stream) and waits for the admitted
 // backlog to drain. If ctx expires first, the remaining queries are
@@ -266,8 +297,30 @@ func (rt *Runtime) Close() error { return rt.rt.Close() }
 // ctx.Err() is returned. Either way the worker pool stops and the runtime
 // is unusable afterwards.
 func (rt *Runtime) Shutdown(ctx context.Context) error {
-	return rt.rt.Shutdown(ctx)
+	return rt.closeStore(rt.rt.Shutdown(ctx))
 }
+
+// closeStore releases the WithDurability store after the core runtime has
+// stopped (every shard log is closed by then). The runtime owns that
+// store; a store injected at the core layer is its creator's to close.
+func (rt *Runtime) closeStore(err error) error {
+	if rt.store == nil {
+		return err
+	}
+	if cerr := rt.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Recover blocks until every durable query submitted so far has finished
+// replaying its recovered ingest journal, or ctx is done. Call it after
+// re-submitting the queries of a crashed process (same names, same state
+// directory) and before feeding new input: once it returns, each shard
+// has re-formed its pre-crash windows and producers may resume from the
+// positions reported by Handle.Recovered. Without durability it returns
+// immediately.
+func (rt *Runtime) Recover(ctx context.Context) error { return rt.rt.Recover(ctx) }
 
 // Name returns the query's name.
 func (h *Handle) Name() string { return h.h.Name() }
@@ -306,6 +359,26 @@ func (h *Handle) Drain() {
 	h.Close()
 	h.Wait()
 }
+
+// Park detaches a durable query without ending its stream and waits for
+// the detach to complete: in-flight windows stay in the WAL (a Drain
+// would run them to completion at today's stream length instead), and a
+// later Submit of the same query name against the same state directory
+// resumes them — the producer re-feeds from Handle.Recovered. This is
+// how a server releases a disconnected client's durable query so a
+// reconnect can take over. On a non-durable handle it behaves like
+// Drain.
+func (h *Handle) Park() {
+	h.h.Park()
+	h.h.Wait()
+}
+
+// Recovered reports, per shard, the next event position the durable log
+// had journalled when the query was submitted — the offset producers
+// must resume this shard's substream from for gap-free, duplicate-free
+// recovery (events before it are replayed from the journal). Nil when
+// the query is not durable.
+func (h *Handle) Recovered() []uint64 { return h.h.Recovered() }
 
 // Plan returns the submitted query's evaluation plan, or nil when the
 // planner is disabled (WithoutPlanner).

@@ -113,6 +113,29 @@
 // latency SLO; Metrics.EmitLagP50/P99 expose the root-emission lag the
 // SLO is measured against.
 //
+// # Durability and crash recovery
+//
+// A Runtime built with WithDurability(dir) persists every named query's
+// state through a per-shard write-ahead log under dir — the admitted
+// ingest journal, periodic matcher checkpoints, and an emission
+// watermark fsynced before each match batch is delivered. After a crash,
+// a new process re-creates the runtime on the same directory, re-submits
+// the same queries and calls Runtime.Recover(ctx):
+//
+//	rt, err := spectre.NewRuntime(reg, spectre.WithDurability("/var/lib/spectre"))
+//	// handle err
+//	h, err := rt.Submit(ctx, query, sink) // same query name as before the crash
+//	// handle err
+//	err = rt.Recover(ctx) // replays the journal, re-forms windows
+//	// resume feeding from h.Recovered()[shard] per shard
+//
+// Each shard seeds from its deepest consistent checkpoint, replays the
+// journal suffix, and suppresses matches the previous process already
+// delivered (the persisted watermark), so the delivered stream is
+// exactly-once over the journalled substream. Handle.Recovered reports
+// where producers must resume. DESIGN.md §11 specifies the WAL format,
+// the recovery algorithm and the degraded modes.
+//
 // See examples/ for complete programs and DESIGN.md for the architecture.
 package spectre
 
@@ -213,6 +236,23 @@ func WithInstances(k int) Option {
 		if validCount(c, "WithInstances", k) {
 			c.Instances = k
 		}
+	}
+}
+
+// WithRegistry pins the registry a submission's events (and durable WAL
+// records) are interpreted against, instead of the runtime's own.
+// Deployments that intern each connection's stream into a private
+// registry — spectre-server parses every client's query into one — need
+// it so a durable query's WAL carries the name tables its events
+// actually use. The query must have been parsed or built against the
+// same registry.
+func WithRegistry(reg *Registry) Option {
+	return func(c *core.Config) {
+		if reg == nil {
+			c.SetError(fmt.Errorf("spectre: WithRegistry(nil)"))
+			return
+		}
+		c.Reg = reg
 	}
 }
 
