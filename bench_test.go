@@ -620,6 +620,94 @@ func BenchmarkRecovery(b *testing.B) {
 	})
 }
 
+// BenchmarkDistributed measures the distributed submission path
+// (DESIGN.md §12) against the in-process runtime on the same
+// partitioned query: local runs the sharded Runtime, cluster places the
+// same four shards on two loopback workers over real TCP — paying
+// framing, the workers' durable in-memory WAL pipelines and the ordered
+// merge. Smoke-friendly at -benchtime=1x; the batch-size sweep lives in
+// cmd/spectre-bench -exp distributed.
+func BenchmarkDistributed(b *testing.B) {
+	data.init()
+	ctx := context.Background()
+	const text = `
+		QUERY dist
+		PATTERN (X Y)
+		DEFINE X AS X.close > X.open, Y AS Y.close > X.close
+		WITHIN 40 EVENTS FROM X
+		CONSUME ALL
+		PARTITION BY TYPE SHARDS 4
+	`
+	feed := func(feedBatch func([]spectre.Event) error) error {
+		for lo := 0; lo < len(data.nyse); lo += 1024 {
+			hi := min(lo+1024, len(data.nyse))
+			if err := feedBatch(data.nyse[lo:hi]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	b.Run("local", func(b *testing.B) {
+		b.ReportAllocs()
+		q, err := spectre.ParseQuery(text, data.reg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			rt, err := spectre.NewRuntime(data.reg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := rt.Submit(ctx, q, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := feed(func(evs []spectre.Event) error { return h.FeedBatch(ctx, evs) }); err != nil {
+				b.Fatal(err)
+			}
+			h.Drain()
+			if err := rt.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(data.nyse))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+	b.Run("cluster", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cl, err := spectre.ListenCluster("127.0.0.1:0", data.reg, spectre.ClusterOptions{MinWorkers: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var workers []*spectre.ClusterWorker
+			for j := 0; j < 2; j++ {
+				w, err := spectre.JoinCluster(ctx, spectre.NewRegistry(), cl.Addr().String(), spectre.ClusterWorkerOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				workers = append(workers, w)
+			}
+			h, err := cl.Submit(ctx, text, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := feed(func(evs []spectre.Event) error { return h.FeedBatch(ctx, evs) }); err != nil {
+				b.Fatal(err)
+			}
+			if err := h.Drain(ctx); err != nil {
+				b.Fatal(err)
+			}
+			for _, w := range workers {
+				w.Close()
+			}
+			if err := cl.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(data.nyse))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+}
+
 // BenchmarkSequential measures the reference engine (context for the
 // parallel numbers).
 func BenchmarkSequential(b *testing.B) {

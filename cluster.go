@@ -1,0 +1,290 @@
+package spectre
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/cluster"
+	"github.com/spectrecep/spectre/internal/core"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/shard"
+)
+
+// ClusterError is the structured failure of a cluster operation — a join
+// that exhausted its retry budget, a listen that could not bind, a submit
+// that timed out waiting for workers. It carries the operation, the
+// remote address and the attempt count, and unwraps to the underlying
+// cause for errors.Is / errors.As.
+type ClusterError = cluster.Error
+
+// ErrClusterClosed is returned by cluster operations after Close: feeds
+// on a closed handle, Wait on a query the coordinator failed at
+// shutdown, Submit on a closed coordinator.
+var ErrClusterClosed = cluster.ErrClosed
+
+// ClusterOptions configures a coordinator started with ListenCluster.
+// The zero value is usable: one worker, 256-event link batches, 2ms
+// flush, 2s heartbeats.
+type ClusterOptions struct {
+	// MinWorkers makes Submit block until at least this many workers
+	// have joined (default 1).
+	MinWorkers int
+	// BatchEvents is the per-shard event batch size on a worker link
+	// (default 256).
+	BatchEvents int
+	// FlushInterval bounds how long a partial batch may sit staged
+	// before it is shipped anyway (default 2ms).
+	FlushInterval time.Duration
+	// Heartbeat is the idle keepalive interval on worker links (default
+	// 2s); a link that stays silent for ten intervals is declared dead
+	// and its shards are rebalanced.
+	Heartbeat time.Duration
+	// Logf receives coordinator lifecycle logs (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// ClusterWorkerOptions configures a worker process started with
+// JoinCluster: advertised capacity, heartbeat interval and the join
+// retry budget.
+type ClusterWorkerOptions = cluster.WorkerOptions
+
+// Cluster is the submitting node of a distributed SPECTRE deployment
+// (DESIGN.md §12): it accepts worker connections, places each submitted
+// query's shards on them, streams routed events out and merges the
+// emission streams back into the exact order a single-process Runtime
+// would deliver. Byte-identical output, remote execution.
+//
+//	cl, err := spectre.ListenCluster("127.0.0.1:0", reg, spectre.ClusterOptions{MinWorkers: 2})
+//	// handle err; workers run `spectre-server -worker -join <addr>`
+//	h, err := cl.Submit(ctx, text, sink)
+//	// handle err
+//	for _, ev := range events {
+//	    _ = h.Feed(ctx, ev)
+//	}
+//	_ = h.Drain(ctx)
+type Cluster struct {
+	c   *cluster.Coordinator
+	reg *Registry
+}
+
+// ListenCluster starts a coordinator listening for workers on addr. The
+// registry must be the one the submitted queries and fed events were
+// built against; workers intern their own registries against the
+// coordinator's type and field tables, so theirs need not match.
+func ListenCluster(addr string, reg *Registry, opts ClusterOptions) (*Cluster, error) {
+	c, err := cluster.Listen(addr, reg, cluster.Options{
+		MinWorkers:    opts.MinWorkers,
+		BatchEvents:   opts.BatchEvents,
+		FlushInterval: opts.FlushInterval,
+		Heartbeat:     opts.Heartbeat,
+		Logf:          opts.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{c: c, reg: reg}, nil
+}
+
+// Addr returns the address workers join.
+func (cl *Cluster) Addr() net.Addr { return cl.c.Addr() }
+
+// Workers reports how many workers are currently joined.
+func (cl *Cluster) Workers() int { return cl.c.Workers() }
+
+// WaitWorkers blocks until n workers are joined or ctx is done.
+func (cl *Cluster) WaitWorkers(ctx context.Context, n int) error {
+	return cl.c.WaitWorkers(ctx, n)
+}
+
+// Close stops the coordinator: the listener closes, worker links drop,
+// and every unfinished query fails with ErrClusterClosed.
+func (cl *Cluster) Close() error { return cl.c.Close() }
+
+// Submit distributes one query across the joined workers. The query
+// text is compiled locally for validation and shard routing, then
+// shipped to each shard's owner and compiled there. The sink receives
+// the merged output in the same order a local Runtime submission of the
+// same query would deliver it.
+//
+// Options are the Runtime partition options
+// (WithShards/WithPartitionBy/WithPartitionByType). Node-local
+// execution policies — WithShedding, WithWeight, WithScheduler,
+// WithDurability — do not travel with a distributed query and are
+// rejected.
+func (cl *Cluster) Submit(ctx context.Context, text string, sink Sink, opts ...Option) (*ClusterHandle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q, err := ParseQuery(text, cl.reg)
+	if err != nil {
+		return nil, err
+	}
+	var cfg core.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.Err != nil {
+		return nil, queryErr(q, cfg.Err)
+	}
+	switch {
+	case cfg.Shed || cfg.ShedScorer != nil:
+		return nil, queryErr(q, fmt.Errorf("WithShedding is node-local and does not apply to a distributed query"))
+	case cfg.Weight != 0:
+		return nil, queryErr(q, fmt.Errorf("WithWeight is node-local and does not apply to a distributed query"))
+	case cfg.SchedSet:
+		return nil, queryErr(q, fmt.Errorf("WithScheduler is node-local and does not apply to a distributed query"))
+	case cfg.Durable != nil:
+		return nil, queryErr(q, fmt.Errorf("distributed queries are durable on their workers; WithDurability does not apply"))
+	}
+
+	// Partition resolution mirrors Runtime.Submit, minus the planner:
+	// shard counts default to GOMAXPROCS, not the cost model.
+	spec := cfg.Partition
+	if spec == nil {
+		spec = q.Partition
+	}
+	nShards := 1
+	var route func(*event.Event) int
+	if spec != nil {
+		resolved := *spec
+		if !resolved.ByType && resolved.Field < 0 {
+			if resolved.FieldName == "" {
+				return nil, queryErr(q, fmt.Errorf("partition spec names no key"))
+			}
+			resolved.Field = cl.reg.FieldIndex(resolved.FieldName)
+		}
+		nShards = cfg.Shards
+		if nShards <= 0 {
+			nShards = resolved.Shards
+		}
+		if nShards <= 0 {
+			nShards = runtime.GOMAXPROCS(0)
+		}
+		key, err := shard.FromSpec(&resolved)
+		if err != nil {
+			return nil, queryErr(q, err)
+		}
+		route = shard.NewRouter(nShards, key).Route
+	} else if cfg.Shards > 1 {
+		return nil, queryErr(q, fmt.Errorf("%d shards requested but the query has no partition key (use PARTITION BY or WithPartitionBy)", cfg.Shards))
+	}
+
+	h := &ClusterHandle{sink: sink, name: q.Name, shards: nShards}
+	qh, err := cl.c.Submit(ctx, cluster.Submission{
+		Name:    q.Name,
+		Text:    text,
+		NShards: nShards,
+		Route:   route,
+		Emit:    h.notifyMatch,
+		OnDrain: h.notifyDrain,
+	})
+	if err != nil {
+		if err == ErrClusterClosed {
+			return nil, err
+		}
+		return nil, queryErr(q, err)
+	}
+	h.h = qh
+	return h, nil
+}
+
+// ClusterHandle is one query submitted to a Cluster. Like a Runtime
+// Handle, feeds are single-producer and the sink is serialized.
+type ClusterHandle struct {
+	h      *cluster.QueryHandle
+	name   string
+	shards int
+	mu     sync.Mutex // serializes every sink invocation
+	sink   Sink
+}
+
+func (h *ClusterHandle) notifyMatch(ce event.Complex) {
+	h.mu.Lock()
+	if h.sink != nil {
+		h.sink.OnMatch(ce)
+	}
+	h.mu.Unlock()
+}
+
+func (h *ClusterHandle) notifyDrain() {
+	h.mu.Lock()
+	if h.sink != nil {
+		h.sink.OnDrain()
+	}
+	h.mu.Unlock()
+}
+
+// Name returns the query's name.
+func (h *ClusterHandle) Name() string { return h.name }
+
+// Shards returns how many shards the query runs on.
+func (h *ClusterHandle) Shards() int { return h.shards }
+
+// Feed routes one event to its shard's worker. The coordinator retains
+// events until a worker write-ahead log provably covers them, so
+// feeding never blocks on worker liveness; backpressure is the link's.
+func (h *ClusterHandle) Feed(ctx context.Context, ev Event) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return h.h.Feed(ev)
+}
+
+// FeedBatch routes a batch of in-order events.
+func (h *ClusterHandle) FeedBatch(ctx context.Context, evs []Event) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return h.h.FeedBatch(evs)
+}
+
+// Close marks end of stream; pending events are still processed.
+func (h *ClusterHandle) Close() { h.h.Close() }
+
+// Wait blocks until every shard of the query has drained (Close first),
+// or ctx is done.
+func (h *ClusterHandle) Wait(ctx context.Context) error { return h.h.Wait(ctx) }
+
+// Drain closes the handle and waits for completion.
+func (h *ClusterHandle) Drain(ctx context.Context) error {
+	h.Close()
+	return h.Wait(ctx)
+}
+
+// ClusterWorker is a worker process's side of a cluster membership: it
+// executes shard assignments shipped by the coordinator, each as an
+// independent durable single-shard pipeline, and hands its state back
+// (write-ahead log export) when the coordinator rebalances a shard
+// away.
+type ClusterWorker struct {
+	w *cluster.Worker
+}
+
+// JoinCluster dials the coordinator at addr and joins as a worker,
+// retrying with jittered exponential backoff up to opts.JoinAttempts
+// times. On exhaustion it returns a *ClusterError with the attempt
+// count. The registry may be empty: workers learn the coordinator's
+// type and field tables over the wire.
+func JoinCluster(ctx context.Context, reg *Registry, addr string, opts ClusterWorkerOptions) (*ClusterWorker, error) {
+	w, err := cluster.Join(ctx, reg, addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterWorker{w: w}, nil
+}
+
+// ID returns the coordinator-assigned worker id.
+func (w *ClusterWorker) ID() uint32 { return w.w.ID() }
+
+// Wait blocks until the worker stops: coordinator link lost, or Close.
+// A link failure is returned as a *ClusterError.
+func (w *ClusterWorker) Wait() error { return w.w.Wait() }
+
+// Close detaches the worker from the cluster, aborting its assigned
+// shards. The coordinator observes the link drop and reassigns them
+// from its retained event buffers.
+func (w *ClusterWorker) Close() { w.w.Close() }

@@ -119,7 +119,9 @@ func run() error {
 		}
 		attempt++
 		if *maxRetries > 0 && attempt > *maxRetries {
-			return fmt.Errorf("giving up after %d attempts: %w", attempt, err)
+			// The retry budget is spent: surface a typed error carrying the
+			// attempt count, so scripts can errors.As on *ClusterError.
+			return &spectre.ClusterError{Op: "reconnect", Addr: *addr, Attempts: attempt, Err: err}
 		}
 		d := backoff.Next(attempt - 1)
 		fmt.Fprintf(os.Stderr, "spectre-client: connection lost (%v); retrying in %v\n", err, d.Round(time.Millisecond))

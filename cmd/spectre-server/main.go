@@ -48,6 +48,20 @@
 // handshake with the journalled position, and suppresses matches that
 // were already delivered before the crash. Broken connections park their
 // queries (in-flight windows stay in the WAL) instead of ending them.
+//
+// Distributed execution (DESIGN.md §12) spans multiple processes:
+//
+//	spectre-server -cluster-listen :7072 -cluster-min-workers 2   # coordinator
+//	spectre-server -worker -join host:7072                        # one per worker box
+//
+// -worker turns the process into a cluster shard worker: it joins the
+// coordinator at -join (retrying with jittered backoff), executes the
+// shard assignments shipped to it, and hands shard state back when the
+// coordinator rebalances. -cluster-listen makes the server a
+// coordinator: client queries submitted on -addr run distributed across
+// the joined workers, with output merged back into the exact
+// single-process order. Node-local flags (-sched, -shed, -state-dir,
+// ...) do not apply to distributed queries.
 package main
 
 import (
@@ -238,8 +252,28 @@ func run() error {
 		stateDir     = flag.String("state-dir", "", "durable query state: per-shard WALs under this directory; restarted servers recover submitted queries and answer client resume handshakes")
 		weightFlag   = flag.Float64("weight", 0, "admission-arbiter weight for every hosted query (0 = unarbitrated)")
 		latencyFlag  = flag.Duration("latency-target", 0, "root-emission p99 latency SLO per query (0 = none; implies arbitration)")
+		workerMode   = flag.Bool("worker", false, "run as a cluster shard worker (requires -join; most other flags do not apply)")
+		joinAddr     = flag.String("join", "", "coordinator address to join in -worker mode")
+		capacityFlag = flag.Int("capacity", 0, "shard capacity advertised in -worker mode (0 = default)")
+		clusterAddr  = flag.String("cluster-listen", "", "accept cluster workers on this address and run every client query distributed across them")
+		clusterMin   = flag.Int("cluster-min-workers", 1, "block distributed submissions until this many workers have joined")
 	)
 	flag.Parse()
+
+	// ctx ends on the first SIGINT/SIGTERM; a second signal kills the
+	// process the default way (stop() restores default handling).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if *workerMode {
+		if *joinAddr == "" {
+			return fmt.Errorf("-worker requires -join <coordinator address>")
+		}
+		return runWorker(ctx, *joinAddr, *capacityFlag)
+	}
+	if *joinAddr != "" {
+		return fmt.Errorf("-join only applies in -worker mode")
+	}
 
 	schedExplicit := false
 	flag.Visit(func(f *flag.Flag) {
@@ -284,11 +318,6 @@ func run() error {
 		opts.fallback = string(src)
 	}
 
-	// ctx ends on the first SIGINT/SIGTERM; a second signal kills the
-	// process the default way (stop() restores default handling).
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stopSignals()
-
 	// The runtime's own registry only backs programmatic partition options;
 	// every connection parses its query into a private registry so that
 	// type interning stays single-writer per stream.
@@ -304,6 +333,29 @@ func run() error {
 		return err
 	}
 
+	// Coordinator mode: accept cluster workers on their own listener and
+	// run every client query distributed across them. The worker links
+	// and the connections share one registry (interning is concurrent-
+	// safe) so the event ids clients send are the ids workers decode.
+	var cluster *clusterFrontend
+	if *clusterAddr != "" {
+		creg := spectre.NewRegistry()
+		cl, err := spectre.ListenCluster(*clusterAddr, creg, spectre.ClusterOptions{
+			MinWorkers: *clusterMin,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "spectre-server: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			rt.Close()
+			return err
+		}
+		defer cl.Close()
+		cluster = &clusterFrontend{cl: cl, reg: creg}
+		fmt.Fprintf(os.Stderr, "spectre-server: cluster coordinator on %s (min %d workers)\n",
+			cl.Addr(), *clusterMin)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		rt.Close()
@@ -312,12 +364,11 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "spectre-server: listening on %s (multi-query runtime, %d-slot shards)\n",
 		*addr, *instances)
 
-	// Shutdown path: stop accepting as soon as the signal lands; the
-	// per-connection watchers (AbortReadsOnDone) unwedge the streams.
-	go func() {
-		<-ctx.Done()
-		ln.Close()
-	}()
+	// Shutdown path: the listener closes the moment the signal lands —
+	// strictly before the drain below — so in-flight connections (worker
+	// streams included) drain without racing freshly accepted ones.
+	stopAccept := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stopAccept()
 
 	var wg sync.WaitGroup
 	served := 0
@@ -330,12 +381,25 @@ func run() error {
 			}
 			break
 		}
+		if ctx.Err() != nil {
+			// The signal landed while this accept was in flight: the
+			// listener is closing; don't start a stream the drain below
+			// would have to abort.
+			conn.Close()
+			break
+		}
 		served++
 		id := served
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := serveConn(ctx, rt, conn, id, opts, live); err != nil {
+			var err error
+			if cluster != nil {
+				err = serveClusterConn(ctx, cluster, conn, id, opts)
+			} else {
+				err = serveConn(ctx, rt, conn, id, opts, live)
+			}
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "spectre-server: conn %d: %v\n", id, err)
 			}
 		}()
@@ -352,6 +416,126 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "spectre-server: drained cleanly after signal")
 	}
 	return acceptErr
+}
+
+// runWorker is -worker mode: join the coordinator, execute shard
+// assignments until the link drops or a signal lands, then detach.
+func runWorker(ctx context.Context, join string, capacity int) error {
+	name, _ := os.Hostname()
+	w, err := spectre.JoinCluster(ctx, spectre.NewRegistry(), join, spectre.ClusterWorkerOptions{
+		Name:     name,
+		Capacity: capacity,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "spectre-server: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "spectre-server: worker %d joined %s\n", w.ID(), join)
+	done := make(chan error, 1)
+	go func() { done <- w.Wait() }()
+	select {
+	case <-ctx.Done():
+		// Detach on signal: the coordinator sees the link drop and
+		// reassigns our shards from its retained buffers.
+		w.Close()
+		<-done
+		fmt.Fprintln(os.Stderr, "spectre-server: worker detached after signal")
+		return nil
+	case err := <-done:
+		return err
+	}
+}
+
+// clusterFrontend is the coordinator-mode submission path: the cluster
+// plus the registry shared by its worker links and every client
+// connection.
+type clusterFrontend struct {
+	cl  *spectre.Cluster
+	reg *spectre.Registry
+}
+
+// serveClusterConn handles one client in coordinator mode: its query
+// runs distributed across the joined workers instead of on the local
+// runtime. Resume handshakes are refused — the coordinator keeps no
+// per-client journal; durability lives in the worker WALs and covers
+// worker failure, not client reconnects.
+func serveClusterConn(ctx context.Context, cluster *clusterFrontend, conn net.Conn, id int, opts serverOpts) error {
+	defer conn.Close()
+	stopWatch := transport.AbortReadsOnDone(ctx, conn)
+	defer stopWatch()
+
+	r := transport.NewReader(conn, cluster.reg)
+	queryText, wantResume, ok, err := r.ReadQuery()
+	if err != nil {
+		if transport.IsClosedOrCanceled(err) && ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}
+	if !ok || queryText == "" {
+		if opts.fallback == "" {
+			return fmt.Errorf("client sent no query frame and no -query fallback is configured")
+		}
+		queryText = opts.fallback
+	}
+	if wantResume {
+		return fmt.Errorf("resume handshake: distributed queries do not support client resume")
+	}
+
+	var subOpts []spectre.Option
+	if opts.shards > 0 {
+		subOpts = append(subOpts, spectre.WithShards(opts.shards))
+	}
+	matches := 0
+	var mu sync.Mutex
+	h, err := cluster.cl.Submit(ctx, queryText, spectre.SinkFunc(func(ce spectre.ComplexEvent) {
+		mu.Lock()
+		matches++
+		mu.Unlock()
+		if !opts.quiet {
+			fmt.Printf("[conn %d] %s\n", id, ce.String())
+		}
+	}), subOpts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "spectre-server: conn %d: query %s distributed on %d shard(s)\n",
+		id, h.Name(), h.Shards())
+
+	src, srcErr := transport.SourceFromReader(r)
+	start := time.Now()
+	sent := 0
+	feedErr := func() error {
+		for {
+			ev, more := src.Next()
+			if !more {
+				return nil
+			}
+			if err := h.Feed(ctx, ev); err != nil {
+				return err
+			}
+			sent++
+		}
+	}()
+	drainErr := h.Drain(ctx)
+	elapsed := time.Since(start)
+	if feedErr != nil && !errors.Is(feedErr, context.Canceled) {
+		return fmt.Errorf("feed error: %w", feedErr)
+	}
+	if err := srcErr(); err != nil && !(transport.IsClosedOrCanceled(err) && ctx.Err() != nil) {
+		return fmt.Errorf("stream error: %w", err)
+	}
+	if drainErr != nil && ctx.Err() == nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	mu.Lock()
+	n := matches
+	mu.Unlock()
+	fmt.Fprintf(os.Stderr, "spectre-server: conn %d: %d events, %d matches in %v (%.0f events/sec, distributed)\n",
+		id, sent, n, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+	return nil
 }
 
 // serveConn handles one client: read its query, submit it to the shared

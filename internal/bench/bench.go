@@ -523,6 +523,7 @@ func (o *Options) Experiments() map[string]func() ([]Row, error) {
 		"planner":     o.Planner,
 		"shed":        o.Shed,
 		"recovery":    o.Recovery,
+		"distributed": o.Distributed,
 	}
 }
 
@@ -530,7 +531,7 @@ func (o *Options) Experiments() map[string]func() ([]Row, error) {
 var ExperimentOrder = []string{
 	"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
 	"fig11a", "fig11b", "trex", "partition", "feedbatch", "speculation",
-	"sched", "planner", "shed", "recovery",
+	"sched", "planner", "shed", "recovery", "distributed",
 }
 
 // RunAll executes every experiment in order.

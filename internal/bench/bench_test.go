@@ -172,6 +172,25 @@ func TestPartitionedSmoke(t *testing.T) {
 	}
 }
 
+func TestDistributedSmoke(t *testing.T) {
+	var out strings.Builder
+	rows, err := tinyOptions(&out).Distributed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(distBatchSweep) {
+		t.Fatalf("rows = %d, want %d", len(rows), 1+len(distBatchSweep))
+	}
+	for _, r := range rows {
+		if r.Value <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+	}
+	if !strings.Contains(out.String(), "Distributed") {
+		t.Fatal("table header missing")
+	}
+}
+
 // BenchmarkPartitioned measures the sharded runtime against the
 // single-shard path on a per-symbol stream with hundreds of symbols (the
 // acceptance target: ≥ 2x at 8+ partition keys on a multi-core box).

@@ -1,0 +1,176 @@
+// Distributed placement cost (DESIGN.md §12): what running a query's
+// shards on remote workers costs relative to the in-process sharded
+// runtime, and how much the per-link event batching buys back. Local
+// and distributed runs execute the same partitioned query over the same
+// NYSE stream; the distributed runs place the shards on two loopback
+// worker processes-in-miniature (in-process cluster.Join over real TCP),
+// sweeping the coordinator's per-link batch size — the knob the
+// communication-overhead line of work says dominates framing cost on
+// overlapping windows.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/cluster"
+	"github.com/spectrecep/spectre/internal/core"
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/parser"
+	"github.com/spectrecep/spectre/internal/shard"
+	"github.com/spectrecep/spectre/internal/stats"
+)
+
+// distShards is the shard count of both sides of the comparison.
+const distShards = 4
+
+// distBatchSweep is the per-link batch sizes the distributed side sweeps.
+var distBatchSweep = []int{64, 256, 1024}
+
+// distQuery is the partitioned rising-pair query both sides run; the
+// window scales with the suite's WindowSize so the regime matches the
+// other experiments.
+func (o *Options) distQuery() string {
+	win := o.WindowSize / 50
+	if win < 8 {
+		win = 8
+	}
+	return fmt.Sprintf(`
+		QUERY dist
+		PATTERN (X Y)
+		DEFINE X AS X.close > X.open, Y AS Y.close > X.close
+		WITHIN %d EVENTS FROM X
+		CONSUME ALL
+	`, win)
+}
+
+// distLocal measures one in-process run: the sharded core runtime with
+// the same route and shard count the coordinator would use.
+func distLocal(text string, reg *event.Registry, events []event.Event, route func(*event.Event) int) (float64, error) {
+	q, err := parser.Parse(text, reg)
+	if err != nil {
+		return 0, err
+	}
+	rt := core.NewRuntime(core.RuntimeConfig{})
+	defer rt.Close()
+	h, err := rt.Submit(q, core.Config{Reg: reg}, route, distShards, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for lo := 0; lo < len(events); lo += 1024 {
+		hi := lo + 1024
+		if hi > len(events) {
+			hi = len(events)
+		}
+		if err := h.FeedBatch(context.Background(), events[lo:hi]); err != nil {
+			return 0, err
+		}
+	}
+	h.Drain()
+	return stats.Throughput(uint64(len(events)), time.Since(start)), nil
+}
+
+// distRemote measures one distributed run: a coordinator on a loopback
+// listener, nWorkers in-process workers joined over real TCP, the same
+// query and route, and the given per-link batch size.
+func distRemote(text string, reg *event.Registry, events []event.Event, route func(*event.Event) int, nWorkers, batch int) (float64, error) {
+	c, err := cluster.Listen("127.0.0.1:0", reg, cluster.Options{
+		MinWorkers:  nWorkers,
+		BatchEvents: batch,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	workers := make([]*cluster.Worker, 0, nWorkers)
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	for i := 0; i < nWorkers; i++ {
+		w, err := cluster.Join(ctx, event.NewRegistry(), c.Addr().String(), cluster.WorkerOptions{})
+		if err != nil {
+			return 0, err
+		}
+		workers = append(workers, w)
+	}
+	h, err := c.Submit(ctx, cluster.Submission{
+		Name: "dist", Text: text, NShards: distShards, Route: route,
+	})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for lo := 0; lo < len(events); lo += 1024 {
+		hi := lo + 1024
+		if hi > len(events) {
+			hi = len(events)
+		}
+		if err := h.FeedBatch(events[lo:hi]); err != nil {
+			return 0, err
+		}
+	}
+	h.Close()
+	if err := h.Wait(ctx); err != nil {
+		return 0, err
+	}
+	return stats.Throughput(uint64(len(events)), time.Since(start)), nil
+}
+
+// Distributed compares local sharded execution against two loopback
+// workers across the per-link batch-size sweep. The distributed numbers
+// pay real TCP framing, the ordered merge and the workers' durable
+// (in-memory WAL) pipelines, so they trail local execution; the sweep
+// shows how much of that gap is framing amortized away by batching.
+func (o *Options) Distributed() ([]Row, error) {
+	o.setDefaults()
+	reg := event.NewRegistry()
+	events := o.nyseData(reg)
+	text := o.distQuery()
+	route := shard.NewRouter(distShards, shard.ByType()).Route
+	const nWorkers = 2
+
+	o.printf("\n== Distributed: local vs %d loopback workers (Q1-style, %d shards, %d events) ==\n",
+		nWorkers, distShards, len(events))
+	o.printf("%-16s %14s   %s\n", "mode", "med ev/s", "candles (min/p25/med/p75/max)")
+
+	var rows []Row
+	var localSeries stats.Series
+	for r := 0; r < o.Repeats; r++ {
+		tp, err := distLocal(text, reg, events, route)
+		if err != nil {
+			return nil, err
+		}
+		localSeries.Add(tp)
+	}
+	lc := localSeries.Candles()
+	rows = append(rows, Row{
+		Figure: "distributed", Label: "local", K: distShards,
+		Value: lc.Median, Metric: "events/sec", Candles: lc,
+	})
+	o.printf("%-16s %14.0f   %s\n", "local", lc.Median, lc)
+
+	for _, batch := range distBatchSweep {
+		var series stats.Series
+		for r := 0; r < o.Repeats; r++ {
+			tp, err := distRemote(text, reg, events, route, nWorkers, batch)
+			if err != nil {
+				return nil, err
+			}
+			series.Add(tp)
+		}
+		c := series.Candles()
+		label := fmt.Sprintf("2w batch=%d", batch)
+		rows = append(rows, Row{
+			Figure: "distributed", Label: label, K: distShards,
+			Value: c.Median, Metric: "events/sec", Candles: c,
+		})
+		o.printf("%-16s %14.0f   %s\n", label, c.Median, c)
+	}
+	return rows, nil
+}

@@ -1,0 +1,962 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/transport"
+)
+
+// Options parameterizes a Coordinator.
+type Options struct {
+	// MinWorkers makes Submit block until at least this many workers have
+	// joined (default 1).
+	MinWorkers int
+	// BatchEvents is the per-shard event batch size on a worker link
+	// (default 256): the pump coalesces this many routed events into one
+	// frame before shipping.
+	BatchEvents int
+	// FlushInterval bounds how long a partial batch may sit staged before
+	// it is shipped anyway (default 2ms).
+	FlushInterval time.Duration
+	// Heartbeat is the idle keepalive interval (default 2s); a link is
+	// declared dead after linkTimeoutFactor missed beats.
+	Heartbeat time.Duration
+	// Logf receives coordinator lifecycle logs (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) setDefaults() {
+	if o.MinWorkers <= 0 {
+		o.MinWorkers = 1
+	}
+	if o.BatchEvents <= 0 {
+		o.BatchEvents = 256
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 2 * time.Millisecond
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 2 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Coordinator accepts worker links, owns the shard placement table of
+// every submitted query, pumps routed events to shard owners and merges
+// the returned emission streams into sequential-equivalent order
+// (DESIGN.md §12).
+//
+// One mutex guards all placement and merge state. Frame writes never
+// happen under it: each link has an unbounded outbound queue drained by a
+// writer goroutine, so a stalled worker can never deadlock the feed path
+// against the emission readers (the queue's memory is bounded by the
+// retained-event buffers, which the coordinator keeps anyway for
+// replay-on-reassignment).
+type Coordinator struct {
+	reg  *event.Registry
+	opts Options
+	ln   net.Listener
+
+	mu         sync.Mutex
+	workers    map[uint32]*workerLink
+	queries    map[uint32]*queryState
+	nextWorker uint32
+	nextQuery  uint32
+	closed     bool
+	membership chan struct{} // closed+replaced on every join/leave
+
+	wg sync.WaitGroup
+}
+
+// workerLink is one joined worker connection.
+type workerLink struct {
+	id       uint32
+	name     string
+	capacity int
+	conn     net.Conn
+
+	// Outbound frame queue (qmu): encoded frames in send order.
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	queue   [][]byte
+	qclosed bool
+
+	// Coordinator-mutex guarded placement state.
+	load                  int
+	gone                  bool
+	typesSent, fieldsSent int
+}
+
+// queryState is one submitted query's distributed execution.
+type queryState struct {
+	id      uint32
+	name    string
+	text    string
+	nShards int
+	route   func(*event.Event) int
+	merge   *orderedMerge
+	shards  []*shardRun
+	emit    func(event.Complex)
+	onDrain func()
+
+	closing  bool
+	drained  int
+	finished bool
+	failure  error
+	done     chan struct{}
+}
+
+// shardRun is the coordinator-side state of one placed shard.
+type shardRun struct {
+	owner     *workerLink // nil while unassigned
+	ready     bool        // assignment acknowledged; the pump may send
+	quiescing bool        // quiesce sent, handoff pending
+	target    *workerLink // preferred owner once the handoff lands
+
+	// retained buffers every routed event from base onward; it is the
+	// replay source for crash reassignment and is truncated only when a
+	// ready frame proves the new owner's WAL journal covers the prefix.
+	retained []event.Event
+	base     uint64
+	// nextSend is the next shard-local position to ship to the owner.
+	nextSend uint64
+
+	// accepted counts accepted emissions (the ordinal dedupe cursor R[s]).
+	accepted uint64
+	// snap/snapW hold the latest handed-off WAL snapshot and its emission
+	// watermark; reassignments seed from them.
+	snap  []byte
+	snapW uint64
+
+	closeSent bool
+	drained   bool
+}
+
+func (s *shardRun) end() uint64 { return s.base + uint64(len(s.retained)) }
+
+// Submission describes one query to distribute. The caller resolves the
+// partition route against the same registry the coordinator encodes
+// events with.
+type Submission struct {
+	Name    string
+	Text    string
+	NShards int
+	Route   func(*event.Event) int
+	Emit    func(event.Complex)
+	OnDrain func()
+}
+
+// Listen starts a coordinator on addr.
+func Listen(addr string, reg *event.Registry, opts Options) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, &Error{Op: "listen", Addr: addr, Err: err}
+	}
+	return NewCoordinator(ln, reg, opts), nil
+}
+
+// NewCoordinator starts a coordinator on an existing listener.
+func NewCoordinator(ln net.Listener, reg *event.Registry, opts Options) *Coordinator {
+	opts.setDefaults()
+	c := &Coordinator{
+		reg:        reg,
+		opts:       opts,
+		ln:         ln,
+		workers:    make(map[uint32]*workerLink),
+		queries:    make(map[uint32]*queryState),
+		membership: make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.accept()
+	go c.flusher()
+	return c
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+
+// Workers reports how many workers are currently joined.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// WaitWorkers blocks until at least n workers are joined.
+func (c *Coordinator) WaitWorkers(ctx context.Context, n int) error {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		have := len(c.workers)
+		ch := c.membership
+		c.mu.Unlock()
+		if have >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// signalMembership wakes WaitWorkers waiters (c.mu held).
+func (c *Coordinator) signalMembership() {
+	close(c.membership)
+	c.membership = make(chan struct{})
+}
+
+// Close stops accepting, drops every worker link and fails every
+// unfinished query with ErrClosed.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	links := make([]*workerLink, 0, len(c.workers))
+	for _, w := range c.workers {
+		links = append(links, w)
+	}
+	queries := make([]*queryState, 0, len(c.queries))
+	for _, q := range c.queries {
+		queries = append(queries, q)
+	}
+	c.queries = map[uint32]*queryState{}
+	c.signalMembership()
+	c.mu.Unlock()
+
+	err := c.ln.Close()
+	for _, w := range links {
+		w.closeQueue()
+		_ = w.conn.Close()
+	}
+	c.mu.Lock()
+	for _, q := range queries {
+		if !q.finished {
+			q.finished = true
+			q.failure = ErrClosed
+			close(q.done)
+		}
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return err
+}
+
+// --- worker links -------------------------------------------------------
+
+func (c *Coordinator) accept() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handshake(conn)
+		}()
+	}
+}
+
+// handshake validates one joining worker and registers its link.
+func (c *Coordinator) handshake(conn net.Conn) {
+	deadline := time.Now().Add(10 * time.Second)
+	_ = conn.SetDeadline(deadline)
+	kind, body, err := transport.ReadFrame(conn, nil)
+	if err != nil || kind != kindHello {
+		_ = conn.Close()
+		return
+	}
+	hello, err := decodeHello(body)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	if hello.Proto != protoVersion {
+		msg := errorMsg{Msg: fmt.Sprintf("protocol mismatch: coordinator speaks v%d, worker v%d", protoVersion, hello.Proto)}
+		_ = transport.WriteFrame(conn, kindError, msg.encode(nil))
+		_ = conn.Close()
+		return
+	}
+	w := &workerLink{
+		name:     hello.Name,
+		capacity: int(hello.Capacity),
+		conn:     conn,
+	}
+	if w.capacity <= 0 {
+		w.capacity = 1
+	}
+	if w.name == "" {
+		w.name = conn.RemoteAddr().String()
+	}
+	w.qcond = sync.NewCond(&w.qmu)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	c.nextWorker++
+	w.id = c.nextWorker
+	c.workers[w.id] = w
+	c.mu.Unlock()
+
+	welcome := welcomeMsg{Proto: protoVersion, WorkerID: w.id}
+	if err := transport.WriteFrame(conn, kindWelcome, welcome.encode(nil)); err != nil {
+		c.mu.Lock()
+		delete(c.workers, w.id)
+		c.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+	c.opts.Logf("cluster: worker %d (%s) joined, capacity %d", w.id, w.name, w.capacity)
+
+	c.wg.Add(2)
+	go func() {
+		defer c.wg.Done()
+		w.writeLoop()
+	}()
+	go func() {
+		defer c.wg.Done()
+		c.heartbeatLink(w)
+	}()
+
+	c.mu.Lock()
+	c.placePending(w)
+	c.rebalance(w)
+	c.signalMembership()
+	c.mu.Unlock()
+
+	c.readLink(w)
+}
+
+// enqueue stages one encoded frame on the link's outbound queue.
+func (w *workerLink) enqueue(kind byte, body []byte) {
+	frame, err := transport.AppendFrame(nil, kind, body)
+	if err != nil {
+		return
+	}
+	w.qmu.Lock()
+	if !w.qclosed {
+		w.queue = append(w.queue, frame)
+		w.qcond.Signal()
+	}
+	w.qmu.Unlock()
+}
+
+func (w *workerLink) closeQueue() {
+	w.qmu.Lock()
+	w.qclosed = true
+	w.qcond.Signal()
+	w.qmu.Unlock()
+}
+
+// writeLoop drains the outbound queue onto the connection.
+func (w *workerLink) writeLoop() {
+	for {
+		w.qmu.Lock()
+		for len(w.queue) == 0 && !w.qclosed {
+			w.qcond.Wait()
+		}
+		if w.qclosed && len(w.queue) == 0 {
+			w.qmu.Unlock()
+			return
+		}
+		batch := w.queue
+		w.queue = nil
+		w.qmu.Unlock()
+		for _, frame := range batch {
+			if _, err := w.conn.Write(frame); err != nil {
+				// The read side observes the broken link and runs the
+				// teardown; here we only stop draining.
+				w.closeQueue()
+				return
+			}
+		}
+	}
+}
+
+// heartbeatLink keeps the link alive while no data flows.
+func (c *Coordinator) heartbeatLink(w *workerLink) {
+	t := time.NewTicker(c.opts.Heartbeat)
+	defer t.Stop()
+	for range t.C {
+		w.qmu.Lock()
+		closed := w.qclosed
+		w.qmu.Unlock()
+		if closed {
+			return
+		}
+		w.enqueue(kindHeartbeat, nil)
+	}
+}
+
+// readLink is the per-link reader; any error tears the worker down and
+// reassigns its shards.
+func (c *Coordinator) readLink(w *workerLink) {
+	var scratch []byte
+	for {
+		_ = w.conn.SetReadDeadline(time.Now().Add(linkTimeoutFactor * c.opts.Heartbeat))
+		kind, body, err := transport.ReadFrame(w.conn, scratch)
+		if err != nil {
+			c.workerLost(w, err)
+			return
+		}
+		scratch = body[:0]
+		if err := c.dispatch(w, kind, body); err != nil {
+			c.opts.Logf("cluster: worker %d (%s): %v", w.id, w.name, err)
+			c.workerLost(w, err)
+			return
+		}
+	}
+}
+
+func (c *Coordinator) dispatch(w *workerLink, kind byte, body []byte) error {
+	switch kind {
+	case kindHeartbeat:
+		return nil
+	case kindReady:
+		m, err := decodeReady(body)
+		if err != nil {
+			return err
+		}
+		return c.handleReady(w, &m)
+	case kindEmit:
+		m, err := decodeEmit(body)
+		if err != nil {
+			return err
+		}
+		return c.handleEmit(w, &m)
+	case kindProgress:
+		m, err := decodeProgress(body)
+		if err != nil {
+			return err
+		}
+		c.handleProgress(w, &m)
+		return nil
+	case kindHandoff:
+		m, err := decodeHandoff(body)
+		if err != nil {
+			return err
+		}
+		c.handleHandoff(w, &m)
+		return nil
+	case kindDrained:
+		m, err := decodeShardMsg(body)
+		if err != nil {
+			return err
+		}
+		c.handleDrained(w, &m)
+		return nil
+	case kindError:
+		m, err := decodeError(body)
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("worker reported: %s", m.Msg)
+	default:
+		return fmt.Errorf("unexpected frame kind %d", kind)
+	}
+}
+
+// workerLost removes a dead link and reassigns everything it owned.
+func (c *Coordinator) workerLost(w *workerLink, cause error) {
+	w.closeQueue()
+	_ = w.conn.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w.gone {
+		return
+	}
+	w.gone = true
+	delete(c.workers, w.id)
+	if !c.closed {
+		c.opts.Logf("cluster: worker %d (%s) lost: %v", w.id, w.name, cause)
+	}
+	for _, q := range c.queries {
+		for idx, s := range q.shards {
+			if s.target == w {
+				s.target = nil // the reservation died with the worker
+			}
+			if s.owner != w || s.drained {
+				continue
+			}
+			s.owner = nil
+			s.ready = false
+			s.closeSent = false
+			if s.quiescing {
+				// The handoff will never arrive; release the migration
+				// reservation and fall back to the crash path (stored
+				// snapshot + retained replay).
+				s.quiescing = false
+				if s.target != nil {
+					s.target.load--
+					s.target = nil
+				}
+			}
+			if next := c.pickWorker(); next != nil {
+				c.assignShard(q, idx, next)
+			}
+		}
+	}
+	c.signalMembership()
+}
+
+// --- placement ----------------------------------------------------------
+
+// pickWorker returns the least-loaded live worker with spare capacity
+// (c.mu held).
+func (c *Coordinator) pickWorker() *workerLink {
+	var best *workerLink
+	for _, w := range c.workers {
+		if w.gone || w.load >= w.capacity {
+			continue
+		}
+		if best == nil || w.load < best.load || (w.load == best.load && w.id < best.id) {
+			best = w
+		}
+	}
+	return best
+}
+
+// placePending assigns every unowned shard, preferring the new worker
+// (c.mu held).
+func (c *Coordinator) placePending(_ *workerLink) {
+	for _, q := range c.queries {
+		for idx, s := range q.shards {
+			if s.owner != nil || s.drained || s.quiescing {
+				continue
+			}
+			next := c.pickWorker()
+			if next == nil {
+				return
+			}
+			c.assignShard(q, idx, next)
+		}
+	}
+}
+
+// rebalance migrates shards toward a newly joined worker until no worker
+// runs more than one shard above another (c.mu held). Migration is a
+// graceful handoff: quiesce on the old owner, WAL snapshot in flight,
+// resume on the target.
+func (c *Coordinator) rebalance(target *workerLink) {
+	for _, q := range c.queries {
+		for {
+			if target.load >= target.capacity {
+				return
+			}
+			var max *workerLink
+			var maxIdx int
+			// Count per-query ownership — balance each query's shards, not
+			// just the global load, so one query's pipeline parallelism
+			// actually grows when the fleet does. In-flight migrations
+			// count toward their target, or the same imbalance would be
+			// seen again and every shard would migrate.
+			owned := make(map[*workerLink]int)
+			for _, s := range q.shards {
+				switch {
+				case s.quiescing && s.target != nil:
+					owned[s.target]++
+				case s.owner != nil:
+					owned[s.owner]++
+				}
+			}
+			for idx, s := range q.shards {
+				if s.owner == nil || s.owner == target || !s.ready ||
+					s.quiescing || s.drained || s.closeSent {
+					continue
+				}
+				if owned[s.owner] > owned[target]+1 {
+					if max == nil || owned[s.owner] > owned[max] {
+						max, maxIdx = s.owner, idx
+					}
+				}
+			}
+			if max == nil {
+				break
+			}
+			s := q.shards[maxIdx]
+			s.quiescing = true
+			s.target = target
+			target.load++ // reserve the slot so placement stays stable
+			c.opts.Logf("cluster: migrating %s shard %d: worker %d -> %d", q.name, maxIdx, max.id, target.id)
+			max.enqueue(kindQuiesce, (&shardMsg{Query: q.id, Shard: uint32(maxIdx)}).encode(nil))
+		}
+	}
+}
+
+// ensureTables re-announces the registry name tables to a link when they
+// grew past what it has seen (c.mu held; ordered before the frames that
+// need them by the link queue's FIFO).
+func (c *Coordinator) ensureTables(w *workerLink) {
+	nt, nf := c.reg.NumTypes(), c.reg.NumFields()
+	if nt <= w.typesSent && nf <= w.fieldsSent {
+		return
+	}
+	m := tablesMsg{Types: make([]string, 0, nt), Fields: make([]string, 0, nf)}
+	for i := 1; i <= nt; i++ {
+		m.Types = append(m.Types, c.reg.TypeName(event.Type(i)))
+	}
+	for i := 0; i < nf; i++ {
+		m.Fields = append(m.Fields, c.reg.FieldName(i))
+	}
+	w.enqueue(kindTables, m.encode(nil))
+	w.typesSent, w.fieldsSent = nt, nf
+}
+
+// assignShard hands shard idx of q to w (c.mu held). The snapshot rides
+// along; emissions of the new life start at the snapshot watermark.
+func (c *Coordinator) assignShard(q *queryState, idx int, w *workerLink) {
+	s := q.shards[idx]
+	s.owner = w
+	s.ready = false
+	s.closeSent = false
+	if s.target == w {
+		s.target = nil
+	} else {
+		w.load++
+	}
+	c.ensureTables(w)
+	m := assignMsg{
+		Query:    q.id,
+		Shard:    uint32(idx),
+		NShards:  uint32(q.nShards),
+		EmitBase: s.snapW,
+		Name:     q.name,
+		Text:     q.text,
+		Snapshot: s.snap,
+	}
+	w.enqueue(kindAssign, m.encode(nil))
+}
+
+// pump ships retained events to the shard's owner: full batches always,
+// the partial tail only when force is set (flusher tick, close, ready
+// catch-up). Must run with c.mu held.
+func (c *Coordinator) pump(q *queryState, idx int, force bool) {
+	s := q.shards[idx]
+	if s.owner == nil || !s.ready || s.quiescing || s.drained {
+		return
+	}
+	batch := uint64(c.opts.BatchEvents)
+	for {
+		avail := s.end() - s.nextSend
+		if avail == 0 || (!force && avail < batch) {
+			break
+		}
+		n := min(avail, batch)
+		start := s.nextSend - s.base
+		m := eventsMsg{Query: q.id, Shard: uint32(idx), Events: s.retained[start : start+n]}
+		c.ensureTables(s.owner)
+		s.owner.enqueue(kindEvents, m.encode(nil))
+		s.nextSend += n
+	}
+	if q.closing && !s.closeSent && s.nextSend == s.end() {
+		s.owner.enqueue(kindClose, (&shardMsg{Query: q.id, Shard: uint32(idx)}).encode(nil))
+		s.closeSent = true
+	}
+}
+
+// flusher periodically force-pumps partial batches so a trickling stream
+// still makes progress.
+func (c *Coordinator) flusher() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.FlushInterval)
+	defer t.Stop()
+	for range t.C {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		for _, q := range c.queries {
+			for idx := range q.shards {
+				c.pump(q, idx, true)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// --- worker frame handlers ----------------------------------------------
+
+// lookupShard resolves a worker frame to its shard, returning nil when the
+// frame is stale (query finished, shard reassigned).
+func (c *Coordinator) lookupShard(w *workerLink, query, shard uint32) (*queryState, *shardRun) {
+	q := c.queries[query]
+	if q == nil || int(shard) >= len(q.shards) {
+		return nil, nil
+	}
+	s := q.shards[shard]
+	if s.owner != w {
+		return nil, nil
+	}
+	return q, s
+}
+
+// handleReady records a recovered shard and catches its owner up. The
+// reported resume position proves the owner's WAL journal covers every
+// earlier event, so the retained prefix below it is dropped.
+func (c *Coordinator) handleReady(w *workerLink, m *readyMsg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q, s := c.lookupShard(w, m.Query, m.Shard)
+	if q == nil {
+		return nil
+	}
+	if m.Resume < s.base || m.Resume > s.end() {
+		return fmt.Errorf("shard %s/%d: resume %d outside retained [%d, %d]", q.name, m.Shard, m.Resume, s.base, s.end())
+	}
+	if drop := m.Resume - s.base; drop > 0 {
+		s.retained = append([]event.Event(nil), s.retained[drop:]...)
+		s.base = m.Resume
+	}
+	s.nextSend = m.Resume
+	s.ready = true
+	c.pump(q, int(m.Shard), q.closing)
+	// A shard that was not ready at the last membership change was not a
+	// migration candidate then; retry toward the least-loaded worker now.
+	if next := c.pickWorker(); next != nil {
+		c.rebalance(next)
+	}
+	return nil
+}
+
+// handleEmit accepts one match. The ordinal is the global per-shard
+// emission number; anything below the accept cursor is a deterministic
+// replay duplicate and is dropped, anything above is a protocol gap.
+func (c *Coordinator) handleEmit(w *workerLink, m *emitMsg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q, s := c.lookupShard(w, m.Query, m.Shard)
+	if q == nil {
+		return nil
+	}
+	if m.Ordinal < s.accepted {
+		return nil // replay duplicate; identical by §4.2 determinism
+	}
+	if m.Ordinal > s.accepted {
+		return fmt.Errorf("shard %s/%d: emission ordinal %d skips cursor %d", q.name, m.Shard, m.Ordinal, s.accepted)
+	}
+	if !q.merge.emit(int(m.Shard), m.Match) {
+		return fmt.Errorf("shard %s/%d: match detected at %d beyond routed events", q.name, m.Shard, m.Match.DetectedAt)
+	}
+	s.accepted++
+	q.merge.release()
+	return nil
+}
+
+// handleProgress advances the shard's root-window bound in the merge.
+func (c *Coordinator) handleProgress(w *workerLink, m *progressMsg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q, _ := c.lookupShard(w, m.Query, m.Shard)
+	if q == nil {
+		return
+	}
+	q.merge.progress(int(m.Shard), m.Boundary)
+	q.merge.release()
+}
+
+// handleHandoff installs the parked shard's WAL snapshot and re-places it.
+func (c *Coordinator) handleHandoff(w *workerLink, m *handoffMsg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q, s := c.lookupShard(w, m.Query, m.Shard)
+	if q == nil {
+		return
+	}
+	s.snap = m.Snapshot
+	s.snapW = m.Watermark
+	if m.Watermark != s.accepted {
+		// Frames are FIFO per link, so a graceful handoff watermark always
+		// equals the accept cursor; log the impossible, then trust the
+		// ordinal dedupe to absorb it.
+		c.opts.Logf("cluster: handoff watermark %d != accepted %d for %s/%d", m.Watermark, s.accepted, q.name, m.Shard)
+	}
+	w.load--
+	s.owner = nil
+	s.ready = false
+	s.quiescing = false
+	next := s.target
+	if next != nil && next.gone {
+		// The reserved slot died with the worker; fall through to a fresh
+		// pick below (workerLost already dropped the dangling target).
+		next = nil
+		s.target = nil
+	}
+	if next == nil {
+		next = c.pickWorker()
+		if next == nil {
+			return // re-placed when the next worker joins
+		}
+		next.load++ // consumed by the s.target branch in assignShard
+		s.target = next
+	}
+	c.assignShard(q, int(m.Shard), next)
+}
+
+// handleDrained finishes one shard's stream.
+func (c *Coordinator) handleDrained(w *workerLink, m *shardMsg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q, s := c.lookupShard(w, m.Query, m.Shard)
+	if q == nil || s.drained {
+		return
+	}
+	s.drained = true
+	w.load--
+	s.owner = nil
+	q.merge.drained(int(m.Shard))
+	q.merge.release()
+	q.drained++
+	if q.drained == q.nShards && !q.finished {
+		q.finished = true
+		delete(c.queries, q.id)
+		close(q.done)
+		if q.onDrain != nil {
+			q.onDrain()
+		}
+	}
+}
+
+// --- submission ---------------------------------------------------------
+
+// Submit distributes one query. It blocks until Options.MinWorkers
+// workers are joined (bounded by ctx), then places one shard per
+// least-loaded worker. Emissions are delivered on coordinator reader
+// goroutines in the deterministic merged order; the Emit callback must
+// not call back into the handle synchronously.
+func (c *Coordinator) Submit(ctx context.Context, sub Submission) (*QueryHandle, error) {
+	if sub.NShards <= 0 || sub.Route == nil && sub.NShards > 1 {
+		return nil, fmt.Errorf("cluster: submission needs NShards >= 1 and a route for NShards > 1")
+	}
+	if sub.Name == "" || sub.Text == "" {
+		return nil, fmt.Errorf("cluster: submission needs a query name and text")
+	}
+	if err := c.WaitWorkers(ctx, c.opts.MinWorkers); err != nil {
+		if err == ErrClosed {
+			return nil, err
+		}
+		return nil, &Error{Op: "submit", Err: err}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.nextQuery++
+	q := &queryState{
+		id:      c.nextQuery,
+		name:    sub.Name,
+		text:    sub.Text,
+		nShards: sub.NShards,
+		route:   sub.Route,
+		emit:    sub.Emit,
+		onDrain: sub.OnDrain,
+		shards:  make([]*shardRun, sub.NShards),
+		done:    make(chan struct{}),
+	}
+	q.merge = newOrderedMerge(sub.NShards, func(m event.Complex) {
+		if q.emit != nil {
+			q.emit(m)
+		}
+	})
+	for i := range q.shards {
+		q.shards[i] = &shardRun{}
+	}
+	c.queries[q.id] = q
+	for i := range q.shards {
+		if w := c.pickWorker(); w != nil {
+			c.assignShard(q, i, w)
+		}
+	}
+	return &QueryHandle{c: c, q: q}, nil
+}
+
+// QueryHandle is the submitting node's feed/drain interface to one
+// distributed query.
+type QueryHandle struct {
+	c *Coordinator
+	q *queryState
+}
+
+// Feed routes one event.
+func (h *QueryHandle) Feed(ev event.Event) error {
+	return h.FeedBatch([]event.Event{ev})
+}
+
+// FeedBatch routes a batch of events. Events are retained until a worker
+// WAL provably covers them, so feeding never blocks on worker liveness.
+func (h *QueryHandle) FeedBatch(evs []event.Event) error {
+	c, q := h.c, h.q
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q.closing || q.finished {
+		return ErrClosed
+	}
+	batch := uint64(c.opts.BatchEvents)
+	for i := range evs {
+		idx := 0
+		if q.route != nil {
+			idx = q.route(&evs[i])
+		}
+		if idx < 0 || idx >= q.nShards {
+			return fmt.Errorf("cluster: route returned shard %d of %d", idx, q.nShards)
+		}
+		s := q.shards[idx]
+		local := q.merge.route(idx)
+		if local != s.end() {
+			return fmt.Errorf("cluster: shard %d position skew: merge %d, retained %d", idx, local, s.end())
+		}
+		s.retained = append(s.retained, evs[i])
+		if s.end()-s.nextSend >= batch {
+			c.pump(q, idx, false)
+		}
+	}
+	return nil
+}
+
+// Close ends the stream: every shard is flushed and closed, and Wait
+// unblocks once all of them report drained.
+func (h *QueryHandle) Close() {
+	c, q := h.c, h.q
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q.closing || q.finished {
+		return
+	}
+	q.closing = true
+	for idx := range q.shards {
+		c.pump(q, idx, true)
+	}
+}
+
+// Wait blocks until every shard drained (after Close) or the query fails.
+func (h *QueryHandle) Wait(ctx context.Context) error {
+	select {
+	case <-h.q.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	return h.q.failure
+}

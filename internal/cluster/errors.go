@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is returned by operations on a closed coordinator, query or
+// worker.
+var ErrClosed = errors.New("cluster: closed")
+
+// Error is the typed failure of a cluster operation that exhausted its
+// retry budget or lost its peer: joining a coordinator, resubmitting a
+// query over a flapping link, or an assignment a worker rejected. Callers
+// match it with errors.As to distinguish a cluster-liveness failure (peer
+// gone, retries exhausted) from a query error.
+type Error struct {
+	// Op names the failed operation ("join", "resubmit", "assign", ...).
+	Op string
+	// Addr is the peer involved, when known.
+	Addr string
+	// Attempts counts how many tries were spent before giving up (0 when
+	// the operation is not retried).
+	Attempts int
+	// Err is the final underlying error.
+	Err error
+}
+
+func (e *Error) Error() string {
+	msg := "cluster: " + e.Op
+	if e.Addr != "" {
+		msg += " " + e.Addr
+	}
+	if e.Attempts > 0 {
+		msg += fmt.Sprintf(" (gave up after %d attempts)", e.Attempts)
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying error to errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.Err }

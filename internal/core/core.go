@@ -168,6 +168,16 @@ type Config struct {
 	// splitter. Requires Reg (records carry the type/field name tables)
 	// and the Runtime Submit path. Nil disables durability.
 	Durable durable.Store
+	// OnAdvance, when set, is notified after every root pop with the new
+	// durable boundary: no match emitted after the call will have a
+	// DetectedAt below it. Calls are ordered with the emit callback — on
+	// the durable path the notification rides the persister FIFO behind
+	// the deliveries it follows, on the non-durable path it fires on the
+	// splitter right after the pop's emissions. The distributed runtime
+	// turns these into per-shard progress watermarks so the ordered merge
+	// can release buffered matches from other shards without waiting for
+	// this shard's next match.
+	OnAdvance func(boundary uint64)
 	// Err carries the first invalid-option error; constructors check it
 	// before using any other field. Options record violations here (the
 	// option-function signature has no error return).

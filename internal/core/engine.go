@@ -599,6 +599,7 @@ func (s *shardState) advanceRoots() bool {
 			s.persistCut()
 		}
 		s.releaseArena()
+		s.notifyAdvance()
 		changed = true
 	}
 }
@@ -622,6 +623,31 @@ func (s *shardState) persistCut() {
 		Watermark:    s.emitted,
 		Consumed:     s.consumed.AppendRuns(boundary, s.ar.Len(), nil),
 	})
+}
+
+// notifyAdvance reports the post-pop boundary to Config.OnAdvance: every
+// future emission of this shard detects at or past it. The durable path
+// routes the call through the persister FIFO so it lands after the
+// deliveries enqueued by this pop (emit runs on the persister goroutine
+// there); the non-durable path already delivered synchronously, so the
+// callback fires in place. A late progress signal is always safe — it only
+// under-reports how far the shard has advanced — but an early one could
+// let a downstream merge release another shard's match ahead of one still
+// in flight here, so the ordering is load-bearing.
+func (s *shardState) notifyAdvance() {
+	fn := s.prog.cfg.OnAdvance
+	if fn == nil {
+		return
+	}
+	boundary := s.ar.Len()
+	if root := s.tree.Root(); root != nil {
+		boundary = root.WV.Win.StartSeq
+	}
+	if p := s.persist; p != nil {
+		p.enqueueAdvance(func() { fn(boundary) })
+		return
+	}
+	fn(boundary)
 }
 
 // releaseArena recycles arena chunks no run state can reference anymore.

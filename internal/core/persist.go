@@ -37,6 +37,10 @@ type persistReq struct {
 	watermark uint64
 	deliver   []event.Complex
 	emit      func(event.Complex)
+	// advance is an ordered progress notification (Config.OnAdvance): it
+	// fires on the persister goroutine strictly after every delivery
+	// enqueued before it, and writes nothing to the WAL.
+	advance func()
 }
 
 // persister drains one shard's durability requests onto its WAL shard
@@ -141,6 +145,10 @@ func (p *persister) handle(req persistReq) {
 		p.commitDeliver(req)
 		return
 	}
+	if req.advance != nil {
+		req.advance()
+		return
+	}
 	p.appendReq(req)
 }
 
@@ -195,11 +203,26 @@ func (p *persister) appendReq(req persistReq) {
 func (p *persister) commitDeliver(req persistReq) {
 	group := make([]persistReq, 1, 8)
 	group[0] = req
+	var advances []func()
 	p.commitAppend(req)
 absorb:
 	for len(group) < maxCommitGroup {
 		select {
 		case more := <-p.ch:
+			if more.advance != nil {
+				// Progress notifications absorbed into the group are
+				// deferred past its deliveries: firing one here would let
+				// it overtake matches enqueued before it. But an advance is
+				// also a barrier for the group itself — deliveries enqueued
+				// *after* it belong to the next root window, and absorbing
+				// them would make them precede the notification, breaking
+				// the exact emit/advance interleaving consumers key on. So
+				// the group stops growing here; the deferred advance fires
+				// after this group's deliveries, merely late, which is safe
+				// (the boundary claim stays true).
+				advances = append(advances, more.advance)
+				break absorb
+			}
 			if more.emit == nil {
 				p.appendReq(more)
 				continue
@@ -232,6 +255,9 @@ absorb:
 			g.emit(g.deliver[i])
 		}
 		faultinject.Hit("emit.after-deliver")
+	}
+	for _, fn := range advances {
+		fn()
 	}
 }
 
@@ -326,6 +352,12 @@ func (p *persister) appendCut(cut *durable.CutRecord) {
 		return
 	}
 	p.ch <- persistReq{cut: cut}
+}
+
+// enqueueAdvance queues an ordered Config.OnAdvance notification behind
+// everything already enqueued (splitter, blocking only on queue room).
+func (p *persister) enqueueAdvance(fn func()) {
+	p.ch <- persistReq{advance: fn}
 }
 
 // commitAndDeliver enqueues a watermark commit plus the match batch it

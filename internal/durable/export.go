@@ -1,0 +1,126 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/spectrecep/spectre/internal/event"
+)
+
+// Shard export/import turns one shard's folded WAL state into a portable
+// byte blob and back. This is the migration primitive of the distributed
+// runtime (internal/cluster): a quiesced shard's journal tail, retained
+// checkpoints, cut record and emission watermark travel inside a handoff
+// frame to the shard's next owner, which imports them into its own store
+// and recovers through the ordinary crash-recovery path.
+//
+// The blob is a sequence of length-prefixed records in the WAL's own
+// encoding, always led by the registry name tables, so an import into a
+// process that interned names in a different order remaps exactly like a
+// restart does.
+
+// ExportShard loads the (query, shard) log from st and renders its folded
+// state as a self-describing record blob. The shard log must be closed
+// (the owning runtime parked); exporting an open shard fails with
+// ErrShardOpen.
+func ExportShard(st Store, reg *event.Registry, query string, shard int) ([]byte, error) {
+	log, err := st.OpenShard(query, shard)
+	if err != nil {
+		return nil, fmt.Errorf("durable: export %s/%d: %w", query, shard, err)
+	}
+	defer log.Close()
+	state, err := log.Load(reg)
+	if err != nil {
+		return nil, fmt.Errorf("durable: export %s/%d: %w", query, shard, err)
+	}
+	if state == nil {
+		return nil, nil
+	}
+	recs := []*Record{TypesRecord(reg), FieldsRecord(reg)}
+	// The journal is chunked so no single record approaches the codec's
+	// size cap even for a large retained tail.
+	const exportChunk = 4096
+	for evs := state.Events; len(evs) > 0; {
+		n := min(len(evs), exportChunk)
+		recs = append(recs, &Record{Kind: KindEvents, Events: evs[:n]})
+		evs = evs[n:]
+	}
+	for _, ck := range state.Checkpoints {
+		recs = append(recs, &Record{Kind: KindCheckpoint, Checkpoint: ck})
+	}
+	if state.Cut != nil {
+		recs = append(recs, &Record{Kind: KindCut, Cut: state.Cut})
+	}
+	recs = append(recs, &Record{Kind: KindWatermark, Watermark: state.Watermark})
+
+	var blob []byte
+	scratch := make([]byte, 0, 4096)
+	for _, rec := range recs {
+		scratch, err = encodeRecord(scratch[:0], rec)
+		if err != nil {
+			return nil, fmt.Errorf("durable: export %s/%d: %w", query, shard, err)
+		}
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(scratch)))
+		blob = append(blob, n[:]...)
+		blob = append(blob, scratch...)
+	}
+	return blob, nil
+}
+
+// ImportShard appends an exported blob into st's (query, shard) log, which
+// must be empty and closed: importing over existing state would interleave
+// two histories. A nil blob is a no-op (exporting a never-written shard
+// yields nil, and importing it leaves the destination fresh).
+func ImportShard(st Store, reg *event.Registry, query string, shard int, blob []byte) error {
+	if len(blob) == 0 {
+		return nil
+	}
+	recs, err := decodeExport(blob)
+	if err != nil {
+		return fmt.Errorf("durable: import %s/%d: %w", query, shard, err)
+	}
+	log, err := st.OpenShard(query, shard)
+	if err != nil {
+		return fmt.Errorf("durable: import %s/%d: %w", query, shard, err)
+	}
+	defer log.Close()
+	state, err := log.Load(reg)
+	if err != nil {
+		return fmt.Errorf("durable: import %s/%d: %w", query, shard, err)
+	}
+	if state != nil {
+		return fmt.Errorf("durable: import %s/%d: destination shard log is not empty", query, shard)
+	}
+	for _, rec := range recs {
+		if err := log.Append(rec); err != nil {
+			return fmt.Errorf("durable: import %s/%d: %w", query, shard, err)
+		}
+	}
+	if err := log.Sync(); err != nil {
+		return fmt.Errorf("durable: import %s/%d: %w", query, shard, err)
+	}
+	return nil
+}
+
+// decodeExport splits a blob back into records.
+func decodeExport(blob []byte) ([]*Record, error) {
+	var recs []*Record
+	for off := 0; off < len(blob); {
+		if len(blob)-off < 4 {
+			return nil, fmt.Errorf("truncated export blob at offset %d", off)
+		}
+		n := int(binary.BigEndian.Uint32(blob[off : off+4]))
+		off += 4
+		if n <= 0 || n > maxRecordBytes || n > len(blob)-off {
+			return nil, fmt.Errorf("corrupt export record length %d at offset %d", n, off-4)
+		}
+		rec, err := decodeRecord(blob[off : off+n])
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs, nil
+}

@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	bodies := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 1<<16)}
+	var buf bytes.Buffer
+	for i, body := range bodies {
+		if err := WriteFrame(&buf, byte(i+1), body); err != nil {
+			t.Fatalf("write frame %d: %v", i, err)
+		}
+	}
+	var scratch []byte
+	for i, body := range bodies {
+		kind, got, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if kind != byte(i+1) {
+			t.Fatalf("frame %d: kind = %d, want %d", i, kind, i+1)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("frame %d: body mismatch (%d bytes vs %d)", i, len(got), len(body))
+		}
+		scratch = got[:0]
+	}
+	if _, _, err := ReadFrame(&buf, nil); err != io.EOF {
+		t.Fatalf("trailing read = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	var pristine bytes.Buffer
+	if err := WriteFrame(&pristine, 7, []byte("hello cluster")); err != nil {
+		t.Fatal(err)
+	}
+	raw := pristine.Bytes()
+
+	// Flip every byte position in turn: each corruption must surface as a
+	// *FrameError or an io error — never a silently accepted frame with a
+	// wrong body, and never a panic.
+	for i := range raw {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x40
+		kind, body, err := ReadFrame(bytes.NewReader(mut), nil)
+		if err == nil {
+			if kind != 7 || !bytes.Equal(body, []byte("hello cluster")) {
+				t.Fatalf("flip at %d: accepted corrupted frame kind=%d body=%q", i, kind, body)
+			}
+			// A flip inside the length prefix could in principle cancel out;
+			// with a single-bit region flip it cannot reproduce both length
+			// and CRC, so acceptance here means the flip was read back
+			// identically — impossible for XOR. Fail loudly.
+			t.Fatalf("flip at %d: frame accepted despite mutation", i)
+		}
+	}
+
+	// Oversized length prefix: rejected before allocating the claimed size.
+	var huge [8]byte
+	binary.BigEndian.PutUint32(huge[0:4], MaxFrameBytes+1)
+	_, _, err := ReadFrame(bytes.NewReader(huge[:]), nil)
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("oversized frame: err = %v, want *FrameError", err)
+	}
+
+	// Zero length prefix.
+	_, _, err = ReadFrame(bytes.NewReader(make([]byte, 8)), nil)
+	if !errors.As(err, &fe) {
+		t.Fatalf("zero-length frame: err = %v, want *FrameError", err)
+	}
+
+	// Truncated body: claimed length larger than the stream.
+	trunc := append([]byte(nil), raw...)
+	binary.BigEndian.PutUint32(trunc[0:4], 1<<20)
+	_, _, err = ReadFrame(bytes.NewReader(trunc), nil)
+	if err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+// FuzzDecodeFrame drives ReadFrame with arbitrary bytes: whatever the
+// length, CRC or kind corruption, decoding must return a structured error
+// (*FrameError or an io error), never panic, and never allocate beyond the
+// bytes actually present plus one read chunk. Valid frames must round-trip.
+func FuzzDecodeFrame(f *testing.F) {
+	seed, _ := AppendFrame(nil, 3, []byte("seed body"))
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(make([]byte, 8))
+	var huge [9]byte
+	binary.BigEndian.PutUint32(huge[0:4], MaxFrameBytes)
+	f.Add(huge[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var scratch []byte
+		for {
+			kind, body, err := ReadFrame(r, scratch)
+			if err != nil {
+				var fe *FrameError
+				if !errors.As(err, &fe) && err != io.EOF && err != io.ErrUnexpectedEOF {
+					t.Fatalf("unstructured error: %#v", err)
+				}
+				return
+			}
+			// Accepted frames must re-encode to a decodable frame.
+			re, err := AppendFrame(nil, kind, body)
+			if err != nil {
+				t.Fatalf("re-encode of accepted frame failed: %v", err)
+			}
+			k2, b2, err := ReadFrame(bytes.NewReader(re), nil)
+			if err != nil || k2 != kind || !bytes.Equal(b2, body) {
+				t.Fatalf("round-trip mismatch: %v", err)
+			}
+			scratch = body[:0]
+		}
+	})
+}
