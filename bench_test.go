@@ -708,6 +708,87 @@ func BenchmarkDistributed(b *testing.B) {
 	})
 }
 
+// BenchmarkComms measures the transport cost of the distributed path
+// (DESIGN.md §13) as bytes shipped per source event: three
+// plan-filterable queries on a two-worker loopback cluster, once with
+// coordinator-side pushdown and the compact v2 wire (the default), once
+// with pushdown disabled so every routed event ships in full. The
+// bytes/event metric comes from the coordinator's per-link transport
+// counters. Smoke-friendly at -benchtime=1x; the full mode sweep
+// (including the v1 wire and shared-stream dedup) lives in
+// cmd/spectre-bench -exp comms.
+func BenchmarkComms(b *testing.B) {
+	data.init()
+	ctx := context.Background()
+	texts := make([]string, 3)
+	for i, win := range []int{60, 120, 180} {
+		texts[i] = fmt.Sprintf(`
+			QUERY CQ%d
+			PATTERN (A B C)
+			DEFINE A AS (A.symbol IN ('BLUE00','BLUE01') AND A.close > A.open),
+			       B AS B.close > B.open,
+			       C AS C.close > C.open
+			WITHIN %d EVENTS FROM A
+			CONSUME ALL
+			PARTITION BY TYPE SHARDS 4
+		`, i, win)
+	}
+	run := func(b *testing.B, opts spectre.ClusterOptions) {
+		b.ReportAllocs()
+		var bytes uint64
+		for i := 0; i < b.N; i++ {
+			cl, err := spectre.ListenCluster("127.0.0.1:0", data.reg, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var workers []*spectre.ClusterWorker
+			for j := 0; j < 2; j++ {
+				w, err := spectre.JoinCluster(ctx, spectre.NewRegistry(), cl.Addr().String(), spectre.ClusterWorkerOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				workers = append(workers, w)
+			}
+			var handles []*spectre.ClusterHandle
+			for _, text := range texts {
+				h, err := cl.Submit(ctx, text, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles = append(handles, h)
+			}
+			for lo := 0; lo < len(data.nyse); lo += 1024 {
+				hi := min(lo+1024, len(data.nyse))
+				for _, h := range handles {
+					if err := h.FeedBatch(ctx, data.nyse[lo:hi]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			for _, h := range handles {
+				h.Close()
+			}
+			for _, h := range handles {
+				if err := h.Wait(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, ls := range cl.LinkStats() {
+				bytes += ls.BytesSent
+			}
+			for _, w := range workers {
+				w.Close()
+			}
+			if err := cl.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(bytes)/(float64(len(data.nyse))*float64(b.N)), "bytes/event")
+	}
+	b.Run("pushdown", func(b *testing.B) { run(b, spectre.ClusterOptions{MinWorkers: 2}) })
+	b.Run("full-ship", func(b *testing.B) { run(b, spectre.ClusterOptions{MinWorkers: 2, DisablePushdown: true}) })
+}
+
 // BenchmarkSequential measures the reference engine (context for the
 // parallel numbers).
 func BenchmarkSequential(b *testing.B) {

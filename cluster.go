@@ -43,6 +43,19 @@ type ClusterOptions struct {
 	// 2s); a link that stays silent for ten intervals is declared dead
 	// and its shards are rebalanced.
 	Heartbeat time.Duration
+	// BatchMin and BatchMax bound the adaptive per-link batch size
+	// (defaults 64 and 4096). The controller grows a link's batch when
+	// its frames keep filling and shrinks it when the link's shards hold
+	// the ordered merge back.
+	BatchMin int
+	BatchMax int
+	// StaticBatch disables the adaptive controller: every link keeps
+	// BatchEvents for the lifetime of the cluster.
+	StaticBatch bool
+	// DisablePushdown turns off coordinator-side plan pushdown: every
+	// routed event ships to its worker even when the query's intake
+	// filter would discard it there.
+	DisablePushdown bool
 	// Logf receives coordinator lifecycle logs (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -77,11 +90,15 @@ type Cluster struct {
 // coordinator's type and field tables, so theirs need not match.
 func ListenCluster(addr string, reg *Registry, opts ClusterOptions) (*Cluster, error) {
 	c, err := cluster.Listen(addr, reg, cluster.Options{
-		MinWorkers:    opts.MinWorkers,
-		BatchEvents:   opts.BatchEvents,
-		FlushInterval: opts.FlushInterval,
-		Heartbeat:     opts.Heartbeat,
-		Logf:          opts.Logf,
+		MinWorkers:      opts.MinWorkers,
+		BatchEvents:     opts.BatchEvents,
+		FlushInterval:   opts.FlushInterval,
+		Heartbeat:       opts.Heartbeat,
+		BatchMin:        opts.BatchMin,
+		BatchMax:        opts.BatchMax,
+		StaticBatch:     opts.StaticBatch,
+		DisablePushdown: opts.DisablePushdown,
+		Logf:            opts.Logf,
 	})
 	if err != nil {
 		return nil, err
@@ -94,6 +111,16 @@ func (cl *Cluster) Addr() net.Addr { return cl.c.Addr() }
 
 // Workers reports how many workers are currently joined.
 func (cl *Cluster) Workers() int { return cl.c.Workers() }
+
+// ClusterLinkStats is a snapshot of one worker link's transport
+// counters: negotiated protocol version, current adaptive batch size,
+// bytes and frames in each direction, events shipped and events saved
+// by shared-stream page dedup.
+type ClusterLinkStats = cluster.LinkStats
+
+// LinkStats snapshots the transport counters of every joined worker
+// link, ordered by worker id.
+func (cl *Cluster) LinkStats() []ClusterLinkStats { return cl.c.Stats() }
 
 // WaitWorkers blocks until n workers are joined or ctx is done.
 func (cl *Cluster) WaitWorkers(ctx context.Context, n int) error {
@@ -279,6 +306,14 @@ func JoinCluster(ctx context.Context, reg *Registry, addr string, opts ClusterWo
 
 // ID returns the coordinator-assigned worker id.
 func (w *ClusterWorker) ID() uint32 { return w.w.ID() }
+
+// ClusterWorkerStats is a snapshot of a worker's coordinator-link
+// transport counters: negotiated protocol version, bytes and frames in
+// each direction, and events received through shared-page references.
+type ClusterWorkerStats = cluster.WorkerStats
+
+// Stats snapshots the worker's transport counters.
+func (w *ClusterWorker) Stats() ClusterWorkerStats { return w.w.Stats() }
 
 // Wait blocks until the worker stops: coordinator link lost, or Close.
 // A link failure is returned as a *ClusterError.

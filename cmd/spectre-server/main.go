@@ -62,6 +62,17 @@
 // the joined workers, with output merged back into the exact
 // single-process order. Node-local flags (-sched, -shed, -state-dir,
 // ...) do not apply to distributed queries.
+//
+// The coordinator minimizes link traffic by default (DESIGN.md §13):
+// plan pushdown drops events the query provably cannot use before they
+// are framed, the v2 wire encodes frames compactly (delta/varint,
+// plan-driven field projection) on workers that negotiate it, and the
+// per-link batch size adapts between -cluster-batch-min and
+// -cluster-batch-max. -cluster-no-pushdown ships every routed event in
+// full; -cluster-static-batch pins the batch size. Per-link transport
+// counters (bytes, frames, events deduplicated) are printed in each
+// connection summary and exported under "clusterLinks" in the -pprof
+// /debug/spectre/metrics JSON object.
 package main
 
 import (
@@ -162,6 +173,15 @@ func parseSchedFlags(sched string, schedExplicit bool, instances, speculation st
 type liveQueries struct {
 	mu sync.Mutex
 	m  map[int]*liveQuery
+	// links, set in coordinator mode, snapshots the cluster worker
+	// links' transport counters for the metrics JSON.
+	links func() []spectre.ClusterLinkStats
+}
+
+func (l *liveQueries) setLinks(f func() []spectre.ClusterLinkStats) {
+	l.mu.Lock()
+	l.links = f
+	l.mu.Unlock()
 }
 
 type liveQuery struct {
@@ -200,6 +220,15 @@ type queryMetrics struct {
 	spectre.Metrics
 }
 
+// metricsSnapshot is the /debug/spectre/metrics JSON document: the live
+// queries plus, in coordinator mode, the cluster worker links' transport
+// counters (proto version, adaptive batch, bytes/frames each way, page
+// dedup savings).
+type metricsSnapshot struct {
+	Queries      []queryMetrics             `json:"queries"`
+	ClusterLinks []spectre.ClusterLinkStats `json:"clusterLinks,omitempty"`
+}
+
 // serveMetrics writes the JSON snapshot of every live query. Registered
 // on the DefaultServeMux, which -pprof serves.
 func (l *liveQueries) serveMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -208,6 +237,7 @@ func (l *liveQueries) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, q := range l.m {
 		live = append(live, q)
 	}
+	links := l.links
 	l.mu.Unlock()
 	out := make([]queryMetrics, 0, len(live))
 	for _, q := range live {
@@ -228,10 +258,14 @@ func (l *liveQueries) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 			Metrics:          m,
 		})
 	}
+	snap := metricsSnapshot{Queries: out}
+	if links != nil {
+		snap.ClusterLinks = links()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(out)
+	_ = enc.Encode(snap)
 }
 
 func run() error {
@@ -257,6 +291,10 @@ func run() error {
 		capacityFlag = flag.Int("capacity", 0, "shard capacity advertised in -worker mode (0 = default)")
 		clusterAddr  = flag.String("cluster-listen", "", "accept cluster workers on this address and run every client query distributed across them")
 		clusterMin   = flag.Int("cluster-min-workers", 1, "block distributed submissions until this many workers have joined")
+		clusterBMin  = flag.Int("cluster-batch-min", 0, "adaptive per-link batch floor in events (0 = default 64)")
+		clusterBMax  = flag.Int("cluster-batch-max", 0, "adaptive per-link batch ceiling in events (0 = default 4096)")
+		clusterBFix  = flag.Bool("cluster-static-batch", false, "disable the adaptive batch controller: links keep the initial batch size")
+		clusterNoPD  = flag.Bool("cluster-no-pushdown", false, "disable coordinator-side plan pushdown: ship every routed event to its worker")
 	)
 	flag.Parse()
 
@@ -341,7 +379,11 @@ func run() error {
 	if *clusterAddr != "" {
 		creg := spectre.NewRegistry()
 		cl, err := spectre.ListenCluster(*clusterAddr, creg, spectre.ClusterOptions{
-			MinWorkers: *clusterMin,
+			MinWorkers:      *clusterMin,
+			BatchMin:        *clusterBMin,
+			BatchMax:        *clusterBMax,
+			StaticBatch:     *clusterBFix,
+			DisablePushdown: *clusterNoPD,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "spectre-server: "+format+"\n", args...)
 			},
@@ -352,6 +394,7 @@ func run() error {
 		}
 		defer cl.Close()
 		cluster = &clusterFrontend{cl: cl, reg: creg}
+		live.setLinks(cl.LinkStats)
 		fmt.Fprintf(os.Stderr, "spectre-server: cluster coordinator on %s (min %d workers)\n",
 			cl.Addr(), *clusterMin)
 	}
@@ -435,15 +478,23 @@ func runWorker(ctx context.Context, join string, capacity int) error {
 	fmt.Fprintf(os.Stderr, "spectre-server: worker %d joined %s\n", w.ID(), join)
 	done := make(chan error, 1)
 	go func() { done <- w.Wait() }()
+	report := func() {
+		ws := w.Stats()
+		fmt.Fprintf(os.Stderr,
+			"spectre-server: worker %d link proto v%d: %d B out / %d B in, %d frames out / %d in, %d events deduped\n",
+			w.ID(), ws.Proto, ws.BytesSent, ws.BytesRecv, ws.FramesSent, ws.FramesRecv, ws.EventsDeduped)
+	}
 	select {
 	case <-ctx.Done():
 		// Detach on signal: the coordinator sees the link drop and
 		// reassigns our shards from its retained buffers.
 		w.Close()
 		<-done
+		report()
 		fmt.Fprintln(os.Stderr, "spectre-server: worker detached after signal")
 		return nil
 	case err := <-done:
+		report()
 		return err
 	}
 }
@@ -535,6 +586,13 @@ func serveClusterConn(ctx context.Context, cluster *clusterFrontend, conn net.Co
 	mu.Unlock()
 	fmt.Fprintf(os.Stderr, "spectre-server: conn %d: %d events, %d matches in %v (%.0f events/sec, distributed)\n",
 		id, sent, n, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+	for _, ls := range cluster.cl.LinkStats() {
+		fmt.Fprintf(os.Stderr,
+			"spectre-server: conn %d: link w%d (%s) proto v%d batch %d: %d B out / %d B in, %d frames out / %d in, %d events sent, %d deduped\n",
+			id, ls.WorkerID, ls.Name, ls.Proto, ls.Batch,
+			ls.BytesSent, ls.BytesRecv, ls.FramesSent, ls.FramesRecv,
+			ls.EventsSent, ls.EventsDeduped)
+	}
 	return nil
 }
 

@@ -524,6 +524,7 @@ func (o *Options) Experiments() map[string]func() ([]Row, error) {
 		"shed":        o.Shed,
 		"recovery":    o.Recovery,
 		"distributed": o.Distributed,
+		"comms":       o.Comms,
 	}
 }
 
@@ -531,7 +532,7 @@ func (o *Options) Experiments() map[string]func() ([]Row, error) {
 var ExperimentOrder = []string{
 	"fig10a", "fig10b", "fig10c", "fig10d", "fig10e", "fig10f",
 	"fig11a", "fig11b", "trex", "partition", "feedbatch", "speculation",
-	"sched", "planner", "shed", "recovery", "distributed",
+	"sched", "planner", "shed", "recovery", "distributed", "comms",
 }
 
 // RunAll executes every experiment in order.

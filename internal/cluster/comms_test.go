@@ -1,0 +1,359 @@
+package cluster
+
+// Communication-efficiency behavior (DESIGN.md §13): protocol
+// negotiation fallback to v1, pushdown equivalence (filtering at the
+// coordinator must not change a single output byte), and shared-stream
+// page dedup across co-located queries.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/spectrecep/spectre/internal/dataset"
+	"github.com/spectrecep/spectre/internal/event"
+)
+
+// startClusterOpts is startCluster with coordinator/worker option
+// overrides (zero fields get the test defaults).
+func startClusterOpts(t *testing.T, reg *event.Registry, n int, opts Options, wopts WorkerOptions) *testCluster {
+	t.Helper()
+	if opts.MinWorkers == 0 {
+		opts.MinWorkers = n
+	}
+	if opts.FlushInterval == 0 {
+		opts.FlushInterval = time.Millisecond
+	}
+	if opts.Heartbeat == 0 {
+		opts.Heartbeat = 200 * time.Millisecond
+	}
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	c, err := Listen("127.0.0.1:0", reg, opts)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	tc := &testCluster{c: c}
+	for i := 0; i < n; i++ {
+		if wopts.Heartbeat == 0 {
+			wopts.Heartbeat = 100 * time.Millisecond
+		}
+		if wopts.Logf == nil {
+			wopts.Logf = t.Logf
+		}
+		w, err := Join(context.Background(), event.NewRegistry(), c.Addr().String(), wopts)
+		if err != nil {
+			t.Fatalf("join: %v", err)
+		}
+		t.Cleanup(func() { w.Close(); _ = w.Wait() })
+		tc.workers = append(tc.workers, w)
+	}
+	return tc
+}
+
+// TestProtoNegotiationFallback: a v1-capped peer on either side of the
+// handshake must drop the whole link to the v1 grammar — and the golden
+// output must still be byte-identical, via the classic full-ship path.
+func TestProtoNegotiationFallback(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  Options
+		wopts WorkerOptions
+	}{
+		{name: "old-worker", wopts: WorkerOptions{MaxProto: 1}},
+		{name: "old-coordinator", opts: Options{MaxProto: 1}},
+	}
+	gc := goldenCases[0] // Q1
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := event.NewRegistry()
+			events := gc.events(reg)
+			route := gc.route(reg)
+			want := refRun(t, reg, gc.text, route, distShards, events)
+
+			cl := startClusterOpts(t, reg, 2, tc.opts, tc.wopts)
+			for _, ls := range cl.c.Stats() {
+				if ls.Proto != 1 {
+					t.Fatalf("link %d negotiated proto %d, want 1", ls.WorkerID, ls.Proto)
+				}
+			}
+			for _, w := range cl.workers {
+				if ws := w.Stats(); ws.Proto != 1 {
+					t.Fatalf("worker %d negotiated proto %d, want 1", w.ID(), ws.Proto)
+				}
+			}
+			h, got := distSubmit(t, cl.c, gc.name, gc.text, route, distShards)
+			feedAll(t, h, events)
+			drain(t, h)
+			compareRuns(t, tc.name, want, got())
+		})
+	}
+}
+
+// TestMixedProtoFleet: one v1 and one v2 worker in the same cluster. A
+// pushdown-eligible query must pin its shards to the v2 link and still
+// match the reference; the v1 link stays usable for the handshake.
+func TestMixedProtoFleet(t *testing.T) {
+	gc := goldenCases[0] // Q1
+	reg := event.NewRegistry()
+	events := gc.events(reg)
+	route := gc.route(reg)
+	want := refRun(t, reg, gc.text, route, distShards, events)
+
+	cl := startClusterOpts(t, reg, 1, Options{MinWorkers: 2}, WorkerOptions{MaxProto: 1})
+	w2, err := Join(context.Background(), event.NewRegistry(), cl.c.Addr().String(),
+		WorkerOptions{Heartbeat: 100 * time.Millisecond, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("join v2: %v", err)
+	}
+	t.Cleanup(func() { w2.Close(); _ = w2.Wait() })
+
+	h, got := distSubmit(t, cl.c, gc.name, gc.text, route, distShards)
+	cl.c.mu.Lock()
+	var q *queryState
+	for _, cand := range cl.c.queries {
+		q = cand
+	}
+	pre := q.preStamped
+	for i, s := range q.shards {
+		if pre && s.owner != nil && s.owner.proto < 2 {
+			cl.c.mu.Unlock()
+			t.Fatalf("pre-stamped shard %d placed on v1 link", i)
+		}
+	}
+	cl.c.mu.Unlock()
+	if !pre {
+		t.Fatal("Q1 with a v2 worker present should run pre-stamped")
+	}
+	feedAll(t, h, events)
+	drain(t, h)
+	compareRuns(t, "mixed fleet", want, got())
+}
+
+// TestPushdownEquivalence: for every golden query on 2 and 4 workers,
+// filtering at the coordinator (plan pushdown, the default) and
+// filtering at the worker (DisablePushdown) must both be byte-identical
+// to the local reference — so to each other.
+func TestPushdownEquivalence(t *testing.T) {
+	for _, gc := range goldenCases {
+		for _, workers := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", gc.name, workers), func(t *testing.T) {
+				reg := event.NewRegistry()
+				events := gc.events(reg)
+				route := gc.route(reg)
+				want := refRun(t, reg, gc.text, route, distShards, events)
+
+				outs := map[string][]string{}
+				for _, mode := range []struct {
+					name string
+					opts Options
+				}{
+					{name: "pushdown", opts: Options{}},
+					{name: "full-ship", opts: Options{DisablePushdown: true}},
+				} {
+					cl := startClusterOpts(t, reg, workers, mode.opts, WorkerOptions{})
+					h, got := distSubmit(t, cl.c, gc.name, gc.text, route, distShards)
+					feedAll(t, h, events)
+					drain(t, h)
+					outs[mode.name] = got()
+					compareRuns(t, fmt.Sprintf("%s/%s", gc.name, mode.name), want, outs[mode.name])
+				}
+				for i := range outs["pushdown"] {
+					if outs["pushdown"][i] != outs["full-ship"][i] {
+						t.Fatalf("detection %d differs between pushdown and full-ship", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPushdownFilters asserts the tentpole actually engages: a query
+// whose plan rejects most of the stream must drop events at the
+// coordinator (never encoding them) when pushdown is on.
+func TestPushdownFilters(t *testing.T) {
+	gc := goldenCases[0] // Q1: every step requires close > open
+	reg := event.NewRegistry()
+	events := gc.events(reg)
+	route := gc.route(reg)
+
+	cl := startCluster(t, reg, 2)
+	h, _ := distSubmit(t, cl.c, gc.name, gc.text, route, distShards)
+	feedAll(t, h, events)
+
+	// Routing is synchronous, so the counters are final once the feed
+	// returns; sample before drain (finished queries leave the table).
+	cl.c.mu.Lock()
+	var filtered, retained uint64
+	for _, q := range cl.c.queries {
+		filtered += q.filtered
+		for _, s := range q.shards {
+			retained += uint64(len(s.retained))
+		}
+	}
+	cl.c.mu.Unlock()
+	drain(t, h)
+	if filtered == 0 {
+		t.Fatal("pushdown dropped nothing — plan filter never engaged")
+	}
+	if filtered+retained != uint64(len(events)) {
+		t.Fatalf("filtered %d + retained %d != %d fed", filtered, retained, len(events))
+	}
+	t.Logf("pushdown dropped %d of %d events at the coordinator", filtered, len(events))
+}
+
+// TestSharedStreamDedup: three queries attached to one shared stream;
+// co-located shards must receive each source event once (pages), the
+// per-query outputs must match a per-query reference, and the dedup
+// counters must show real savings.
+func TestSharedStreamDedup(t *testing.T) {
+	gc := goldenCases[0] // Q1
+	reg := event.NewRegistry()
+	events := gc.events(reg)
+	route := gc.route(reg)
+	want := refRun(t, reg, gc.text, route, distShards, events)
+
+	cl := startCluster(t, reg, 2)
+	st := cl.c.OpenStream()
+	type sub struct {
+		h   *QueryHandle
+		got func() []string
+	}
+	var subs []sub
+	for i := 0; i < 3; i++ {
+		// All three use the same name: canon embeds it, and each query's
+		// output must be byte-identical to the single-query reference.
+		h, got := distSubmitStream(t, cl.c, st, gc.name, gc.text, route, distShards)
+		subs = append(subs, sub{h: h, got: got})
+	}
+	// Page staging only covers shards that are already recovered on
+	// their owner; wait so the whole stream is dedup-eligible.
+	waitUntil(t, "shards ready", func() bool {
+		cl.c.mu.Lock()
+		defer cl.c.mu.Unlock()
+		for _, q := range cl.c.queries {
+			for _, s := range q.shards {
+				if s.owner == nil || !s.ready {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	const chunk = 250
+	for off := 0; off < len(events); off += chunk {
+		end := min(off+chunk, len(events))
+		if err := st.FeedBatch(events[off:end]); err != nil {
+			t.Fatalf("stream feed: %v", err)
+		}
+	}
+	st.Close()
+	for i, s := range subs {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		if err := s.h.Wait(ctx); err != nil {
+			t.Fatalf("wait query %d: %v", i, err)
+		}
+		cancel()
+		compareRuns(t, fmt.Sprintf("stream query %d", i), want, s.got())
+	}
+
+	var deduped uint64
+	for _, ls := range cl.c.Stats() {
+		deduped += ls.EventsDeduped
+	}
+	if deduped == 0 {
+		t.Fatal("no events deduplicated across the shared stream")
+	}
+	var workerDeduped uint64
+	for _, w := range cl.workers {
+		workerDeduped += w.Stats().EventsDeduped
+	}
+	if workerDeduped == 0 {
+		t.Fatal("workers expanded no page references")
+	}
+	t.Logf("deduped %d events coordinator-side, %d page-ref expansions worker-side", deduped, workerDeduped)
+
+	// Direct feeds must be rejected on stream-attached queries.
+	if err := subs[0].h.Feed(events[0]); err == nil {
+		t.Fatal("direct feed on a stream-attached query succeeded")
+	}
+}
+
+// distSubmitStream is distSubmit with the submission attached to a
+// shared stream.
+func distSubmitStream(t *testing.T, c *Coordinator, st *Stream, name, text string, route func(*event.Event) int, nShards int) (*QueryHandle, func() []string) {
+	t.Helper()
+	var mu sync.Mutex
+	var out []string
+	h, err := c.Submit(context.Background(), Submission{
+		Name:    name,
+		Text:    text,
+		NShards: nShards,
+		Route:   route,
+		Stream:  st,
+		Emit: func(m event.Complex) {
+			mu.Lock()
+			out = append(out, canon(m))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("stream submit: %v", err)
+	}
+	return h, func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), out...)
+	}
+}
+
+// TestAdaptiveBatchGrows: a sustained full-throughput feed must push a
+// link's batch above the configured floor; StaticBatch must pin it.
+// The stream is match-free so the ordered merge never buffers a head —
+// otherwise the blocked-merge shrink signal outvotes growth on a
+// single-link cluster, which is the intended policy.
+func TestAdaptiveBatchGrows(t *testing.T) {
+	gc := goldenCases[0]
+	reg := event.NewRegistry()
+	events := dataset.Rand(reg, dataset.RandConfig{Symbols: 10, Events: 4000, Seed: 7})
+	route := gc.route(reg)
+
+	for _, static := range []bool{false, true} {
+		name := "adaptive"
+		if static {
+			name = "static"
+		}
+		t.Run(name, func(t *testing.T) {
+			cl := startClusterOpts(t, reg, 1,
+				Options{BatchEvents: 64, BatchMin: 64, BatchMax: 1024, StaticBatch: static},
+				WorkerOptions{})
+			h, _ := distSubmit(t, cl.c, gc.name, gc.text, route, distShards)
+			// Feed in whole-stream pulses so each shard's backlog fills
+			// several frames at once, spaced so the controller (every 8
+			// flusher ticks) observes the sustained full sends.
+			for i := 0; i < 10; i++ {
+				if err := h.FeedBatch(events); err != nil {
+					t.Fatalf("feed: %v", err)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			drain(t, h)
+			grown := false
+			for _, ls := range cl.c.Stats() {
+				if ls.Batch > 64 {
+					grown = true
+				}
+				if static && ls.Batch != 64 {
+					t.Fatalf("static batch drifted to %d", ls.Batch)
+				}
+			}
+			if !static && !grown {
+				t.Fatal("adaptive batch never grew above the floor under sustained load")
+			}
+		})
+	}
+}

@@ -4,10 +4,14 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/spectrecep/spectre/internal/event"
+	"github.com/spectrecep/spectre/internal/parser"
+	"github.com/spectrecep/spectre/internal/plan"
 	"github.com/spectrecep/spectre/internal/transport"
 )
 
@@ -16,10 +20,28 @@ type Options struct {
 	// MinWorkers makes Submit block until at least this many workers have
 	// joined (default 1).
 	MinWorkers int
-	// BatchEvents is the per-shard event batch size on a worker link
-	// (default 256): the pump coalesces this many routed events into one
-	// frame before shipping.
+	// BatchEvents is the initial per-shard event batch size on a worker
+	// link (default 256): the pump coalesces this many routed events into
+	// one frame before shipping. Each link's batch then adapts within
+	// [BatchMin, BatchMax] — growing while the link keeps shipping full
+	// batches, shrinking when the link owns the shard that holds back a
+	// query's ordered-merge head — unless StaticBatch pins it.
 	BatchEvents int
+	// BatchMin and BatchMax bound the adaptive batch size (defaults 64
+	// and 4096).
+	BatchMin int
+	BatchMax int
+	// StaticBatch disables the adaptive controller: every link keeps
+	// BatchEvents for its lifetime.
+	StaticBatch bool
+	// DisablePushdown turns off coordinator-side plan pushdown: every
+	// routed event ships to its shard owner even when the query's intake
+	// prefilter proves it irrelevant.
+	DisablePushdown bool
+	// MaxProto caps the negotiated wire protocol version (default: the
+	// newest this build speaks). Tests use it to exercise the v1
+	// compatibility path.
+	MaxProto int
 	// FlushInterval bounds how long a partial batch may sit staged before
 	// it is shipped anyway (default 2ms).
 	FlushInterval time.Duration
@@ -36,6 +58,24 @@ func (o *Options) setDefaults() {
 	}
 	if o.BatchEvents <= 0 {
 		o.BatchEvents = 256
+	}
+	if o.BatchMin <= 0 {
+		o.BatchMin = 64
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 4096
+	}
+	if o.BatchMax < o.BatchMin {
+		o.BatchMax = o.BatchMin
+	}
+	if o.BatchEvents < o.BatchMin {
+		o.BatchEvents = o.BatchMin
+	}
+	if o.BatchEvents > o.BatchMax {
+		o.BatchEvents = o.BatchMax
+	}
+	if o.MaxProto <= 0 || o.MaxProto > protoVersion {
+		o.MaxProto = protoVersion
 	}
 	if o.FlushInterval <= 0 {
 		o.FlushInterval = 2 * time.Millisecond
@@ -71,6 +111,11 @@ type Coordinator struct {
 	nextQuery  uint32
 	closed     bool
 	membership chan struct{} // closed+replaced on every join/leave
+	// encBuf is the shared frame-body encode scratch (c.mu): enqueue
+	// copies the body into a pooled frame buffer synchronously, so one
+	// scratch serves every pump.
+	encBuf []byte
+	ticks  int // flusher ticks since the last batch-controller pass
 
 	wg sync.WaitGroup
 }
@@ -80,6 +125,7 @@ type workerLink struct {
 	id       uint32
 	name     string
 	capacity int
+	proto    uint32 // negotiated wire protocol version
 	conn     net.Conn
 
 	// Outbound frame queue (qmu): encoded frames in send order.
@@ -92,6 +138,68 @@ type workerLink struct {
 	load                  int
 	gone                  bool
 	typesSent, fieldsSent int
+	// batch is the link's adaptive event batch size; fullSends counts
+	// full batches shipped since the controller's last pass.
+	batch     int
+	fullSends int
+	// pageSeq numbers shared-stream pages; stage holds the events and
+	// per-shard reference lists accumulated since the last page flush.
+	pageSeq uint64
+	stage   *pageStage
+
+	// Transport counters (atomic: writeLoop and readLink update them
+	// outside c.mu).
+	bytesSent     atomic.Uint64
+	bytesRecv     atomic.Uint64
+	framesSent    atomic.Uint64
+	framesRecv    atomic.Uint64
+	eventsSent    atomic.Uint64
+	eventsDeduped atomic.Uint64
+}
+
+// framePool recycles encoded outbound frame buffers: enqueue draws from
+// it, writeLoop returns each buffer after the connection write.
+var framePool = sync.Pool{New: func() any { return []byte(nil) }}
+
+// LinkStats is a point-in-time snapshot of one worker link's transport
+// counters (Coordinator.Stats).
+type LinkStats struct {
+	WorkerID      uint32
+	Name          string
+	Proto         uint32
+	Batch         int
+	Shards        int
+	BytesSent     uint64
+	BytesRecv     uint64
+	FramesSent    uint64
+	FramesRecv    uint64
+	EventsSent    uint64
+	EventsDeduped uint64
+}
+
+// Stats snapshots every live worker link's transport counters, ordered
+// by worker id.
+func (c *Coordinator) Stats() []LinkStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]LinkStats, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, LinkStats{
+			WorkerID:      w.id,
+			Name:          w.name,
+			Proto:         w.proto,
+			Batch:         w.batch,
+			Shards:        w.load,
+			BytesSent:     w.bytesSent.Load(),
+			BytesRecv:     w.bytesRecv.Load(),
+			FramesSent:    w.framesSent.Load(),
+			FramesRecv:    w.framesRecv.Load(),
+			EventsSent:    w.eventsSent.Load(),
+			EventsDeduped: w.eventsDeduped.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].WorkerID < out[j].WorkerID })
+	return out
 }
 
 // queryState is one submitted query's distributed execution.
@@ -105,6 +213,25 @@ type queryState struct {
 	shards  []*shardRun
 	emit    func(event.Complex)
 	onDrain func()
+
+	// preStamped marks the query as running in pre-stamped mode: workers
+	// trust the wire-carried raw sequence numbers instead of re-stamping
+	// at intake, which is what lets the coordinator drop (pushdown) or
+	// page-share events. Pre-stamped shards only run on proto ≥ 2 links.
+	preStamped bool
+	// admit is the plan's intake prefilter when pushdown is on (nil
+	// otherwise): events it rejects spend their raw position but are
+	// never retained, encoded or shipped.
+	admit func(*event.Event) bool
+	// proj, when projected, lists the payload field indexes any query
+	// predicate can read; proto ≥ 2 links ship only those columns.
+	proj      []int
+	projected bool
+	// stream, when non-nil, is the shared source this query is fed
+	// through (Stream.FeedBatch); direct handle feeds are rejected.
+	stream *Stream
+	// filtered counts events dropped by pushdown.
+	filtered uint64
 
 	closing  bool
 	drained  int
@@ -120,13 +247,24 @@ type shardRun struct {
 	quiescing bool        // quiesce sent, handoff pending
 	target    *workerLink // preferred owner once the handoff lands
 
-	// retained buffers every routed event from base onward; it is the
-	// replay source for crash reassignment and is truncated only when a
-	// ready frame proves the new owner's WAL journal covers the prefix.
+	// routed counts every event routed to this shard — dropped ones
+	// included — so raw substream positions stay dense in the merge's
+	// gpos table while retained stays sparse under pushdown.
+	routed uint64
+	// retained buffers every admitted event from base onward, each
+	// stamped with its raw position in Seq; it is the replay source for
+	// crash reassignment and is truncated only when a ready frame proves
+	// the new owner's WAL journal covers the prefix.
 	retained []event.Event
-	base     uint64
-	// nextSend is the next shard-local position to ship to the owner.
-	nextSend uint64
+	// base is the raw-position floor of retained: every retained event
+	// has Seq ≥ base, and resume positions below it are protocol errors.
+	base uint64
+	// sent indexes the next unsent retained event.
+	sent int
+	// gen increments on every assignment and prune; staged shared-stream
+	// reference lists are valid only for the generation they were built
+	// in.
+	gen uint64
 
 	// accepted counts accepted emissions (the ordinal dedupe cursor R[s]).
 	accepted uint64
@@ -139,8 +277,6 @@ type shardRun struct {
 	drained   bool
 }
 
-func (s *shardRun) end() uint64 { return s.base + uint64(len(s.retained)) }
-
 // Submission describes one query to distribute. The caller resolves the
 // partition route against the same registry the coordinator encodes
 // events with.
@@ -151,6 +287,10 @@ type Submission struct {
 	Route   func(*event.Event) int
 	Emit    func(event.Complex)
 	OnDrain func()
+	// Stream attaches the query to a shared source (OpenStream): it is
+	// then fed exclusively through Stream.FeedBatch, and workers running
+	// shards of several attached queries receive each source event once.
+	Stream *Stream
 }
 
 // Listen starts a coordinator on addr.
@@ -287,8 +427,12 @@ func (c *Coordinator) handshake(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
-	if hello.Proto != protoVersion {
-		msg := errorMsg{Msg: fmt.Sprintf("protocol mismatch: coordinator speaks v%d, worker v%d", protoVersion, hello.Proto)}
+	// Negotiate down to the newest version both sides speak: the worker
+	// advertises its maximum, the coordinator answers with the chosen
+	// version and every frame on the link follows it.
+	chosen := min(hello.Proto, uint32(c.opts.MaxProto))
+	if chosen < minProtoVersion {
+		msg := errorMsg{Msg: fmt.Sprintf("protocol mismatch: coordinator speaks v%d..v%d, worker v%d", minProtoVersion, c.opts.MaxProto, hello.Proto)}
 		_ = transport.WriteFrame(conn, kindError, msg.encode(nil))
 		_ = conn.Close()
 		return
@@ -296,6 +440,8 @@ func (c *Coordinator) handshake(conn net.Conn) {
 	w := &workerLink{
 		name:     hello.Name,
 		capacity: int(hello.Capacity),
+		proto:    chosen,
+		batch:    c.opts.BatchEvents,
 		conn:     conn,
 	}
 	if w.capacity <= 0 {
@@ -317,7 +463,7 @@ func (c *Coordinator) handshake(conn net.Conn) {
 	c.workers[w.id] = w
 	c.mu.Unlock()
 
-	welcome := welcomeMsg{Proto: protoVersion, WorkerID: w.id}
+	welcome := welcomeMsg{Proto: w.proto, WorkerID: w.id}
 	if err := transport.WriteFrame(conn, kindWelcome, welcome.encode(nil)); err != nil {
 		c.mu.Lock()
 		delete(c.workers, w.id)
@@ -326,7 +472,7 @@ func (c *Coordinator) handshake(conn net.Conn) {
 		return
 	}
 	_ = conn.SetDeadline(time.Time{})
-	c.opts.Logf("cluster: worker %d (%s) joined, capacity %d", w.id, w.name, w.capacity)
+	c.opts.Logf("cluster: worker %d (%s) joined, capacity %d, proto v%d", w.id, w.name, w.capacity, w.proto)
 
 	c.wg.Add(2)
 	go func() {
@@ -347,10 +493,14 @@ func (c *Coordinator) handshake(conn net.Conn) {
 	c.readLink(w)
 }
 
-// enqueue stages one encoded frame on the link's outbound queue.
+// enqueue stages one encoded frame on the link's outbound queue. The
+// body is copied into a pooled frame buffer immediately, so callers may
+// reuse their encode scratch.
 func (w *workerLink) enqueue(kind byte, body []byte) {
-	frame, err := transport.AppendFrame(nil, kind, body)
+	buf, _ := framePool.Get().([]byte)
+	frame, err := transport.AppendFrame(buf[:0], kind, body)
 	if err != nil {
+		framePool.Put(frame) //nolint:staticcheck // same backing array
 		return
 	}
 	w.qmu.Lock()
@@ -389,6 +539,9 @@ func (w *workerLink) writeLoop() {
 				w.closeQueue()
 				return
 			}
+			w.bytesSent.Add(uint64(len(frame)))
+			w.framesSent.Add(1)
+			framePool.Put(frame) //nolint:staticcheck // recycled via Get
 		}
 	}
 }
@@ -419,6 +572,8 @@ func (c *Coordinator) readLink(w *workerLink) {
 			c.workerLost(w, err)
 			return
 		}
+		w.bytesRecv.Add(uint64(frameOverhead + len(body)))
+		w.framesRecv.Add(1)
 		scratch = body[:0]
 		if err := c.dispatch(w, kind, body); err != nil {
 			c.opts.Logf("cluster: worker %d (%s): %v", w.id, w.name, err)
@@ -511,7 +666,7 @@ func (c *Coordinator) workerLost(w *workerLink, cause error) {
 					s.target = nil
 				}
 			}
-			if next := c.pickWorker(); next != nil {
+			if next := c.pickWorkerFor(q); next != nil {
 				c.assignShard(q, idx, next)
 			}
 		}
@@ -536,17 +691,54 @@ func (c *Coordinator) pickWorker() *workerLink {
 	return best
 }
 
-// placePending assigns every unowned shard, preferring the new worker
-// (c.mu held).
+// eligible reports whether w may own shards of q: pre-stamped queries
+// (pushdown or shared-stream) need the v2 frame grammar, so they are
+// pinned to proto ≥ 2 links (c.mu held).
+func (q *queryState) eligible(w *workerLink) bool {
+	return !q.preStamped || w.proto >= 2
+}
+
+// pickWorkerFor returns the best live worker for a shard of q: eligible
+// links only, preferring — for shared-stream queries — the worker that
+// already owns the most shards of the stream's other queries (so pages
+// dedup across them), then least load (c.mu held).
+func (c *Coordinator) pickWorkerFor(q *queryState) *workerLink {
+	shared := map[*workerLink]int{}
+	if q.stream != nil {
+		for _, sq := range q.stream.queries {
+			for _, s := range sq.shards {
+				if s.owner != nil {
+					shared[s.owner]++
+				}
+			}
+		}
+	}
+	var best *workerLink
+	for _, w := range c.workers {
+		if w.gone || w.load >= w.capacity || !q.eligible(w) {
+			continue
+		}
+		switch {
+		case best == nil,
+			shared[w] > shared[best],
+			shared[w] == shared[best] && w.load < best.load,
+			shared[w] == shared[best] && w.load == best.load && w.id < best.id:
+			best = w
+		}
+	}
+	return best
+}
+
+// placePending assigns every unowned shard (c.mu held).
 func (c *Coordinator) placePending(_ *workerLink) {
 	for _, q := range c.queries {
 		for idx, s := range q.shards {
 			if s.owner != nil || s.drained || s.quiescing {
 				continue
 			}
-			next := c.pickWorker()
+			next := c.pickWorkerFor(q)
 			if next == nil {
-				return
+				continue
 			}
 			c.assignShard(q, idx, next)
 		}
@@ -559,6 +751,9 @@ func (c *Coordinator) placePending(_ *workerLink) {
 // resume on the target.
 func (c *Coordinator) rebalance(target *workerLink) {
 	for _, q := range c.queries {
+		if !q.eligible(target) {
+			continue
+		}
 		for {
 			if target.load >= target.capacity {
 				return
@@ -629,6 +824,7 @@ func (c *Coordinator) assignShard(q *queryState, idx int, w *workerLink) {
 	s.owner = w
 	s.ready = false
 	s.closeSent = false
+	s.gen++
 	if s.target == w {
 		s.target = nil
 	} else {
@@ -636,46 +832,98 @@ func (c *Coordinator) assignShard(q *queryState, idx int, w *workerLink) {
 	}
 	c.ensureTables(w)
 	m := assignMsg{
-		Query:    q.id,
-		Shard:    uint32(idx),
-		NShards:  uint32(q.nShards),
-		EmitBase: s.snapW,
-		Name:     q.name,
-		Text:     q.text,
-		Snapshot: s.snap,
+		Query:      q.id,
+		Shard:      uint32(idx),
+		NShards:    uint32(q.nShards),
+		EmitBase:   s.snapW,
+		Name:       q.name,
+		Text:       q.text,
+		Snapshot:   s.snap,
+		PreStamped: q.preStamped,
 	}
-	w.enqueue(kindAssign, m.encode(nil))
+	w.enqueue(kindAssign, m.encode(nil, w.proto))
 }
 
 // pump ships retained events to the shard's owner: full batches always,
 // the partial tail only when force is set (flusher tick, close, ready
-// catch-up). Must run with c.mu held.
+// catch-up). Proto ≥ 2 links get the compact columnar frame — delta
+// sequence numbers (sparse under pushdown) and projected fields; v1
+// links get the fixed-width grammar, which is only ever legal for
+// non-pre-stamped queries (contiguous positions the worker re-stamps).
+// Must run with c.mu held.
 func (c *Coordinator) pump(q *queryState, idx int, force bool) {
 	s := q.shards[idx]
 	if s.owner == nil || !s.ready || s.quiescing || s.drained {
 		return
 	}
-	batch := uint64(c.opts.BatchEvents)
+	w := s.owner
+	batch := w.batch
 	for {
-		avail := s.end() - s.nextSend
+		avail := len(s.retained) - s.sent
 		if avail == 0 || (!force && avail < batch) {
 			break
 		}
 		n := min(avail, batch)
-		start := s.nextSend - s.base
-		m := eventsMsg{Query: q.id, Shard: uint32(idx), Events: s.retained[start : start+n]}
-		c.ensureTables(s.owner)
-		s.owner.enqueue(kindEvents, m.encode(nil))
-		s.nextSend += n
+		evs := s.retained[s.sent : s.sent+n]
+		c.ensureTables(w)
+		if w.proto >= 2 {
+			m := events2Msg{Query: q.id, Shard: uint32(idx), Events: evs}
+			if q.projected {
+				m.Proj = q.proj
+			}
+			c.encBuf = m.encode(c.encBuf[:0])
+			w.enqueue(kindEvents2, c.encBuf)
+		} else {
+			m := eventsMsg{Query: q.id, Shard: uint32(idx), Events: evs}
+			c.encBuf = m.encode(c.encBuf[:0])
+			w.enqueue(kindEvents, c.encBuf)
+		}
+		w.eventsSent.Add(uint64(n))
+		if n == batch {
+			w.fullSends++
+		}
+		s.sent += n
 	}
-	if q.closing && !s.closeSent && s.nextSend == s.end() {
-		s.owner.enqueue(kindClose, (&shardMsg{Query: q.id, Shard: uint32(idx)}).encode(nil))
+	if q.closing && !s.closeSent && s.sent == len(s.retained) {
+		w.enqueue(kindClose, (&shardMsg{Query: q.id, Shard: uint32(idx)}).encode(nil))
 		s.closeSent = true
 	}
 }
 
-// flusher periodically force-pumps partial batches so a trickling stream
-// still makes progress.
+// controllerTicks is how many flusher ticks pass between adaptive batch
+// controller runs, and fullSendGrow how many full batches a link must
+// ship in that span before its batch doubles.
+const (
+	controllerTicks = 8
+	fullSendGrow    = 4
+)
+
+// adjustBatches is the adaptive batch controller (c.mu held): a link
+// that kept shipping full batches is throughput-bound and doubles its
+// batch (fewer frames per event); a link owning the shard that currently
+// holds back a query's ordered-merge head halves it (smaller batches
+// mean fresher progress watermarks and a faster-released merge).
+func (c *Coordinator) adjustBatches() {
+	shrunk := map[*workerLink]bool{}
+	for _, q := range c.queries {
+		if b := q.merge.blocker(); b >= 0 {
+			if w := q.shards[b].owner; w != nil && !shrunk[w] {
+				shrunk[w] = true
+				w.batch = max(w.batch/2, c.opts.BatchMin)
+			}
+		}
+	}
+	for _, w := range c.workers {
+		if !shrunk[w] && w.fullSends >= fullSendGrow {
+			w.batch = min(w.batch*2, c.opts.BatchMax)
+		}
+		w.fullSends = 0
+	}
+}
+
+// flusher periodically flushes staged shared-stream pages, force-pumps
+// partial batches so a trickling stream still makes progress, and runs
+// the adaptive batch controller every controllerTicks intervals.
 func (c *Coordinator) flusher() {
 	defer c.wg.Done()
 	t := time.NewTicker(c.opts.FlushInterval)
@@ -686,10 +934,17 @@ func (c *Coordinator) flusher() {
 			c.mu.Unlock()
 			return
 		}
+		for _, w := range c.workers {
+			c.flushStage(w)
+		}
 		for _, q := range c.queries {
 			for idx := range q.shards {
 				c.pump(q, idx, true)
 			}
+		}
+		if c.ticks++; c.ticks >= controllerTicks && !c.opts.StaticBatch {
+			c.ticks = 0
+			c.adjustBatches()
 		}
 		c.mu.Unlock()
 	}
@@ -713,7 +968,9 @@ func (c *Coordinator) lookupShard(w *workerLink, query, shard uint32) (*querySta
 
 // handleReady records a recovered shard and catches its owner up. The
 // reported resume position proves the owner's WAL journal covers every
-// earlier event, so the retained prefix below it is dropped.
+// earlier event, so the retained prefix below it is dropped. Resume is a
+// raw substream position: under pushdown it may fall in a gap of dropped
+// events, so the prune finds the first retained event at or past it.
 func (c *Coordinator) handleReady(w *workerLink, m *readyMsg) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -721,14 +978,16 @@ func (c *Coordinator) handleReady(w *workerLink, m *readyMsg) error {
 	if q == nil {
 		return nil
 	}
-	if m.Resume < s.base || m.Resume > s.end() {
-		return fmt.Errorf("shard %s/%d: resume %d outside retained [%d, %d]", q.name, m.Shard, m.Resume, s.base, s.end())
+	if m.Resume < s.base || m.Resume > s.routed {
+		return fmt.Errorf("shard %s/%d: resume %d outside retained [%d, %d]", q.name, m.Shard, m.Resume, s.base, s.routed)
 	}
-	if drop := m.Resume - s.base; drop > 0 {
+	drop := sort.Search(len(s.retained), func(i int) bool { return s.retained[i].Seq >= m.Resume })
+	if drop > 0 {
 		s.retained = append([]event.Event(nil), s.retained[drop:]...)
-		s.base = m.Resume
 	}
-	s.nextSend = m.Resume
+	s.base = m.Resume
+	s.sent = 0
+	s.gen++
 	s.ready = true
 	c.pump(q, int(m.Shard), q.closing)
 	// A shard that was not ready at the last membership change was not a
@@ -803,7 +1062,7 @@ func (c *Coordinator) handleHandoff(w *workerLink, m *handoffMsg) {
 		s.target = nil
 	}
 	if next == nil {
-		next = c.pickWorker()
+		next = c.pickWorkerFor(q)
 		if next == nil {
 			return // re-placed when the next worker joins
 		}
@@ -857,6 +1116,15 @@ func (c *Coordinator) Submit(ctx context.Context, sub Submission) (*QueryHandle,
 		}
 		return nil, &Error{Op: "submit", Err: err}
 	}
+	// Plan the query text against the shared registry: the same analysis
+	// the workers run decides, coordinator-side, which events can be
+	// dropped before framing (pushdown) and which payload fields any
+	// predicate can read (projection).
+	parsed, err := parser.Parse(sub.Text, c.reg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: parse %s: %w", sub.Name, err)
+	}
+	pl := plan.New(parsed, plan.Options{Reg: c.reg})
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -871,8 +1139,35 @@ func (c *Coordinator) Submit(ctx context.Context, sub Submission) (*QueryHandle,
 		route:   sub.Route,
 		emit:    sub.Emit,
 		onDrain: sub.OnDrain,
+		stream:  sub.Stream,
 		shards:  make([]*shardRun, sub.NShards),
 		done:    make(chan struct{}),
+	}
+	// Pre-stamped mode needs at least one v2 worker to place shards on;
+	// in an all-v1 fleet the query falls back to the classic full-ship
+	// path (workers re-stamp contiguous positions), which stays portable
+	// across every link.
+	v2ok := false
+	for _, w := range c.workers {
+		if !w.gone && w.proto >= 2 {
+			v2ok = true
+			break
+		}
+	}
+	pushdown := v2ok && pl.IntakeActive() && !c.opts.DisablePushdown
+	q.preStamped = pushdown || (v2ok && sub.Stream != nil)
+	if pushdown {
+		q.admit = pl.Admit
+	}
+	q.proj, q.projected = pl.Projection()
+	// The decoder's dense reconstruction caps field indexes at
+	// maxProjIndex; a plan reading a field beyond it (absurdly wide
+	// registry) ships full fields instead.
+	for _, f := range q.proj {
+		if f >= maxProjIndex {
+			q.proj, q.projected = nil, false
+			break
+		}
 	}
 	q.merge = newOrderedMerge(sub.NShards, func(m event.Complex) {
 		if q.emit != nil {
@@ -883,8 +1178,11 @@ func (c *Coordinator) Submit(ctx context.Context, sub Submission) (*QueryHandle,
 		q.shards[i] = &shardRun{}
 	}
 	c.queries[q.id] = q
+	if sub.Stream != nil {
+		sub.Stream.queries = append(sub.Stream.queries, q)
+	}
 	for i := range q.shards {
-		if w := c.pickWorker(); w != nil {
+		if w := c.pickWorkerFor(q); w != nil {
 			c.assignShard(q, i, w)
 		}
 	}
@@ -909,29 +1207,58 @@ func (h *QueryHandle) FeedBatch(evs []event.Event) error {
 	c, q := h.c, h.q
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if q.stream != nil {
+		return fmt.Errorf("cluster: query %s is fed through its shared stream", q.name)
+	}
 	if q.closing || q.finished {
 		return ErrClosed
 	}
-	batch := uint64(c.opts.BatchEvents)
 	for i := range evs {
-		idx := 0
-		if q.route != nil {
-			idx = q.route(&evs[i])
-		}
-		if idx < 0 || idx >= q.nShards {
-			return fmt.Errorf("cluster: route returned shard %d of %d", idx, q.nShards)
-		}
-		s := q.shards[idx]
-		local := q.merge.route(idx)
-		if local != s.end() {
-			return fmt.Errorf("cluster: shard %d position skew: merge %d, retained %d", idx, local, s.end())
-		}
-		s.retained = append(s.retained, evs[i])
-		if s.end()-s.nextSend >= batch {
-			c.pump(q, idx, false)
+		if _, _, err := c.routeOne(q, &evs[i], false); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// routeOne routes one event into q (c.mu held): every routed event
+// spends a raw substream position (the merge's gpos table must stay
+// complete), pushdown then decides whether it is retained at all, and
+// survivors are stamped with that raw position in Seq. It returns the
+// shard index and the retained index (-1 when dropped). deferPump
+// suppresses the eager full-batch pump — the shared-stream feeder stages
+// pages instead and flushes on its own cadence.
+func (c *Coordinator) routeOne(q *queryState, ev *event.Event, deferPump bool) (int, int, error) {
+	idx := 0
+	if q.route != nil {
+		idx = q.route(ev)
+	}
+	if idx < 0 || idx >= q.nShards {
+		return 0, -1, fmt.Errorf("cluster: route returned shard %d of %d", idx, q.nShards)
+	}
+	s := q.shards[idx]
+	local := q.merge.route(idx)
+	if local != s.routed {
+		return 0, -1, fmt.Errorf("cluster: shard %d position skew: merge %d, routed %d", idx, local, s.routed)
+	}
+	s.routed++
+	if q.admit != nil && !q.admit(ev) {
+		q.filtered++
+		return idx, -1, nil
+	}
+	e := *ev
+	e.Seq = local
+	s.retained = append(s.retained, e)
+	if !deferPump {
+		threshold := c.opts.BatchEvents
+		if s.owner != nil {
+			threshold = s.owner.batch
+		}
+		if len(s.retained)-s.sent >= threshold {
+			c.pump(q, idx, false)
+		}
+	}
+	return idx, len(s.retained) - 1, nil
 }
 
 // Close ends the stream: every shard is flushed and closed, and Wait

@@ -28,9 +28,16 @@ import (
 	"github.com/spectrecep/spectre/internal/event"
 )
 
-// protoVersion gates the handshake: both sides must speak the same frame
-// grammar. Bump on any wire-incompatible change.
-const protoVersion = 1
+// protoVersion is the newest frame grammar this build speaks;
+// minProtoVersion the oldest it still accepts. The handshake negotiates
+// per link: the worker's hello advertises its maximum, the coordinator
+// answers with min(worker max, coordinator max), and both sides then
+// frame according to the chosen version (wire2.go holds the v2
+// additions). Bump protoVersion on any wire-incompatible change.
+const (
+	protoVersion    = 2
+	minProtoVersion = 1
+)
 
 // Frame kinds on a cluster link (transport frame layer, internal/transport
 // frame.go).
@@ -56,6 +63,10 @@ const (
 // cannot demand a huge allocation before its (length-capped) body runs out.
 const maxWireCount = 1 << 24
 
+// frameOverhead is the transport framing cost per frame: length and CRC
+// words plus the kind byte (used by the link byte counters).
+const frameOverhead = 9
+
 type helloMsg struct {
 	Proto    uint32
 	Capacity uint32
@@ -80,6 +91,11 @@ type assignMsg struct {
 	Name     string
 	Text     string
 	Snapshot []byte
+	// PreStamped (proto ≥ 2 only, carried in a trailing flags byte)
+	// tells the worker that the coordinator runs the plan's intake
+	// prefilter before shipping: wire sequence numbers are raw
+	// substream positions and must be trusted, not re-stamped.
+	PreStamped bool
 }
 
 type readyMsg struct {
@@ -177,14 +193,22 @@ func (m *tablesMsg) encode(b []byte) []byte {
 	return appendStrs(b, m.Fields)
 }
 
-func (m *assignMsg) encode(b []byte) []byte {
+func (m *assignMsg) encode(b []byte, proto uint32) []byte {
 	b = appendU32(b, m.Query)
 	b = appendU32(b, m.Shard)
 	b = appendU32(b, m.NShards)
 	b = appendU64(b, m.EmitBase)
 	b = appendStr(b, m.Name)
 	b = appendStr(b, m.Text)
-	return appendBytes(b, m.Snapshot)
+	b = appendBytes(b, m.Snapshot)
+	if proto >= 2 {
+		var flags byte
+		if m.PreStamped {
+			flags |= assignPreStamped
+		}
+		b = append(b, flags)
+	}
+	return b
 }
 
 func (m *readyMsg) encode(b []byte) []byte {
@@ -370,7 +394,7 @@ func decodeTables(b []byte) (tablesMsg, error) {
 	return m, r.finish()
 }
 
-func decodeAssign(b []byte) (assignMsg, error) {
+func decodeAssign(b []byte, proto uint32) (assignMsg, error) {
 	r := wireReader{b: b}
 	m := assignMsg{
 		Query:    r.u32(),
@@ -380,6 +404,9 @@ func decodeAssign(b []byte) (assignMsg, error) {
 		Name:     r.str(),
 		Text:     r.str(),
 		Snapshot: r.bytes(),
+	}
+	if proto >= 2 {
+		m.PreStamped = r.u8()&assignPreStamped != 0
 	}
 	return m, r.finish()
 }

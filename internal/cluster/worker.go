@@ -29,6 +29,10 @@ type WorkerOptions struct {
 	// JoinAttempts caps the dial+handshake retries before Join gives up
 	// with a *Error (default 5).
 	JoinAttempts int
+	// MaxProto caps the wire protocol version advertised in the hello
+	// (default: the newest this build speaks). Tests use it to emulate
+	// old workers against a new coordinator.
+	MaxProto int
 	// Logf receives worker lifecycle logs (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -42,6 +46,9 @@ func (o *WorkerOptions) setDefaults() {
 	}
 	if o.JoinAttempts <= 0 {
 		o.JoinAttempts = 5
+	}
+	if o.MaxProto <= 0 || o.MaxProto > protoVersion {
+		o.MaxProto = protoVersion
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -58,11 +65,12 @@ const linkTimeoutFactor = 10
 // lives in memory — the WAL is what makes the shard portable: a quiesce
 // parks the runtime, exports the WAL and ships it back in a handoff frame.
 type Worker struct {
-	conn net.Conn
-	reg  *event.Registry
-	rt   *core.Runtime
-	opts WorkerOptions
-	id   uint32
+	conn  net.Conn
+	reg   *event.Registry
+	rt    *core.Runtime
+	opts  WorkerOptions
+	id    uint32
+	proto uint32 // negotiated wire protocol version
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -78,11 +86,53 @@ type Worker struct {
 	typeMap  []event.Type
 	fieldMap []int
 	identity bool
+	// pages holds shared event pages awaiting their reference frames
+	// (proto ≥ 2); each page is freed after refsLeft kindPageRefs frames
+	// consumed it.
+	pages map[uint64]*workerPage
 
 	closed  atomic.Bool
 	done    chan struct{}
 	runErr  error
 	errOnce sync.Once
+
+	// Transport counters (Stats).
+	bytesSent     atomic.Uint64
+	bytesRecv     atomic.Uint64
+	framesSent    atomic.Uint64
+	framesRecv    atomic.Uint64
+	eventsDeduped atomic.Uint64
+}
+
+// workerPage is one shared event page (remapped into the local registry
+// once, shared by every referencing shard).
+type workerPage struct {
+	events   []event.Event
+	refsLeft uint32
+	used     uint32 // refs frames consumed so far (dedup accounting)
+}
+
+// WorkerStats is a point-in-time snapshot of the worker link's transport
+// counters.
+type WorkerStats struct {
+	Proto         uint32
+	BytesSent     uint64
+	BytesRecv     uint64
+	FramesSent    uint64
+	FramesRecv    uint64
+	EventsDeduped uint64
+}
+
+// Stats snapshots the link counters.
+func (w *Worker) Stats() WorkerStats {
+	return WorkerStats{
+		Proto:         w.proto,
+		BytesSent:     w.bytesSent.Load(),
+		BytesRecv:     w.bytesRecv.Load(),
+		FramesSent:    w.framesSent.Load(),
+		FramesRecv:    w.framesRecv.Load(),
+		EventsDeduped: w.eventsDeduped.Load(),
+	}
 }
 
 // workerShard is one assigned (query, shard) execution.
@@ -111,13 +161,13 @@ func Join(ctx context.Context, reg *event.Registry, addr string, opts WorkerOpti
 	opts.setDefaults()
 	backoff := transport.Backoff{Min: 100 * time.Millisecond, Max: 2 * time.Second}
 	var conn net.Conn
-	var id uint32
+	var id, proto uint32
 	var lastErr error
 	attempts := 0
 	for attempts < opts.JoinAttempts {
-		c, wid, err := dialCoordinator(ctx, addr, &opts)
+		c, wid, p, err := dialCoordinator(ctx, addr, &opts)
 		if err == nil {
-			conn, id = c, wid
+			conn, id, proto = c, wid, p
 			attempts++
 			break
 		}
@@ -143,9 +193,11 @@ func Join(ctx context.Context, reg *event.Registry, addr string, opts WorkerOpti
 		rt:     core.NewRuntime(core.RuntimeConfig{}),
 		opts:   opts,
 		id:     id,
+		proto:  proto,
 		ctx:    wctx,
 		cancel: cancel,
 		shards: make(map[uint64]*workerShard),
+		pages:  make(map[uint64]*workerPage),
 		done:   make(chan struct{}),
 	}
 	go w.serve()
@@ -163,46 +215,52 @@ func Join(ctx context.Context, reg *event.Registry, addr string, opts WorkerOpti
 	return w, nil
 }
 
-// dialCoordinator performs one dial + hello/welcome handshake.
-func dialCoordinator(ctx context.Context, addr string, opts *WorkerOptions) (net.Conn, uint32, error) {
+// dialCoordinator performs one dial + hello/welcome handshake. The hello
+// advertises the worker's newest protocol version; the coordinator
+// answers with the version the link will actually speak (at most the
+// advertised one — older coordinators echo their own fixed version,
+// which the range check below accepts only when this build still speaks
+// it).
+func dialCoordinator(ctx context.Context, addr string, opts *WorkerOptions) (net.Conn, uint32, uint32, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	_ = conn.SetDeadline(deadline)
-	hello := helloMsg{Proto: protoVersion, Capacity: uint32(opts.Capacity), Name: opts.Name}
+	maxProto := uint32(opts.MaxProto)
+	hello := helloMsg{Proto: maxProto, Capacity: uint32(opts.Capacity), Name: opts.Name}
 	if err := transport.WriteFrame(conn, kindHello, hello.encode(nil)); err != nil {
 		conn.Close()
-		return nil, 0, fmt.Errorf("send hello: %w", err)
+		return nil, 0, 0, fmt.Errorf("send hello: %w", err)
 	}
 	kind, body, err := transport.ReadFrame(conn, nil)
 	if err != nil {
 		conn.Close()
-		return nil, 0, fmt.Errorf("read welcome: %w", err)
+		return nil, 0, 0, fmt.Errorf("read welcome: %w", err)
 	}
 	if kind == kindError {
 		if em, derr := decodeError(body); derr == nil {
 			conn.Close()
-			return nil, 0, fmt.Errorf("coordinator rejected join: %s", em.Msg)
+			return nil, 0, 0, fmt.Errorf("coordinator rejected join: %s", em.Msg)
 		}
 	}
 	if kind != kindWelcome {
 		conn.Close()
-		return nil, 0, fmt.Errorf("unexpected frame kind %d during handshake", kind)
+		return nil, 0, 0, fmt.Errorf("unexpected frame kind %d during handshake", kind)
 	}
 	wm, err := decodeWelcome(body)
 	if err != nil {
 		conn.Close()
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	if wm.Proto != protoVersion {
+	if wm.Proto < minProtoVersion || wm.Proto > maxProto {
 		conn.Close()
-		return nil, 0, fmt.Errorf("protocol mismatch: coordinator speaks v%d, worker v%d", wm.Proto, protoVersion)
+		return nil, 0, 0, fmt.Errorf("protocol mismatch: coordinator chose v%d, worker speaks v%d..v%d", wm.Proto, minProtoVersion, maxProto)
 	}
 	_ = conn.SetDeadline(time.Time{})
-	return conn, wm.WorkerID, nil
+	return conn, wm.WorkerID, wm.Proto, nil
 }
 
 // ID returns the coordinator-assigned worker id.
@@ -261,6 +319,10 @@ func (w *Worker) send(kind byte, body []byte) error {
 	}
 	w.wbuf = buf
 	_, err = w.conn.Write(buf)
+	if err == nil {
+		w.bytesSent.Add(uint64(len(buf)))
+		w.framesSent.Add(1)
+	}
 	return err
 }
 
@@ -301,6 +363,8 @@ func (w *Worker) serve() {
 			}
 			return
 		}
+		w.bytesRecv.Add(uint64(frameOverhead + len(body)))
+		w.framesRecv.Add(1)
 		scratch = body[:0]
 		if err := w.dispatch(kind, body); err != nil {
 			w.fail(err)
@@ -322,7 +386,7 @@ func (w *Worker) dispatch(kind byte, body []byte) error {
 		w.applyTables(&m)
 		return nil
 	case kindAssign:
-		m, err := decodeAssign(body)
+		m, err := decodeAssign(body, w.proto)
 		if err != nil {
 			return err
 		}
@@ -333,6 +397,33 @@ func (w *Worker) dispatch(kind byte, body []byte) error {
 			return err
 		}
 		return w.handleEvents(&m)
+	case kindEvents2:
+		if w.proto < 2 {
+			return &Error{Op: "serve", Err: fmt.Errorf("events2 frame on a v%d link", w.proto)}
+		}
+		m, err := decodeEvents2(body)
+		if err != nil {
+			return err
+		}
+		return w.handleEvents(&m)
+	case kindPage:
+		if w.proto < 2 {
+			return &Error{Op: "serve", Err: fmt.Errorf("page frame on a v%d link", w.proto)}
+		}
+		m, err := decodePage(body)
+		if err != nil {
+			return err
+		}
+		return w.handlePage(&m)
+	case kindPageRefs:
+		if w.proto < 2 {
+			return &Error{Op: "serve", Err: fmt.Errorf("page-refs frame on a v%d link", w.proto)}
+		}
+		m, err := decodePageRefs(body)
+		if err != nil {
+			return err
+		}
+		return w.handlePageRefs(&m)
 	case kindClose:
 		m, err := decodeShardMsg(body)
 		if err != nil {
@@ -466,8 +557,9 @@ func (w *Worker) handleAssign(m *assignMsg) error {
 	q.Name = m.Name
 	ws := &workerShard{query: m.Query, shard: m.Shard, name: m.Name, store: store, emitBase: m.EmitBase}
 	cfg := core.Config{
-		Reg:     w.reg,
-		Durable: store,
+		Reg:        w.reg,
+		Durable:    store,
+		PreStamped: m.PreStamped,
 		OnAdvance: func(boundary uint64) {
 			if ws.gone.Load() {
 				return
@@ -535,6 +627,73 @@ func (w *Worker) handleEvents(m *eventsMsg) error {
 			return nil
 		}
 		return fmt.Errorf("cluster: feed %s/%d: %w", ws.name, m.Shard, err)
+	}
+	return nil
+}
+
+// handlePage stores one shared event page: remapped into the local
+// registry once, then referenced by refsLeft kindPageRefs frames and
+// freed when the last one lands.
+func (w *Worker) handlePage(m *pageMsg) error {
+	if err := w.remap(m.Events); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.pages[m.PageID]; dup {
+		return fmt.Errorf("cluster: duplicate page %d", m.PageID)
+	}
+	if m.Refs == 0 {
+		return nil // degenerate but harmless: nothing will reference it
+	}
+	w.pages[m.PageID] = &workerPage{events: m.Events, refsLeft: m.Refs}
+	return nil
+}
+
+// handlePageRefs resolves one consumer's view of a page into a plain
+// event batch and feeds it like any kindEvents frame. Reference frames
+// beyond the page's announced count, or indexes past its length, are
+// protocol errors.
+func (w *Worker) handlePageRefs(m *pageRefsMsg) error {
+	if len(m.Idx) != len(m.Seqs) {
+		return fmt.Errorf("cluster: page %d refs: %d indexes, %d seqs", m.PageID, len(m.Idx), len(m.Seqs))
+	}
+	w.mu.Lock()
+	pg := w.pages[m.PageID]
+	if pg == nil {
+		w.mu.Unlock()
+		return fmt.Errorf("cluster: refs for unknown page %d", m.PageID)
+	}
+	evs := make([]event.Event, len(m.Idx))
+	for i, idx := range m.Idx {
+		if int(idx) >= len(pg.events) {
+			w.mu.Unlock()
+			return fmt.Errorf("cluster: page %d index %d past length %d", m.PageID, idx, len(pg.events))
+		}
+		evs[i] = pg.events[idx]
+		evs[i].Seq = m.Seqs[i]
+	}
+	if pg.used > 0 {
+		// Every referencing shard after the first received these events
+		// without a second wire copy.
+		w.eventsDeduped.Add(uint64(len(m.Idx)))
+	}
+	pg.used++
+	pg.refsLeft--
+	if pg.refsLeft == 0 {
+		delete(w.pages, m.PageID)
+	}
+	w.mu.Unlock()
+	em := eventsMsg{Query: m.Query, Shard: m.Shard, Events: evs}
+	ws := w.lookup(em.Query, em.Shard)
+	if ws == nil {
+		return nil // raced a completed handoff; the new owner replays
+	}
+	if err := ws.h.FeedBatch(w.ctx, em.Events); err != nil {
+		if w.ctx.Err() != nil {
+			return nil
+		}
+		return fmt.Errorf("cluster: feed %s/%d: %w", ws.name, em.Shard, err)
 	}
 	return nil
 }

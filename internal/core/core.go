@@ -168,6 +168,15 @@ type Config struct {
 	// splitter. Requires Reg (records carry the type/field name tables)
 	// and the Runtime Submit path. Nil disables durability.
 	Durable durable.Store
+	// PreStamped declares that the feeder stamps every event's Seq with
+	// its raw-substream position before it reaches the handle — an
+	// upstream stage (the cluster coordinator's plan pushdown) already
+	// ran the intake prefilter and spent the dropped positions. The
+	// engine runs in stamped mode (arena gaps for dropped positions) but
+	// the feed layer neither filters nor re-stamps: wire-carried
+	// positions are trusted verbatim. Positions must be strictly
+	// increasing per shard.
+	PreStamped bool
 	// OnAdvance, when set, is notified after every root pop with the new
 	// durable boundary: no match emitted after the call will have a
 	// DetectedAt below it. Calls are ordered with the emit callback — on

@@ -88,7 +88,7 @@ func compile(q *pattern.Query, cfg Config) (*program, error) {
 		compiled:   compiled,
 		durWindow:  q.Window.EndKind == pattern.EndDuration,
 		plan:       pl,
-		stamped:    pl != nil && pl.IntakeActive(),
+		stamped:    (pl != nil && pl.IntakeActive()) || cfg.PreStamped,
 		typeFilter: pl != nil && pl.MatcherFilterActive(),
 	}, nil
 }
@@ -1050,9 +1050,10 @@ func (e *Engine) Run(ctx context.Context, src stream.Source, emit func(event.Com
 	e.ran = true
 	s := e.shard
 	var feed feeder = &sourceFeeder{ctx: ctx, src: src}
-	if s.prog.stamped {
+	if s.prog.stamped && !s.prog.cfg.PreStamped {
 		// Intake prefilter: stamp raw positions, drop irrelevant events
-		// before they reach the arena.
+		// before they reach the arena. Pre-stamped input skips this — an
+		// upstream stage already filtered and spent the positions.
 		feed = &filterFeeder{inner: feed, pl: s.prog.plan, shard: s}
 	}
 	s.begin(feed, emit)

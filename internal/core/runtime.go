@@ -143,7 +143,7 @@ func (rt *Runtime) Submit(q *pattern.Query, cfg Config, route func(*event.Event)
 	}
 	h := &Handle{rt: rt, name: q.Name, route: route, onDrain: onDrain}
 	h.plan = prog.plan
-	if h.intake = prog.stamped; h.intake {
+	if h.intake = prog.stamped && !prog.cfg.PreStamped; h.intake {
 		h.stamp = make([]uint64, nShards)
 		h.stampScratch = make([]uint64, nShards)
 		h.dropScratch = make([]uint64, nShards)

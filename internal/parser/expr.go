@@ -561,6 +561,43 @@ func selfOnly(e expr) bool {
 	}
 }
 
+// fieldsOf collects every payload field index e reads — through the
+// candidate event or any bound step — deduplicated, in first-read order.
+// symRef reads the interned type id, not a payload field, so it
+// contributes nothing. The list is exhaustive by construction (the AST
+// has no other field access), which lets the distributed transport
+// project shipped events down to exactly these fields.
+func fieldsOf(e expr, out []int) []int {
+	add := func(f int) []int {
+		for _, have := range out {
+			if have == f {
+				return out
+			}
+		}
+		return append(out, f)
+	}
+	switch n := e.(type) {
+	case numLit, symLit, symRef:
+		return out
+	case fieldRef:
+		return add(n.field)
+	case arith:
+		return fieldsOf(n.r, fieldsOf(n.l, out))
+	case neg:
+		return fieldsOf(n.e, out)
+	case cmp:
+		return fieldsOf(n.r, fieldsOf(n.l, out))
+	case inList:
+		return fieldsOf(n.e, out)
+	case logical:
+		return fieldsOf(n.r, fieldsOf(n.l, out))
+	case notExpr:
+		return fieldsOf(n.e, out)
+	default:
+		return out
+	}
+}
+
 // flattenAnd splits a top-level AND chain into its operands in source
 // order. OR and NOT subtrees are kept whole — only conjunction is safe
 // to decompose and reorder.

@@ -242,7 +242,7 @@ func (p *parser) attachPred(sb *query.StepBuilder, varName string) error {
 	}
 	for i, c := range flattenAnd(def.e, nil) {
 		label := fmt.Sprintf("%s.define[%d]", varName, i)
-		sb.WhereConjunct(compileConjunct(c), selfOnly(c), label)
+		sb.WhereConjunctFields(compileConjunct(c), selfOnly(c), label, fieldsOf(c, nil))
 	}
 	return nil
 }

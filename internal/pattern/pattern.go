@@ -74,6 +74,13 @@ type Conjunct struct {
 	BindingFree bool
 	// Label describes the conjunct for plan explanations.
 	Label string
+	// Fields lists every payload field index the predicate can read (on
+	// the candidate event or any bound one), valid only when FieldsKnown.
+	// The distributed transport projects shipped events down to the union
+	// of these sets; an opaque predicate (FieldsKnown false) disables
+	// projection for the whole query.
+	Fields      []int
+	FieldsKnown bool
 }
 
 // Step is a single pattern variable: a type filter, an optional payload
@@ -448,6 +455,12 @@ type WindowSpec struct {
 	// empty types match any type, nil predicate accepts everything.
 	StartTypes []event.Type
 	StartPred  StartPredicate
+	// StartFromStep records that StartPred was derived from the FROM
+	// step's own predicate (builder From / parser `FROM var`), so it reads
+	// no payload fields beyond that step's conjuncts. A custom start
+	// filter (FromFilter) leaves this false and disables transport-level
+	// field projection.
+	StartFromStep bool
 
 	EndKind EndKind
 	// Count is the window size in events for EndCount.

@@ -243,6 +243,48 @@ func (p *Plan) Admit(ev *event.Event) bool {
 	return p.query.Window.StartMatches(ev)
 }
 
+// Projection returns the sorted union of payload field indexes any step
+// predicate (or the window start predicate) of the planned query can
+// read, and whether that set is exhaustively known. When ok is true, an
+// event stripped to exactly these fields (absent fields reading 0, as
+// Event.Field defines) is indistinguishable from the original to every
+// predicate the query evaluates — so a distributed transport may ship
+// only those fields. ok is false when any predicated step carries a
+// conjunct without field metadata (programmatic Where/WhereConjunct), or
+// when a custom start predicate exists outside the step conjuncts
+// (FromFilter). Matches reference events by position, so fields that no
+// predicate reads never influence query output.
+func (p *Plan) Projection() (fields []int, ok bool) {
+	w := &p.query.Window
+	if w.StartPred != nil && !w.StartFromStep {
+		return nil, false
+	}
+	seen := make(map[int]bool)
+	for _, fs := range p.query.Pattern.FlatSteps() {
+		st := fs.Step
+		if st.Pred == nil {
+			continue
+		}
+		if len(st.Conjuncts) == 0 {
+			return nil, false
+		}
+		for j := range st.Conjuncts {
+			c := &st.Conjuncts[j]
+			if !c.FieldsKnown {
+				return nil, false
+			}
+			for _, f := range c.Fields {
+				if !seen[f] {
+					seen[f] = true
+					fields = append(fields, f)
+				}
+			}
+		}
+	}
+	sort.Ints(fields)
+	return fields, true
+}
+
 // MatcherFilterActive reports whether every step carries a type filter,
 // making the matcher-level type skip legal: an event whose type no step
 // accepts is a pure no-op for detection and may bypass the matcher,

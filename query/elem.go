@@ -16,6 +16,8 @@ type conjSpec struct {
 	pred        Predicate
 	bindingFree bool
 	label       string
+	fields      []int
+	fieldsKnown bool
 }
 
 // stepSpec is the unresolved form of a pattern step: type names are kept
@@ -71,7 +73,7 @@ func (sb *StepBuilder) Types(names ...string) *StepBuilder {
 // candidate event should prefer WhereEvent, which the planner can hoist
 // into the intake prefilter and evaluate first.
 func (sb *StepBuilder) Where(p Predicate) *StepBuilder {
-	return sb.where(p, false, "where")
+	return sb.where(p, false, "where", nil, false)
 }
 
 // WhereEvent attaches a binding-free payload predicate: a function of the
@@ -84,7 +86,7 @@ func (sb *StepBuilder) WhereEvent(p func(*Event) bool) *StepBuilder {
 	if p == nil {
 		return sb
 	}
-	return sb.where(func(ev *Event, _ Binder) bool { return p(ev) }, true, "where-event")
+	return sb.where(func(ev *Event, _ Binder) bool { return p(ev) }, true, "where-event", nil, false)
 }
 
 // WhereConjunct records one predicate conjunct with an explicit
@@ -92,10 +94,21 @@ func (sb *StepBuilder) WhereEvent(p func(*Event) bool) *StepBuilder {
 // parser's DEFINE clause (each top-level AND operand arrives separately);
 // programmatic callers normally use Where/WhereEvent.
 func (sb *StepBuilder) WhereConjunct(p Predicate, bindingFree bool, label string) *StepBuilder {
-	return sb.where(p, bindingFree, label)
+	return sb.where(p, bindingFree, label, nil, false)
 }
 
-func (sb *StepBuilder) where(p Predicate, bindingFree bool, label string) *StepBuilder {
+// WhereConjunctFields is WhereConjunct with an exhaustive list of the
+// payload field indexes the predicate can read (candidate or bound
+// events). The parser supplies it from the DEFINE expression AST; the
+// declaration lets the distributed transport project shipped events down
+// to the fields some predicate actually reads. An empty list is valid
+// (type-only predicates). Callers that cannot enumerate the fields must
+// use WhereConjunct, which disables projection for the query.
+func (sb *StepBuilder) WhereConjunctFields(p Predicate, bindingFree bool, label string, fields []int) *StepBuilder {
+	return sb.where(p, bindingFree, label, fields, true)
+}
+
+func (sb *StepBuilder) where(p Predicate, bindingFree bool, label string, fields []int, fieldsKnown bool) *StepBuilder {
 	if p == nil {
 		return sb
 	}
@@ -104,7 +117,7 @@ func (sb *StepBuilder) where(p Predicate, bindingFree bool, label string) *StepB
 	} else {
 		sb.s.pred = p
 	}
-	sb.s.conjs = append(sb.s.conjs, conjSpec{pred: p, bindingFree: bindingFree, label: label})
+	sb.s.conjs = append(sb.s.conjs, conjSpec{pred: p, bindingFree: bindingFree, label: label, fields: fields, fieldsKnown: fieldsKnown})
 	return sb
 }
 

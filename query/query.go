@@ -323,7 +323,7 @@ func (b *Builder) Build() (*Query, error) {
 		if len(s.conjs) > 0 {
 			conjs = make([]pattern.Conjunct, len(s.conjs))
 			for i, c := range s.conjs {
-				conjs[i] = pattern.Conjunct{Pred: c.pred, BindingFree: c.bindingFree, Label: c.label}
+				conjs[i] = pattern.Conjunct{Pred: c.pred, BindingFree: c.bindingFree, Label: c.label, Fields: c.fields, FieldsKnown: c.fieldsKnown}
 			}
 		}
 		return pattern.Step{
@@ -423,8 +423,11 @@ func (b *Builder) Build() (*Query, error) {
 			win.StartTypes = b.resolveTypes(rs.spec.types)
 			if pred := rs.spec.pred; pred != nil {
 				// Windows open before detection: the step's predicate is
-				// evaluated without bindings.
+				// evaluated without bindings. StartFromStep records that
+				// the predicate's field reads are covered by the step's
+				// conjunct metadata (projection legality, internal/plan).
 				win.StartPred = func(ev *event.Event) bool { return pred(ev, nil) }
+				win.StartFromStep = true
 			}
 		}
 	}
